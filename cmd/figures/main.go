@@ -1,0 +1,111 @@
+// Command figures regenerates the tables and figures of "Malthusian
+// Locks" (EuroSys 2017) on the simulated machine.
+//
+// Usage:
+//
+//	figures -fig 3              # print Figure 3 as TSV
+//	figures -fig 4              # print the Figure 4 table
+//	figures -fig all            # every figure (long)
+//	figures -fig 3 -quick       # trimmed sweep
+//	figures -fig 3 -scale 8 -measure 20000000 -threads 1,5,16,32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/experiments"
+	"repro/sim"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "figure to regenerate: 1..14 or 'all'")
+		quick   = flag.Bool("quick", false, "trimmed thread sweep")
+		scale   = flag.Int("scale", 16, "cache/footprint scale divisor")
+		measure = flag.Int64("measure", 12_000_000, "measurement interval (cycles)")
+		threads = flag.String("threads", "", "comma-separated thread counts (override sweep)")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+	if *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := experiments.Options{
+		Quick:   *quick,
+		Scale:   *scale,
+		Measure: sim.Cycles(*measure),
+		Seed:    *seed,
+	}
+	if *threads != "" {
+		for _, part := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "figures: bad thread count %q\n", part)
+				os.Exit(2)
+			}
+			opts.Threads = append(opts.Threads, n)
+		}
+	}
+
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14"}
+	}
+	for _, id := range ids {
+		if err := emit(id, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func emit(id string, opts experiments.Options) error {
+	switch id {
+	case "1":
+		fmt.Print(experiments.Fig1(opts).TSV())
+	case "2":
+		fmt.Println("# fig2: Comparison of TAS and MCS locks")
+		fmt.Print(experiments.Fig2())
+	case "3":
+		fmt.Print(experiments.Fig3(opts).TSV())
+	case "4":
+		fmt.Println("# fig4: In-depth measurements for Random Access Array at 32 threads")
+		fmt.Print(experiments.Fig4TSV(experiments.Fig4(opts)))
+	case "5":
+		fmt.Print(experiments.Fig5(opts).TSV())
+	case "6":
+		fmt.Print(experiments.Fig6(opts).TSV())
+	case "7":
+		fmt.Print(experiments.Fig7(opts).TSV())
+	case "8":
+		fmt.Print(experiments.Fig8(opts).TSV())
+	case "9":
+		fmt.Print(experiments.Fig9(opts).TSV())
+	case "10":
+		fmt.Print(experiments.Fig10(opts).TSV())
+	case "11":
+		fmt.Print(experiments.Fig11(opts).TSV())
+	case "12":
+		fmt.Print(experiments.Fig12(opts).TSV())
+	case "13":
+		fmt.Print(experiments.Fig13(opts).TSV())
+	case "14":
+		fmt.Print(experiments.Fig14(opts).TSV())
+	case "numa":
+		f := experiments.FigNUMA(opts)
+		fmt.Print(f.TSV())
+		fmt.Println("# lock migrations per acquisition at max threads:")
+		for label, rate := range experiments.MigrationRates(f) {
+			fmt.Printf("# %-12s %.4f\n", label, rate)
+		}
+	default:
+		return fmt.Errorf("unknown figure %q (want 1..14, numa, or all)", id)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,110 @@
+// Command lockbench benchmarks the real (goroutine) Malthusian lock
+// library on the host machine: aggregate throughput plus the paper's
+// fairness metrics (average LWSS, MTTR, Gini, RSTDDEV) over the recorded
+// admission history.
+//
+// Usage:
+//
+//	lockbench -lock mcscr -threads 8 -duration 2s
+//	lockbench -lock all -threads 16 -ncs 2000
+//
+// Note: host-machine numbers demonstrate lock overheads and fairness
+// behaviour, not the paper's hardware collapse curves — those come from
+// cmd/figures (see DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/lock"
+	"repro/metrics"
+)
+
+func builders(seed uint64) map[string]func() lock.Mutex {
+	return map[string]func() lock.Mutex{
+		"tas":       func() lock.Mutex { return lock.NewTAS() },
+		"ticket":    func() lock.Mutex { return lock.NewTicket() },
+		"clh":       func() lock.Mutex { return lock.NewCLH() },
+		"mcs-s":     func() lock.Mutex { return lock.NewMCS(lock.WithWaitPolicy(lock.WaitSpin)) },
+		"mcs-stp":   func() lock.Mutex { return lock.NewMCS() },
+		"mcscr-s":   func() lock.Mutex { return lock.NewMCSCR(lock.WithWaitPolicy(lock.WaitSpin), lock.WithSeed(seed)) },
+		"mcscr-stp": func() lock.Mutex { return lock.NewMCSCR(lock.WithSeed(seed)) },
+		"lifocr":    func() lock.Mutex { return lock.NewLIFOCR(lock.WithSeed(seed)) },
+		"loiter":    func() lock.Mutex { return lock.NewLOITER(lock.WithSeed(seed)) },
+		"null":      func() lock.Mutex { return lock.NewNull() },
+	}
+}
+
+func main() {
+	var (
+		name     = flag.String("lock", "mcscr-stp", "lock to benchmark (or 'all')")
+		threads  = flag.Int("threads", 8, "goroutines")
+		duration = flag.Duration("duration", time.Second, "measurement interval")
+		ncs      = flag.Int("ncs", 500, "non-critical-section work (spin iterations)")
+		cs       = flag.Int("cs", 100, "critical-section work (spin iterations)")
+		seed     = flag.Uint64("seed", 1, "lock PRNG seed")
+	)
+	flag.Parse()
+
+	all := builders(*seed)
+	names := []string{*name}
+	if *name == "all" {
+		names = names[:0]
+		for n := range all {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+	}
+	fmt.Printf("%-10s %10s %10s %8s %8s %8s %8s\n",
+		"lock", "ops", "ops/sec", "LWSS", "MTTR", "Gini", "RSTDDEV")
+	for _, n := range names {
+		build, ok := all[n]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lockbench: unknown lock %q\n", n)
+			os.Exit(2)
+		}
+		run(n, build(), *threads, *duration, *ncs, *cs)
+	}
+}
+
+var sink uint64
+
+func spin(n int) {
+	s := sink
+	for i := 0; i < n; i++ {
+		s += uint64(i)
+	}
+	atomic.StoreUint64(&sink, s)
+}
+
+func run(name string, m lock.Mutex, threads int, d time.Duration, ncs, cs int) {
+	rec := metrics.NewRecorder(1 << 20)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for !stop.Load() {
+				spin(ncs)
+				m.Lock()
+				rec.Record(id) // serialized by the lock
+				spin(cs)
+				m.Unlock()
+			}
+		}(g)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	h := rec.History()
+	s := metrics.Summarize(h, metrics.DefaultWindow)
+	fmt.Printf("%-10s %10d %10.0f %8.1f %8.1f %8.3f %8.3f\n",
+		name, len(h), float64(len(h))/d.Seconds(), s.AvgLWSS, s.MTTR, s.Gini, s.RSTDDEV)
+}

@@ -1,0 +1,127 @@
+// Command simexplore runs ad-hoc sweeps on the simulated machine: pick a
+// workload, a lock, and sweep a parameter. It complements cmd/figures
+// (which reproduces the paper's exact configurations) by exposing the
+// knobs the paper discusses qualitatively — fairness period, spin budget,
+// idle-state exit penalties, machine scale.
+//
+// Usage:
+//
+//	simexplore -workload randarray -lock mcscr-stp -threads 32 \
+//	    -sweep fairness -values 0,10,100,1000,10000
+//	simexplore -workload stresslatency -lock mcscr-stp -threads 64 \
+//	    -sweep spinbudget -values 5000,25000,100000
+//	simexplore -workload randarray -lock mcscr-stp -threads 32 \
+//	    -sweep exitdeep -values 2000,25000,80000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/sim"
+	"repro/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "randarray", "randarray|ringwalker|stresslatency|keymap|lrucache")
+		lockName = flag.String("lock", "mcscr-stp", "mcs-s|mcs-stp|mcscr-s|mcscr-stp|lifocr|tas|null")
+		threads  = flag.Int("threads", 32, "thread count")
+		scale    = flag.Int("scale", 16, "cache scale divisor")
+		measure  = flag.Int64("measure", 12_000_000, "measurement cycles")
+		sweepVar = flag.String("sweep", "fairness", "fairness|spinbudget|exitdeep|scale|quantum")
+		values   = flag.String("values", "0,100,1000", "comma-separated sweep values")
+		seed     = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	spec, ok := lockSpec(*lockName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "simexplore: unknown lock %q\n", *lockName)
+		os.Exit(2)
+	}
+	fmt.Printf("# workload=%s lock=%s threads=%d sweep=%s\n",
+		*workload, *lockName, *threads, *sweepVar)
+	fmt.Printf("%-12s %12s %8s %8s %8s %10s %8s\n",
+		*sweepVar, "steps/sec", "LWSS", "MTTR", "vctx", "L3miss", "∆W")
+	for _, part := range strings.Split(*values, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simexplore: bad value %q\n", part)
+			os.Exit(2)
+		}
+		cfg := sim.DefaultConfig(*scale)
+		cfg.Seed = *seed
+		sp := spec
+		switch *sweepVar {
+		case "fairness":
+			if v == 0 {
+				sp.FairnessPeriod = sim.NoFairness
+			} else {
+				sp.FairnessPeriod = uint64(v)
+			}
+		case "spinbudget":
+			cfg.SpinBudget = v
+		case "exitdeep":
+			cfg.ExitDeep = v
+			cfg.ExitMid = v / 3
+		case "scale":
+			cfg = sim.DefaultConfig(int(v))
+			cfg.Seed = *seed
+		case "quantum":
+			cfg.Quantum = v
+		default:
+			fmt.Fprintf(os.Stderr, "simexplore: unknown sweep %q\n", *sweepVar)
+			os.Exit(2)
+		}
+		res, err := runOnce(cfg, sp, *workload, *threads, sim.Cycles(*measure))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simexplore: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("%-12d %12.0f %8.1f %8.1f %8d %10d %8.0f\n",
+			v, res.StepsPerSec, res.Fairness.AvgLWSS, res.Fairness.MTTR,
+			res.VoluntaryCtxSwitches, res.CacheStats.LLCMisses, res.DeltaWatts)
+	}
+}
+
+func lockSpec(name string) (sim.LockSpec, bool) {
+	m := map[string]sim.LockSpec{
+		"mcs-s":     {Kind: sim.KindMCS, Mode: sim.ModeSpin},
+		"mcs-stp":   {Kind: sim.KindMCS, Mode: sim.ModeSTP},
+		"mcscr-s":   {Kind: sim.KindMCSCR, Mode: sim.ModeSpin},
+		"mcscr-stp": {Kind: sim.KindMCSCR, Mode: sim.ModeSTP},
+		"lifocr":    {Kind: sim.KindLIFO, Mode: sim.ModeSTP},
+		"tas":       {Kind: sim.KindTAS, Mode: sim.ModeSTP},
+		"null":      {Kind: sim.KindNull},
+	}
+	s, ok := m[name]
+	return s, ok
+}
+
+func runOnce(cfg sim.Config, spec sim.LockSpec, workload string, n int, measure sim.Cycles) (sim.Result, error) {
+	switch workload {
+	case "randarray", "keymap", "lrucache":
+		workloads.ConfigureLargePages(&cfg)
+	}
+	e := sim.New(cfg)
+	l := e.NewLock(spec)
+	switch workload {
+	case "randarray":
+		workloads.BuildRandArray(e, l, n, workloads.DefaultRandArray())
+	case "ringwalker":
+		workloads.BuildRingWalker(e, l, n, workloads.DefaultRingWalker())
+	case "stresslatency":
+		workloads.BuildStressLatency(e, l, n, workloads.DefaultStressLatency())
+	case "keymap":
+		workloads.BuildKeymap(e, l, n, workloads.DefaultKeymap())
+	case "lrucache":
+		workloads.BuildLRUCache(e, l, n, workloads.DefaultLRUCache())
+	default:
+		return sim.Result{}, fmt.Errorf("unknown workload %q", workload)
+	}
+	return e.RunStandard(measure), nil
+}

@@ -1,0 +1,209 @@
+// Package condvar implements a condition variable whose wait-queue
+// admission order is a policy: strict FIFO (the conventional, "fair"
+// discipline) or mostly-LIFO, which provides concurrency restriction.
+//
+// The paper (§6.10, §6.11) applies CR to condition variables by biasing
+// where the wait operator enqueues the caller: "With probability 999/1000
+// we prepend to the head, and 1 out of 1000 wait operations will append at
+// the tail, providing eventual long-term fairness." Signal always dequeues
+// from the head, so prepend-biased admission wakes the most recently
+// arrived — warmest, most-likely-still-spinning — waiter, while the rare
+// append bounds starvation of the eldest.
+//
+// The condition variable works with any sync.Locker, including the locks
+// in package lock and sync.Mutex itself.
+package condvar
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/park"
+	"repro/lock"
+)
+
+// AppendProbability values for the standard policies.
+const (
+	// FIFO appends every waiter at the tail: strict arrival order.
+	FIFO = 1.0
+	// MostlyLIFO appends 1 in 1000 waiters, prepending the rest: the
+	// paper's CR policy.
+	MostlyLIFO = 1.0 / 1000
+	// LIFO always prepends; maximal restriction, no long-term fairness
+	// (the discipline of Facebook folly's LifoSem, discussed in §6.11).
+	LIFO = 0.0
+)
+
+type waiter struct {
+	parker     *park.Parker
+	next, prev *waiter
+	signaled   bool // guarded by the Cond's internal lock
+}
+
+// Cond is a condition variable with a policy-controlled wait queue.
+type Cond struct {
+	// L is held by callers of Wait, as with sync.Cond.
+	L sync.Locker
+
+	mu         lock.TAS // guards the wait list and trial
+	head, tail *waiter
+	size       int
+	appendProb float64
+	trial      *core.Trial
+}
+
+// New returns a condition variable using the given lock and append
+// probability (1 = FIFO, 0 = LIFO, 1/1000 = the paper's mostly-LIFO).
+func New(l sync.Locker, appendProb float64, seed uint64) *Cond {
+	return &Cond{L: l, appendProb: appendProb, trial: core.NewTrial(0, seed)}
+}
+
+// NewFIFO returns a strict-FIFO condition variable, the discipline of the
+// paper's baseline runs ("unless otherwise stated, all condition variables
+// used in this paper provide strict FIFO ordering").
+func NewFIFO(l sync.Locker) *Cond { return New(l, FIFO, 0) }
+
+// NewMostlyLIFO returns a CR condition variable with the paper's
+// 1-in-1000 append policy.
+func NewMostlyLIFO(l sync.Locker) *Cond { return New(l, MostlyLIFO, 0) }
+
+// Wait atomically releases c.L and suspends the caller until Signal or
+// Broadcast selects it, then reacquires c.L before returning. As with
+// sync.Cond, callers must re-check their predicate in a loop.
+func (c *Cond) Wait() {
+	w := &waiter{parker: park.NewParker()}
+	c.enqueue(w)
+	c.L.Unlock()
+	for {
+		w.parker.Park()
+		c.mu.Lock()
+		done := w.signaled
+		c.mu.Unlock()
+		if done {
+			break
+		}
+		// Spurious permit; keep waiting.
+	}
+	c.L.Lock()
+}
+
+// WaitTimeout is Wait with a deadline. It reports whether the caller was
+// signaled (true) or timed out (false). c.L is reacquired in either case.
+func (c *Cond) WaitTimeout(d time.Duration) bool {
+	w := &waiter{parker: park.NewParker()}
+	c.enqueue(w)
+	c.L.Unlock()
+	deadline := time.Now().Add(d)
+	signaled := false
+	for {
+		remain := time.Until(deadline)
+		if !w.parker.ParkTimeout(remain) {
+			// Timed out: remove ourselves unless a signal raced in.
+			c.mu.Lock()
+			if w.signaled {
+				signaled = true
+			} else {
+				c.unlink(w)
+			}
+			c.mu.Unlock()
+			break
+		}
+		c.mu.Lock()
+		done := w.signaled
+		c.mu.Unlock()
+		if done {
+			signaled = true
+			break
+		}
+	}
+	c.L.Lock()
+	return signaled
+}
+
+// Signal wakes the waiter at the head of the queue, if any. It may be
+// called with or without holding c.L.
+func (c *Cond) Signal() {
+	c.mu.Lock()
+	w := c.popHead()
+	if w != nil {
+		w.signaled = true
+	}
+	c.mu.Unlock()
+	if w != nil {
+		w.parker.Unpark()
+	}
+}
+
+// Broadcast wakes every current waiter.
+func (c *Cond) Broadcast() {
+	c.mu.Lock()
+	head := c.head
+	for w := head; w != nil; w = w.next {
+		w.signaled = true
+	}
+	c.head, c.tail, c.size = nil, nil, 0
+	c.mu.Unlock()
+	for w := head; w != nil; w = w.next {
+		w.parker.Unpark()
+	}
+}
+
+// Len reports the current number of waiters (racy; for monitoring).
+func (c *Cond) Len() int {
+	c.mu.Lock()
+	n := c.size
+	c.mu.Unlock()
+	return n
+}
+
+func (c *Cond) enqueue(w *waiter) {
+	c.mu.Lock()
+	if c.head == nil {
+		c.head, c.tail = w, w
+	} else if c.trial.Prob(c.appendProb) {
+		// Append at the tail: FIFO-style admission for this waiter.
+		w.prev = c.tail
+		c.tail.next = w
+		c.tail = w
+	} else {
+		// Prepend at the head: LIFO-style admission (CR).
+		w.next = c.head
+		c.head.prev = w
+		c.head = w
+	}
+	c.size++
+	c.mu.Unlock()
+}
+
+func (c *Cond) popHead() *waiter {
+	w := c.head
+	if w == nil {
+		return nil
+	}
+	c.head = w.next
+	if c.head == nil {
+		c.tail = nil
+	} else {
+		c.head.prev = nil
+	}
+	w.next, w.prev = nil, nil
+	c.size--
+	return w
+}
+
+// unlink removes w from the queue; w must be on it.
+func (c *Cond) unlink(w *waiter) {
+	if w.prev != nil {
+		w.prev.next = w.next
+	} else {
+		c.head = w.next
+	}
+	if w.next != nil {
+		w.next.prev = w.prev
+	} else {
+		c.tail = w.prev
+	}
+	w.next, w.prev = nil, nil
+	c.size--
+}

@@ -1,0 +1,280 @@
+package condvar
+
+import (
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/lock"
+)
+
+func TestMain(m *testing.M) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+	os.Exit(m.Run())
+}
+
+func policies() map[string]float64 {
+	return map[string]float64{"FIFO": FIFO, "MostlyLIFO": MostlyLIFO, "LIFO": LIFO}
+}
+
+func TestSignalWakesOne(t *testing.T) {
+	for name, p := range policies() {
+		t.Run(name, func(t *testing.T) {
+			var mu sync.Mutex
+			c := New(&mu, p, 1)
+			ready := false
+			done := make(chan struct{})
+			go func() {
+				mu.Lock()
+				for !ready {
+					c.Wait()
+				}
+				mu.Unlock()
+				close(done)
+			}()
+			time.Sleep(10 * time.Millisecond)
+			mu.Lock()
+			ready = true
+			mu.Unlock()
+			c.Signal()
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Fatal("Signal did not wake the waiter")
+			}
+		})
+	}
+}
+
+func TestBroadcastWakesAll(t *testing.T) {
+	for name, p := range policies() {
+		t.Run(name, func(t *testing.T) {
+			var mu sync.Mutex
+			c := New(&mu, p, 1)
+			const n = 8
+			ready := false
+			var woke atomic.Int32
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					mu.Lock()
+					for !ready {
+						c.Wait()
+					}
+					mu.Unlock()
+					woke.Add(1)
+				}()
+			}
+			time.Sleep(20 * time.Millisecond)
+			mu.Lock()
+			ready = true
+			mu.Unlock()
+			c.Broadcast()
+			doneCh := make(chan struct{})
+			go func() { wg.Wait(); close(doneCh) }()
+			select {
+			case <-doneCh:
+			case <-time.After(10 * time.Second):
+				t.Fatalf("Broadcast woke only %d of %d", woke.Load(), n)
+			}
+		})
+	}
+}
+
+func TestSignalWithNoWaitersIsNoop(t *testing.T) {
+	var mu sync.Mutex
+	c := NewFIFO(&mu)
+	c.Signal()
+	c.Broadcast()
+	if c.Len() != 0 {
+		t.Fatal("phantom waiters")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	// Waiters enqueued one at a time under FIFO must be signaled in
+	// arrival order.
+	var mu sync.Mutex
+	c := NewFIFO(&mu)
+	const n = 6
+	order := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		released := make(chan struct{})
+		go func() {
+			mu.Lock()
+			close(released)
+			c.Wait()
+			order <- i
+			mu.Unlock()
+		}()
+		<-released
+		// Wait until the goroutine is actually queued.
+		for c.Len() != i+1 {
+			runtime.Gosched()
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.Signal()
+		got := <-order
+		if got != i {
+			t.Fatalf("signal %d woke waiter %d", i, got)
+		}
+	}
+}
+
+func TestLIFOOrder(t *testing.T) {
+	// Pure LIFO must wake the most recently arrived waiter first.
+	var mu sync.Mutex
+	c := New(&mu, LIFO, 1)
+	const n = 6
+	order := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			mu.Lock()
+			c.Wait()
+			order <- i
+			mu.Unlock()
+		}()
+		for c.Len() != i+1 {
+			runtime.Gosched()
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		c.Signal()
+		got := <-order
+		if got != i {
+			t.Fatalf("expected LIFO wake of %d, got %d", i, got)
+		}
+	}
+}
+
+func TestMostlyLIFOAdmissionBias(t *testing.T) {
+	// Structural check on the queue discipline itself: enqueue many
+	// waiters under mostly-LIFO; the overwhelming majority must have been
+	// prepended. We inspect by draining with Signal and observing order
+	// is mostly reverse-arrival.
+	var mu sync.Mutex
+	c := New(&mu, MostlyLIFO, 42)
+	const n = 40
+	order := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			mu.Lock()
+			c.Wait()
+			order <- i
+			mu.Unlock()
+		}()
+		for c.Len() != i+1 {
+			runtime.Gosched()
+		}
+	}
+	inversions := 0
+	prev := n
+	for i := 0; i < n; i++ {
+		c.Signal()
+		got := <-order
+		if got > prev {
+			inversions++
+		}
+		prev = got
+	}
+	// Perfect LIFO has 0 inversions; allow a few from the 1/1000 appends
+	// (expected ~0 at n=40, tolerate noise).
+	if inversions > 3 {
+		t.Fatalf("%d inversions; admission not mostly-LIFO", inversions)
+	}
+}
+
+func TestWaitTimeoutExpires(t *testing.T) {
+	var mu sync.Mutex
+	c := NewFIFO(&mu)
+	mu.Lock()
+	start := time.Now()
+	if c.WaitTimeout(30 * time.Millisecond) {
+		t.Fatal("WaitTimeout reported a signal that never came")
+	}
+	mu.Unlock()
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("returned before the deadline")
+	}
+	if c.Len() != 0 {
+		t.Fatal("timed-out waiter left on the queue")
+	}
+}
+
+func TestWaitTimeoutSignaled(t *testing.T) {
+	var mu sync.Mutex
+	c := NewFIFO(&mu)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		c.Signal()
+	}()
+	mu.Lock()
+	ok := c.WaitTimeout(5 * time.Second)
+	mu.Unlock()
+	if !ok {
+		t.Fatal("missed the signal")
+	}
+}
+
+func TestProducerConsumerWithMalthusianLock(t *testing.T) {
+	// §6.7-style bounded queue: Malthusian mutex + two CR condvars.
+	m := lock.NewMCSCR(lock.WithSeed(3))
+	notEmpty := NewMostlyLIFO(m)
+	notFull := NewMostlyLIFO(m)
+	const capacity, items, producers = 16, 500, 4
+	queue := 0
+	var produced, consumed atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < items; i++ {
+				m.Lock()
+				for queue == capacity {
+					notFull.Wait()
+				}
+				queue++
+				produced.Add(1)
+				m.Unlock()
+				notEmpty.Signal()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for consumed.Load() < producers*items {
+			m.Lock()
+			for queue == 0 {
+				notEmpty.Wait()
+			}
+			queue--
+			consumed.Add(1)
+			m.Unlock()
+			notFull.Signal()
+		}
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("stalled: produced=%d consumed=%d queue=%d",
+			produced.Load(), consumed.Load(), queue)
+	}
+	if consumed.Load() != producers*items {
+		t.Fatalf("consumed %d want %d", consumed.Load(), producers*items)
+	}
+}

@@ -1,0 +1,411 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) on the simulated machine. Each FigN function sweeps the
+// paper's parameter space and returns a Figure whose series carry the same
+// quantities the paper plots; cmd/figures renders them as TSV, and
+// bench_test.go wraps each in a testing.B benchmark.
+//
+// Absolute values are simulator values; EXPERIMENTS.md records the
+// paper-vs-measured comparison and the shape criteria each figure must
+// meet.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/metrics"
+	"repro/model"
+	"repro/sim"
+	"repro/workloads"
+)
+
+// Options controls an experiment run.
+type Options struct {
+	// Scale divides cache capacities and workload footprints (see
+	// DESIGN.md). Default 16.
+	Scale int
+	// Measure is the measurement interval in simulated cycles. Default
+	// 12M (≈3.3 ms at 3.6 GHz); the paper uses 10 s wall-clock but the
+	// workloads reach steady state well within a millisecond.
+	Measure sim.Cycles
+	// Threads is the sweep; default is the paper's log-style 1..256.
+	Threads []int
+	// Quick trims the sweep to a handful of points (tests, benches).
+	Quick bool
+	Seed  uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 16
+	}
+	if o.Measure <= 0 {
+		o.Measure = 12_000_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Threads) == 0 {
+		if o.Quick {
+			o.Threads = []int{1, 5, 16, 32, 64}
+		} else {
+			o.Threads = []int{1, 2, 3, 5, 8, 12, 16, 24, 32, 48, 64, 96, 128, 160, 224, 256}
+		}
+	}
+	return o
+}
+
+// Point is one measured sweep point.
+type Point struct {
+	X      float64
+	Y      float64
+	Detail sim.Result
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a regenerated figure: a set of series over a common x-axis.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// TSV renders the figure as tab-separated values with one row per x and
+// one column per series, suitable for plotting.
+func (f Figure) TSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "\t%s", s.Label)
+	}
+	b.WriteByte('\n')
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			y := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					y = fmt.Sprintf("%g", p.Y)
+					break
+				}
+			}
+			fmt.Fprintf(&b, "\t%s", y)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// lockSet is the four-lock comparison used by most figures.
+type lockCfg struct {
+	label string
+	spec  sim.LockSpec
+}
+
+func standardLocks() []lockCfg {
+	return []lockCfg{
+		{"MCS-S", sim.LockSpec{Kind: sim.KindMCS, Mode: sim.ModeSpin}},
+		{"MCS-STP", sim.LockSpec{Kind: sim.KindMCS, Mode: sim.ModeSTP}},
+		{"MCSCR-S", sim.LockSpec{Kind: sim.KindMCSCR, Mode: sim.ModeSpin}},
+		{"MCSCR-STP", sim.LockSpec{Kind: sim.KindMCSCR, Mode: sim.ModeSTP}},
+	}
+}
+
+// buildFunc wires a workload onto an engine for n threads over lock l.
+type buildFunc func(e *sim.Engine, l *sim.Lock, n int)
+
+// sweep runs the standard lock set over the thread sweep.
+func sweep(o Options, id, title, ylabel string, largePages bool, locks []lockCfg, build buildFunc) Figure {
+	o = o.withDefaults()
+	fig := Figure{ID: id, Title: title, XLabel: "threads", YLabel: ylabel}
+	for _, lc := range locks {
+		s := Series{Label: lc.label}
+		for _, n := range o.Threads {
+			res := runOne(o, lc.spec, n, largePages, build)
+			s.Points = append(s.Points, Point{
+				X:      float64(n),
+				Y:      res.StepsPerSec,
+				Detail: res,
+			})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+func runOne(o Options, spec sim.LockSpec, n int, largePages bool, build buildFunc) sim.Result {
+	cfg := sim.DefaultConfig(o.Scale)
+	cfg.Seed = o.Seed
+	if largePages {
+		workloads.ConfigureLargePages(&cfg)
+	}
+	e := sim.New(cfg)
+	l := e.NewLock(spec)
+	build(e, l, n)
+	return e.RunStandard(o.Measure)
+}
+
+// Fig1 regenerates Figure 1 (idealized CR impact) from the closed-form
+// model.
+func Fig1(o Options) Figure {
+	p := model.Example()
+	threads, without, with := p.Curves(32)
+	fig := Figure{
+		ID:     "fig1",
+		Title:  "Impact of Concurrency Restriction (idealized model; CS=1, NCS=5)",
+		XLabel: "threads",
+		YLabel: "throughput (iterations/unit time)",
+		Series: []Series{{Label: "Without CR"}, {Label: "With CR"}},
+	}
+	for i, n := range threads {
+		fig.Series[0].Points = append(fig.Series[0].Points, Point{X: float64(n), Y: without[i]})
+		fig.Series[1].Points = append(fig.Series[1].Points, Point{X: float64(n), Y: with[i]})
+	}
+	return fig
+}
+
+// Fig2 renders the TAS-versus-MCS property comparison (Figure 2), a
+// static taxonomy.
+func Fig2() string {
+	rows := [][3]string{
+		{"Property", "TAS", "MCS"},
+		{"Succession", "Competitive", "Direct handoff"},
+		{"Able to use spin-then-park waiting", "No", "Yes"},
+		{"Polite local spinning (minimal coherence traffic)", "No", "Yes"},
+		{"Low contention performance (latency)", "Preferred", "Inferior to TAS"},
+		{"High contention performance (throughput)", "Inferior to MCS", "Preferred"},
+		{"Performance under preemption", "Preferred", "Lock-waiter preemption"},
+		{"Fairness", "Unbounded unfairness (barging)", "Fair (FIFO)"},
+		{"Requires back-off tuning", "Yes", "No"},
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-50s\t%-30s\t%s\n", r[0], r[1], r[2])
+	}
+	return b.String()
+}
+
+// Fig3 regenerates Figure 3: RandArray aggregate throughput, five locks.
+func Fig3(o Options) Figure {
+	locks := append(standardLocks(), lockCfg{"null", sim.LockSpec{Kind: sim.KindNull}})
+	return sweep(o, "fig3", "Random Access Array (§6.1)", "steps/sec", true, locks,
+		func(e *sim.Engine, l *sim.Lock, n int) {
+			workloads.BuildRandArray(e, l, n, workloads.DefaultRandArray())
+		})
+}
+
+// Fig4Row is one column of Figure 4's in-depth table.
+type Fig4Row struct {
+	Lock                 string
+	Throughput           float64
+	AvgLWSS              float64
+	MTTR                 float64
+	Gini                 float64
+	RSTDDEV              float64
+	VoluntaryCtxSwitches uint64
+	CPUUtil              float64
+	L3Misses             uint64
+	DeltaWatts           float64
+}
+
+// Fig4 regenerates Figure 4: in-depth RandArray measurements at 32
+// threads.
+func Fig4(o Options) []Fig4Row {
+	o = o.withDefaults()
+	var rows []Fig4Row
+	for _, lc := range standardLocks() {
+		res := runOne(o, lc.spec, 32, true, func(e *sim.Engine, l *sim.Lock, n int) {
+			workloads.BuildRandArray(e, l, n, workloads.DefaultRandArray())
+		})
+		rows = append(rows, Fig4Row{
+			Lock:                 lc.label,
+			Throughput:           res.StepsPerSec,
+			AvgLWSS:              res.Fairness.AvgLWSS,
+			MTTR:                 res.Fairness.MTTR,
+			Gini:                 res.Fairness.Gini,
+			RSTDDEV:              res.Fairness.RSTDDEV,
+			VoluntaryCtxSwitches: res.VoluntaryCtxSwitches,
+			CPUUtil:              res.CPUUtil,
+			L3Misses:             res.CacheStats.LLCMisses,
+			DeltaWatts:           res.DeltaWatts,
+		})
+	}
+	return rows
+}
+
+// Fig4TSV renders the Figure 4 table.
+func Fig4TSV(rows []Fig4Row) string {
+	var b strings.Builder
+	b.WriteString("Locks")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "\t%s", r.Lock)
+	}
+	b.WriteByte('\n')
+	line := func(name string, f func(Fig4Row) string) {
+		b.WriteString(name)
+		for _, r := range rows {
+			fmt.Fprintf(&b, "\t%s", f(r))
+		}
+		b.WriteByte('\n')
+	}
+	line("Throughput (steps/sec)", func(r Fig4Row) string { return fmt.Sprintf("%.3g", r.Throughput) })
+	line("Average LWSS (threads)", func(r Fig4Row) string { return fmt.Sprintf("%.1f", r.AvgLWSS) })
+	line("MTTR (admissions)", func(r Fig4Row) string { return fmt.Sprintf("%.1f", r.MTTR) })
+	line("Gini Coefficient", func(r Fig4Row) string { return fmt.Sprintf("%.3f", r.Gini) })
+	line("RSTDDEV", func(r Fig4Row) string { return fmt.Sprintf("%.3f", r.RSTDDEV) })
+	line("Voluntary Context Switches", func(r Fig4Row) string { return fmt.Sprintf("%d", r.VoluntaryCtxSwitches) })
+	line("CPU Utilization (CPUs)", func(r Fig4Row) string { return fmt.Sprintf("%.1fx", r.CPUUtil) })
+	line("L3 Misses", func(r Fig4Row) string { return fmt.Sprintf("%d", r.L3Misses) })
+	line("∆ Watts above idle", func(r Fig4Row) string { return fmt.Sprintf("%.0f", r.DeltaWatts) })
+	return b.String()
+}
+
+// Fig5 regenerates Figure 5: RingWalker core-level DTLB pressure.
+func Fig5(o Options) Figure {
+	return sweep(o, "fig5", "Core-level DTLB Pressure (§6.2)", "steps/sec", false, standardLocks(),
+		func(e *sim.Engine, l *sim.Lock, n int) {
+			workloads.BuildRingWalker(e, l, n, workloads.DefaultRingWalker())
+		})
+}
+
+// Fig6 regenerates Figure 6: libslock stress_latency (pipeline-bound).
+func Fig6(o Options) Figure {
+	return sweep(o, "fig6", "libslock stress_latency (§6.3)", "lock acquires/sec", false, standardLocks(),
+		func(e *sim.Engine, l *sim.Lock, n int) {
+			workloads.BuildStressLatency(e, l, n, workloads.DefaultStressLatency())
+		})
+}
+
+// Fig7 regenerates Figure 7: mmicro malloc-free pairs over the splay
+// allocator.
+func Fig7(o Options) Figure {
+	oo := o.withDefaults()
+	return sweep(o, "fig7", "mmicro malloc-free scalability (§6.4)", "malloc-free pairs/sec", true, standardLocks(),
+		func(e *sim.Engine, l *sim.Lock, n int) {
+			workloads.BuildMmicro(e, l, n, workloads.DefaultMmicro(oo.Scale))
+		})
+}
+
+// Fig8 regenerates Figure 8: the leveldb readwhilewriting stand-in.
+func Fig8(o Options) Figure {
+	return sweep(o, "fig8", "kvstore readwhilewriting (§6.5, leveldb stand-in)", "ops/sec", true, standardLocks(),
+		func(e *sim.Engine, l *sim.Lock, n int) {
+			workloads.BuildKVStore(e, l, n, workloads.DefaultKVStore())
+		})
+}
+
+// Fig9 regenerates Figure 9: the Kyoto Cabinet kccachetest stand-in.
+func Fig9(o Options) Figure {
+	return sweep(o, "fig9", "hashdb cache test (§6.6, Kyoto Cabinet stand-in)", "ops/sec", true, standardLocks(),
+		func(e *sim.Engine, l *sim.Lock, n int) {
+			workloads.BuildHashDB(e, l, n, workloads.DefaultHashDB())
+		})
+}
+
+// Fig10 regenerates Figure 10: producer-consumer with 3 consumers,
+// varying producers.
+func Fig10(o Options) Figure {
+	return sweep(o, "fig10", "producer-consumer, 3 consumers (§6.7)", "messages/sec", false, standardLocks(),
+		func(e *sim.Engine, l *sim.Lock, n int) {
+			workloads.BuildProdCons(e, l, n, workloads.DefaultProdCons(), 1.0, sim.ModeSTP)
+		})
+}
+
+// Fig11 regenerates Figure 11: keymap.
+func Fig11(o Options) Figure {
+	return sweep(o, "fig11", "keymap (§6.8)", "ops/sec", true, standardLocks(),
+		func(e *sim.Engine, l *sim.Lock, n int) {
+			workloads.BuildKeymap(e, l, n, workloads.DefaultKeymap())
+		})
+}
+
+// Fig12 regenerates Figure 12: LRUCache over CEPH SimpleLRU.
+func Fig12(o Options) Figure {
+	return sweep(o, "fig12", "LRUCache (§6.9, CEPH SimpleLRU)", "ops/sec", true, standardLocks(),
+		func(e *sim.Engine, l *sim.Lock, n int) {
+			workloads.BuildLRUCache(e, l, n, workloads.DefaultLRUCache())
+		})
+}
+
+// Fig13 regenerates Figure 13: the perl-style interpreter, FIFO versus
+// mostly-LIFO condition-variable admission.
+func Fig13(o Options) Figure {
+	o = o.withDefaults()
+	fig := Figure{ID: "fig13", Title: "RandArray transliterated to an interpreter (§6.10)",
+		XLabel: "threads", YLabel: "iterations/sec"}
+	for _, pc := range []struct {
+		label string
+		p     float64
+	}{{"FIFO", 1.0}, {"Mostly-LIFO", 1.0 / 1000}} {
+		s := Series{Label: pc.label}
+		for _, n := range o.Threads {
+			cfg := sim.DefaultConfig(o.Scale)
+			cfg.Seed = o.Seed
+			workloads.ConfigureLargePages(&cfg)
+			e := sim.New(cfg)
+			_ = e.NewLock(sim.LockSpec{Kind: sim.KindNull}) // primary metrics slot
+			workloads.BuildInterp(e, n, workloads.DefaultInterp(), pc.p)
+			res := e.RunStandard(o.Measure)
+			s.Points = append(s.Points, Point{X: float64(n), Y: res.StepsPerSec, Detail: res})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Fig14 regenerates Figure 14: the buffer pool, sweeping the condvar
+// append probability.
+func Fig14(o Options) Figure {
+	o = o.withDefaults()
+	fig := Figure{ID: "fig14", Title: "Buffer Pool append-probability sweep (§6.11)",
+		XLabel: "threads", YLabel: "iterations/sec"}
+	probs := []struct {
+		label string
+		p     float64
+	}{
+		{"Append=1/1", 1.0},
+		{"Append=1/10", 0.1},
+		{"Append=1/50", 0.02},
+		{"Append=1/100", 0.01},
+		{"Append=1/1000", 0.001},
+		{"Append=0", 0},
+	}
+	if o.Quick {
+		probs = probs[:3]
+	}
+	for _, pc := range probs {
+		s := Series{Label: pc.label}
+		for _, n := range o.Threads {
+			res := runOne(o, sim.LockSpec{Kind: sim.KindMCS, Mode: sim.ModeSpin}, n, true,
+				func(e *sim.Engine, l *sim.Lock, n int) {
+					workloads.BuildBufferPool(e, l, n, workloads.DefaultBufferPool(), pc.p)
+				})
+			s.Points = append(s.Points, Point{X: float64(n), Y: res.StepsPerSec, Detail: res})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// FairnessSummary extracts the fairness summary of a run's primary lock.
+func FairnessSummary(res sim.Result) metrics.Summary { return res.Fairness }

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options {
+	return Options{Quick: true, Threads: []int{1, 5, 32}, Measure: 6_000_000}
+}
+
+func TestFig1Shape(t *testing.T) {
+	fig := Fig1(Options{})
+	if len(fig.Series) != 2 {
+		t.Fatal("figure 1 needs two curves")
+	}
+	without, with := fig.Series[0], fig.Series[1]
+	last := len(without.Points) - 1
+	if with.Points[last].Y <= without.Points[last].Y {
+		t.Fatal("CR curve must dominate at high thread counts")
+	}
+	if with.Points[0].Y != without.Points[0].Y {
+		t.Fatal("curves must coincide at one thread")
+	}
+}
+
+func TestFig2Table(t *testing.T) {
+	s := Fig2()
+	for _, want := range []string{"Succession", "Competitive", "Direct handoff", "barging", "FIFO"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("figure 2 table missing %q", want)
+		}
+	}
+}
+
+func TestFig3QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	fig := Fig3(quickOpts())
+	if len(fig.Series) != 5 {
+		t.Fatalf("figure 3 has %d series, want 5", len(fig.Series))
+	}
+	y := func(label string, x float64) float64 {
+		for _, s := range fig.Series {
+			if s.Label != label {
+				continue
+			}
+			for _, p := range s.Points {
+				if p.X == x {
+					return p.Y
+				}
+			}
+		}
+		t.Fatalf("missing point %s@%v", label, x)
+		return 0
+	}
+	// At 32 threads the CR-STP form dominates both MCS forms.
+	if y("MCSCR-STP", 32) <= y("MCS-S", 32) || y("MCSCR-STP", 32) <= y("MCS-STP", 32) {
+		t.Fatalf("MCSCR-STP=%g must beat MCS-S=%g and MCS-STP=%g at 32T",
+			y("MCSCR-STP", 32), y("MCS-S", 32), y("MCS-STP", 32))
+	}
+	// Single thread: all real locks within 10%.
+	base := y("MCS-S", 1)
+	for _, l := range []string{"MCS-STP", "MCSCR-S", "MCSCR-STP"} {
+		if d := y(l, 1) / base; d < 0.9 || d > 1.1 {
+			t.Fatalf("%s single-thread ratio %v", l, d)
+		}
+	}
+	// TSV renders all series and points.
+	tsv := fig.TSV()
+	if !strings.Contains(tsv, "MCSCR-STP") || !strings.Contains(tsv, "\n32\t") {
+		t.Fatalf("bad TSV:\n%s", tsv)
+	}
+}
+
+func TestFig4Rows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	rows := Fig4(Options{Measure: 8_000_000})
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byLock := map[string]Fig4Row{}
+	for _, r := range rows {
+		byLock[r.Lock] = r
+	}
+	mcsS, crSTP := byLock["MCS-S"], byLock["MCSCR-STP"]
+	if crSTP.Throughput <= mcsS.Throughput {
+		t.Fatalf("throughput: CR %.3g <= MCS-S %.3g", crSTP.Throughput, mcsS.Throughput)
+	}
+	if crSTP.AvgLWSS >= mcsS.AvgLWSS/2 {
+		t.Fatalf("LWSS: CR %.1f vs MCS-S %.1f", crSTP.AvgLWSS, mcsS.AvgLWSS)
+	}
+	if crSTP.MTTR >= mcsS.MTTR {
+		t.Fatal("CR MTTR must be below FIFO MTTR")
+	}
+	if crSTP.Gini <= mcsS.Gini {
+		t.Fatal("CR must be short-term unfairer than FIFO")
+	}
+	if crSTP.L3Misses*10 >= mcsS.L3Misses {
+		t.Fatalf("L3: CR %d vs MCS-S %d (want >=10x reduction)", crSTP.L3Misses, mcsS.L3Misses)
+	}
+	if crSTP.CPUUtil >= mcsS.CPUUtil/2 {
+		t.Fatalf("CPU util: CR %.1f vs MCS-S %.1f", crSTP.CPUUtil, mcsS.CPUUtil)
+	}
+	if crSTP.DeltaWatts >= mcsS.DeltaWatts {
+		t.Fatal("CR-STP must draw less power than spinning MCS")
+	}
+	if s := Fig4TSV(rows); !strings.Contains(s, "Average LWSS") {
+		t.Fatal("bad table")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scale != 16 || o.Measure != 12_000_000 || len(o.Threads) == 0 || o.Seed != 1 {
+		t.Fatalf("bad defaults: %+v", o)
+	}
+	q := Options{Quick: true}.withDefaults()
+	if len(q.Threads) >= len(o.Threads) {
+		t.Fatal("quick sweep not smaller")
+	}
+}

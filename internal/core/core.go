@@ -1,0 +1,130 @@
+// Package core holds the concurrency-restriction (CR) engine shared by the
+// Malthusian lock variants in package lock: the admission policy knobs, the
+// Bernoulli long-term-fairness trial, and the statistics the paper reports.
+//
+// The paper's CR discipline (§1, §4):
+//
+//   - Partition threads circulating over a contended lock into the active
+//     circulating set (ACS) and the passive set (PS).
+//   - At unlock time, surplus waiters (more than one) are culled from the
+//     ACS into the PS ("culling").
+//   - The admission policy must stay work conserving: a deficit in the ACS
+//     promptly reprovisions from the PS ("reprovisioning").
+//   - Long-term fairness is restored by a Bernoulli trial: on average once
+//     every FairnessPeriod unlocks, ownership is ceded to the eldest
+//     member of the PS ("promotion").
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/xrand"
+)
+
+// DefaultFairnessPeriod is the paper's promotion rate: "Statistically, we
+// cede ownership to the tail of the PS ... on average once every 1000
+// unlock operations."
+const DefaultFairnessPeriod = 1000
+
+// DefaultSpinBudget is the bounded spin phase of spin-then-park waiting,
+// in poll iterations. The paper uses ~20000 cycles, an empirical estimate
+// of a context-switch round trip; on the goroutine substrate a poll
+// iteration is a load plus an occasional yield, and this count plays the
+// same role.
+const DefaultSpinBudget = 4096
+
+// Policy carries the tunables of a CR lock. The paper stresses parameter
+// parsimony: the ACS size is never a tunable — it emerges from culling —
+// and the only knobs are the fairness period and the spin budget.
+type Policy struct {
+	// FairnessPeriod k makes each unlock promote the eldest passive
+	// thread with probability 1/k. 0 disables promotion (pure CR, unfair
+	// long-term); 1 promotes on every unlock (degenerates toward FIFO).
+	FairnessPeriod uint64
+
+	// SpinBudget is the number of poll iterations a waiter spins before
+	// parking under spin-then-park waiting. Ignored by pure-spin waiters.
+	SpinBudget int
+
+	// Seed seeds the lock-local xor-shift generator used for Bernoulli
+	// trials. Zero selects a fixed default so behaviour is reproducible.
+	Seed uint64
+}
+
+// DefaultPolicy returns the paper's defaults.
+func DefaultPolicy() Policy {
+	return Policy{FairnessPeriod: DefaultFairnessPeriod, SpinBudget: DefaultSpinBudget}
+}
+
+// Trial is the lock-local Bernoulli fairness trial. It is deliberately not
+// synchronized: every CR lock calls it only from its unlock path while the
+// lock is still held, which serializes access — the same protection the
+// paper uses for the passive list itself.
+type Trial struct {
+	rng    xrand.State
+	period uint64
+}
+
+// NewTrial returns a Trial with the given period and seed.
+func NewTrial(period, seed uint64) *Trial {
+	t := &Trial{period: period}
+	t.rng.Seed(seed)
+	return t
+}
+
+// Promote reports whether this unlock should cede ownership to the eldest
+// passive thread.
+func (t *Trial) Promote() bool {
+	return t.rng.Bernoulli(t.period)
+}
+
+// Prob reports true with probability p; used by the mostly-LIFO condition
+// variable and semaphore admission policies (append vs prepend).
+func (t *Trial) Prob(p float64) bool {
+	return t.rng.Prob(p)
+}
+
+// Stats counts the CR events of a lock. All fields are atomics so readers
+// may snapshot concurrently with lock traffic; writers are the lock paths
+// themselves.
+type Stats struct {
+	Acquires     atomic.Uint64 // successful lock acquisitions
+	Handoffs     atomic.Uint64 // direct handoffs to a waiting successor
+	Culls        atomic.Uint64 // ACS→PS transfers (culling)
+	Reprovisions atomic.Uint64 // PS→ACS transfers to preserve work conservation
+	Promotions   atomic.Uint64 // PS→ownership fairness grafts (Bernoulli)
+	Parks        atomic.Uint64 // voluntary context switches: waiter parked
+	Unparks      atomic.Uint64 // wakeups issued to parked waiters
+	FastPath     atomic.Uint64 // uncontended / barging acquisitions
+	SlowPath     atomic.Uint64 // acquisitions that queued
+}
+
+// Snapshot is a plain-value copy of Stats.
+type Snapshot struct {
+	Acquires     uint64
+	Handoffs     uint64
+	Culls        uint64
+	Reprovisions uint64
+	Promotions   uint64
+	Parks        uint64
+	Unparks      uint64
+	FastPath     uint64
+	SlowPath     uint64
+}
+
+// Read returns a consistent-enough snapshot for reporting. Individual
+// counters are read atomically; cross-counter skew is acceptable for the
+// monitoring purposes they serve.
+func (s *Stats) Read() Snapshot {
+	return Snapshot{
+		Acquires:     s.Acquires.Load(),
+		Handoffs:     s.Handoffs.Load(),
+		Culls:        s.Culls.Load(),
+		Reprovisions: s.Reprovisions.Load(),
+		Promotions:   s.Promotions.Load(),
+		Parks:        s.Parks.Load(),
+		Unparks:      s.Unparks.Load(),
+		FastPath:     s.FastPath.Load(),
+		SlowPath:     s.SlowPath.Load(),
+	}
+}

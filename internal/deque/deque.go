@@ -1,0 +1,73 @@
+// Package deque implements a growable ring-buffer double-ended queue of
+// uint64 values, standing in for C++ std::deque in the producer-consumer
+// (§6.7) and buffer-pool (§6.11) benchmarks.
+package deque
+
+// Deque is a double-ended queue. The zero value is ready to use.
+type Deque struct {
+	buf        []uint64
+	head, size int
+}
+
+// Len returns the number of elements.
+func (d *Deque) Len() int { return d.size }
+
+func (d *Deque) grow() {
+	n := len(d.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	nb := make([]uint64, n)
+	for i := 0; i < d.size; i++ {
+		nb[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = nb
+	d.head = 0
+}
+
+// PushBack appends v at the back.
+func (d *Deque) PushBack(v uint64) {
+	if d.size == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.size)%len(d.buf)] = v
+	d.size++
+}
+
+// PushFront prepends v at the front.
+func (d *Deque) PushFront(v uint64) {
+	if d.size == len(d.buf) {
+		d.grow()
+	}
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = v
+	d.size++
+}
+
+// PopFront removes and returns the front element; ok is false when empty.
+func (d *Deque) PopFront() (v uint64, ok bool) {
+	if d.size == 0 {
+		return 0, false
+	}
+	v = d.buf[d.head]
+	d.head = (d.head + 1) % len(d.buf)
+	d.size--
+	return v, true
+}
+
+// PopBack removes and returns the back element; ok is false when empty.
+func (d *Deque) PopBack() (v uint64, ok bool) {
+	if d.size == 0 {
+		return 0, false
+	}
+	d.size--
+	return d.buf[(d.head+d.size)%len(d.buf)], true
+}
+
+// Front returns the front element without removing it.
+func (d *Deque) Front() (v uint64, ok bool) {
+	if d.size == 0 {
+		return 0, false
+	}
+	return d.buf[d.head], true
+}

@@ -1,0 +1,117 @@
+package deque
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestFIFO(t *testing.T) {
+	var d Deque
+	for i := uint64(0); i < 100; i++ {
+		d.PushBack(i)
+	}
+	for i := uint64(0); i < 100; i++ {
+		v, ok := d.PopFront()
+		if !ok || v != i {
+			t.Fatalf("PopFront=(%d,%v) want %d", v, ok, i)
+		}
+	}
+	if _, ok := d.PopFront(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+}
+
+func TestLIFO(t *testing.T) {
+	var d Deque
+	for i := uint64(0); i < 100; i++ {
+		d.PushBack(i)
+	}
+	for i := uint64(99); ; i-- {
+		v, ok := d.PopBack()
+		if !ok || v != i {
+			t.Fatalf("PopBack=(%d,%v) want %d", v, ok, i)
+		}
+		if i == 0 {
+			break
+		}
+	}
+}
+
+func TestPushFront(t *testing.T) {
+	var d Deque
+	d.PushFront(2)
+	d.PushFront(1)
+	d.PushBack(3)
+	want := []uint64{1, 2, 3}
+	for _, w := range want {
+		if v, _ := d.PopFront(); v != w {
+			t.Fatalf("got %d want %d", v, w)
+		}
+	}
+}
+
+func TestFront(t *testing.T) {
+	var d Deque
+	if _, ok := d.Front(); ok {
+		t.Fatal("Front of empty")
+	}
+	d.PushBack(9)
+	if v, ok := d.Front(); !ok || v != 9 {
+		t.Fatalf("Front=(%d,%v)", v, ok)
+	}
+	if d.Len() != 1 {
+		t.Fatal("Front must not pop")
+	}
+}
+
+// TestAgainstSliceModel drives random operations against a slice model.
+func TestAgainstSliceModel(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		var d Deque
+		var model []uint64
+		for op := 0; op < 1000; op++ {
+			switch rng.Intn(4) {
+			case 0:
+				v := rng.Next()
+				d.PushBack(v)
+				model = append(model, v)
+			case 1:
+				v := rng.Next()
+				d.PushFront(v)
+				model = append([]uint64{v}, model...)
+			case 2:
+				v, ok := d.PopFront()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 3:
+				v, ok := d.PopBack()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[len(model)-1] {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+			}
+			if d.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package hashmap implements an open-addressing hash table mapping uint64
+// keys to uint64 values, standing in for C++ std::unordered_map in the
+// keymap benchmark (§6.8) and for the in-memory hash database of the
+// Kyoto Cabinet stand-in (§6.6). Slot probes are reported through the
+// Touch callback so the simulator charges the table's memory footprint —
+// for a large pre-sized table this is the dominant CS footprint, exactly
+// the property keymap exploits.
+package hashmap
+
+// Map is a linear-probing hash table with tombstone-free deletion
+// (backward-shift). Not safe for concurrent use.
+type Map struct {
+	keys  []uint64 // 0 = empty (key 0 is remapped internally)
+	vals  []uint64
+	size  int
+	mask  uint64
+	base  uint64 // virtual address of slot 0
+	Touch func(addr uint64)
+}
+
+// New returns a map pre-sized for capacity elements (rounded up to a
+// power of two with slack), with slot addresses starting at base.
+func New(capacity int, base uint64) *Map {
+	n := 16
+	for n < capacity*2 {
+		n *= 2
+	}
+	return &Map{
+		keys: make([]uint64, n),
+		vals: make([]uint64, n),
+		mask: uint64(n - 1),
+		base: base,
+	}
+}
+
+// Len returns the number of keys present.
+func (m *Map) Len() int { return m.size }
+
+// Slots returns the table's slot count.
+func (m *Map) Slots() int { return len(m.keys) }
+
+func (m *Map) touch(slot uint64) {
+	if m.Touch != nil {
+		// Each slot is 16 bytes (key + value).
+		m.Touch(m.base + slot*16)
+	}
+}
+
+func mix(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// ikey remaps key 0 so the zero slot value can mean "empty".
+func ikey(key uint64) uint64 {
+	if key == 0 {
+		return ^uint64(0)
+	}
+	return key
+}
+
+// Get returns the value for key and whether it was present.
+func (m *Map) Get(key uint64) (uint64, bool) {
+	k := ikey(key)
+	slot := mix(k) & m.mask
+	for {
+		m.touch(slot)
+		switch m.keys[slot] {
+		case 0:
+			return 0, false
+		case k:
+			return m.vals[slot], true
+		}
+		slot = (slot + 1) & m.mask
+	}
+}
+
+// Put inserts or updates key. It reports whether the key was new.
+func (m *Map) Put(key, val uint64) bool {
+	if m.size*4 >= len(m.keys)*3 {
+		m.grow()
+	}
+	k := ikey(key)
+	slot := mix(k) & m.mask
+	for {
+		m.touch(slot)
+		switch m.keys[slot] {
+		case 0:
+			m.keys[slot] = k
+			m.vals[slot] = val
+			m.size++
+			return true
+		case k:
+			m.vals[slot] = val
+			return false
+		}
+		slot = (slot + 1) & m.mask
+	}
+}
+
+// Delete removes key with backward-shift deletion; reports presence.
+func (m *Map) Delete(key uint64) bool {
+	k := ikey(key)
+	slot := mix(k) & m.mask
+	for {
+		m.touch(slot)
+		switch m.keys[slot] {
+		case 0:
+			return false
+		case k:
+			m.backshift(slot)
+			m.size--
+			return true
+		}
+		slot = (slot + 1) & m.mask
+	}
+}
+
+func (m *Map) backshift(hole uint64) {
+	for {
+		m.keys[hole] = 0
+		next := (hole + 1) & m.mask
+		for {
+			m.touch(next)
+			k := m.keys[next]
+			if k == 0 {
+				return
+			}
+			home := mix(k) & m.mask
+			// Can k move into the hole? Only if its home position does
+			// not lie strictly between hole (exclusive) and next.
+			if inCycle(home, hole, next) {
+				m.keys[hole] = k
+				m.vals[hole] = m.vals[next]
+				hole = next
+				break
+			}
+			next = (next + 1) & m.mask
+		}
+	}
+}
+
+// inCycle reports whether home <= hole < cur in circular order, i.e. the
+// element at cur may legally relocate to hole.
+func inCycle(home, hole, cur uint64) bool {
+	if home <= cur {
+		return home <= hole && hole < cur
+	}
+	return home <= hole || hole < cur
+}
+
+func (m *Map) grow() {
+	oldKeys, oldVals := m.keys, m.vals
+	n := len(oldKeys) * 2
+	m.keys = make([]uint64, n)
+	m.vals = make([]uint64, n)
+	m.mask = uint64(n - 1)
+	m.size = 0
+	touch := m.Touch
+	m.Touch = nil // rehash traffic not charged (rare; amortized)
+	for i, k := range oldKeys {
+		if k != 0 {
+			m.putRaw(k, oldVals[i])
+		}
+	}
+	m.Touch = touch
+}
+
+func (m *Map) putRaw(k, val uint64) {
+	slot := mix(k) & m.mask
+	for m.keys[slot] != 0 {
+		slot = (slot + 1) & m.mask
+	}
+	m.keys[slot] = k
+	m.vals[slot] = val
+	m.size++
+}

@@ -1,0 +1,128 @@
+package hashmap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	m := New(100, 0x10000)
+	for i := uint64(0); i < 100; i++ { // includes key 0 (remapped internally)
+		if !m.Put(i, i*2) {
+			t.Fatalf("Put(%d) claimed update on fresh key", i)
+		}
+	}
+	if m.Len() != 100 {
+		t.Fatalf("Len=%d", m.Len())
+	}
+	for i := uint64(0); i < 100; i++ {
+		v, ok := m.Get(i)
+		if !ok || v != i*2 {
+			t.Fatalf("Get(%d)=(%d,%v)", i, v, ok)
+		}
+	}
+	for i := uint64(0); i < 100; i += 2 {
+		if !m.Delete(i) {
+			t.Fatalf("Delete(%d) missed", i)
+		}
+	}
+	if m.Len() != 50 {
+		t.Fatalf("Len=%d", m.Len())
+	}
+	for i := uint64(0); i < 100; i++ {
+		_, ok := m.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d)=%v want %v", i, ok, want)
+		}
+	}
+}
+
+func TestPutUpdate(t *testing.T) {
+	m := New(10, 0)
+	m.Put(7, 1)
+	if m.Put(7, 2) {
+		t.Fatal("update reported as insert")
+	}
+	if v, _ := m.Get(7); v != 2 {
+		t.Fatalf("v=%d", v)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len=%d", m.Len())
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	m := New(4, 0)
+	slots := m.Slots()
+	for i := uint64(1); i <= 1000; i++ {
+		m.Put(i, i)
+	}
+	if m.Slots() <= slots {
+		t.Fatal("table did not grow")
+	}
+	for i := uint64(1); i <= 1000; i++ {
+		if v, ok := m.Get(i); !ok || v != i {
+			t.Fatalf("lost key %d after growth", i)
+		}
+	}
+}
+
+func TestBackshiftAgainstModel(t *testing.T) {
+	// Backward-shift deletion is the subtle part; drive it hard against a
+	// Go map model with a small table to force probe chains.
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		m := New(8, 0)
+		model := map[uint64]uint64{}
+		for op := 0; op < 600; op++ {
+			k := uint64(rng.Intn(40))
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := rng.Next()
+				gotNew := m.Put(k, v)
+				_, had := model[k]
+				if gotNew == had {
+					return false
+				}
+				model[k] = v
+			case 2:
+				got := m.Delete(k)
+				_, want := model[k]
+				if got != want {
+					return false
+				}
+				delete(model, k)
+			}
+			if m.Len() != len(model) {
+				return false
+			}
+		}
+		for k, v := range model {
+			got, ok := m.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTouchAddresses(t *testing.T) {
+	m := New(1000, 0x4000)
+	var addrs []uint64
+	m.Touch = func(a uint64) { addrs = append(addrs, a) }
+	m.Put(42, 1)
+	if len(addrs) == 0 {
+		t.Fatal("no probe traffic reported")
+	}
+	for _, a := range addrs {
+		if a < 0x4000 || a >= 0x4000+uint64(m.Slots())*16 {
+			t.Fatalf("probe address %#x outside table", a)
+		}
+	}
+}

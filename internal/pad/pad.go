@@ -1,0 +1,27 @@
+// Package pad provides cache-line padding helpers used to avoid false
+// sharing between hot lock fields.
+//
+// The Malthusian lock algorithms place frequently written fields (the MCS
+// tail, the TAS word, per-waiter flags) on their own cache lines so that
+// coherence traffic on one field does not invalidate its neighbours.
+package pad
+
+// CacheLineSize is the assumed coherence granule in bytes. 64 is correct
+// for x86-64 and for the SPARC T5 L3 studied in the paper.
+const CacheLineSize = 64
+
+// CacheLine is a full line of padding. Embed between fields that must not
+// share a line.
+type CacheLine [CacheLineSize]byte
+
+// Padded64 is a uint64 alone on its cache line.
+type Padded64 struct {
+	Value uint64
+	_     [CacheLineSize - 8]byte
+}
+
+// Padded32 is a uint32 alone on its cache line.
+type Padded32 struct {
+	Value uint32
+	_     [CacheLineSize - 4]byte
+}

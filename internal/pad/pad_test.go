@@ -1,0 +1,24 @@
+package pad
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestPadded64Size(t *testing.T) {
+	if s := unsafe.Sizeof(Padded64{}); s != CacheLineSize {
+		t.Fatalf("Padded64 is %d bytes, want %d", s, CacheLineSize)
+	}
+}
+
+func TestPadded32Size(t *testing.T) {
+	if s := unsafe.Sizeof(Padded32{}); s != CacheLineSize {
+		t.Fatalf("Padded32 is %d bytes, want %d", s, CacheLineSize)
+	}
+}
+
+func TestCacheLineSize(t *testing.T) {
+	if s := unsafe.Sizeof(CacheLine{}); s != CacheLineSize {
+		t.Fatalf("CacheLine is %d bytes, want %d", s, CacheLineSize)
+	}
+}

@@ -1,0 +1,95 @@
+// Package park provides the park/unpark facility (§5.1 "Parking") used by
+// the waiting policies of the Malthusian locks.
+//
+// The semantics mirror Solaris lwp_park/lwp_unpark and the restricted-range
+// semaphore described in the paper:
+//
+//   - Park blocks the caller until a permit is available, then consumes it.
+//   - Unpark deposits at most one pending permit ("unpark before park"
+//     returns immediately from the next Park).
+//   - Spurious returns from Park are permitted; callers must re-check the
+//     condition they wait for. ParkTimeout always admits spurious returns.
+//
+// On this substrate a "thread" is a goroutine; parking surrenders the
+// goroutine to the Go scheduler rather than a CPU to the kernel, but the
+// contract — and hence the lock algorithms layered above — is identical.
+package park
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Parker is a one-permit binary semaphore bound to a single waiting thread.
+// Many threads may call Unpark; only the owner may call Park. Construct
+// with NewParker.
+type Parker struct {
+	// state: 0 neutral, 1 permit pending.
+	state atomic.Int32
+	gate  chan struct{}
+}
+
+// NewParker returns a Parker with no permit pending.
+func NewParker() *Parker {
+	return &Parker{gate: make(chan struct{}, 1)}
+}
+
+// Park blocks until a permit is available and consumes it.
+func (p *Parker) Park() {
+	for {
+		if p.state.CompareAndSwap(1, 0) {
+			return
+		}
+		<-p.gate
+		// Loop: the gate token may be stale (a prior permit was consumed
+		// by TryConsume before we drained the gate), which surfaces as a
+		// spurious wakeup permitted by the park contract.
+	}
+}
+
+// ParkTimeout blocks until a permit is available or d elapses. It reports
+// whether a permit was consumed. Timed waiting underlies the standby
+// thread's periodic polling in the LOITER lock (Appendix A.1).
+func (p *Parker) ParkTimeout(d time.Duration) bool {
+	if p.state.CompareAndSwap(1, 0) {
+		return true
+	}
+	if d <= 0 {
+		return false
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for {
+		select {
+		case <-p.gate:
+			if p.state.CompareAndSwap(1, 0) {
+				return true
+			}
+		case <-timer.C:
+			// One more chance: a permit may have raced with the timer.
+			return p.state.CompareAndSwap(1, 0)
+		}
+	}
+}
+
+// Unpark makes one permit available, waking the owner if it is parked.
+// Redundant unparks collapse into a single pending permit, exactly like the
+// optimized implementations described in §5.1.
+func (p *Parker) Unpark() {
+	if p.state.Swap(1) == 1 {
+		return // permit already pending; nothing to signal
+	}
+	select {
+	case p.gate <- struct{}{}:
+	default:
+		// A wakeup token is already queued; the owner will observe
+		// state==1 when it drains the gate.
+	}
+}
+
+// TryConsume consumes a pending permit without blocking and reports whether
+// one was pending. Used by spin-then-park loops to poll for an unpark while
+// still spinning.
+func (p *Parker) TryConsume() bool {
+	return p.state.CompareAndSwap(1, 0)
+}

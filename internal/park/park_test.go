@@ -1,0 +1,180 @@
+package park
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestUnparkBeforePark(t *testing.T) {
+	p := NewParker()
+	p.Unpark()
+	done := make(chan struct{})
+	go func() {
+		p.Park() // must consume the pending permit without blocking
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Park blocked despite pending permit")
+	}
+}
+
+func TestParkThenUnpark(t *testing.T) {
+	p := NewParker()
+	done := make(chan struct{})
+	go func() {
+		p.Park()
+		close(done)
+	}()
+	// Give the goroutine a chance to actually park.
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("Park returned without a permit")
+	default:
+	}
+	p.Unpark()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Unpark did not wake the parked goroutine")
+	}
+}
+
+func TestRedundantUnparksCollapse(t *testing.T) {
+	p := NewParker()
+	for i := 0; i < 10; i++ {
+		p.Unpark()
+	}
+	p.Park() // consumes the single pending permit
+	if got := p.TryConsume(); got {
+		t.Fatal("redundant unparks deposited more than one permit")
+	}
+}
+
+func TestParkTimeoutExpires(t *testing.T) {
+	p := NewParker()
+	start := time.Now()
+	if p.ParkTimeout(20 * time.Millisecond) {
+		t.Fatal("ParkTimeout reported a permit that was never granted")
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("ParkTimeout returned too early")
+	}
+}
+
+func TestParkTimeoutZeroAndNegative(t *testing.T) {
+	p := NewParker()
+	if p.ParkTimeout(0) {
+		t.Fatal("ParkTimeout(0) must not consume a permit that does not exist")
+	}
+	if p.ParkTimeout(-time.Second) {
+		t.Fatal("negative timeout must behave like zero")
+	}
+	p.Unpark()
+	if !p.ParkTimeout(0) {
+		t.Fatal("ParkTimeout(0) must consume a pending permit")
+	}
+}
+
+func TestParkTimeoutConsumesLatePermit(t *testing.T) {
+	p := NewParker()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		p.Unpark()
+	}()
+	if !p.ParkTimeout(2 * time.Second) {
+		t.Fatal("ParkTimeout missed a permit granted before the deadline")
+	}
+}
+
+func TestTryConsume(t *testing.T) {
+	p := NewParker()
+	if p.TryConsume() {
+		t.Fatal("TryConsume invented a permit")
+	}
+	p.Unpark()
+	if !p.TryConsume() {
+		t.Fatal("TryConsume missed a pending permit")
+	}
+	if p.TryConsume() {
+		t.Fatal("TryConsume double-consumed")
+	}
+}
+
+// TestHandoffPingPong drives many park/unpark round trips between two
+// goroutines, the pattern a direct-handoff lock generates under saturation.
+func TestHandoffPingPong(t *testing.T) {
+	const rounds = 10_000
+	a, b := NewParker(), NewParker()
+	var turns atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			a.Park()
+			turns.Add(1)
+			b.Unpark()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			a.Unpark()
+			b.Park()
+		}
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("ping-pong deadlocked after %d turns", turns.Load())
+	}
+	if turns.Load() != rounds {
+		t.Fatalf("lost wakeups: %d turns, want %d", turns.Load(), rounds)
+	}
+}
+
+// TestManyUnparkers checks that concurrent unparkers never lose the permit
+// entirely (no stranded waiter), the failure mode the gate channel guards
+// against.
+func TestManyUnparkers(t *testing.T) {
+	p := NewParker()
+	const waits = 200
+	for i := 0; i < waits; i++ {
+		var wg sync.WaitGroup
+		for u := 0; u < 4; u++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p.Unpark()
+			}()
+		}
+		p.Park()
+		wg.Wait()
+		// Drain any extra permit so the next round starts neutral.
+		p.TryConsume()
+		for {
+			select {
+			case <-p.gate:
+				continue
+			default:
+			}
+			break
+		}
+		p.state.Store(0)
+	}
+}
+
+func BenchmarkUncontendedParkUnpark(b *testing.B) {
+	p := NewParker()
+	for i := 0; i < b.N; i++ {
+		p.Unpark()
+		p.Park()
+	}
+}

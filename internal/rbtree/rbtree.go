@@ -1,0 +1,259 @@
+// Package rbtree implements a left-leaning red-black tree mapping uint64
+// keys to uint64 values. It stands in for C++ std::map — "implemented via
+// a red-black tree" — inside the LRUCache benchmark (§6.9), which ports
+// CEPH's SimpleLRU.
+//
+// Each node carries a synthetic virtual address drawn from a caller-
+// supplied bump allocator, and every node visited by an operation is
+// reported through the Touch callback, so the simulator charges the real
+// pointer-chasing footprint of the tree: the paper's point is precisely
+// that a sequence of short lookups eventually touches the whole structure
+// ("the CS may be short in average duration but wide").
+package rbtree
+
+const (
+	red   = true
+	black = false
+)
+
+type node struct {
+	key, val    uint64
+	addr        uint64
+	left, right *node
+	color       bool
+}
+
+// Tree is a left-leaning red-black tree. Not safe for concurrent use.
+type Tree struct {
+	root *node
+	size int
+
+	// NextAddr supplies the virtual address for each new node (e.g. a
+	// bump pointer into a shared region). Nil means addresses are 0.
+	NextAddr func() uint64
+	// Touch, if non-nil, receives the address of every node visited.
+	Touch func(addr uint64)
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Len returns the number of keys.
+func (t *Tree) Len() int { return t.size }
+
+func (t *Tree) touch(n *node) {
+	if t.Touch != nil && n != nil {
+		t.Touch(n.addr)
+	}
+}
+
+func isRed(n *node) bool { return n != nil && n.color == red }
+
+func (t *Tree) rotateLeft(h *node) *node {
+	x := h.right
+	h.right = x.left
+	x.left = h
+	x.color = h.color
+	h.color = red
+	return x
+}
+
+func (t *Tree) rotateRight(h *node) *node {
+	x := h.left
+	h.left = x.right
+	x.right = h
+	x.color = h.color
+	h.color = red
+	return x
+}
+
+func flipColors(h *node) {
+	h.color = !h.color
+	h.left.color = !h.left.color
+	h.right.color = !h.right.color
+}
+
+// Get returns the value for key and whether it was present.
+func (t *Tree) Get(key uint64) (uint64, bool) {
+	n := t.root
+	for n != nil {
+		t.touch(n)
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	return 0, false
+}
+
+// Put inserts or updates key.
+func (t *Tree) Put(key, val uint64) {
+	t.root = t.insert(t.root, key, val)
+	t.root.color = black
+}
+
+func (t *Tree) insert(h *node, key, val uint64) *node {
+	if h == nil {
+		t.size++
+		n := &node{key: key, val: val, color: red}
+		if t.NextAddr != nil {
+			n.addr = t.NextAddr()
+		}
+		t.touch(n)
+		return n
+	}
+	t.touch(h)
+	switch {
+	case key < h.key:
+		h.left = t.insert(h.left, key, val)
+	case key > h.key:
+		h.right = t.insert(h.right, key, val)
+	default:
+		h.val = val
+	}
+	if isRed(h.right) && !isRed(h.left) {
+		h = t.rotateLeft(h)
+	}
+	if isRed(h.left) && isRed(h.left.left) {
+		h = t.rotateRight(h)
+	}
+	if isRed(h.left) && isRed(h.right) {
+		flipColors(h)
+	}
+	return h
+}
+
+// Delete removes key; it reports whether the key was present.
+func (t *Tree) Delete(key uint64) bool {
+	if _, ok := t.Get(key); !ok {
+		return false
+	}
+	if !isRed(t.root.left) && !isRed(t.root.right) {
+		t.root.color = red
+	}
+	t.root = t.delete(t.root, key)
+	if t.root != nil {
+		t.root.color = black
+	}
+	t.size--
+	return true
+}
+
+func moveRedLeft(t *Tree, h *node) *node {
+	flipColors(h)
+	if isRed(h.right.left) {
+		h.right = t.rotateRight(h.right)
+		h = t.rotateLeft(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func moveRedRight(t *Tree, h *node) *node {
+	flipColors(h)
+	if isRed(h.left.left) {
+		h = t.rotateRight(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func fixUp(t *Tree, h *node) *node {
+	if isRed(h.right) {
+		h = t.rotateLeft(h)
+	}
+	if isRed(h.left) && isRed(h.left.left) {
+		h = t.rotateRight(h)
+	}
+	if isRed(h.left) && isRed(h.right) {
+		flipColors(h)
+	}
+	return h
+}
+
+func minNode(h *node) *node {
+	for h.left != nil {
+		h = h.left
+	}
+	return h
+}
+
+func (t *Tree) deleteMin(h *node) *node {
+	if h.left == nil {
+		return nil
+	}
+	if !isRed(h.left) && !isRed(h.left.left) {
+		h = moveRedLeft(t, h)
+	}
+	h.left = t.deleteMin(h.left)
+	return fixUp(t, h)
+}
+
+func (t *Tree) delete(h *node, key uint64) *node {
+	t.touch(h)
+	if key < h.key {
+		if !isRed(h.left) && !isRed(h.left.left) {
+			h = moveRedLeft(t, h)
+		}
+		h.left = t.delete(h.left, key)
+	} else {
+		if isRed(h.left) {
+			h = t.rotateRight(h)
+		}
+		if key == h.key && h.right == nil {
+			return nil
+		}
+		if !isRed(h.right) && !isRed(h.right.left) {
+			h = moveRedRight(t, h)
+		}
+		if key == h.key {
+			m := minNode(h.right)
+			t.touch(m)
+			h.key, h.val, h.addr = m.key, m.val, m.addr
+			h.right = t.deleteMin(h.right)
+		} else {
+			h.right = t.delete(h.right, key)
+		}
+	}
+	return fixUp(t, h)
+}
+
+// CheckInvariants verifies BST order, no red right links, no double red
+// left links, and uniform black height. For tests.
+func (t *Tree) CheckInvariants() bool {
+	if isRed(t.root) {
+		return false
+	}
+	bh := -1
+	var walk func(n *node, min, max uint64, blacks int) bool
+	walk = func(n *node, min, max uint64, blacks int) bool {
+		if n == nil {
+			if bh == -1 {
+				bh = blacks
+			}
+			return bh == blacks
+		}
+		if n.key < min || n.key > max {
+			return false
+		}
+		if isRed(n.right) {
+			return false
+		}
+		if isRed(n) && isRed(n.left) {
+			return false
+		}
+		if !isRed(n) {
+			blacks++
+		}
+		lmax := n.key
+		if lmax > 0 {
+			lmax--
+		}
+		return walk(n.left, min, lmax, blacks) && walk(n.right, n.key+1, max, blacks)
+	}
+	return walk(t.root, 0, ^uint64(0), 0)
+}

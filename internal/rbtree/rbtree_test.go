@@ -1,0 +1,142 @@
+package rbtree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestPutGet(t *testing.T) {
+	tr := New()
+	for i := uint64(1); i <= 100; i++ {
+		tr.Put(i, i*10)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+	for i := uint64(1); i <= 100; i++ {
+		v, ok := tr.Get(i)
+		if !ok || v != i*10 {
+			t.Fatalf("Get(%d)=(%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := tr.Get(1000); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	tr := New()
+	tr.Put(5, 1)
+	tr.Put(5, 2)
+	if tr.Len() != 1 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+	if v, _ := tr.Get(5); v != 2 {
+		t.Fatalf("v=%d", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	for i := uint64(1); i <= 50; i++ {
+		tr.Put(i, i)
+	}
+	for i := uint64(1); i <= 50; i += 2 {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) missed", i)
+		}
+	}
+	if tr.Delete(1) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Len() != 25 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+	for i := uint64(1); i <= 50; i++ {
+		_, ok := tr.Get(i)
+		if want := i%2 == 0; ok != want {
+			t.Fatalf("Get(%d)=%v want %v", i, ok, want)
+		}
+	}
+	if !tr.CheckInvariants() {
+		t.Fatal("invariants violated after deletes")
+	}
+}
+
+func TestInvariantsUnderRandomOps(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		tr := New()
+		model := map[uint64]uint64{}
+		for op := 0; op < 400; op++ {
+			k := uint64(rng.Intn(100)) + 1
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := rng.Next()
+				tr.Put(k, v)
+				model[k] = v
+			case 2:
+				got := tr.Delete(k)
+				_, want := model[k]
+				if got != want {
+					return false
+				}
+				delete(model, k)
+			}
+			if !tr.CheckInvariants() {
+				return false
+			}
+			if tr.Len() != len(model) {
+				return false
+			}
+		}
+		for k, v := range model {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTouchAndAddresses(t *testing.T) {
+	tr := New()
+	next := uint64(0x1000)
+	tr.NextAddr = func() uint64 { next += 64; return next }
+	visits := 0
+	tr.Touch = func(addr uint64) {
+		if addr < 0x1000 {
+			t.Fatalf("bad node address %#x", addr)
+		}
+		visits++
+	}
+	for i := uint64(1); i <= 64; i++ {
+		tr.Put(i, i)
+	}
+	visits = 0
+	tr.Get(64)
+	if visits == 0 || visits > 16 {
+		t.Fatalf("Get visited %d nodes; expected a root-to-leaf path", visits)
+	}
+}
+
+func TestLogarithmicDepth(t *testing.T) {
+	tr := New()
+	tr.Touch = func(uint64) {}
+	for i := uint64(1); i <= 4096; i++ {
+		tr.Put(i, i)
+	}
+	depth := 0
+	tr.Touch = func(uint64) { depth++ }
+	tr.Get(4096)
+	// 2*log2(4097) ≈ 24 is the LLRB bound.
+	if depth > 26 {
+		t.Fatalf("search path %d nodes for 4096 keys; tree unbalanced", depth)
+	}
+}

@@ -1,0 +1,161 @@
+// Package skiplist implements an ordered map over a probabilistic skip
+// list, standing in for the leveldb memtable in the kvstore workload
+// (§6.5). Node visits are reported through the Touch callback so the
+// simulator charges the structure's pointer-chasing footprint.
+package skiplist
+
+import "repro/internal/xrand"
+
+const maxHeight = 12
+
+type node struct {
+	key, val uint64
+	addr     uint64
+	next     [maxHeight]*node
+	height   int
+}
+
+// List is a skip list mapping uint64 keys to uint64 values. Not safe for
+// concurrent use; callers serialize with a lock.
+type List struct {
+	head   node
+	height int
+	size   int
+	rng    xrand.State
+
+	// NextAddr supplies virtual addresses for new nodes; Touch receives
+	// each visited node's address.
+	NextAddr func() uint64
+	Touch    func(addr uint64)
+}
+
+// New returns an empty list seeded deterministically.
+func New(seed uint64) *List {
+	l := &List{height: 1}
+	l.head.height = maxHeight
+	l.rng.Seed(seed)
+	return l
+}
+
+// Len returns the number of keys.
+func (l *List) Len() int { return l.size }
+
+func (l *List) touch(n *node) {
+	if l.Touch != nil && n != nil && n != &l.head {
+		l.Touch(n.addr)
+	}
+}
+
+func (l *List) randomHeight() int {
+	h := 1
+	for h < maxHeight && l.rng.Bernoulli(4) {
+		h++
+	}
+	return h
+}
+
+// findGE locates the first node with key >= key and fills prev with the
+// predecessors at each level.
+func (l *List) findGE(key uint64, prev *[maxHeight]*node) *node {
+	x := &l.head
+	for lvl := l.height - 1; lvl >= 0; lvl-- {
+		for x.next[lvl] != nil && x.next[lvl].key < key {
+			x = x.next[lvl]
+			l.touch(x)
+		}
+		if prev != nil {
+			prev[lvl] = x
+		}
+	}
+	n := x.next[0]
+	l.touch(n)
+	return n
+}
+
+// Get returns the value for key and whether it is present.
+func (l *List) Get(key uint64) (uint64, bool) {
+	n := l.findGE(key, nil)
+	if n != nil && n.key == key {
+		return n.val, true
+	}
+	return 0, false
+}
+
+// Put inserts or updates key.
+func (l *List) Put(key, val uint64) {
+	var prev [maxHeight]*node
+	n := l.findGE(key, &prev)
+	if n != nil && n.key == key {
+		n.val = val
+		return
+	}
+	h := l.randomHeight()
+	if h > l.height {
+		for lvl := l.height; lvl < h; lvl++ {
+			prev[lvl] = &l.head
+		}
+		l.height = h
+	}
+	nn := &node{key: key, val: val, height: h}
+	if l.NextAddr != nil {
+		nn.addr = l.NextAddr()
+	}
+	l.touch(nn)
+	for lvl := 0; lvl < h; lvl++ {
+		nn.next[lvl] = prev[lvl].next[lvl]
+		prev[lvl].next[lvl] = nn
+	}
+	l.size++
+}
+
+// Delete removes key, reporting whether it was present.
+func (l *List) Delete(key uint64) bool {
+	var prev [maxHeight]*node
+	n := l.findGE(key, &prev)
+	if n == nil || n.key != key {
+		return false
+	}
+	for lvl := 0; lvl < n.height; lvl++ {
+		if prev[lvl].next[lvl] == n {
+			prev[lvl].next[lvl] = n.next[lvl]
+		}
+	}
+	l.size--
+	return true
+}
+
+// Min returns the smallest key, or ok=false when empty.
+func (l *List) Min() (key uint64, ok bool) {
+	n := l.head.next[0]
+	if n == nil {
+		return 0, false
+	}
+	return n.key, true
+}
+
+// CheckInvariants verifies level-0 ordering and that each higher level is
+// a subsequence of level 0. For tests.
+func (l *List) CheckInvariants() bool {
+	// Level 0 sorted strictly ascending.
+	seen := map[uint64]bool{}
+	for x := l.head.next[0]; x != nil; x = x.next[0] {
+		if x.next[0] != nil && x.next[0].key <= x.key {
+			return false
+		}
+		seen[x.key] = true
+	}
+	for lvl := 1; lvl < l.height; lvl++ {
+		prev := uint64(0)
+		first := true
+		for x := l.head.next[lvl]; x != nil; x = x.next[lvl] {
+			if !seen[x.key] {
+				return false
+			}
+			if !first && x.key <= prev {
+				return false
+			}
+			prev, first = x.key, false
+		}
+	}
+	return true
+}

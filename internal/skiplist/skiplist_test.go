@@ -1,0 +1,121 @@
+package skiplist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	l := New(1)
+	for i := uint64(1); i <= 200; i++ {
+		l.Put(i*3, i)
+	}
+	if l.Len() != 200 {
+		t.Fatalf("Len=%d", l.Len())
+	}
+	for i := uint64(1); i <= 200; i++ {
+		v, ok := l.Get(i * 3)
+		if !ok || v != i {
+			t.Fatalf("Get(%d)=(%d,%v)", i*3, v, ok)
+		}
+	}
+	if _, ok := l.Get(4); ok {
+		t.Fatal("phantom key")
+	}
+	if !l.Delete(6) || l.Delete(6) {
+		t.Fatal("delete semantics wrong")
+	}
+	if _, ok := l.Get(6); ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	l := New(2)
+	l.Put(7, 1)
+	l.Put(7, 2)
+	if l.Len() != 1 {
+		t.Fatalf("Len=%d", l.Len())
+	}
+	if v, _ := l.Get(7); v != 2 {
+		t.Fatalf("v=%d", v)
+	}
+}
+
+func TestMin(t *testing.T) {
+	l := New(3)
+	if _, ok := l.Min(); ok {
+		t.Fatal("Min on empty list")
+	}
+	l.Put(50, 1)
+	l.Put(10, 1)
+	l.Put(90, 1)
+	if k, ok := l.Min(); !ok || k != 10 {
+		t.Fatalf("Min=%d,%v", k, ok)
+	}
+}
+
+func TestInvariantsUnderRandomOps(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		l := New(seed ^ 0xabcd)
+		model := map[uint64]uint64{}
+		for op := 0; op < 500; op++ {
+			k := uint64(rng.Intn(200)) + 1
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := rng.Next()
+				l.Put(k, v)
+				model[k] = v
+			case 2:
+				got := l.Delete(k)
+				_, want := model[k]
+				if got != want {
+					return false
+				}
+				delete(model, k)
+			}
+		}
+		if !l.CheckInvariants() || l.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			got, ok := l.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTouchReportsPath(t *testing.T) {
+	l := New(5)
+	next := uint64(0)
+	l.NextAddr = func() uint64 { next += 64; return next }
+	for i := uint64(1); i <= 1024; i++ {
+		l.Put(i, i)
+	}
+	visits := 0
+	l.Touch = func(uint64) { visits++ }
+	l.Get(1000)
+	if visits == 0 || visits > 64 {
+		t.Fatalf("Get visited %d nodes; want a short skip path", visits)
+	}
+}
+
+func TestDeterministicHeights(t *testing.T) {
+	a, b := New(9), New(9)
+	for i := uint64(1); i <= 100; i++ {
+		a.Put(i, i)
+		b.Put(i, i)
+	}
+	if a.height != b.height {
+		t.Fatalf("same seed, different heights: %d vs %d", a.height, b.height)
+	}
+}

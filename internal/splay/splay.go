@@ -1,0 +1,234 @@
+// Package splay implements a splay-tree arena allocator, standing in for
+// the default Solaris libc malloc the paper uses in §6.4: "the default
+// Solaris libc memory allocator, which is implemented as a splay tree
+// protected by a central mutex. While not scalable, this allocator yields
+// a dense heap and small footprint and thus remains the default."
+//
+// The allocator manages a virtual arena: Alloc returns addresses, not
+// memory. Free blocks live in a splay tree keyed by (size, addr) for
+// best-fit allocation. Every tree node visited during an operation is
+// reported through the Touch callback so the simulator can charge the
+// memory traffic of the allocator's own metadata — which is exactly the
+// footprint whose cache residency the mmicro benchmark stresses.
+package splay
+
+// node is a free block; it lives (conceptually) in the block's header, so
+// its address equals the block address.
+type node struct {
+	addr, size  uint64
+	left, right *node
+}
+
+// Allocator is a best-fit arena allocator over a splay tree of free
+// blocks. Not safe for concurrent use: callers serialize with a lock (the
+// point of the benchmark).
+type Allocator struct {
+	root *node
+	brk  uint64 // arena bump pointer
+	end  uint64
+
+	// Touch, if non-nil, receives the address of every tree node visited.
+	Touch func(addr uint64)
+
+	frees, allocs, grows uint64
+}
+
+// New returns an allocator over an arena starting at base with the given
+// capacity in bytes. Address 0 is reserved (Alloc returns 0 for failure),
+// so a zero base is bumped by one line.
+func New(base, capacity uint64) *Allocator {
+	a := &Allocator{brk: base, end: base + capacity}
+	if a.brk == 0 {
+		a.brk = 64
+	}
+	return a
+}
+
+func (a *Allocator) touch(n *node) {
+	if a.Touch != nil && n != nil {
+		a.Touch(n.addr)
+	}
+}
+
+// less orders free blocks by (size, addr).
+func less(s1, a1, s2, a2 uint64) bool {
+	if s1 != s2 {
+		return s1 < s2
+	}
+	return a1 < a2
+}
+
+// splay performs a top-down splay of the tree rooted at t for key
+// (size, addr), reporting every visited node.
+func (a *Allocator) splay(t *node, size, addr uint64) *node {
+	if t == nil {
+		return nil
+	}
+	var header node
+	l, r := &header, &header
+	for {
+		a.touch(t)
+		if less(size, addr, t.size, t.addr) {
+			if t.left == nil {
+				break
+			}
+			a.touch(t.left)
+			if less(size, addr, t.left.size, t.left.addr) {
+				// Rotate right.
+				y := t.left
+				t.left = y.right
+				y.right = t
+				t = y
+				if t.left == nil {
+					break
+				}
+			}
+			r.left = t
+			r = t
+			t = t.left
+		} else if less(t.size, t.addr, size, addr) {
+			if t.right == nil {
+				break
+			}
+			a.touch(t.right)
+			if less(t.right.size, t.right.addr, size, addr) {
+				// Rotate left.
+				y := t.right
+				t.right = y.left
+				y.left = t
+				t = y
+				if t.right == nil {
+					break
+				}
+			}
+			l.right = t
+			l = t
+			t = t.right
+		} else {
+			break
+		}
+	}
+	l.right = t.left
+	r.left = t.right
+	t.left = header.right
+	t.right = header.left
+	return t
+}
+
+// insert adds a free block.
+func (a *Allocator) insert(addr, size uint64) {
+	n := &node{addr: addr, size: size}
+	a.touch(n)
+	if a.root == nil {
+		a.root = n
+		return
+	}
+	a.root = a.splay(a.root, size, addr)
+	if less(size, addr, a.root.size, a.root.addr) {
+		n.left = a.root.left
+		n.right = a.root
+		a.root.left = nil
+	} else {
+		n.right = a.root.right
+		n.left = a.root
+		a.root.right = nil
+	}
+	a.root = n
+}
+
+// removeBestFit extracts the smallest free block with size >= want, or
+// nil.
+func (a *Allocator) removeBestFit(want uint64) *node {
+	if a.root == nil {
+		return nil
+	}
+	// Splay for (want, 0): the root lands on a neighbor of the boundary.
+	a.root = a.splay(a.root, want, 0)
+	t := a.root
+	if t.size < want {
+		// Best fit is the minimum of the right subtree.
+		if t.right == nil {
+			return nil
+		}
+		t.right = a.splay(t.right, 0, 0) // splay minimum to subtree root
+		best := t.right
+		t.right = best.right
+		best.right = nil
+		return best
+	}
+	// Root fits; unlink it.
+	if t.left == nil {
+		a.root = t.right
+	} else {
+		l := a.splay(t.left, ^uint64(0), ^uint64(0)) // max of left subtree
+		l.right = t.right
+		a.root = l
+	}
+	t.left, t.right = nil, nil
+	return t
+}
+
+// Alloc returns the address of a block of the given size, or 0 if the
+// arena is exhausted. Oversized best-fit blocks are split.
+func (a *Allocator) Alloc(size uint64) uint64 {
+	if size == 0 {
+		size = 1
+	}
+	size = (size + 63) &^ 63 // line-align, mimicking malloc rounding
+	a.allocs++
+	if n := a.removeBestFit(size); n != nil {
+		if n.size > size {
+			a.insert(n.addr+size, n.size-size)
+		}
+		return n.addr
+	}
+	// Grow the arena.
+	if a.brk+size > a.end {
+		return 0
+	}
+	a.grows++
+	addr := a.brk
+	a.brk += size
+	return addr
+}
+
+// Free returns a block to the tree. The caller supplies the size (the
+// benchmarks track it; a real allocator reads the header, which the Touch
+// callback models as the insert touches the node).
+func (a *Allocator) Free(addr, size uint64) {
+	if size == 0 {
+		size = 1
+	}
+	size = (size + 63) &^ 63
+	a.frees++
+	a.insert(addr, size)
+}
+
+// FreeBlocks counts free blocks (O(n); for tests).
+func (a *Allocator) FreeBlocks() int {
+	var walk func(*node) int
+	walk = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		return 1 + walk(n.left) + walk(n.right)
+	}
+	return walk(a.root)
+}
+
+// check verifies the BST invariant; used by tests.
+func (a *Allocator) check() bool {
+	var walk func(n *node, okMin func(s, ad uint64) bool, okMax func(s, ad uint64) bool) bool
+	walk = func(n *node, okMin, okMax func(s, ad uint64) bool) bool {
+		if n == nil {
+			return true
+		}
+		if !okMin(n.size, n.addr) || !okMax(n.size, n.addr) {
+			return false
+		}
+		return walk(n.left, okMin, func(s, ad uint64) bool { return less(s, ad, n.size, n.addr) }) &&
+			walk(n.right, func(s, ad uint64) bool { return less(n.size, n.addr, s, ad) }, okMax)
+	}
+	always := func(uint64, uint64) bool { return true }
+	return walk(a.root, always, always)
+}

@@ -1,0 +1,150 @@
+package splay
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestAllocGrowsArena(t *testing.T) {
+	a := New(1<<20, 1<<20)
+	p1 := a.Alloc(100)
+	p2 := a.Alloc(100)
+	if p1 == 0 || p2 == 0 {
+		t.Fatal("allocation failed")
+	}
+	if p1 == p2 {
+		t.Fatal("distinct allocations share an address")
+	}
+}
+
+func TestFreeThenReuse(t *testing.T) {
+	a := New(0, 1<<20)
+	p := a.Alloc(128)
+	a.Free(p, 128)
+	q := a.Alloc(128)
+	if q != p {
+		t.Fatalf("freed block not reused: got %#x want %#x", q, p)
+	}
+}
+
+func TestBestFitPrefersSmallest(t *testing.T) {
+	a := New(0, 1<<20)
+	big := a.Alloc(1024)
+	small := a.Alloc(128)
+	a.Alloc(64) // guard so blocks are not at the brk
+	a.Free(big, 1024)
+	a.Free(small, 128)
+	got := a.Alloc(100)
+	if got != small {
+		t.Fatalf("best fit chose %#x, want the 128-byte block %#x", got, small)
+	}
+}
+
+func TestSplitLeavesRemainder(t *testing.T) {
+	a := New(0, 1<<20)
+	p := a.Alloc(1024)
+	a.Alloc(64)
+	a.Free(p, 1024)
+	q := a.Alloc(512)
+	if q != p {
+		t.Fatalf("split should reuse the block start: %#x vs %#x", q, p)
+	}
+	r := a.Alloc(448) // remainder (1024-512 = 512, minus alignment) must satisfy this
+	if r != p+512 {
+		t.Fatalf("remainder not reused: got %#x want %#x", r, p+512)
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	a := New(1<<20, 256)
+	if a.Alloc(128) == 0 {
+		t.Fatal("first alloc failed")
+	}
+	if a.Alloc(128) == 0 {
+		t.Fatal("second alloc failed")
+	}
+	if a.Alloc(64) != 0 {
+		t.Fatal("exhausted arena still allocated")
+	}
+}
+
+func TestZeroSize(t *testing.T) {
+	a := New(0, 1<<16)
+	p := a.Alloc(0)
+	q := a.Alloc(0)
+	if p == q {
+		t.Fatal("zero-size allocations must still be distinct")
+	}
+}
+
+func TestTouchReportsTraffic(t *testing.T) {
+	a := New(0, 1<<20)
+	touched := 0
+	a.Touch = func(uint64) { touched++ }
+	ptrs := make([]uint64, 50)
+	for i := range ptrs {
+		ptrs[i] = a.Alloc(uint64(64 + i*64))
+	}
+	for i, p := range ptrs {
+		a.Free(p, uint64(64+i*64))
+	}
+	for i := range ptrs {
+		a.Alloc(uint64(64 + i*64))
+	}
+	if touched == 0 {
+		t.Fatal("no metadata traffic reported")
+	}
+}
+
+// TestRandomizedAgainstModel drives random alloc/free traffic and checks
+// no two live blocks overlap and the BST invariant holds throughout.
+func TestRandomizedAgainstModel(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		a := New(0, 1<<24)
+		type blk struct{ addr, size uint64 }
+		var live []blk
+		for op := 0; op < 500; op++ {
+			if len(live) == 0 || rng.Intn(2) == 0 {
+				size := uint64(rng.Intn(2000) + 1)
+				p := a.Alloc(size)
+				if p == 0 {
+					return false // arena is big enough that this is a bug
+				}
+				rounded := (size + 63) &^ 63
+				for _, b := range live {
+					if p < b.addr+b.size && b.addr < p+rounded {
+						return false // overlap
+					}
+				}
+				live = append(live, blk{p, rounded})
+			} else {
+				i := rng.Intn(len(live))
+				a.Free(live[i].addr, live[i].size)
+				live = append(live[:i], live[i+1:]...)
+			}
+			if !a.check() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeBlocksCount(t *testing.T) {
+	a := New(0, 1<<20)
+	p1 := a.Alloc(64)
+	p2 := a.Alloc(64)
+	p3 := a.Alloc(64)
+	a.Free(p1, 64)
+	a.Free(p2, 64)
+	a.Free(p3, 64)
+	if got := a.FreeBlocks(); got != 3 {
+		t.Fatalf("FreeBlocks=%d want 3", got)
+	}
+}

@@ -1,0 +1,119 @@
+// Package xrand implements the thread-local Marsaglia xor-shift
+// pseudo-random number generators the paper uses for Bernoulli fairness
+// trials (§4) and for workload address streams (§6).
+//
+// The generators are deliberately tiny, allocation-free and not safe for
+// concurrent use: each simulated or real thread owns one instance, exactly
+// as in the paper ("We use a thread-local Marsaglia xor-shift pseudo-random
+// number generator to implement Bernoulli trials").
+package xrand
+
+// State is a 64-bit xor-shift generator (Marsaglia 2003, "Xorshift RNGs",
+// triple 13/7/17).
+type State struct {
+	x uint64
+}
+
+// New returns a generator seeded from seed. A zero seed is remapped to a
+// fixed odd constant because the all-zero state is a fixed point of
+// xor-shift.
+func New(seed uint64) *State {
+	s := &State{}
+	s.Seed(seed)
+	return s
+}
+
+// Seed resets the generator state. Zero is remapped to a nonzero constant.
+func (s *State) Seed(seed uint64) {
+	// Scramble with splitmix64 so that small consecutive seeds (thread
+	// ids) give decorrelated streams.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x2545f4914f6cdd1d
+	}
+	s.x = z
+}
+
+// Next returns the next 64-bit value.
+func (s *State) Next() uint64 {
+	x := s.x
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.x = x
+	return x
+}
+
+// Uint32 returns the next 32-bit value.
+func (s *State) Uint32() uint32 { return uint32(s.Next() >> 32) }
+
+// Uint64n returns a value uniform in [0, n). n must be > 0.
+func (s *State) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with n == 0")
+	}
+	// Multiply-shift reduction; bias is negligible for the modest n used
+	// by the workloads and irrelevant to the lock algorithms, which only
+	// need "about 1-in-k" Bernoulli trials.
+	hi, _ := mul64(s.Next(), n)
+	return hi
+}
+
+// Intn returns a value uniform in [0, n). n must be > 0.
+func (s *State) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Bernoulli reports true with probability 1/k. k <= 1 always reports true;
+// k == 0 reports false (probability zero, "never").
+//
+// The paper cedes ownership to the tail of the passive set "on average once
+// every 1000 unlock operations"; that is Bernoulli(1000).
+func (s *State) Bernoulli(k uint64) bool {
+	if k == 0 {
+		return false
+	}
+	if k == 1 {
+		return true
+	}
+	return s.Uint64n(k) == 0
+}
+
+// Prob reports true with probability p (clamped to [0,1]).
+func (s *State) Prob(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	const den = 1 << 32
+	return s.Uint64n(den) < uint64(p*den)
+}
+
+// Float64 returns a value uniform in [0, 1).
+func (s *State) Float64() float64 {
+	return float64(s.Next()>>11) / (1 << 53)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo). Implemented
+// locally so the package stays dependency-free (math/bits would also work;
+// this mirrors it exactly).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}

@@ -1,0 +1,102 @@
+package lock
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// clhNode is a CLH queue element. Unlike MCS, a waiter spins on its
+// predecessor's node; the node a thread enqueues is reclaimed by its
+// successor.
+type clhNode struct {
+	waitCell
+}
+
+var clhPool = sync.Pool{New: func() any { return new(clhNode) }}
+
+func newCLHNode() *clhNode {
+	n := clhPool.Get().(*clhNode)
+	n.reset()
+	return n
+}
+
+// CLH is the Craig–Landin–Hagersten queue lock: strict FIFO, direct
+// handoff, local spinning on the predecessor's flag. Included as the
+// second classic FIFO baseline (the paper's related work discusses its
+// NUMA-hierarchical descendant, HCLH).
+type CLH struct {
+	tail atomic.Pointer[clhNode]
+	// node published by the current owner (granted at unlock) and the
+	// predecessor node it will reclaim; both lock-protected.
+	ownerNode *clhNode
+	ownerPred *clhNode
+	cfg       config
+	stats     core.Stats
+}
+
+// NewCLH returns an unlocked CLH lock.
+func NewCLH(opts ...Option) *CLH {
+	return &CLH{cfg: buildConfig(opts)}
+}
+
+// Lock enqueues the caller and waits on its predecessor's flag. A nil tail
+// or a predecessor in granted state means the lock is free.
+func (l *CLH) Lock() {
+	n := newCLHNode()
+	pred := l.tail.Swap(n)
+	if pred == nil {
+		l.ownerNode, l.ownerPred = n, nil
+		l.stats.FastPath.Add(1)
+		l.stats.Acquires.Add(1)
+		return
+	}
+	if pred.await(l.cfg.wait, l.cfg.policy.SpinBudget) {
+		l.stats.Parks.Add(1)
+	}
+	l.ownerNode, l.ownerPred = n, pred
+	l.stats.SlowPath.Add(1)
+	l.stats.Acquires.Add(1)
+}
+
+// TryLock acquires the lock only if it is observably free.
+func (l *CLH) TryLock() bool {
+	t := l.tail.Load()
+	if t != nil && t.state.Load() != stateGranted {
+		return false
+	}
+	n := newCLHNode()
+	if !l.tail.CompareAndSwap(t, n) {
+		clhPool.Put(n)
+		return false
+	}
+	// We displaced a granted (free) node or nil; reclaim the old tail.
+	l.ownerNode, l.ownerPred = n, t
+	l.stats.FastPath.Add(1)
+	l.stats.Acquires.Add(1)
+	return true
+}
+
+// Unlock grants the owner's node, passing the lock to the successor
+// spinning on it (or marking the lock free if none arrives).
+func (l *CLH) Unlock() {
+	n := l.ownerNode
+	if n == nil {
+		panic("lock: CLH.Unlock of unlocked mutex")
+	}
+	pred := l.ownerPred
+	l.ownerNode, l.ownerPred = nil, nil
+	if n.grant() {
+		l.stats.Unparks.Add(1)
+	}
+	l.stats.Handoffs.Add(1)
+	if pred != nil {
+		clhPool.Put(pred)
+	}
+}
+
+// Stats returns a snapshot of the lock's event counters.
+func (l *CLH) Stats() core.Snapshot { return l.stats.Read() }
+
+var _ Mutex = (*CLH)(nil)

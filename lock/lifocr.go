@@ -1,0 +1,169 @@
+package lock
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// lifoNode is a stack element for LIFOCR waiters.
+type lifoNode struct {
+	waitCell
+	next *lifoNode // stack link; immutable after push until popped
+}
+
+var lifoPool = sync.Pool{New: func() any { return new(lifoNode) }}
+
+// LIFOCR is the paper's LIFO-CR lock (Appendix A.2): an explicit stack
+// ("Treiber style") of waiting threads with direct handoff to the most
+// recently arrived waiter. Mostly-LIFO admission is a natural concurrency
+// restrictor: the ACS is the owner, the circulating threads, and the top
+// of the stack, while threads deeper on the stack form the passive set.
+// Long-term fairness comes from a Bernoulli trial that periodically grants
+// the eldest waiter — the bottom of the stack — instead of the top.
+//
+// The stack is multiple-producer single-consumer: only the lock holder
+// pops, so the pop path is immune to ABA. LIFO handoff pairs especially
+// well with spin-then-park waiting: the thread most likely to be granted
+// next is the most recently arrived, which is also the thread most likely
+// to still be spinning (§5.1, Appendix A.2).
+type LIFOCR struct {
+	// top encodes the composite lock word:
+	//   nil          — unlocked
+	//   &lockedEmpty — locked, no waiters
+	//   other        — locked, top of the waiter stack
+	top         atomic.Pointer[lifoNode]
+	lockedEmpty lifoNode
+
+	trial *core.Trial // lock-protected (unlock path only)
+	cfg   config
+	stats core.Stats
+}
+
+// NewLIFOCR returns an unlocked LIFO-CR lock.
+func NewLIFOCR(opts ...Option) *LIFOCR {
+	cfg := buildConfig(opts)
+	return &LIFOCR{
+		cfg:   cfg,
+		trial: core.NewTrial(cfg.policy.FairnessPeriod, cfg.policy.Seed),
+	}
+}
+
+// Lock acquires the lock, pushing the caller onto the waiter stack if it
+// is held.
+func (l *LIFOCR) Lock() {
+	if l.top.CompareAndSwap(nil, &l.lockedEmpty) {
+		l.stats.FastPath.Add(1)
+		l.stats.Acquires.Add(1)
+		return
+	}
+	n := lifoPool.Get().(*lifoNode)
+	n.reset()
+	for {
+		top := l.top.Load()
+		if top == nil {
+			// Lock released while we prepared; try to take it.
+			if l.top.CompareAndSwap(nil, &l.lockedEmpty) {
+				lifoPool.Put(n)
+				l.stats.FastPath.Add(1)
+				l.stats.Acquires.Add(1)
+				return
+			}
+			continue
+		}
+		if top == &l.lockedEmpty {
+			n.next = nil
+		} else {
+			n.next = top
+		}
+		if l.top.CompareAndSwap(top, n) {
+			break
+		}
+	}
+	if n.await(l.cfg.wait, l.cfg.policy.SpinBudget) {
+		l.stats.Parks.Add(1)
+	}
+	// Handoff: the granter popped our node; we own the lock now.
+	lifoPool.Put(n)
+	l.stats.SlowPath.Add(1)
+	l.stats.Acquires.Add(1)
+}
+
+// TryLock acquires the lock if it is free.
+func (l *LIFOCR) TryLock() bool {
+	if l.top.CompareAndSwap(nil, &l.lockedEmpty) {
+		l.stats.FastPath.Add(1)
+		l.stats.Acquires.Add(1)
+		return true
+	}
+	return false
+}
+
+// Unlock releases the lock. If waiters exist, ownership passes by direct
+// handoff to the top of the stack — or, on a fairness trial, to the bottom.
+func (l *LIFOCR) Unlock() {
+	for {
+		top := l.top.Load()
+		switch top {
+		case nil:
+			panic("lock: LIFOCR.Unlock of unlocked mutex")
+		case &l.lockedEmpty:
+			if l.top.CompareAndSwap(&l.lockedEmpty, nil) {
+				return
+			}
+			// A waiter pushed itself meanwhile; retry with the new top.
+			continue
+		}
+		// Waiters exist. Fairness trial: grant the eldest (stack bottom)
+		// instead of the newest. Only the holder pops, so walking and
+		// unlinking interior nodes is safe; new pushes only change the top.
+		if top.next != nil && l.trial.Promote() {
+			if l.grantEldest(top) {
+				l.stats.Promotions.Add(1)
+				return
+			}
+			continue
+		}
+		// Pop the most recently arrived waiter and hand it the lock.
+		var repl *lifoNode
+		if top.next == nil {
+			repl = &l.lockedEmpty
+		} else {
+			repl = top.next
+		}
+		if l.top.CompareAndSwap(top, repl) {
+			l.finishGrant(top)
+			return
+		}
+		// A push raced; retry against the new top.
+	}
+}
+
+// grantEldest unlinks the bottom-most node at or below start and grants
+// it. It returns false if start was popped out from under us (cannot
+// happen — only the holder pops — but kept for symmetry with the CAS
+// loops). start.next is non-nil on entry, so the bottom is an interior
+// node and unlinking it cannot race with pushes, which touch only the top.
+func (l *LIFOCR) grantEldest(start *lifoNode) bool {
+	prev := start
+	for prev.next.next != nil {
+		prev = prev.next
+	}
+	eldest := prev.next
+	prev.next = nil
+	l.finishGrant(eldest)
+	return true
+}
+
+func (l *LIFOCR) finishGrant(n *lifoNode) {
+	if n.grant() {
+		l.stats.Unparks.Add(1)
+	}
+	l.stats.Handoffs.Add(1)
+}
+
+// Stats returns a snapshot of the lock's event counters.
+func (l *LIFOCR) Stats() core.Snapshot { return l.stats.Read() }
+
+var _ Mutex = (*LIFOCR)(nil)

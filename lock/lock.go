@@ -1,0 +1,128 @@
+// Package lock implements the Malthusian lock family from Dave Dice,
+// "Malthusian Locks" (EuroSys 2017), together with the classic baselines
+// the paper compares against.
+//
+// Concurrency-restricting (CR) locks — the paper's contribution:
+//
+//   - MCSCR: classic MCS with an explicit passive list, unlock-time
+//     culling, and Bernoulli long-term-fairness promotion (§4).
+//   - LIFOCR: an explicit LIFO stack of waiters with direct handoff to the
+//     most recently arrived and periodic eldest promotion (Appendix A.2).
+//   - LOITER: an outer test-and-set lock with a barging fast path and an
+//     inner MCS slow path holding the passive set; at most one "standby"
+//     thread bridges the two, with impatience-triggered direct handoff
+//     (Appendix A.1).
+//
+// Baselines:
+//
+//   - TAS / TTAS with randomized backoff (competitive succession, global
+//     spinning, unbounded bypass);
+//   - Ticket (FIFO, global spinning);
+//   - CLH and MCS (FIFO, local spinning, direct handoff);
+//   - Null (degenerate; for harness calibration only).
+//
+// All locks satisfy sync.Locker. Queue-based locks allocate their waiter
+// nodes from pools and are safe for use by any number of goroutines; no
+// per-thread registration is required.
+//
+// # Waiting policies
+//
+// WaitSpin corresponds to the paper's "-S" variants: polite unbounded
+// spinning (the poll loop yields to the Go scheduler periodically, the
+// analogue of SPARC RD CCR,G0 politeness). WaitSpinThenPark corresponds to
+// "-STP": a bounded spin of Policy.SpinBudget polls followed by parking on
+// a per-waiter Parker, mirroring spin-then-park over lwp_park/lwp_unpark.
+package lock
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Mutex is the common contract of every lock in this package. It is
+// sync.Locker plus TryLock, which all implementations support.
+type Mutex interface {
+	sync.Locker
+	// TryLock acquires the lock if it is immediately available and
+	// reports whether it did.
+	TryLock() bool
+}
+
+// WaitPolicy selects how a contended waiter waits (§5.1).
+type WaitPolicy int
+
+const (
+	// WaitSpinThenPark spins for the policy's SpinBudget polls, then
+	// parks. The paper's preferred policy for CR locks ("-STP").
+	WaitSpinThenPark WaitPolicy = iota
+	// WaitSpin spins politely without bound ("-S").
+	WaitSpin
+)
+
+// String returns the paper's suffix for the policy.
+func (w WaitPolicy) String() string {
+	switch w {
+	case WaitSpin:
+		return "S"
+	case WaitSpinThenPark:
+		return "STP"
+	default:
+		return "?"
+	}
+}
+
+// Option configures a lock at construction time.
+type Option func(*config)
+
+type config struct {
+	policy       core.Policy
+	wait         WaitPolicy
+	patience     int // LOITER standby impatience threshold
+	arrivalSpins int // LOITER fast-path attempt bound
+}
+
+func defaultConfig() config {
+	return config{
+		policy:       core.DefaultPolicy(),
+		wait:         WaitSpinThenPark,
+		patience:     DefaultPatience,
+		arrivalSpins: DefaultArrivalSpins,
+	}
+}
+
+func buildConfig(opts []Option) config {
+	c := defaultConfig()
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// WithWaitPolicy selects the waiting policy (default WaitSpinThenPark).
+func WithWaitPolicy(w WaitPolicy) Option {
+	return func(c *config) { c.wait = w }
+}
+
+// WithFairnessPeriod sets the Bernoulli promotion period k (promote the
+// eldest passive thread with probability 1/k per unlock). 0 disables
+// long-term fairness enforcement. Default 1000, as in the paper.
+func WithFairnessPeriod(k uint64) Option {
+	return func(c *config) { c.policy.FairnessPeriod = k }
+}
+
+// WithSpinBudget sets the spin-then-park spin budget in poll iterations.
+func WithSpinBudget(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			n = 0
+		}
+		c.policy.SpinBudget = n
+	}
+}
+
+// WithSeed seeds the lock-local PRNG used by fairness trials, making runs
+// reproducible. Zero (the default) selects a fixed internal seed.
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.policy.Seed = seed }
+}

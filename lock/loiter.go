@@ -1,0 +1,211 @@
+package lock
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/park"
+)
+
+// DefaultPatience is the number of failed acquisition attempts after which
+// the LOITER standby thread declares itself impatient and requests direct
+// handoff (Appendix A.1: "we impose long-term fairness by detecting that
+// the standby thread has waited too long").
+const DefaultPatience = 64
+
+// DefaultArrivalSpins is the bounded fast-path arrival spin: how many
+// acquisition attempts (with randomized backoff between them) an arriving
+// thread makes on the outer lock before reverting to the slow path.
+const DefaultArrivalSpins = 32
+
+// WithPatience sets the standby impatience threshold in failed attempts.
+func WithPatience(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = 1
+		}
+		c.patience = n
+	}
+}
+
+// WithArrivalSpins sets the bounded arrival-phase attempt count.
+func WithArrivalSpins(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = 1
+		}
+		c.arrivalSpins = n
+	}
+}
+
+// loiterStandby is the record the standby thread publishes so the unlock
+// path can wake it (heir presumptive) or grant it the lock directly.
+type loiterStandby struct {
+	parker    *park.Parker
+	granted   atomic.Bool
+	impatient atomic.Bool
+}
+
+// LOITER ("Locking: Outer-Inner with ThRottling", Appendix A.1) is a
+// composite lock: an outer test-and-set lock acquired by a bounded barging
+// fast path, and an inner MCS lock forming the slow path. The single
+// thread holding the inner lock — the standby — contends for the outer
+// lock on behalf of the slow path; everything queued behind it on the
+// inner lock is the passive set.
+//
+// The ACS is the owner, the circulating threads, and the arriving
+// fast-path spinners; the standby is "on the cusp", transitional between
+// the sets. The composite retains competitive succession (low handover
+// latency, preemption tolerance) for the common path while the inner lock
+// throttles the flow of threads from the PS into the ACS. An impatient
+// standby — one that has failed too many acquisition attempts — receives
+// the lock by direct handoff at the next unlock, bounding starvation.
+//
+// This is the paper's 3-stage waiting policy: spin globally; then enqueue
+// and spin locally; then park.
+type LOITER struct {
+	outer   atomic.Uint32 // 0 free, 1 held
+	inner   *MCS
+	standby atomic.Pointer[loiterStandby]
+	// slowOwner records whether the current owner came via the slow path
+	// and therefore also holds the inner lock. Lock-protected.
+	slowOwner bool
+	cfg       config
+	stats     core.Stats
+}
+
+// NewLOITER returns an unlocked LOITER lock. The waiting-policy option
+// applies to both the inner MCS queue and the standby's wait.
+func NewLOITER(opts ...Option) *LOITER {
+	cfg := buildConfig(opts)
+	return &LOITER{
+		inner: NewMCS(
+			WithWaitPolicy(cfg.wait),
+			WithSpinBudget(cfg.policy.SpinBudget),
+		),
+		cfg: cfg,
+	}
+}
+
+// Lock acquires the lock: bounded barging on the outer lock first, then
+// the inner-lock slow path.
+func (l *LOITER) Lock() {
+	// Fast path: arrival phase with bounded global spinning and
+	// randomized backoff.
+	if l.outer.CompareAndSwap(0, 1) {
+		l.slowOwner = false
+		l.stats.FastPath.Add(1)
+		l.stats.Acquires.Add(1)
+		return
+	}
+	b := newBackoff(nextSeed())
+	for a := 1; a < l.cfg.arrivalSpins; a++ {
+		for i := 0; l.outer.Load() != 0 && i < maxBackoff; i++ {
+			politePause(i)
+		}
+		if l.outer.CompareAndSwap(0, 1) {
+			l.slowOwner = false
+			l.stats.FastPath.Add(1)
+			l.stats.Acquires.Add(1)
+			return
+		}
+		b.pause()
+	}
+
+	// Slow path: acquire the inner lock and become the standby thread.
+	l.inner.Lock()
+	sb := &loiterStandby{parker: park.NewParker()}
+	l.standby.Store(sb)
+	attempts := 0
+	for {
+		if sb.granted.Load() {
+			// Direct handoff: the outer lock was never released; we own it.
+			break
+		}
+		if l.outer.CompareAndSwap(0, 1) {
+			break
+		}
+		attempts++
+		if attempts > l.cfg.patience {
+			sb.impatient.Store(true)
+		}
+		l.standbyWait(sb)
+	}
+	l.standby.Store(nil)
+	l.slowOwner = true
+	l.stats.SlowPath.Add(1)
+	l.stats.Acquires.Add(1)
+}
+
+// standbyWait waits for the outer lock to change state: a bounded polite
+// spin, then (under spin-then-park) parking until the unlock path's
+// heir-presumptive unpark.
+func (l *LOITER) standbyWait(sb *loiterStandby) {
+	budget := l.cfg.policy.SpinBudget
+	if l.cfg.wait == WaitSpin {
+		budget = 1 << 62 // unbounded
+	}
+	for i := 0; i < budget; i++ {
+		if sb.granted.Load() || l.outer.Load() == 0 {
+			return
+		}
+		if sb.parker.TryConsume() {
+			return // unpark raced ahead of our park
+		}
+		politePause(i)
+	}
+	l.stats.Parks.Add(1)
+	sb.parker.Park()
+}
+
+// TryLock acquires the lock if the outer word is free.
+func (l *LOITER) TryLock() bool {
+	if l.outer.CompareAndSwap(0, 1) {
+		l.slowOwner = false
+		l.stats.FastPath.Add(1)
+		l.stats.Acquires.Add(1)
+		return true
+	}
+	return false
+}
+
+// Unlock releases the lock. A patient standby is woken as heir presumptive
+// (competitive succession); an impatient one receives the lock by direct
+// handoff without it ever becoming free.
+func (l *LOITER) Unlock() {
+	if l.outer.Load() != 1 {
+		panic("lock: LOITER.Unlock of unlocked mutex")
+	}
+	wasSlow := l.slowOwner
+	sb := l.standby.Load()
+	if sb != nil && sb.impatient.Load() {
+		// Anti-starvation direct handoff: ownership conveys; the outer
+		// word stays 1.
+		sb.granted.Store(true)
+		sb.parker.Unpark()
+		l.stats.Promotions.Add(1)
+		l.stats.Handoffs.Add(1)
+		l.stats.Unparks.Add(1)
+		return
+	}
+	l.outer.Store(0)
+	if sb != nil {
+		// Wake the heir presumptive so it can re-contend.
+		sb.parker.Unpark()
+		l.stats.Unparks.Add(1)
+	}
+	if wasSlow {
+		// We came via the slow path and still hold the inner lock;
+		// releasing it elevates the next slow waiter to standby.
+		l.inner.Unlock()
+	}
+}
+
+// Stats returns a snapshot of the lock's event counters. The inner MCS
+// queue's own counters are available via InnerStats.
+func (l *LOITER) Stats() core.Snapshot { return l.stats.Read() }
+
+// InnerStats returns the inner (slow path) MCS lock's counters.
+func (l *LOITER) InnerStats() core.Snapshot { return l.inner.Stats() }
+
+var _ Mutex = (*LOITER)(nil)

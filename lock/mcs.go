@@ -1,0 +1,120 @@
+package lock
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// mcsNode is a waiter element on the MCS chain. Nodes are pooled: a node
+// is owned by its enqueuing goroutine from Lock until the lock is
+// released, and by nobody afterwards. The passive-list fields (prev) are
+// used only by MCSCR while a node sits on the explicit passive list, where
+// accesses are serialized by the lock itself.
+type mcsNode struct {
+	waitCell
+	next atomic.Pointer[mcsNode]
+	prev *mcsNode // passive-list back link (MCSCR only; lock-protected)
+	id   int      // optional owner tag for diagnostics
+}
+
+var mcsPool = sync.Pool{New: func() any { return new(mcsNode) }}
+
+func newMCSNode() *mcsNode {
+	n := mcsPool.Get().(*mcsNode)
+	n.reset()
+	n.next.Store(nil)
+	n.prev = nil
+	return n
+}
+
+func freeMCSNode(n *mcsNode) {
+	mcsPool.Put(n)
+}
+
+// MCS is the classic Mellor-Crummey–Scott queue lock (§4 footnote 10):
+// strict FIFO admission, direct handoff, local spinning on a per-waiter
+// flag. Arriving threads append a node at the tail; the owner's node is
+// the implicit head; unlock passes ownership to the next node.
+//
+// The waiting policy selects MCS-S (polite spin) or MCS-STP
+// (spin-then-park). The paper shows MCS-STP interacts badly with direct
+// handoff under contention: the longest waiter — next in FIFO order — is
+// the one most likely to have parked, so every handover pays an unpark.
+type MCS struct {
+	tail  atomic.Pointer[mcsNode]
+	owner *mcsNode // node of the current holder; lock-protected
+	cfg   config
+	stats core.Stats
+}
+
+// NewMCS returns an unlocked MCS lock. By default it uses spin-then-park
+// waiting; use WithWaitPolicy(WaitSpin) for the "-S" variant.
+func NewMCS(opts ...Option) *MCS {
+	return &MCS{cfg: buildConfig(opts)}
+}
+
+// Lock enqueues the caller and waits for direct handoff.
+func (l *MCS) Lock() {
+	n := newMCSNode()
+	pred := l.tail.Swap(n)
+	if pred == nil {
+		// Uncontended: we are the head and the owner.
+		l.owner = n
+		l.stats.FastPath.Add(1)
+		l.stats.Acquires.Add(1)
+		return
+	}
+	pred.next.Store(n)
+	if n.await(l.cfg.wait, l.cfg.policy.SpinBudget) {
+		l.stats.Parks.Add(1)
+	}
+	l.owner = n
+	l.stats.SlowPath.Add(1)
+	l.stats.Acquires.Add(1)
+}
+
+// TryLock acquires the lock only if the chain is empty.
+func (l *MCS) TryLock() bool {
+	n := newMCSNode()
+	if l.tail.CompareAndSwap(nil, n) {
+		l.owner = n
+		l.stats.FastPath.Add(1)
+		l.stats.Acquires.Add(1)
+		return true
+	}
+	freeMCSNode(n)
+	return false
+}
+
+// Unlock passes ownership to the next waiter, if any.
+func (l *MCS) Unlock() {
+	n := l.owner
+	if n == nil {
+		panic("lock: MCS.Unlock of unlocked mutex")
+	}
+	l.owner = nil
+	succ := n.next.Load()
+	if succ == nil {
+		if l.tail.CompareAndSwap(n, nil) {
+			freeMCSNode(n)
+			return
+		}
+		// An arrival is between the tail swap and the next-link store;
+		// wait for the link to appear.
+		for succ = n.next.Load(); succ == nil; succ = n.next.Load() {
+			politePause(1)
+		}
+	}
+	if succ.grant() {
+		l.stats.Unparks.Add(1)
+	}
+	l.stats.Handoffs.Add(1)
+	freeMCSNode(n)
+}
+
+// Stats returns a snapshot of the lock's event counters.
+func (l *MCS) Stats() core.Snapshot { return l.stats.Read() }
+
+var _ Mutex = (*MCS)(nil)

@@ -1,0 +1,229 @@
+package lock
+
+import (
+	"repro/internal/core"
+	"sync/atomic"
+)
+
+// MCSCR is the paper's Malthusian MCS lock (§4): a classic MCS lock whose
+// unlock operator performs concurrency restriction by editing the MCS
+// chain.
+//
+//   - Culling: at unlock time, if there are intermediate nodes between the
+//     owner's node and the tail, the lock has surplus waiters. One
+//     intermediate node is excised and pushed onto the head of the
+//     explicit passive list. Repeated culling converges to the desirable
+//     state where at most one ACS member waits at any moment.
+//   - Reprovisioning: if the chain is empty except for the owner but the
+//     passive list is not, the head of the passive list (the most recently
+//     arrived passive thread) is grafted back and granted ownership,
+//     keeping the policy work conserving.
+//   - Long-term fairness: with probability 1/FairnessPeriod per unlock,
+//     the tail of the passive list — the least recently arrived, most
+//     starved thread — is grafted immediately after the owner and granted
+//     ownership.
+//
+// All CR machinery lives in the unlock path; the lock (arrival) path is
+// unchanged classic MCS. Operations on the passive list occur while the
+// lock is held, so the passive list is protected by the lock itself; the
+// paper notes this slightly lengthens the critical section but the added
+// work is short and constant time.
+//
+// The ACS is implicit (owner + threads in their non-critical sections +
+// the at-most-one waiting thread); the PS is the explicit list.
+type MCSCR struct {
+	tail  atomic.Pointer[mcsNode]
+	owner *mcsNode // node of current holder; lock-protected
+
+	// Passive set: intrusive doubly-linked list, lock-protected.
+	// psHead is the most recently culled thread, psTail the eldest.
+	psHead *mcsNode
+	psTail *mcsNode
+	psSize int
+
+	trial *core.Trial
+	cfg   config
+	stats core.Stats
+}
+
+// NewMCSCR returns an unlocked Malthusian MCS lock. The default waiting
+// policy is spin-then-park (MCSCR-STP); use WithWaitPolicy(WaitSpin) for
+// MCSCR-S.
+func NewMCSCR(opts ...Option) *MCSCR {
+	cfg := buildConfig(opts)
+	return &MCSCR{
+		cfg:   cfg,
+		trial: core.NewTrial(cfg.policy.FairnessPeriod, cfg.policy.Seed),
+	}
+}
+
+// Lock enqueues the caller on the MCS chain and waits for handoff. Absent
+// sufficient contention MCSCR behaves precisely like classic MCS.
+func (l *MCSCR) Lock() {
+	n := newMCSNode()
+	pred := l.tail.Swap(n)
+	if pred == nil {
+		l.owner = n
+		l.stats.FastPath.Add(1)
+		l.stats.Acquires.Add(1)
+		return
+	}
+	pred.next.Store(n)
+	if n.await(l.cfg.wait, l.cfg.policy.SpinBudget) {
+		l.stats.Parks.Add(1)
+	}
+	l.owner = n
+	l.stats.SlowPath.Add(1)
+	l.stats.Acquires.Add(1)
+}
+
+// TryLock acquires the lock only if the chain is empty.
+func (l *MCSCR) TryLock() bool {
+	n := newMCSNode()
+	if l.tail.CompareAndSwap(nil, n) {
+		l.owner = n
+		l.stats.FastPath.Add(1)
+		l.stats.Acquires.Add(1)
+		return true
+	}
+	freeMCSNode(n)
+	return false
+}
+
+// Unlock releases the lock, performing culling, reprovisioning, or a
+// fairness promotion as the chain and passive list dictate.
+func (l *MCSCR) Unlock() {
+	n := l.owner
+	if n == nil {
+		panic("lock: MCSCR.Unlock of unlocked mutex")
+	}
+	l.owner = nil
+
+	// Long-term fairness graft: cede ownership to the eldest passive
+	// thread on a successful Bernoulli trial.
+	if l.psSize > 0 && l.trial.Promote() {
+		t := l.psPopTail()
+		l.graftAndGrant(n, t)
+		l.stats.Promotions.Add(1)
+		return
+	}
+
+	succ := n.next.Load()
+	if succ == nil {
+		// No waiter visible on the chain. Work conservation: pull the
+		// most recently arrived passive thread back into the ACS.
+		if l.psSize > 0 {
+			t := l.psPopHead()
+			if l.tail.CompareAndSwap(n, t) {
+				l.finishGrant(t)
+				l.stats.Reprovisions.Add(1)
+				freeMCSNode(n)
+				return
+			}
+			// An arrival raced with us; restore t and hand off to the
+			// arriving thread below.
+			l.psPushHead(t)
+		}
+		if l.tail.CompareAndSwap(n, nil) {
+			freeMCSNode(n)
+			return
+		}
+		// An arrival swapped the tail but has not linked yet; wait for
+		// the link to appear.
+		for succ = n.next.Load(); succ == nil; succ = n.next.Load() {
+			politePause(1)
+		}
+	}
+
+	// Culling: if succ is not the tail there are surplus waiters; excise
+	// succ — the oldest waiter — into the passive set and hand off to the
+	// next in line. One cull per unlock suffices to converge.
+	if nn := succ.next.Load(); nn != nil {
+		succ.next.Store(nil)
+		l.psPushHead(succ)
+		l.stats.Culls.Add(1)
+		succ = nn
+	}
+	l.finishGrant(succ)
+	freeMCSNode(n)
+}
+
+// graftAndGrant inserts t immediately after the departing owner's node n
+// and grants it ownership, preserving the rest of the chain.
+func (l *MCSCR) graftAndGrant(n, t *mcsNode) {
+	succ := n.next.Load()
+	if succ == nil {
+		if l.tail.CompareAndSwap(n, t) {
+			l.finishGrant(t)
+			freeMCSNode(n)
+			return
+		}
+		for succ = n.next.Load(); succ == nil; succ = n.next.Load() {
+			politePause(1)
+		}
+	}
+	t.next.Store(succ)
+	l.finishGrant(t)
+	freeMCSNode(n)
+}
+
+func (l *MCSCR) finishGrant(succ *mcsNode) {
+	if succ.grant() {
+		l.stats.Unparks.Add(1)
+	}
+	l.stats.Handoffs.Add(1)
+}
+
+// Passive-list operations. All run in the unlock path while the lock is
+// held; the MCS lock protects the list (§4).
+
+func (l *MCSCR) psPushHead(n *mcsNode) {
+	n.prev = nil
+	if l.psHead == nil {
+		l.psHead, l.psTail = n, n
+	} else {
+		n.next.Store(l.psHead)
+		l.psHead.prev = n
+		l.psHead = n
+	}
+	l.psSize++
+}
+
+func (l *MCSCR) psPopHead() *mcsNode {
+	n := l.psHead
+	next := n.next.Load()
+	l.psHead = next
+	if next == nil {
+		l.psTail = nil
+	} else {
+		next.prev = nil
+	}
+	n.next.Store(nil)
+	n.prev = nil
+	l.psSize--
+	return n
+}
+
+func (l *MCSCR) psPopTail() *mcsNode {
+	n := l.psTail
+	prev := n.prev
+	l.psTail = prev
+	if prev == nil {
+		l.psHead = nil
+	} else {
+		prev.next.Store(nil)
+	}
+	n.next.Store(nil)
+	n.prev = nil
+	l.psSize--
+	return n
+}
+
+// PassiveSize reports the current size of the passive set. It is a racy
+// read intended for monitoring and tests.
+func (l *MCSCR) PassiveSize() int { return l.psSize }
+
+// Stats returns a snapshot of the lock's event counters.
+func (l *MCSCR) Stats() core.Snapshot { return l.stats.Read() }
+
+var _ Mutex = (*MCSCR)(nil)

@@ -1,0 +1,21 @@
+package lock
+
+// Null is the degenerate lock whose acquire and release operators return
+// immediately (§6.1). It provides no mutual exclusion and is suitable only
+// for calibrating harness overhead; "other more sophisticated applications
+// will immediately fail with this lock."
+type Null struct{}
+
+// NewNull returns a Null lock.
+func NewNull() *Null { return &Null{} }
+
+// Lock is a no-op.
+func (*Null) Lock() {}
+
+// Unlock is a no-op.
+func (*Null) Unlock() {}
+
+// TryLock always succeeds.
+func (*Null) TryLock() bool { return true }
+
+var _ Mutex = (*Null)(nil)

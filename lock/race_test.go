@@ -1,0 +1,8 @@
+//go:build race
+
+package lock
+
+// raceEnabled scales down stress-test iteration counts: race
+// instrumentation slows spin-heavy code by an order of magnitude,
+// especially on hosts with few CPUs.
+const raceEnabled = true

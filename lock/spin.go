@@ -1,0 +1,122 @@
+package lock
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/park"
+	"repro/internal/xrand"
+)
+
+// politeness: how many poll iterations between yields to the scheduler.
+// The yield is the goroutine-world analogue of the paper's RD CCR,G0 /
+// PAUSE polite-spin instructions — it cedes the pipeline (here: the P) to
+// siblings. It is also required for progress when GOMAXPROCS is small.
+const politeEvery = 64
+
+// politePause burns one polite poll iteration: i is the running iteration
+// counter.
+func politePause(i int) {
+	if i%politeEvery == politeEvery-1 {
+		runtime.Gosched()
+	}
+}
+
+// waiter states for queue-based locks. The grant protocol is:
+//
+//	granter:  old := state.Swap(granted); if old == parked { parker.Unpark() }
+//	waiter:   spin while state != granted (budget polls);
+//	          then CAS(waiting→parked) and park until granted.
+//
+// A waiter that loses the CAS has already been granted.
+const (
+	stateWaiting uint32 = iota
+	stateGranted
+	stateParked
+)
+
+// waitCell is the per-waiter flag + parker shared by the queue-based
+// locks. It embeds everything a granter touches, so grant/await logic
+// lives in one place.
+type waitCell struct {
+	state  atomic.Uint32
+	parker *park.Parker
+}
+
+func (w *waitCell) reset() {
+	if w.parker == nil {
+		w.parker = park.NewParker()
+	}
+	w.state.Store(stateWaiting)
+}
+
+// grant marks the cell granted and wakes its waiter if parked. It returns
+// true if the waiter had to be unparked (a voluntary-context-switch wake).
+func (w *waitCell) grant() bool {
+	if w.state.Swap(stateGranted) == stateParked {
+		w.parker.Unpark()
+		return true
+	}
+	return false
+}
+
+// await blocks until grant, using the given policy and spin budget.
+// It reports whether the waiter parked at least once.
+func (w *waitCell) await(policy WaitPolicy, budget int) (parked bool) {
+	if policy == WaitSpin {
+		for i := 0; w.state.Load() != stateGranted; i++ {
+			politePause(i)
+		}
+		return false
+	}
+	for i := 0; i < budget; i++ {
+		if w.state.Load() == stateGranted {
+			return false
+		}
+		politePause(i)
+	}
+	// Budget exhausted: advertise that we are parking. If the CAS fails
+	// the grant already happened.
+	if !w.state.CompareAndSwap(stateWaiting, stateParked) {
+		return false
+	}
+	for w.state.Load() != stateGranted {
+		w.parker.Park() // spurious returns re-check the flag
+	}
+	return true
+}
+
+// backoff implements randomized exponential backoff for global-spinning
+// locks (TAS/TTAS, ticket). Not safe for concurrent use; each acquiring
+// call owns one.
+type backoff struct {
+	rng   xrand.State
+	limit int
+}
+
+func newBackoff(seed uint64) backoff {
+	b := backoff{limit: 4}
+	b.rng.Seed(seed)
+	return b
+}
+
+const maxBackoff = 1024
+
+// pause waits a randomized interval and grows the bound.
+func (b *backoff) pause() {
+	n := 1 + int(b.rng.Uint64n(uint64(b.limit)))
+	for i := 0; i < n; i++ {
+		politePause(i)
+	}
+	if b.limit < maxBackoff {
+		b.limit *= 2
+	}
+	runtime.Gosched()
+}
+
+// seedSource hands out distinct seeds to per-call backoff states.
+var seedSource atomic.Uint64
+
+func nextSeed() uint64 {
+	return seedSource.Add(0x9e3779b97f4a7c15)
+}

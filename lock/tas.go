@@ -1,0 +1,75 @@
+package lock
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// TAS is a test-and-set spin lock with competitive succession and global
+// spinning (§5.3, §5.4, Appendix A.1). Arriving threads may barge ahead of
+// threads that have waited longer: bypass is unbounded and admission order
+// is decoupled from arrival order. The polling loop is the polite
+// test-and-test-and-set form with randomized exponential backoff, which
+// reduces the thundering-herd coherence storm at release.
+//
+// TAS never hands the lock to a preempted thread (the acquirer is running
+// by definition), the property that makes TAS-family locks robust under
+// multiprogramming (§7, Appendix A.1).
+type TAS struct {
+	word  atomic.Uint32
+	stats core.Stats
+}
+
+// NewTAS returns an unlocked TAS lock. Options are accepted for interface
+// symmetry; TAS has no CR policy knobs.
+func NewTAS(opts ...Option) *TAS {
+	buildConfig(opts) // validate options; TAS consumes none of them
+	return &TAS{}
+}
+
+// Lock acquires the lock, spinning with randomized backoff.
+func (l *TAS) Lock() {
+	if l.word.CompareAndSwap(0, 1) {
+		l.stats.FastPath.Add(1)
+		l.stats.Acquires.Add(1)
+		return
+	}
+	b := newBackoff(nextSeed())
+	for {
+		// Test-and-test-and-set: poll with plain loads first so waiting
+		// threads share the line in read state instead of ping-ponging it.
+		for i := 0; l.word.Load() != 0; i++ {
+			politePause(i)
+		}
+		if l.word.CompareAndSwap(0, 1) {
+			l.stats.SlowPath.Add(1)
+			l.stats.Acquires.Add(1)
+			return
+		}
+		b.pause()
+	}
+}
+
+// TryLock acquires the lock if it is free.
+func (l *TAS) TryLock() bool {
+	if l.word.Load() == 0 && l.word.CompareAndSwap(0, 1) {
+		l.stats.FastPath.Add(1)
+		l.stats.Acquires.Add(1)
+		return true
+	}
+	return false
+}
+
+// Unlock releases the lock (competitive succession / renouncement: the
+// lock is simply made available and the waiters race to claim it).
+func (l *TAS) Unlock() {
+	if l.word.Swap(0) != 1 {
+		panic("lock: TAS.Unlock of unlocked mutex")
+	}
+}
+
+// Stats returns a snapshot of the lock's event counters.
+func (l *TAS) Stats() core.Snapshot { return l.stats.Read() }
+
+var _ Mutex = (*TAS)(nil)

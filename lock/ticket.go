@@ -1,0 +1,74 @@
+package lock
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/pad"
+)
+
+// Ticket is a classic FIFO ticket lock: arriving threads take the next
+// ticket and spin globally until the grant counter reaches it (§5.4 notes
+// ticket locks as the counter-example of a direct-handoff lock without an
+// explicit waiter list). Waiting uses proportional backoff: a thread k
+// positions from the head polls less aggressively than the next-in-line.
+//
+// Ticket locks are strictly FIFO and hence maximally exposed to the
+// scalability collapse the paper studies: every circulating thread is
+// admitted in turn, so the lock working set equals the thread count.
+type Ticket struct {
+	next  atomic.Uint64
+	_     [pad.CacheLineSize - 8]byte // keep ticket and grant counters apart
+	serve atomic.Uint64
+	_     [pad.CacheLineSize - 8]byte
+	stats core.Stats
+}
+
+// NewTicket returns an unlocked ticket lock.
+func NewTicket(opts ...Option) *Ticket {
+	buildConfig(opts)
+	return &Ticket{}
+}
+
+// Lock takes a ticket and waits for it to be served.
+func (l *Ticket) Lock() {
+	t := l.next.Add(1) - 1
+	for i := 0; ; i++ {
+		s := l.serve.Load()
+		if s == t {
+			break
+		}
+		// Proportional backoff: poll politely once per position in line.
+		for j := 0; j < int(t-s); j++ {
+			politePause(j)
+		}
+		politePause(i)
+	}
+	l.stats.Acquires.Add(1)
+	l.stats.Handoffs.Add(1)
+}
+
+// TryLock acquires the lock only if no other thread holds or awaits it.
+func (l *Ticket) TryLock() bool {
+	s := l.serve.Load()
+	n := l.next.Load()
+	if s != n {
+		return false
+	}
+	if l.next.CompareAndSwap(n, n+1) {
+		l.stats.Acquires.Add(1)
+		l.stats.FastPath.Add(1)
+		return true
+	}
+	return false
+}
+
+// Unlock serves the next ticket (direct handoff by counter increment).
+func (l *Ticket) Unlock() {
+	l.serve.Add(1)
+}
+
+// Stats returns a snapshot of the lock's event counters.
+func (l *Ticket) Stats() core.Snapshot { return l.stats.Read() }
+
+var _ Mutex = (*Ticket)(nil)

@@ -1,0 +1,239 @@
+// Package metrics implements the fairness and locality instruments defined
+// in §1 and §6 of "Malthusian Locks":
+//
+//   - the lock working set size (LWSS): the number of distinct threads that
+//     acquired a lock within a window of the admission history, averaged
+//     over disjoint abutting windows (short-term fairness, in threads);
+//   - the median time to reacquire (MTTR): at each admission, the number of
+//     admissions since the acquiring thread last held the lock, analogous
+//     to reuse distance in memory management;
+//   - the Gini coefficient over per-thread completed work (long-term
+//     fairness; 0 is ideally fair, 1 maximally unfair);
+//   - the relative standard deviation (RSTDDEV) of per-thread work.
+//
+// Histories are sequences of thread identifiers in admission (ordinal
+// acquisition) order. The package is agnostic about where a history comes
+// from: the real lock harness records one inside the critical section, and
+// the simulator records one per simulated lock.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultWindow is the LWSS window used throughout the paper: "In this
+// paper we use a window size of 1000 acquisitions, well above the maximum
+// number of participating threads."
+const DefaultWindow = 1000
+
+// History is an admission history: element i is the id of the thread that
+// performed the i-th lock acquisition.
+type History []int
+
+// Recorder accumulates an admission history. It is not synchronized: the
+// paper's protocol is to record inside the critical section, where the lock
+// itself serializes appends.
+type Recorder struct {
+	history History
+}
+
+// NewRecorder returns a Recorder with capacity pre-sized for n admissions.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{history: make(History, 0, n)}
+}
+
+// Record appends one admission by thread id.
+func (r *Recorder) Record(id int) {
+	r.history = append(r.history, id)
+}
+
+// History returns the recorded admission history. The returned slice
+// aliases the recorder's storage.
+func (r *Recorder) History() History { return r.history }
+
+// Len returns the number of recorded admissions.
+func (r *Recorder) Len() int { return len(r.history) }
+
+// Reset discards the recorded history but keeps the capacity.
+func (r *Recorder) Reset() { r.history = r.history[:0] }
+
+// LWSS returns the lock working set size of h: the number of distinct
+// thread ids present.
+func LWSS(h History) int {
+	seen := make(map[int]struct{}, 64)
+	for _, id := range h {
+		seen[id] = struct{}{}
+	}
+	return len(seen)
+}
+
+// AvgLWSS partitions h into disjoint abutting windows of the given size,
+// computes the LWSS of each, and returns the mean. A trailing partial
+// window shorter than size/2 is dropped so that a short tail cannot skew
+// the average downward; longer tails participate scaled as-is, matching
+// how the paper treats fixed-time runs. AvgLWSS of an empty history is 0.
+func AvgLWSS(h History, window int) float64 {
+	if window <= 0 {
+		panic(fmt.Sprintf("metrics: AvgLWSS window %d <= 0", window))
+	}
+	if len(h) == 0 {
+		return 0
+	}
+	var sum float64
+	n := 0
+	for start := 0; start < len(h); start += window {
+		end := start + window
+		if end > len(h) {
+			end = len(h)
+			if end-start < window/2 && n > 0 {
+				break
+			}
+		}
+		sum += float64(LWSS(h[start:end]))
+		n++
+	}
+	return sum / float64(n)
+}
+
+// TTRs returns the time-to-reacquire sequence of h: for every admission by
+// a thread that has acquired before, the number of admissions since its
+// previous acquisition. First-time acquisitions contribute nothing.
+//
+// A thread that reacquires on the very next admission has TTR 1; under a
+// perfectly cyclic schedule over n threads every TTR is n.
+func TTRs(h History) []int {
+	last := make(map[int]int, 64)
+	ttrs := make([]int, 0, len(h))
+	for i, id := range h {
+		if prev, ok := last[id]; ok {
+			ttrs = append(ttrs, i-prev)
+		}
+		last[id] = i
+	}
+	return ttrs
+}
+
+// MTTR returns the median time to reacquire over the entire history, or 0
+// if no thread ever reacquired.
+func MTTR(h History) float64 {
+	ttrs := TTRs(h)
+	if len(ttrs) == 0 {
+		return 0
+	}
+	sort.Ints(ttrs)
+	mid := len(ttrs) / 2
+	if len(ttrs)%2 == 1 {
+		return float64(ttrs[mid])
+	}
+	return float64(ttrs[mid-1]+ttrs[mid]) / 2
+}
+
+// Counts returns the per-thread admission counts of h keyed by thread id.
+func Counts(h History) map[int]int {
+	c := make(map[int]int, 64)
+	for _, id := range h {
+		c[id]++
+	}
+	return c
+}
+
+// countValues extracts the work distribution as a slice.
+func countValues(h History) []float64 {
+	c := Counts(h)
+	vs := make([]float64, 0, len(c))
+	for _, v := range c {
+		vs = append(vs, float64(v))
+	}
+	return vs
+}
+
+// Gini returns the Gini coefficient of the values: 0 when all are equal
+// (ideally fair), approaching 1 as one participant dominates. Negative
+// values are rejected; an empty or all-zero set yields 0.
+func Gini(values []float64) float64 {
+	n := len(values)
+	if n == 0 {
+		return 0
+	}
+	vs := make([]float64, n)
+	copy(vs, values)
+	sort.Float64s(vs)
+	var cum, total float64
+	for i, v := range vs {
+		if v < 0 {
+			panic("metrics: Gini of negative value")
+		}
+		// Weighted rank sum form: sum_i (2i - n + 1) * v_i (0-based).
+		cum += float64(2*i-n+1) * v
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return cum / (float64(n) * total)
+}
+
+// GiniHistory returns the Gini coefficient of per-thread work completed in
+// h, counting only threads that appear. Callers that need to include
+// never-admitted threads (total starvation) should use Gini over an
+// explicit distribution with zeros.
+func GiniHistory(h History) float64 {
+	return Gini(countValues(h))
+}
+
+// RSTDDEV returns the relative standard deviation (population standard
+// deviation divided by mean) of the values, or 0 when the mean is 0.
+func RSTDDEV(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	mean := sum / float64(len(values))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, v := range values {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(values))) / mean
+}
+
+// RSTDDEVHistory returns RSTDDEV of per-thread work completed in h.
+func RSTDDEVHistory(h History) float64 {
+	return RSTDDEV(countValues(h))
+}
+
+// Summary bundles the fairness statistics the paper reports per run
+// (Figure 4 rows).
+type Summary struct {
+	Admissions int
+	AvgLWSS    float64
+	MTTR       float64
+	Gini       float64
+	RSTDDEV    float64
+}
+
+// Summarize computes the standard summary over h with the given LWSS
+// window (use DefaultWindow for the paper's 1000).
+func Summarize(h History, window int) Summary {
+	return Summary{
+		Admissions: len(h),
+		AvgLWSS:    AvgLWSS(h, window),
+		MTTR:       MTTR(h),
+		Gini:       GiniHistory(h),
+		RSTDDEV:    RSTDDEVHistory(h),
+	}
+}
+
+// String renders the summary in Figure-4 style.
+func (s Summary) String() string {
+	return fmt.Sprintf("admissions=%d avgLWSS=%.1f MTTR=%.1f Gini=%.3f RSTDDEV=%.3f",
+		s.Admissions, s.AvgLWSS, s.MTTR, s.Gini, s.RSTDDEV)
+}

@@ -1,0 +1,92 @@
+// Package model provides the closed-form idealized throughput model
+// behind Figure 1 of "Malthusian Locks": aggregate throughput versus
+// thread count for a lock-circulation workload, with and without
+// concurrency restriction.
+//
+// The model follows §1/§2: below saturation, throughput grows with the
+// number of circulating threads; at saturation (N* = 1 + NCS/CS under an
+// ideal lock) the critical section is continuously occupied and
+// throughput is dictated solely by the CS duration; beyond saturation,
+// each surplus circulating thread competes for shared resources and
+// inflates the effective CS duration, producing the concave
+// scalability-collapse curve. CR clamps the circulating set at
+// saturation, holding throughput at the plateau.
+package model
+
+// Params describes the idealized workload and machine.
+type Params struct {
+	CS  float64 // critical section duration (µs or cycles, any unit)
+	NCS float64 // non-critical section duration (same unit)
+	// CollapsePerThread is the fractional CS inflation contributed by
+	// each circulating thread beyond saturation (resource competition:
+	// LLC decay, pipeline sharing...). 0 disables collapse.
+	CollapsePerThread float64
+	// PeakThreads optionally caps the useful concurrency below
+	// saturation ("the thread count for peak will always be less than or
+	// equal to saturation"); 0 means peak == saturation.
+	PeakThreads int
+}
+
+// Example returns the parameters of the paper's walk-through: a 1 µs CS
+// and a 5 µs NCS, which saturate at 6 threads.
+func Example() Params {
+	return Params{CS: 1, NCS: 5, CollapsePerThread: 0.08}
+}
+
+// Saturation returns the minimum thread count at which the lock is held
+// continuously: 1 + NCS/CS, the "Amdahl peak" of §1's example.
+func (p Params) Saturation() int {
+	if p.CS <= 0 {
+		return 1
+	}
+	n := 1 + int(p.NCS/p.CS)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Throughput returns iterations per time unit with n threads and no
+// concurrency restriction.
+func (p Params) Throughput(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	sat := p.Saturation()
+	if p.PeakThreads > 0 && sat > p.PeakThreads {
+		sat = p.PeakThreads
+	}
+	if n <= sat {
+		// Under-saturated: every thread circulates independently.
+		return float64(n) / (p.CS + p.NCS)
+	}
+	// Beyond the peak, each surplus circulating thread inflates the
+	// effective critical path via resource competition. At the pure
+	// saturation point this is exactly 1/CS_eff, since
+	// sat/(CS+NCS) = 1/CS when sat = 1 + NCS/CS.
+	surplus := float64(n - sat)
+	peak := float64(sat) / (p.CS + p.NCS)
+	return peak / (1 + p.CollapsePerThread*surplus)
+}
+
+// ThroughputCR returns iterations per time unit with n threads under
+// ideal concurrency restriction: the circulating set is clamped at
+// saturation, so surplus threads impose no competition.
+func (p Params) ThroughputCR(n int) float64 {
+	sat := p.Saturation()
+	if n > sat {
+		n = sat
+	}
+	return p.Throughput(n)
+}
+
+// Curves evaluates both curves over 1..maxThreads; used to regenerate
+// Figure 1.
+func (p Params) Curves(maxThreads int) (threads []int, without, with []float64) {
+	for n := 1; n <= maxThreads; n++ {
+		threads = append(threads, n)
+		without = append(without, p.Throughput(n))
+		with = append(with, p.ThroughputCR(n))
+	}
+	return threads, without, with
+}

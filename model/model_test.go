@@ -1,0 +1,93 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSaturationExample(t *testing.T) {
+	// §1: CS 1µs, NCS 5µs → saturation (Amdahl peak) at 6 threads.
+	p := Example()
+	if got := p.Saturation(); got != 6 {
+		t.Fatalf("Saturation=%d want 6", got)
+	}
+}
+
+func TestThroughputGrowsToSaturation(t *testing.T) {
+	p := Example()
+	for n := 1; n < p.Saturation(); n++ {
+		if p.Throughput(n+1) <= p.Throughput(n) {
+			t.Fatalf("throughput not increasing at n=%d", n)
+		}
+	}
+}
+
+func TestCollapseBeyondSaturation(t *testing.T) {
+	p := Example()
+	sat := p.Saturation()
+	if p.Throughput(sat+10) >= p.Throughput(sat) {
+		t.Fatal("no collapse beyond saturation")
+	}
+	if p.ThroughputCR(sat+10) != p.ThroughputCR(sat) {
+		t.Fatal("CR curve must plateau at saturation")
+	}
+}
+
+func TestCRNeverWorse(t *testing.T) {
+	// "Performance diode — only improves; never degrades."
+	f := func(cs, ncs, k uint8, n uint8) bool {
+		p := Params{
+			CS:                float64(cs%20) + 1,
+			NCS:               float64(ncs % 100),
+			CollapsePerThread: float64(k%50) / 100,
+		}
+		threads := int(n%64) + 1
+		return p.ThroughputCR(threads) >= p.Throughput(threads)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRMatchesBelowSaturation(t *testing.T) {
+	// §2: "when the thread count is less than saturation, CR ... does not
+	// impact performance ... providing neither harm nor benefit."
+	p := Example()
+	for n := 1; n <= p.Saturation(); n++ {
+		if p.Throughput(n) != p.ThroughputCR(n) {
+			t.Fatalf("CR altered sub-saturation throughput at n=%d", n)
+		}
+	}
+}
+
+func TestPeakBelowSaturation(t *testing.T) {
+	p := Example()
+	p.PeakThreads = 4
+	if p.Throughput(4) <= p.Throughput(3) {
+		t.Fatal("growth should continue to the peak")
+	}
+	if p.Throughput(5) >= p.Throughput(4) {
+		t.Fatal("collapse should start at the architectural peak, before saturation")
+	}
+}
+
+func TestCurvesShape(t *testing.T) {
+	p := Example()
+	threads, without, with := p.Curves(64)
+	if len(threads) != 64 || len(without) != 64 || len(with) != 64 {
+		t.Fatal("wrong lengths")
+	}
+	// The gap at 64 threads should be large and in CR's favor.
+	if with[63] < 2*without[63] {
+		t.Fatalf("expected a wide CR gap at 64 threads: %v vs %v", with[63], without[63])
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	if (Params{}).Throughput(0) != 0 {
+		t.Fatal("zero threads must yield zero throughput")
+	}
+	if (Params{CS: 0, NCS: 1}).Saturation() != 1 {
+		t.Fatal("zero CS should saturate at 1")
+	}
+}

@@ -1,0 +1,247 @@
+package semaphore
+
+import (
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMain(m *testing.M) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+	os.Exit(m.Run())
+}
+
+func TestAcquireReleaseSequential(t *testing.T) {
+	s := NewFIFO(2)
+	s.Acquire()
+	s.Acquire()
+	if s.TryAcquire() {
+		t.Fatal("TryAcquire succeeded with zero permits")
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("TryAcquire failed with one permit")
+	}
+	s.Release()
+	s.Release()
+	if s.Count() != 2 {
+		t.Fatalf("count=%d want 2", s.Count())
+	}
+}
+
+func TestNegativeInitialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1, FIFO, 0)
+}
+
+func TestBlockingAcquire(t *testing.T) {
+	s := NewFIFO(0)
+	done := make(chan struct{})
+	go func() {
+		s.Acquire()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Acquire with zero permits did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Release()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Release did not wake the waiter")
+	}
+}
+
+func TestPermitConservation(t *testing.T) {
+	// N goroutines hammer a K-permit semaphore; at most K may ever be
+	// inside, and all permits return at the end.
+	for name, p := range map[string]float64{"FIFO": FIFO, "MostlyLIFO": MostlyLIFO, "LIFO": LIFO} {
+		t.Run(name, func(t *testing.T) {
+			const permits, goroutines, iters = 3, 10, 300
+			s := New(permits, p, 7)
+			var inside, maxInside atomic.Int32
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						s.Acquire()
+						v := inside.Add(1)
+						for {
+							m := maxInside.Load()
+							if v <= m || maxInside.CompareAndSwap(m, v) {
+								break
+							}
+						}
+						inside.Add(-1)
+						s.Release()
+					}
+				}()
+			}
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(60 * time.Second):
+				t.Fatal("semaphore stalled (lost permit?)")
+			}
+			if maxInside.Load() > permits {
+				t.Fatalf("%d goroutines inside a %d-permit semaphore", maxInside.Load(), permits)
+			}
+			if s.Count() != permits {
+				t.Fatalf("permits leaked: count=%d want %d", s.Count(), permits)
+			}
+			if s.Waiters() != 0 {
+				t.Fatalf("waiters left: %d", s.Waiters())
+			}
+		})
+	}
+}
+
+func TestAcquireTimeout(t *testing.T) {
+	s := NewFIFO(0)
+	if s.AcquireTimeout(20 * time.Millisecond) {
+		t.Fatal("acquired a permit that does not exist")
+	}
+	if s.Waiters() != 0 {
+		t.Fatal("timed-out waiter left on queue")
+	}
+	s.Release()
+	if !s.AcquireTimeout(20 * time.Millisecond) {
+		t.Fatal("failed to acquire an available permit")
+	}
+	// Late release must reach a timed waiter.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		s.Release()
+	}()
+	if !s.AcquireTimeout(5 * time.Second) {
+		t.Fatal("missed a permit released before the deadline")
+	}
+}
+
+func TestDirectHandoffNoBarge(t *testing.T) {
+	// With a waiter queued, TryAcquire must not steal the permit conveyed
+	// by Release.
+	s := NewFIFO(0)
+	acquired := make(chan struct{})
+	go func() {
+		s.Acquire()
+		close(acquired)
+	}()
+	for s.Waiters() == 0 {
+		runtime.Gosched()
+	}
+	s.Release()
+	if s.TryAcquire() {
+		t.Fatal("TryAcquire stole a directly handed-off permit")
+	}
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handoff lost")
+	}
+}
+
+func TestLIFOWakeOrder(t *testing.T) {
+	s := New(0, LIFO, 1)
+	const n = 5
+	order := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			s.Acquire()
+			order <- i
+		}()
+		for s.Waiters() != i+1 {
+			runtime.Gosched()
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s.Release()
+		if got := <-order; got != i {
+			t.Fatalf("LIFO release woke %d, want %d", got, i)
+		}
+	}
+}
+
+func TestFIFOWakeOrder(t *testing.T) {
+	s := NewFIFO(0)
+	const n = 5
+	order := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			s.Acquire()
+			order <- i
+		}()
+		for s.Waiters() != i+1 {
+			runtime.Gosched()
+		}
+	}
+	for i := 0; i < n; i++ {
+		s.Release()
+		if got := <-order; got != i {
+			t.Fatalf("FIFO release woke %d, want %d", got, i)
+		}
+	}
+}
+
+// TestBufferPoolPattern exercises the §6.11 buffer-pool usage: a pool of
+// K buffers guarded by a CR semaphore.
+func TestBufferPoolPattern(t *testing.T) {
+	const buffers, goroutines, iters = 5, 12, 200
+	s := NewMostlyLIFO(buffers)
+	var mu sync.Mutex
+	pool := make([]int, buffers)
+	for i := range pool {
+		pool[i] = i
+	}
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		b := pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+		return b
+	}
+	put := func(b int) {
+		mu.Lock()
+		defer mu.Unlock()
+		pool = append(pool, b)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s.Acquire()
+				b := take()
+				put(b)
+				s.Release()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("buffer pool stalled")
+	}
+	if len(pool) != buffers {
+		t.Fatalf("buffers leaked: %d want %d", len(pool), buffers)
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/metrics"
+)
+
+// TestLIFOCRCompetitiveWithMCSCR checks Appendix A.2's claim: "Both
+// LIFO-CR and LOITER offer performance competitive with MCSCR." We run
+// the canonical circuit under saturation and require LIFO-CR within 25%
+// of MCSCR and clearly ahead of strict-FIFO MCS.
+func TestLIFOCRCompetitiveWithMCSCR(t *testing.T) {
+	run := func(kind LockKind) (uint64, metrics.Summary) {
+		cfg := smallConfig()
+		e := New(cfg)
+		l := e.NewLock(LockSpec{Kind: kind, Mode: ModeSTP})
+		for i := 0; i < 16; i++ {
+			e.Spawn(&circuit{l: l, ncs: 5000, cs: 2000})
+		}
+		res := e.RunMeasured(2_000_000, 10_000_000)
+		return res.Steps, res.Fairness
+	}
+	mcscr, fcr := run(KindMCSCR)
+	lifo, flifo := run(KindLIFO)
+	mcs, _ := run(KindMCS)
+	t.Logf("MCSCR=%d (LWSS %.1f) LIFOCR=%d (LWSS %.1f) MCS=%d",
+		mcscr, fcr.AvgLWSS, lifo, flifo.AvgLWSS, mcs)
+	if lifo*4 < mcscr*3 {
+		t.Fatalf("LIFO-CR (%d) not competitive with MCSCR (%d)", lifo, mcscr)
+	}
+	if flifo.AvgLWSS > 12 {
+		t.Fatalf("LIFO-CR LWSS=%.1f: LIFO admission should restrict concurrency", flifo.AvgLWSS)
+	}
+}
+
+// TestLIFOCRAdmissionIsMostlyLIFO verifies the stack discipline: the most
+// recently arrived waiter is admitted next, giving a small MTTR relative
+// to FIFO's (which equals the thread count).
+func TestLIFOCRAdmissionIsMostlyLIFO(t *testing.T) {
+	cfg := smallConfig()
+	e := New(cfg)
+	l := e.NewLock(LockSpec{Kind: KindLIFO, Mode: ModeSpin})
+	for i := 0; i < 12; i++ {
+		e.Spawn(&circuit{l: l, ncs: 2000, cs: 2000})
+	}
+	res := e.RunMeasured(2_000_000, 8_000_000)
+	if res.Fairness.MTTR >= 8 {
+		t.Fatalf("LIFO-CR MTTR=%.1f; expected far below the 12-thread FIFO value", res.Fairness.MTTR)
+	}
+}
+
+// TestLIFOCRFairnessPromotions checks the eldest-waiter Bernoulli
+// promotion keeps every thread progressing.
+func TestLIFOCRFairnessPromotions(t *testing.T) {
+	cfg := smallConfig()
+	e := New(cfg)
+	l := e.NewLock(LockSpec{Kind: KindLIFO, Mode: ModeSTP, FairnessPeriod: 100})
+	for i := 0; i < 12; i++ {
+		e.Spawn(&circuit{l: l, ncs: 1000, cs: 2000})
+	}
+	e.RunMeasured(2_000_000, 20_000_000)
+	if l.Stats().Promotions == 0 {
+		t.Fatal("no eldest promotions under saturation")
+	}
+	for _, th := range e.Threads() {
+		if th.Steps == 0 {
+			t.Fatalf("thread %d starved under LIFO-CR with fairness enabled", th.ID)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Package cache models the memory-system resources whose exhaustion
+// drives the scalability collapse studied in "Malthusian Locks": a private
+// per-core cache, a shared last-level cache (LLC), a per-core data TLB,
+// and DRAM-channel congestion.
+//
+// The model mirrors the paper's own methodology: §6.1 describes "a special
+// version of RandArray where we modeled the cache hierarchy of the system
+// with a faithful functional software emulation", with cache lines
+// "augmented ... with a field that identified which CPU had installed the
+// line" so that intrinsic self-misses can be discriminated from extrinsic
+// misses caused by sharing. This package is that emulation, used here as
+// the primary substrate (the evaluation hardware — a SPARC T5 — is not
+// available).
+//
+// Capacities may be scaled down (Config.Scale) to keep simulations fast;
+// workloads scale their footprints by the same factor, preserving the
+// footprint/capacity ratios that determine where collapse begins.
+package cache
+
+// Latencies in CPU cycles. The absolute values are representative of the
+// T5 generation; the experiments depend only on their ordering and rough
+// ratios (private ≪ LLC ≪ DRAM, TLB miss ≈ a DRAM access).
+const (
+	DefaultPrivateHitLat = 3
+	DefaultLLCHitLat     = 40
+	DefaultDRAMLat       = 300
+	DefaultTLBMissLat    = 250
+)
+
+// Config describes the modeled hierarchy. All byte capacities are given at
+// full (paper) scale and divided by Scale at construction; entry counts
+// (TLB) are never scaled, matching how we also do not scale thread counts.
+type Config struct {
+	Cores int // number of cores (each gets a private cache and TLB)
+
+	LineBytes int // coherence granule (64)
+	PageBytes int // page size for the TLB (8192, large pages)
+
+	PrivateBytes int // per-core private (L1+L2) capacity, full scale
+	PrivateWays  int
+	LLCBytes     int // shared LLC capacity, full scale
+	LLCWays      int
+	TLBEntries   int // per-core, fully associative
+
+	Scale int // capacity divisor (>=1); workloads scale footprints equally
+
+	PrivateHitLat int64
+	LLCHitLat     int64
+	DRAMLat       int64
+	TLBMissLat    int64
+}
+
+// T5Config returns the hierarchy of one SPARC T5 socket as used in §6:
+// 16 cores, 8 MB shared L3, 128 KB private L2 per core, 128-entry
+// fully-associative per-core DTLB, 8 KB pages.
+func T5Config(scale int) Config {
+	if scale < 1 {
+		scale = 1
+	}
+	return Config{
+		Cores:         16,
+		LineBytes:     64,
+		PageBytes:     8192,
+		PrivateBytes:  128 << 10,
+		PrivateWays:   8,
+		LLCBytes:      8 << 20,
+		LLCWays:       16,
+		TLBEntries:    128,
+		Scale:         scale,
+		PrivateHitLat: DefaultPrivateHitLat,
+		LLCHitLat:     DefaultLLCHitLat,
+		DRAMLat:       DefaultDRAMLat,
+		TLBMissLat:    DefaultTLBMissLat,
+	}
+}
+
+// Stats aggregates hierarchy event counts.
+type Stats struct {
+	Accesses       uint64
+	PrivateHits    uint64
+	LLCHits        uint64
+	LLCMisses      uint64
+	TLBMisses      uint64
+	SelfEvicts     uint64 // LLC line displaced by the CPU that installed it
+	ExtrinsicEvict uint64 // LLC line displaced by a different CPU (sharing)
+}
+
+// Hierarchy is the full modeled memory system. It is not safe for
+// concurrent use; the simulator is single-threaded and deterministic.
+type Hierarchy struct {
+	cfg  Config
+	priv []setAssoc // per core
+	llc  setAssoc
+	tlb  []tlbLRU // per core
+
+	// DRAM-channel congestion: an EWMA of the LLC miss indicator. As the
+	// miss rate rises, misses get more expensive, "making LLC misses even
+	// more expensive and compounding a deleterious effect" (§2).
+	missEWMA float64
+
+	stats Stats
+	tick  int64 // logical access counter used as the LRU clock
+}
+
+// New constructs a hierarchy from cfg.
+func New(cfg Config) *Hierarchy {
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	if cfg.LineBytes == 0 {
+		cfg.LineBytes = 64
+	}
+	if cfg.PageBytes == 0 {
+		cfg.PageBytes = 8192
+	}
+	h := &Hierarchy{cfg: cfg}
+	h.priv = make([]setAssoc, cfg.Cores)
+	for i := range h.priv {
+		h.priv[i] = newSetAssoc(cfg.PrivateBytes/cfg.Scale, cfg.LineBytes, cfg.PrivateWays)
+	}
+	h.llc = newSetAssoc(cfg.LLCBytes/cfg.Scale, cfg.LineBytes, cfg.LLCWays)
+	h.tlb = make([]tlbLRU, cfg.Cores)
+	for i := range h.tlb {
+		h.tlb[i] = newTLBLRU(cfg.TLBEntries)
+	}
+	return h
+}
+
+// Config returns the (scaled) configuration in effect.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Stats returns a copy of the accumulated counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// ResetStats zeroes the counters without disturbing cache contents; used
+// to discard warmup effects.
+func (h *Hierarchy) ResetStats() { h.stats = Stats{} }
+
+// LLCLines returns the number of lines the scaled LLC holds.
+func (h *Hierarchy) LLCLines() int { return h.llc.sets * h.llc.ways }
+
+// Access performs one memory access by the given CPU on the given core and
+// returns its latency in cycles. Write accesses are modeled identically to
+// reads for residency purposes (the workloads in the paper avoid
+// write-sharing in their access streams; coherence costs on lock metadata
+// are charged separately by the lock models).
+func (h *Hierarchy) Access(core, cpu int, addr uint64) int64 {
+	h.tick++
+	h.stats.Accesses++
+	var lat int64
+
+	// TLB first: per-core, fully associative.
+	page := addr / uint64(h.cfg.PageBytes)
+	if !h.tlb[core].touch(page, h.tick) {
+		h.stats.TLBMisses++
+		lat += h.cfg.TLBMissLat
+	}
+
+	line := addr / uint64(h.cfg.LineBytes)
+	if h.priv[core].touch(line, int32(cpu), h.tick) {
+		h.stats.PrivateHits++
+		return lat + h.cfg.PrivateHitLat
+	}
+	// Private miss: consult the shared LLC.
+	if h.llc.touch(line, int32(cpu), h.tick) {
+		h.stats.LLCHits++
+		h.priv[core].install(line, int32(cpu), h.tick)
+		h.missEWMA += (0 - h.missEWMA) / 256
+		return lat + h.cfg.LLCHitLat
+	}
+	// LLC miss: DRAM access with congestion.
+	h.stats.LLCMisses++
+	h.missEWMA += (1 - h.missEWMA) / 256
+	dram := h.cfg.DRAMLat + int64(2*h.missEWMA*float64(h.cfg.DRAMLat))
+	evicted, installer := h.llc.install(line, int32(cpu), h.tick)
+	if evicted {
+		if installer == int32(cpu) {
+			h.stats.SelfEvicts++
+		} else {
+			h.stats.ExtrinsicEvict++
+		}
+	}
+	h.priv[core].install(line, int32(cpu), h.tick)
+	return lat + h.cfg.LLCHitLat + dram
+}
+
+// setAssoc is a set-associative cache with true-LRU replacement and
+// installer tags.
+type setAssoc struct {
+	sets, ways int
+	tags       []uint64 // sets*ways; 0 means empty (line 0 remapped)
+	installer  []int32
+	lastUse    []int64
+}
+
+func newSetAssoc(capacityBytes, lineBytes, ways int) setAssoc {
+	lines := capacityBytes / lineBytes
+	if lines < ways {
+		lines = ways
+	}
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	n := sets * ways
+	return setAssoc{
+		sets:      sets,
+		ways:      ways,
+		tags:      make([]uint64, n),
+		installer: make([]int32, n),
+		lastUse:   make([]int64, n),
+	}
+}
+
+// key remaps line 0 so the zero tag can mean "empty".
+func cacheKey(line uint64) uint64 { return line + 1 }
+
+// touch looks up the line, refreshing LRU state on a hit. It reports
+// whether the line was present.
+func (c *setAssoc) touch(line uint64, cpu int32, now int64) bool {
+	k := cacheKey(line)
+	base := int(line%uint64(c.sets)) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == k {
+			c.lastUse[base+w] = now
+			return true
+		}
+	}
+	return false
+}
+
+// install places the line, evicting the LRU way if the set is full. It
+// reports whether a valid line was evicted and, if so, who installed it.
+func (c *setAssoc) install(line uint64, cpu int32, now int64) (evicted bool, installer int32) {
+	k := cacheKey(line)
+	base := int(line%uint64(c.sets)) * c.ways
+	victim := base
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.tags[i] == k { // already present (double install); refresh
+			c.lastUse[i] = now
+			return false, 0
+		}
+		if c.tags[i] == 0 {
+			victim = i
+			// Prefer empty ways but keep scanning for a pre-existing copy.
+			continue
+		}
+		if c.tags[victim] != 0 && c.lastUse[i] < c.lastUse[victim] {
+			victim = i
+		}
+	}
+	evicted = c.tags[victim] != 0
+	installer = c.installer[victim]
+	c.tags[victim] = k
+	c.installer[victim] = cpu
+	c.lastUse[victim] = now
+	return evicted, installer
+}
+
+// tlbLRU is a fully associative translation cache with exact LRU,
+// implemented as a hash map plus an intrusive doubly-linked list so that
+// behaviour is deterministic (no map iteration).
+type tlbLRU struct {
+	capacity int
+	entries  map[uint64]*tlbNode
+	head     *tlbNode // most recently used
+	tail     *tlbNode // least recently used
+}
+
+type tlbNode struct {
+	page       uint64
+	prev, next *tlbNode
+}
+
+func newTLBLRU(capacity int) tlbLRU {
+	return tlbLRU{capacity: capacity, entries: make(map[uint64]*tlbNode, capacity+1)}
+}
+
+// touch records a translation use and reports whether it hit.
+func (t *tlbLRU) touch(page uint64, now int64) bool {
+	if n, ok := t.entries[page]; ok {
+		t.moveToFront(n)
+		return true
+	}
+	n := &tlbNode{page: page}
+	t.entries[page] = n
+	t.pushFront(n)
+	if len(t.entries) > t.capacity {
+		lru := t.tail
+		t.unlink(lru)
+		delete(t.entries, lru.page)
+	}
+	return false
+}
+
+func (t *tlbLRU) pushFront(n *tlbNode) {
+	n.next = t.head
+	n.prev = nil
+	if t.head != nil {
+		t.head.prev = n
+	}
+	t.head = n
+	if t.tail == nil {
+		t.tail = n
+	}
+}
+
+func (t *tlbLRU) unlink(n *tlbNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		t.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		t.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (t *tlbLRU) moveToFront(n *tlbNode) {
+	if t.head == n {
+		return
+	}
+	t.unlink(n)
+	t.pushFront(n)
+}

@@ -1,0 +1,282 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func tiny() *Hierarchy {
+	cfg := T5Config(1)
+	cfg.Cores = 2
+	cfg.PrivateBytes = 1 << 10 // 16 lines
+	cfg.PrivateWays = 2
+	cfg.LLCBytes = 4 << 10 // 64 lines
+	cfg.LLCWays = 4
+	cfg.TLBEntries = 4
+	return New(cfg)
+}
+
+func TestHitAfterInstall(t *testing.T) {
+	h := tiny()
+	cold := h.Access(0, 0, 4096)
+	warm := h.Access(0, 0, 4096)
+	if cold <= warm {
+		t.Fatalf("cold access (%d) must cost more than warm (%d)", cold, warm)
+	}
+	if warm != DefaultPrivateHitLat {
+		t.Fatalf("warm hit latency %d want %d", warm, DefaultPrivateHitLat)
+	}
+	s := h.Stats()
+	if s.LLCMisses != 1 || s.PrivateHits != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestWorkingSetWithinLLCStopsMissing(t *testing.T) {
+	h := tiny() // LLC 64 lines
+	// A 32-line working set, cycled repeatedly, must stop missing in the
+	// LLC after the first pass even though it exceeds the private cache.
+	for pass := 0; pass < 5; pass++ {
+		for i := 0; i < 32; i++ {
+			h.Access(0, 0, uint64(i)*64)
+		}
+	}
+	s := h.Stats()
+	if s.LLCMisses != 32 {
+		t.Fatalf("LLC misses %d, want exactly one cold pass (32)", s.LLCMisses)
+	}
+}
+
+func TestWorkingSetBeyondLLCThrashes(t *testing.T) {
+	h := tiny() // LLC 64 lines, 4-way, 16 sets
+	// A 128-line sequential working set (2x capacity) with LRU and a
+	// cyclic scan misses on every access after warmup: the classic LRU
+	// pathology the paper's collapse region rests on.
+	var misses0 uint64
+	for pass := 0; pass < 4; pass++ {
+		if pass == 1 {
+			misses0 = h.Stats().LLCMisses
+		}
+		for i := 0; i < 128; i++ {
+			h.Access(0, 0, uint64(i)*64)
+		}
+	}
+	s := h.Stats()
+	missRate := float64(s.LLCMisses-misses0) / float64(3*128)
+	if missRate < 0.95 {
+		t.Fatalf("cyclic over-capacity scan should thrash; miss rate %.2f", missRate)
+	}
+}
+
+func TestExtrinsicDisplacementAttribution(t *testing.T) {
+	h := tiny()
+	// CPU 0 (core 0) fills the LLC, then CPU 9 (core 1) streams over a
+	// distinct over-capacity region: evictions of CPU 0's lines must be
+	// counted as extrinsic (sharing-induced).
+	for i := 0; i < 64; i++ {
+		h.Access(0, 0, uint64(i)*64)
+	}
+	for i := 0; i < 128; i++ {
+		h.Access(1, 9, uint64(1<<20)+uint64(i)*64)
+	}
+	s := h.Stats()
+	if s.ExtrinsicEvict == 0 {
+		t.Fatal("no extrinsic displacement recorded")
+	}
+}
+
+func TestSelfDisplacement(t *testing.T) {
+	h := tiny()
+	// One CPU streaming over 4x capacity displaces only its own lines.
+	for i := 0; i < 512; i++ {
+		h.Access(0, 0, uint64(i)*64)
+	}
+	s := h.Stats()
+	if s.ExtrinsicEvict != 0 {
+		t.Fatalf("single-CPU stream produced %d extrinsic evictions", s.ExtrinsicEvict)
+	}
+	if s.SelfEvicts == 0 {
+		t.Fatal("over-capacity stream must self-evict")
+	}
+}
+
+func TestPrivateCachePerCore(t *testing.T) {
+	h := tiny()
+	h.Access(0, 0, 4096)
+	h.Access(1, 8, 4160) // prime core 1's TLB for the page (same 8KB page)
+	// Same line from the other core: private miss, LLC hit, TLB warm.
+	lat := h.Access(1, 8, 4096)
+	if lat != DefaultLLCHitLat {
+		t.Fatalf("cross-core access latency %d want LLC hit %d", lat, DefaultLLCHitLat)
+	}
+}
+
+func TestTLBCapacityAndLRU(t *testing.T) {
+	h := tiny() // 4-entry TLB, 8KB pages
+	page := func(i int) uint64 { return uint64(i) * 8192 }
+	for i := 0; i < 4; i++ {
+		h.Access(0, 0, page(i))
+	}
+	base := h.Stats().TLBMisses
+	if base != 4 {
+		t.Fatalf("cold TLB misses %d want 4", base)
+	}
+	// All four pages resident: no further misses.
+	for i := 0; i < 4; i++ {
+		h.Access(0, 0, page(i))
+	}
+	if h.Stats().TLBMisses != 4 {
+		t.Fatal("TLB missed on resident pages")
+	}
+	// Touch a 5th page: evicts LRU (page 0).
+	h.Access(0, 0, page(4))
+	h.Access(0, 0, page(1)) // still resident
+	if h.Stats().TLBMisses != 5 {
+		t.Fatalf("misses %d want 5", h.Stats().TLBMisses)
+	}
+	h.Access(0, 0, page(0)) // evicted; must miss
+	if h.Stats().TLBMisses != 6 {
+		t.Fatalf("misses %d want 6 (LRU eviction of page 0)", h.Stats().TLBMisses)
+	}
+}
+
+func TestTLBSpanMathOfRingWalker(t *testing.T) {
+	// Figure 5's arithmetic: two 50-page NCS rings plus a 50-page CS ring
+	// on one core = 150 pages > 128 entries → sustained TLB misses; one
+	// NCS ring plus CS = 100 pages ≤ 128 → no misses after warmup.
+	cfg := T5Config(1)
+	cfg.Cores = 1
+	h := New(cfg)
+	pages := func(base, n int) {
+		for i := 0; i < n; i++ {
+			h.Access(0, 0, uint64(base+i)*8192)
+		}
+	}
+	for pass := 0; pass < 3; pass++ {
+		pages(0, 50)    // NCS ring A
+		pages(1000, 50) // shared CS ring
+	}
+	warm := h.Stats().TLBMisses
+	if warm != 100 {
+		t.Fatalf("100-page span should only cold-miss: %d", warm)
+	}
+	// Second thread's ring joins the same core: span 150 > 128 thrashes.
+	before := h.Stats().TLBMisses
+	for pass := 0; pass < 3; pass++ {
+		pages(0, 50)
+		pages(2000, 50) // NCS ring B
+		pages(1000, 50)
+	}
+	if extra := h.Stats().TLBMisses - before; extra < 300 {
+		t.Fatalf("150-page span must thrash the 128-entry TLB: %d extra misses", extra)
+	}
+}
+
+func TestDRAMCongestionRaisesMissCost(t *testing.T) {
+	h := tiny()
+	// Sustained thrashing should drive the congestion term up, making
+	// later misses cost more than the first.
+	first := h.Access(0, 0, 0)
+	var last int64
+	for i := 1; i < 4096; i++ {
+		last = h.Access(0, 0, uint64(i)*64*16) // distinct sets, always miss
+	}
+	if last <= first {
+		t.Fatalf("congested miss (%d) should exceed cold miss (%d)", last, first)
+	}
+}
+
+func TestScaleDividesCapacity(t *testing.T) {
+	full := New(T5Config(1))
+	scaled := New(T5Config(16))
+	if full.LLCLines() != 16*scaled.LLCLines() {
+		t.Fatalf("scale 16: lines %d vs %d", full.LLCLines(), scaled.LLCLines())
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	h := tiny()
+	h.Access(0, 0, 4096)
+	h.ResetStats()
+	if lat := h.Access(0, 0, 4096); lat != DefaultPrivateHitLat {
+		t.Fatal("ResetStats must not flush cache contents")
+	}
+	if h.Stats().Accesses != 1 {
+		t.Fatal("stats not reset")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Stats {
+		h := tiny()
+		rng := xrand.New(42)
+		for i := 0; i < 20000; i++ {
+			core := rng.Intn(2)
+			h.Access(core, core*8, uint64(rng.Intn(1<<14))*64)
+		}
+		return h.Stats()
+	}
+	if run() != run() {
+		t.Fatal("identical access streams produced different stats")
+	}
+}
+
+// TestLRUMatchesModel cross-checks the set-associative array against a
+// brute-force model on random streams.
+func TestLRUMatchesModel(t *testing.T) {
+	f := func(seed uint64) bool {
+		c := newSetAssoc(8*64, 64, 4) // 2 sets, 4 ways
+		type entry struct {
+			line uint64
+			use  int64
+		}
+		model := map[int][]entry{} // set -> entries
+		rng := xrand.New(seed)
+		for now := int64(1); now <= 400; now++ {
+			line := uint64(rng.Intn(32))
+			set := int(line % 2)
+			// model lookup
+			hitModel := false
+			for i := range model[set] {
+				if model[set][i].line == line {
+					model[set][i].use = now
+					hitModel = true
+					break
+				}
+			}
+			hit := c.touch(line, 0, now)
+			if hit != hitModel {
+				return false
+			}
+			if !hit {
+				c.install(line, 0, now)
+				// model install with LRU eviction
+				if len(model[set]) >= 4 {
+					lru := 0
+					for i := range model[set] {
+						if model[set][i].use < model[set][lru].use {
+							lru = i
+						}
+					}
+					model[set] = append(model[set][:lru], model[set][lru+1:]...)
+				}
+				model[set] = append(model[set], entry{line, now})
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	h := New(T5Config(16))
+	rng := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(0, 0, uint64(rng.Intn(1<<16))*64)
+	}
+}

@@ -1,0 +1,185 @@
+// Package sim is a deterministic discrete-event simulator of a multicore
+// machine executing lock-based workloads. It is the evaluation substrate
+// for this reproduction of "Malthusian Locks" (Dice, EuroSys 2017): the
+// paper's experiments ran on a 128-logical-CPU SPARC T5 socket, hardware
+// this repository substitutes with a model of the same shape (DESIGN.md
+// §2 documents the substitution).
+//
+// The model captures the resources whose exhaustion the paper studies:
+//
+//   - logical CPUs (strands) grouped into cores with shared pipelines;
+//     running and spinning strands on a core slow each other down, and a
+//     lone strand enjoys pipeline fusion;
+//   - a shared LLC, per-core private caches and per-core DTLBs (sim/cache);
+//   - an OS scheduler with dispatch queues, time-slice preemption, and
+//     idle states whose exit latency grows with idle depth;
+//   - park/unpark with realistic asymmetric costs (the unpark call is paid
+//     by the releasing thread while it still holds the lock — §5.2's
+//     handover-latency trap);
+//   - a simple power model distinguishing running, politely-spinning and
+//     idle strands.
+//
+// Locks, condition variables and semaphores are modeled inside the
+// simulated world (lock.go, sync.go) with the same admission policies as
+// the real implementations in the repository's lock, condvar and
+// semaphore packages.
+package sim
+
+import "repro/sim/cache"
+
+// Cycles counts simulated CPU cycles.
+type Cycles = int64
+
+// Config describes the machine and the cost model.
+type Config struct {
+	Cores            int     // 16 on the T5 (total, across all sockets)
+	StrandsPerCore   int     // 8 on the T5 (logical CPUs per core)
+	PipelinesPerCore int     // 2 on the T5
+	FreqGHz          float64 // 3.6 on the T5; converts cycles to seconds
+
+	// Sockets partitions the cores into NUMA nodes (default 1 — the
+	// paper took the T5-2's second socket offline for §6; the MCSCRN
+	// future-work experiments of §9.1 use 2). Ownership handoffs that
+	// cross sockets ("lock migrations") pay RemoteHandoffPenalty extra
+	// coherence latency, and the dispatcher avoids cross-socket thread
+	// migration.
+	Sockets              int
+	RemoteHandoffPenalty Cycles
+
+	// Scheduler.
+	Quantum Cycles // preemption time slice
+
+	// Waiting policy costs (§5.1, §5.2).
+	SpinBudget       Cycles // spin-then-park spin phase (~20000 cycles in the paper)
+	PollPeriod       Cycles // spin poll granularity; also the preemption check interval while spinning
+	ParkEnterCost    Cycles // cycles burned entering the parked state
+	UnparkCallerCost Cycles // cost paid by the caller of unpark (>9000 on the T5)
+	WakeLatency      Cycles // unpark-to-return-from-park latency (~30000 best case)
+	HandoffLatency   Cycles // grant to a spinning waiter
+	LockOpCost       Cycles // uncontended acquire/release overhead (CAS + fences)
+
+	// Idle-state model: a CPU idle longer reaches deeper sleep states,
+	// which cost more to exit (§5.1 "Parking").
+	IdleShallow Cycles // idle time below this: shallow state
+	IdleDeep    Cycles // idle time above this: deep state
+	ExitShallow Cycles
+	ExitMid     Cycles
+	ExitDeep    Cycles
+
+	// Power model, in watts per strand by activity class. Only the
+	// ordering and rough ratios matter; calibrated so Figure 4's ∆Watts
+	// column lands in the paper's range.
+	WattsRunning  float64
+	WattsSpinning float64 // polite spinning (RD CCR,G0 politeness assumed)
+	WattsIdle     float64
+	WattsDeepIdle float64
+
+	// Turbo/fusion: a lone active strand on a core runs faster (pipeline
+	// fusion); a lightly loaded socket runs active strands faster still
+	// (thermal headroom → turbo). Factors multiply computed durations,
+	// so values < 1 mean "faster".
+	FusionFactor float64
+	TurboFactor  float64
+	// TurboThreshold is the fraction of strands that must be inactive
+	// for turbo to engage.
+	TurboThreshold float64
+
+	// StartStagger delays thread i's start by i*StartStagger cycles.
+	// Real benchmarks create threads sequentially and each thread
+	// first-touches its private working set before circulating (~1 ms for
+	// the paper's 1 MB arrays), so threads never hit a lock simultaneously
+	// en masse. A simultaneous mass arrival can wedge CR locks in a
+	// quasi-stable churn regime (every waiter parked, cull/reprovision on
+	// every unlock) that the paper's 10-second hardware runs never see;
+	// Warmup must cover N*StartStagger before measuring. See DESIGN.md
+	// ("two-basin behaviour") and the ablation bench in bench_test.go.
+	StartStagger Cycles
+
+	Cache cache.Config
+
+	Seed uint64
+}
+
+// DefaultConfig returns the T5-shaped machine with capacities scaled down
+// by the given factor (see cache.T5Config). Scale 1 is the paper's
+// full-size machine; the experiment harness defaults to a smaller scale so
+// sweeps run quickly. Footprint/capacity ratios — and hence curve shapes —
+// are scale-invariant; EXPERIMENTS.md includes the ablation demonstrating
+// it.
+func DefaultConfig(scale int) Config {
+	return Config{
+		Cores:            16,
+		StrandsPerCore:   8,
+		PipelinesPerCore: 2,
+		FreqGHz:          3.6,
+
+		Sockets:              1,
+		RemoteHandoffPenalty: 1_500,
+
+		Quantum: 2_000_000,
+
+		SpinBudget:       25_000,
+		PollPeriod:       4_000,
+		ParkEnterCost:    3_000,
+		UnparkCallerCost: 9_000,
+		// Base unpark-to-running latency for a warm CPU. Deliberately
+		// below SpinBudget: spin-then-park spins for a context-switch
+		// round trip (Karlin/Lim-Agarwal 2-competitiveness), so a
+		// just-parked successor must cost about one wake, not more.
+		// Idle-state exit penalties (ExitShallow/Mid/Deep) are added on
+		// top at dispatch, which is how the paper's ">30000 cycles ...
+		// when an idle CPU is available" worst case arises on machines
+		// with power management enabled.
+		WakeLatency:    9_000,
+		HandoffLatency: 300,
+		LockOpCost:     60,
+
+		// The paper's runs used "maximum performance mode with power
+		// management disabled" (§6), so the default exit penalties are
+		// small and flat. Raise them (cmd/simexplore sweeps them) to
+		// study the deep-sleep-state interactions of §5.1.
+		IdleShallow: 150_000,
+		IdleDeep:    1_500_000,
+		ExitShallow: 500,
+		ExitMid:     1_000,
+		ExitDeep:    2_000,
+
+		WattsRunning:  3.4,
+		WattsSpinning: 2.7,
+		WattsIdle:     0.25,
+		WattsDeepIdle: 0.05,
+
+		StartStagger: 1_000_000,
+
+		FusionFactor:   0.85,
+		TurboFactor:    0.88,
+		TurboThreshold: 0.75,
+
+		Cache: cache.T5Config(scale),
+		Seed:  1,
+	}
+}
+
+// CPUs returns the number of logical CPUs (strands) in the machine.
+func (c Config) CPUs() int { return c.Cores * c.StrandsPerCore }
+
+// SocketOfCore maps a core index to its socket.
+func (c Config) SocketOfCore(core int) int {
+	if c.Sockets <= 1 {
+		return 0
+	}
+	per := c.Cores / c.Sockets
+	if per < 1 {
+		per = 1
+	}
+	s := core / per
+	if s >= c.Sockets {
+		s = c.Sockets - 1
+	}
+	return s
+}
+
+// Seconds converts simulated cycles to seconds at the configured clock.
+func (c Config) Seconds(cy Cycles) float64 {
+	return float64(cy) / (c.FreqGHz * 1e9)
+}

@@ -1,0 +1,78 @@
+package sim
+
+// eventKind enumerates the simulator's event types.
+type eventKind uint8
+
+const (
+	evSegmentDone eventKind = iota // current work segment completes
+	evPoll                         // spinning waiter re-polls (preemption point)
+	evParkEnter                    // spin budget exhausted; transition to parked
+	evWake                         // unparked thread becomes ready
+	evAcquired                     // handoff to a spinning waiter completes
+	evTASRetry                     // competitive-succession retry window closes
+	evStart                        // thread begins execution
+)
+
+// event is a scheduled occurrence. Events are bound to a thread and a
+// generation; bumping the thread's generation cancels its in-flight events
+// (they are dropped when popped).
+type event struct {
+	at   Cycles
+	seq  uint64 // tie-break: FIFO among simultaneous events
+	kind eventKind
+	th   *Thread
+	gen  uint64
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq). Implemented
+// directly rather than via container/heap to keep the hot path free of
+// interface conversions.
+type eventHeap struct {
+	a []event
+}
+
+func (h *eventHeap) len() int { return len(h.a) }
+
+func (h *eventHeap) push(e event) {
+	h.a = append(h.a, e)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < last && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.a[i], h.a[smallest] = h.a[smallest], h.a[i]
+		i = smallest
+	}
+	return top
+}
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.a[i].at != h.a[j].at {
+		return h.a[i].at < h.a[j].at
+	}
+	return h.a[i].seq < h.a[j].seq
+}

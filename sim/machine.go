@@ -1,0 +1,669 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+	"repro/sim/cache"
+)
+
+// cpuState tracks one logical CPU (strand).
+type cpuState struct {
+	core      int
+	th        *Thread // nil when idle
+	idleSince Cycles
+}
+
+// coreState tracks per-core pipeline load.
+type coreState struct {
+	running  int // strands executing work
+	spinning int // strands busy-waiting
+}
+
+// Engine is the simulator instance: a machine plus a set of threads,
+// locks and synchronization objects. It is single-threaded and
+// deterministic for a fixed configuration and seed.
+type Engine struct {
+	cfg Config
+	now Cycles
+	seq uint64
+
+	events  eventHeap
+	threads []*Thread
+	cpus    []cpuState
+	cores   []coreState
+	readyQ  []*Thread
+	readyAt int // head index into readyQ (amortized ring)
+
+	mem *cache.Hierarchy
+	rng xrand.State
+
+	locks []*Lock
+
+	// Power integration (∆W above idle).
+	lastAccrue   Cycles
+	energy       float64 // watt·cycles above idle
+	measureStart Cycles
+
+	halted bool // event heap ran dry (all threads blocked or done)
+}
+
+// New constructs an engine for the given machine configuration.
+func New(cfg Config) *Engine {
+	if cfg.Sockets < 1 {
+		cfg.Sockets = 1
+	}
+	// The memory model allocates one private cache and TLB per core;
+	// keep it in lockstep with the machine topology.
+	cfg.Cache.Cores = cfg.Cores
+	e := &Engine{
+		cfg:  cfg,
+		mem:  cache.New(cfg.Cache),
+		cpus: make([]cpuState, cfg.CPUs()),
+	}
+	e.cores = make([]coreState, cfg.Cores)
+	for i := range e.cpus {
+		e.cpus[i].core = i / cfg.StrandsPerCore
+		e.cpus[i].idleSince = 0
+	}
+	e.rng.Seed(cfg.Seed)
+	return e
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Cycles { return e.now }
+
+// Mem exposes the cache hierarchy (for workload-level assertions).
+func (e *Engine) Mem() *cache.Hierarchy { return e.mem }
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Spawn adds a thread executing the given behavior. All threads begin at
+// time zero (or at the current time if spawned mid-run).
+func (e *Engine) Spawn(b Behavior) *Thread {
+	t := &Thread{
+		ID:      len(e.threads),
+		beh:     b,
+		cpu:     -1,
+		lastCPU: -1,
+		core:    -1,
+	}
+	t.Rng.Seed(e.cfg.Seed*1_000_003 + uint64(t.ID))
+	e.threads = append(e.threads, t)
+	e.schedule(e.now+Cycles(t.ID)*e.cfg.StartStagger, evStart, t)
+	return t
+}
+
+// Threads returns the spawned threads.
+func (e *Engine) Threads() []*Thread { return e.threads }
+
+// schedule enqueues an event for t at time at, bound to t's current
+// generation.
+func (e *Engine) schedule(at Cycles, kind eventKind, t *Thread) {
+	e.seq++
+	e.events.push(event{at: at, seq: e.seq, kind: kind, th: t, gen: t.gen})
+}
+
+// Run advances the simulation until the given absolute time.
+func (e *Engine) Run(until Cycles) {
+	for e.events.len() > 0 {
+		ev := e.events.a[0]
+		if ev.at > until {
+			break
+		}
+		ev = e.events.pop()
+		if ev.gen != ev.th.gen {
+			continue // cancelled
+		}
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		e.handle(ev)
+	}
+	if e.events.len() == 0 {
+		e.halted = true
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Halted reports whether the event queue ran dry before the end of the
+// run — every thread done or blocked, a liveness failure for lock
+// workloads that have not finished.
+func (e *Engine) Halted() bool { return e.halted }
+
+func (e *Engine) handle(ev event) {
+	t := ev.th
+	switch ev.kind {
+	case evStart:
+		e.dispatch(t)
+	case evSegmentDone:
+		e.accountCPU(t)
+		if e.maybePreempt(t) {
+			return
+		}
+		e.proceed(t)
+	case evPoll:
+		e.pollWaiter(t)
+	case evParkEnter:
+		e.enterPark(t)
+	case evWake:
+		// Unparked: become ready and contend for a CPU.
+		t.state = stateReady
+		e.dispatch(t)
+	case evAcquired:
+		// Handoff to an on-CPU spinner completed.
+		e.afterWake(t)
+	case evTASRetry:
+		// Unused; competitive succession is modeled through polling.
+	}
+}
+
+// proceed drives t's behavior forward. t must be running on a CPU.
+func (e *Engine) proceed(t *Thread) {
+	for {
+		a := t.beh.Next(t)
+		switch a.Kind {
+		case ActStep:
+			t.Steps++
+			continue
+		case ActWork:
+			e.beginWork(t, a)
+			return
+		case ActAcquire:
+			if e.acquireLock(t, a.Lock) {
+				e.chargeCost(t, e.cfg.LockOpCost)
+			}
+			return
+		case ActRelease:
+			cost := a.Lock.release(t)
+			e.chargeCost(t, e.cfg.LockOpCost+cost)
+			return
+		case ActWait:
+			e.condWait(t, a.Cond, a.Lock)
+			return
+		case ActSignal:
+			cost := a.Cond.signal()
+			e.chargeCost(t, e.cfg.LockOpCost+cost)
+			return
+		case ActBroadcast:
+			cost := a.Cond.broadcast()
+			e.chargeCost(t, e.cfg.LockOpCost+cost)
+			return
+		case ActSemAcquire:
+			if a.Sem.acquire(t) {
+				e.chargeCost(t, e.cfg.LockOpCost)
+			}
+			return
+		case ActSemRelease:
+			cost := a.Sem.release()
+			e.chargeCost(t, e.cfg.LockOpCost+cost)
+			return
+		case ActDone:
+			e.finish(t)
+			return
+		default:
+			panic(fmt.Sprintf("sim: unknown action kind %d", a.Kind))
+		}
+	}
+}
+
+// beginWork charges a compute+memory segment and schedules its completion.
+func (e *Engine) beginWork(t *Thread, a Action) {
+	factor := e.speedFactor(t.core)
+	var mem Cycles
+	for _, addr := range a.Addrs {
+		mem += e.mem.Access(t.core, t.cpu, addr)
+	}
+	dur := Cycles(float64(a.Dur)*factor) + mem
+	// Execution jitter (±5%): real pipelines never repeat a segment in
+	// exactly the same cycle count. Without it, closed lock-circulation
+	// systems can lock into phase-clustered rotations (all threads
+	// arriving simultaneously) that no real machine sustains, which
+	// distorts queue-depth statistics.
+	if dur > 20 {
+		dur += Cycles(t.Rng.Uint64n(uint64(dur)/10)) - dur/20
+	}
+	if dur < 1 {
+		dur = 1
+	}
+	e.schedule(e.now+dur, evSegmentDone, t)
+}
+
+// chargeCost models a fixed-latency operation (lock administration) as a
+// short segment.
+func (e *Engine) chargeCost(t *Thread, c Cycles) {
+	if c < 1 {
+		c = 1
+	}
+	e.schedule(e.now+c, evSegmentDone, t)
+}
+
+// speedFactor returns the duration multiplier for compute on the given
+// core: pipeline sharing slows strands down; a lone strand gets fusion;
+// a lightly loaded socket gets turbo.
+func (e *Engine) speedFactor(core int) float64 {
+	c := &e.cores[core]
+	// Polite spinners still consume a large share of a pipeline's issue
+	// slots; §6.3 notes polite spinning "helps reduce the impact of
+	// pipeline competition, which would otherwise be far worse" — it
+	// reduces, not eliminates.
+	weight := float64(c.running) + 0.75*float64(c.spinning)
+	pipes := float64(e.cfg.PipelinesPerCore)
+	factor := 1.0
+	if weight > pipes {
+		factor = weight / pipes
+	}
+	if c.running+c.spinning == 1 {
+		factor *= e.cfg.FusionFactor
+	}
+	if e.activeStrands() < int(float64(e.cfg.CPUs())*(1-e.cfg.TurboThreshold)) {
+		factor *= e.cfg.TurboFactor
+	}
+	return factor
+}
+
+func (e *Engine) activeStrands() int {
+	n := 0
+	for i := range e.cores {
+		n += e.cores[i].running + e.cores[i].spinning
+	}
+	return n
+}
+
+// --- Dispatch and CPU management -----------------------------------------
+
+// dispatch places a ready thread on a CPU, or queues it.
+func (e *Engine) dispatch(t *Thread) {
+	cpu := e.pickCPU(t)
+	if cpu < 0 {
+		t.state = stateReady
+		e.readyQ = append(e.readyQ, t)
+		return
+	}
+	e.placeOn(t, cpu)
+}
+
+// pickCPU selects an idle CPU. Like the paper's free-range scheduler it
+// balances load across cores ("aggressive intra-node migration to balance
+// and disperse the set of ready threads equally over the available cores
+// and pipelines"), but a waking thread strongly prefers the CPU it last
+// ran on when that CPU is idle and its core is not overloaded — real
+// dispatchers exploit both cache affinity and the fact that a
+// recently-vacated CPU is in a shallow, cheap-to-exit idle state (§5.1).
+// Among balanced candidates, the most recently idled (warmest) CPU wins.
+func (e *Engine) pickCPU(t *Thread) int {
+	// Inter-socket migration "is relatively expensive and is less
+	// frequent" (§6): restrict the search to the thread's home socket
+	// when it has any idle strand.
+	home := e.SocketOf(t)
+	if best := e.pickCPUOn(t, home); best >= 0 {
+		return best
+	}
+	for s := 0; s < e.cfg.Sockets; s++ {
+		if s == home {
+			continue
+		}
+		if best := e.pickCPUOn(t, s); best >= 0 {
+			return best
+		}
+	}
+	return -1
+}
+
+// pickCPUOn picks an idle CPU on the given socket, or -1.
+func (e *Engine) pickCPUOn(t *Thread, socket int) int {
+	minLoad := 1 << 30
+	for c := range e.cores {
+		if e.cfg.SocketOfCore(c) != socket {
+			continue
+		}
+		if load := e.cores[c].running + e.cores[c].spinning; load < minLoad {
+			minLoad = load
+		}
+	}
+	if last := t.lastCPU; last >= 0 && e.cpus[last].th == nil &&
+		e.cfg.SocketOfCore(e.cpus[last].core) == socket {
+		c := e.cpus[last].core
+		if e.cores[c].running+e.cores[c].spinning <= minLoad+1 {
+			return last
+		}
+	}
+	best := -1
+	var bestIdle Cycles = -1
+	for i := range e.cpus {
+		if e.cpus[i].th != nil {
+			continue
+		}
+		c := e.cpus[i].core
+		if e.cfg.SocketOfCore(c) != socket {
+			continue
+		}
+		if e.cores[c].running+e.cores[c].spinning != minLoad {
+			continue
+		}
+		if e.cpus[i].idleSince > bestIdle {
+			best, bestIdle = i, e.cpus[i].idleSince
+		}
+	}
+	if best < 0 {
+		// No idle CPU on a min-load core of this socket (they may be
+		// fully occupied by busier strands); any idle strand here will do.
+		for i := range e.cpus {
+			if e.cpus[i].th == nil && e.cfg.SocketOfCore(e.cpus[i].core) == socket {
+				return i
+			}
+		}
+	}
+	return best
+}
+
+// SocketOf reports the NUMA node a thread is (or was last) running on;
+// before first dispatch, threads are spread round-robin.
+func (e *Engine) SocketOf(t *Thread) int {
+	if t.lastCPU >= 0 {
+		return e.cfg.SocketOfCore(e.cpus[t.lastCPU].core)
+	}
+	if e.cfg.Sockets <= 1 {
+		return 0
+	}
+	return t.ID % e.cfg.Sockets
+}
+
+// placeOn assigns t to cpu and resumes it after the CPU's idle-exit
+// latency.
+func (e *Engine) placeOn(t *Thread, cpu int) {
+	e.accrue()
+	cs := &e.cpus[cpu]
+	exitLat := e.idleExitLatency(e.now - cs.idleSince)
+	cs.th = t
+	t.cpu = cpu
+	t.lastCPU = cpu
+	t.core = cs.core
+	t.quantumStart = e.now + exitLat
+	t.state = stateRunning
+	t.lastOnCPU = e.now + exitLat
+	e.cores[cs.core].running++
+	e.schedule(e.now+exitLat, evAcquiredOrResume, t)
+}
+
+// evAcquiredOrResume: reuse evAcquired for "thread (re)starts on CPU".
+const evAcquiredOrResume = evAcquired
+
+// idleExitLatency maps how long a CPU has idled to the latency of leaving
+// its sleep state (§5.1: "Deeper sleep states, however, take longer to
+// enter and exit").
+func (e *Engine) idleExitLatency(idle Cycles) Cycles {
+	switch {
+	case idle < e.cfg.IdleShallow:
+		return e.cfg.ExitShallow
+	case idle < e.cfg.IdleDeep:
+		return e.cfg.ExitMid
+	default:
+		return e.cfg.ExitDeep
+	}
+}
+
+// freeCPU releases t's CPU and dispatches the next ready thread onto it.
+func (e *Engine) freeCPU(t *Thread) {
+	cpu := t.cpu
+	if cpu < 0 {
+		return
+	}
+	e.accrue()
+	cs := &e.cpus[cpu]
+	cs.th = nil
+	cs.idleSince = e.now
+	switch t.state {
+	case stateRunning:
+		e.cores[cs.core].running--
+	case stateSpinning:
+		e.cores[cs.core].spinning--
+	}
+	t.cpu = -1
+	if next := e.popReady(); next != nil {
+		e.placeOn(next, cpu)
+	}
+}
+
+func (e *Engine) popReady() *Thread {
+	for e.readyAt < len(e.readyQ) {
+		t := e.readyQ[e.readyAt]
+		e.readyQ[e.readyAt] = nil
+		e.readyAt++
+		if e.readyAt > 64 && e.readyAt*2 > len(e.readyQ) {
+			e.readyQ = append(e.readyQ[:0], e.readyQ[e.readyAt:]...)
+			e.readyAt = 0
+		}
+		if t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+func (e *Engine) readyLen() int { return len(e.readyQ) - e.readyAt }
+
+// maybePreempt preempts t (at a segment or poll boundary) if its quantum
+// expired and other threads are waiting for CPUs. Reports whether t was
+// preempted.
+func (e *Engine) maybePreempt(t *Thread) bool {
+	if e.readyLen() == 0 || e.now-t.quantumStart < e.cfg.Quantum {
+		return false
+	}
+	t.gen++ // cancel any pending polls
+	e.accountCPU(t)
+	e.freeCPU(t) // decrements the counter matching t's current state
+	t.state = stateReady
+	e.readyQ = append(e.readyQ, t)
+	return true
+}
+
+// accountCPU charges elapsed on-CPU time to the thread's running or
+// spinning counter.
+func (e *Engine) accountCPU(t *Thread) {
+	if t.cpu < 0 {
+		return
+	}
+	d := e.now - t.lastOnCPU
+	if d < 0 {
+		d = 0
+	}
+	if t.state == stateSpinning {
+		t.SpinCyc += d
+	} else {
+		t.RunCycles += d
+	}
+	t.lastOnCPU = e.now
+}
+
+// finish terminates t.
+func (e *Engine) finish(t *Thread) {
+	e.accountCPU(t)
+	t.gen++
+	e.freeCPU(t)
+	t.state = stateDone
+}
+
+// --- Waiting, parking and waking ------------------------------------------
+
+// startWaiting transitions an on-CPU thread into the spinning state for
+// the given wait mode and schedules its poll loop.
+func (e *Engine) startWaiting(t *Thread, mode WaitMode) {
+	e.accrue()
+	e.accountCPU(t)
+	if t.state == stateRunning && t.cpu >= 0 {
+		e.cores[t.core].running--
+		e.cores[t.core].spinning++
+	}
+	t.state = stateSpinning
+	t.waitStart = e.now
+	t.waitMode = mode
+	if mode == ModePark {
+		// Immediate parking (no spin phase).
+		e.enterPark(t)
+		return
+	}
+	e.schedule(e.now+e.cfg.PollPeriod, evPoll, t)
+}
+
+// pollWaiter handles one poll tick of a spinning waiter.
+func (e *Engine) pollWaiter(t *Thread) {
+	if t.state != stateSpinning {
+		return
+	}
+	// TAS locks acquire by polling (competitive succession).
+	if l := t.waitLock; l != nil && l.kind == KindTAS && !t.granted {
+		if l.tryBargeFromPoll(t) {
+			t.gen++
+			e.schedule(e.now+e.cfg.HandoffLatency, evAcquired, t)
+			return
+		}
+	}
+	if e.maybePreempt(t) {
+		return
+	}
+	if t.waitMode == ModeSTP && e.now-t.waitStart >= e.cfg.SpinBudget {
+		e.enterPark(t)
+		return
+	}
+	e.schedule(e.now+e.cfg.PollPeriod, evPoll, t)
+}
+
+// enterPark blocks t, surrendering its CPU (a voluntary context switch).
+func (e *Engine) enterPark(t *Thread) {
+	t.gen++ // cancel polls
+	e.accountCPU(t)
+	t.Parks++
+	e.freeCPU(t)
+	t.state = stateParked
+}
+
+// wake delivers a grant or signal to a waiting thread. The caller has
+// already recorded what the wakeup means (t.granted / t.reacquire). It
+// returns the cost borne by the waker: waking a parked thread requires a
+// kernel call (§5.2), a spinning one only a store.
+func (e *Engine) wake(t *Thread) Cycles {
+	switch t.state {
+	case stateSpinning:
+		t.gen++
+		e.schedule(e.now+e.cfg.HandoffLatency, evAcquired, t)
+		return 0
+	case stateParked:
+		t.gen++
+		e.schedule(e.now+e.cfg.WakeLatency, evWake, t)
+		return e.cfg.UnparkCallerCost
+	case stateReady:
+		// Preempted while waiting; it will notice at dispatch.
+		return 0
+	default:
+		// Running: a wake can race with a thread that just resumed (e.g.
+		// TAS poll acquisition); nothing to do.
+		return 0
+	}
+}
+
+// afterWake resumes a thread that has just (re)gained a CPU or been
+// granted while on one.
+func (e *Engine) afterWake(t *Thread) {
+	if t.cpu < 0 {
+		// Came via evWake→dispatch; placeOn scheduled us, nothing extra.
+		panic("sim: afterWake without CPU")
+	}
+	e.accrue()
+	if t.state == stateSpinning {
+		e.accountCPU(t)
+		e.cores[t.core].spinning--
+		e.cores[t.core].running++
+		t.state = stateRunning
+		t.lastOnCPU = e.now
+	} else {
+		t.state = stateRunning
+	}
+	if l := t.waitLock; l != nil {
+		if t.granted {
+			// Direct handoff completed: we own the lock.
+			t.waitLock = nil
+			t.granted = false
+			e.chargeCost(t, e.cfg.LockOpCost)
+			return
+		}
+		// TAS wake-to-retry, or a preempted spinner redispatched: resume
+		// waiting (try immediately first).
+		if l.kind == KindTAS && l.tryBargeFromPoll(t) {
+			t.waitLock = nil
+			e.chargeCost(t, e.cfg.LockOpCost)
+			return
+		}
+		e.startWaiting(t, t.waitMode)
+		return
+	}
+	if t.syncWait {
+		if !t.granted {
+			// Preempted while waiting on a condvar/semaphore and merely
+			// redispatched: no signal has arrived; keep waiting.
+			e.startWaiting(t, t.waitMode)
+			return
+		}
+		t.syncWait = false
+		t.granted = false
+		if l := t.reacquire; l != nil {
+			t.reacquire = nil
+			if e.acquireLock(t, l) {
+				e.chargeCost(t, e.cfg.LockOpCost)
+			}
+			return
+		}
+		// Semaphore grant: the permit conveys; continue.
+		e.proceed(t)
+		return
+	}
+	// Plain resume (thread start, preemption return).
+	e.proceed(t)
+}
+
+// acquireLock attempts to take l for t; reports whether it was granted
+// immediately. Otherwise t is enqueued and transitions to waiting.
+func (e *Engine) acquireLock(t *Thread, l *Lock) bool {
+	if l.tryAcquireNow(t) {
+		return true
+	}
+	t.waitLock = l
+	t.granted = false
+	l.enqueue(t)
+	e.startWaiting(t, l.mode)
+	return false
+}
+
+// condWait implements ActWait: release the mutex, join the wait queue,
+// wait, then (on signal) reacquire.
+func (e *Engine) condWait(t *Thread, c *Cond, l *Lock) {
+	t.reacquire = l
+	t.syncWait = true
+	t.granted = false
+	c.enqueueWaiter(t)
+	l.release(t) // may convey the lock onward, with all CR machinery
+	e.startWaiting(t, c.mode)
+}
+
+// --- Power accounting ------------------------------------------------------
+
+// accrue integrates power since the last accounting instant. Energy is
+// accumulated as watt·cycles *above idle*, so the result is directly the
+// paper's "∆Watts above idle".
+func (e *Engine) accrue() {
+	dt := e.now - e.lastAccrue
+	if dt <= 0 {
+		return
+	}
+	var running, spinning int
+	for i := range e.cores {
+		running += e.cores[i].running
+		spinning += e.cores[i].spinning
+	}
+	e.energy += float64(dt) * (float64(running)*(e.cfg.WattsRunning-e.cfg.WattsIdle) +
+		float64(spinning)*(e.cfg.WattsSpinning-e.cfg.WattsIdle))
+	e.lastAccrue = e.now
+}

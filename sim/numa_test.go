@@ -1,0 +1,135 @@
+package sim
+
+import "testing"
+
+// twoSocketConfig models a T5-2 with both sockets online: 32 cores over
+// 2 NUMA nodes.
+func twoSocketConfig() Config {
+	cfg := DefaultConfig(16)
+	cfg.Cores = 8
+	cfg.StrandsPerCore = 4
+	cfg.Sockets = 2
+	cfg.StartStagger = 1_000
+	return cfg
+}
+
+func TestSocketOfCore(t *testing.T) {
+	cfg := twoSocketConfig()
+	if cfg.SocketOfCore(0) != 0 || cfg.SocketOfCore(3) != 0 {
+		t.Fatal("low cores must be socket 0")
+	}
+	if cfg.SocketOfCore(4) != 1 || cfg.SocketOfCore(7) != 1 {
+		t.Fatal("high cores must be socket 1")
+	}
+	one := DefaultConfig(16)
+	if one.SocketOfCore(15) != 0 {
+		t.Fatal("single-socket machine has only socket 0")
+	}
+}
+
+func runNUMA(t *testing.T, kind LockKind, threads int) (Result, *Lock) {
+	t.Helper()
+	cfg := twoSocketConfig()
+	e := New(cfg)
+	l := e.NewLock(LockSpec{Kind: kind, Mode: ModeSTP})
+	for i := 0; i < threads; i++ {
+		e.Spawn(&circuit{l: l, ncs: 4000, cs: 1500})
+	}
+	res := e.RunMeasured(2_000_000, 12_000_000)
+	if res.Halted {
+		t.Fatalf("%v halted", kind)
+	}
+	return res, l
+}
+
+// TestMCSCRNReducesLockMigrations checks §9.1's claim: keeping the ACS
+// homogeneous (one home node) reduces lock migrations versus plain MCSCR,
+// which ignores demographics.
+func TestMCSCRNReducesLockMigrations(t *testing.T) {
+	resCR, lcr := runNUMA(t, KindMCSCR, 16)
+	resN, ln := runNUMA(t, KindMCSCRN, 16)
+	t.Logf("MCSCR : steps=%d migrations=%d", resCR.Steps, lcr.Stats().LockMigrations)
+	t.Logf("MCSCRN: steps=%d migrations=%d homeswitches=%d remote=%d",
+		resN.Steps, ln.Stats().LockMigrations, ln.Stats().HomeSwitches, ln.RemoteSize())
+	crMig := float64(lcr.Stats().LockMigrations) / float64(resCR.Steps)
+	nMig := float64(ln.Stats().LockMigrations) / float64(resN.Steps)
+	if nMig >= crMig {
+		t.Fatalf("MCSCRN migration rate %.3f not below MCSCR %.3f", nMig, crMig)
+	}
+	if resN.Steps*10 < resCR.Steps*9 {
+		t.Fatalf("MCSCRN throughput %d fell well below MCSCR %d", resN.Steps, resCR.Steps)
+	}
+}
+
+// TestMCSCRNLongTermFairness: home switching must eventually serve both
+// sockets' threads.
+func TestMCSCRNLongTermFairness(t *testing.T) {
+	cfg := twoSocketConfig()
+	e := New(cfg)
+	l := e.NewLock(LockSpec{Kind: KindMCSCRN, Mode: ModeSTP, FairnessPeriod: 100})
+	for i := 0; i < 12; i++ {
+		e.Spawn(&circuit{l: l, ncs: 2000, cs: 1500})
+	}
+	e.RunMeasured(2_000_000, 30_000_000)
+	if l.Stats().HomeSwitches == 0 {
+		t.Fatal("home node never rotated")
+	}
+	for _, th := range e.Threads() {
+		if th.Steps == 0 {
+			t.Fatalf("thread %d starved under MCSCRN", th.ID)
+		}
+	}
+}
+
+// TestMCSCRNQuiescence: with finite work, no thread may be stranded on
+// the remote list.
+func TestMCSCRNQuiescence(t *testing.T) {
+	cfg := twoSocketConfig()
+	e := New(cfg)
+	l := e.NewLock(LockSpec{Kind: KindMCSCRN, Mode: ModeSTP})
+	const iters = 300
+	for i := 0; i < 12; i++ {
+		n := 0
+		e.Spawn(BehaviorFunc(func(t *Thread) Action {
+			switch n % 3 {
+			case 0:
+				n++
+				return Action{Kind: ActAcquire, Lock: l}
+			case 1:
+				n++
+				return Action{Kind: ActRelease, Lock: l}
+			default:
+				n++
+				if n/3 >= iters {
+					return Action{Kind: ActDone}
+				}
+				return Action{Kind: ActStep}
+			}
+		}))
+	}
+	e.Run(1 << 40)
+	for _, th := range e.Threads() {
+		if th.State() != "done" {
+			t.Fatalf("thread %d stuck (%s); queue=%d passive=%d remote=%d",
+				th.ID, th.State(), l.QueueLen(), l.PassiveSize(), l.RemoteSize())
+		}
+	}
+	if l.Held() || l.QueueLen() != 0 || l.PassiveSize() != 0 || l.RemoteSize() != 0 {
+		t.Fatal("MCSCRN not quiescent after all threads finished")
+	}
+}
+
+// TestDispatchPrefersHomeSocket: threads should not ping-pong across
+// sockets under light load.
+func TestDispatchPrefersHomeSocket(t *testing.T) {
+	cfg := twoSocketConfig()
+	e := New(cfg)
+	_ = e.NewLock(LockSpec{Kind: KindNull})
+	th := e.Spawn(BehaviorFunc(func(t *Thread) Action {
+		return Action{Kind: ActWork, Dur: 1000}
+	}))
+	e.Run(2_000_000)
+	if got := e.SocketOf(th); got != 0 {
+		t.Fatalf("lone thread migrated to socket %d", got)
+	}
+}

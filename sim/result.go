@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/metrics"
+	"repro/sim/cache"
+)
+
+// Result summarizes a measurement interval, mirroring the rows the paper
+// reports in Figure 4.
+type Result struct {
+	Cycles  Cycles  // measured interval length
+	Seconds float64 // interval in seconds at the configured clock
+
+	Steps       uint64  // workload iterations completed
+	StepsPerSec float64 // aggregate throughput
+
+	Lock     LockStats       // primary lock's CR counters
+	Fairness metrics.Summary // LWSS / MTTR / Gini / RSTDDEV of the primary lock
+
+	VoluntaryCtxSwitches uint64  // parks across all threads
+	CPUUtil              float64 // mean busy strands (running + spinning), in "CPUs"
+	RunUtil              float64 // mean running strands (excludes spinning)
+	DeltaWatts           float64 // average power above all-idle
+
+	CacheStats cache.Stats
+
+	Halted bool // the run deadlocked / drained early
+}
+
+// String renders the result compactly.
+func (r Result) String() string {
+	return fmt.Sprintf("steps=%d (%.0f/s) LWSS=%.1f MTTR=%.1f Gini=%.3f vctx=%d util=%.1fx L3miss=%d ∆W=%.0f",
+		r.Steps, r.StepsPerSec, r.Fairness.AvgLWSS, r.Fairness.MTTR, r.Fairness.Gini,
+		r.VoluntaryCtxSwitches, r.CPUUtil, r.CacheStats.LLCMisses, r.DeltaWatts)
+}
+
+// ResetMetrics zeroes every measured quantity — thread counters, lock
+// histories and stats, cache stats, energy — without disturbing system
+// state. Call it at the end of warmup.
+func (e *Engine) ResetMetrics() {
+	e.accrue()
+	e.energy = 0
+	e.measureStart = e.now
+	e.mem.ResetStats()
+	for _, t := range e.threads {
+		t.Steps = 0
+		t.RunCycles = 0
+		t.SpinCyc = 0
+		t.Parks = 0
+		if t.cpu >= 0 {
+			// Re-baseline on-CPU accounting so pre-reset residency is
+			// not charged into the measured interval.
+			t.lastOnCPU = e.now
+		}
+	}
+	for _, l := range e.locks {
+		l.hist = l.hist[:0]
+		l.stats = LockStats{}
+	}
+}
+
+// Collect builds a Result for the interval since the last ResetMetrics.
+// The primary lock is the first one created (engines with several locks
+// can inspect the others via their own accessors).
+func (e *Engine) Collect() Result {
+	e.accrue()
+	interval := e.now - e.measureStart
+	if interval <= 0 {
+		interval = 1
+	}
+	r := Result{
+		Cycles:  interval,
+		Seconds: e.cfg.Seconds(interval),
+		Halted:  e.halted,
+	}
+	var run, spin Cycles
+	for _, t := range e.threads {
+		// Charge in-flight on-CPU time so utilization does not depend on
+		// event alignment.
+		e.accountCPU(t)
+		r.Steps += t.Steps
+		r.VoluntaryCtxSwitches += t.Parks
+		run += t.RunCycles
+		spin += t.SpinCyc
+	}
+	r.StepsPerSec = float64(r.Steps) / r.Seconds
+	r.RunUtil = float64(run) / float64(interval)
+	r.CPUUtil = float64(run+spin) / float64(interval)
+	r.DeltaWatts = e.energy / float64(interval)
+	r.CacheStats = e.mem.Stats()
+	if len(e.locks) > 0 {
+		r.Lock = e.locks[0].stats
+		r.Fairness = metrics.Summarize(e.locks[0].hist, metrics.DefaultWindow)
+	}
+	return r
+}
+
+// RunMeasured is the standard fixed-time-report-work harness: run a
+// warmup, reset metrics, run the measurement interval, and collect.
+func (e *Engine) RunMeasured(warmup, measure Cycles) Result {
+	e.Run(warmup)
+	e.ResetMetrics()
+	e.Run(warmup + measure)
+	return e.Collect()
+}
+
+// RunStandard runs RunMeasured with the standard warmup: every thread has
+// started (StartStagger) and the system has had a settling interval, as
+// in the paper's fixed-time-report-work methodology where measurement
+// begins only after all threads are up.
+func (e *Engine) RunStandard(measure Cycles) Result {
+	warm := Cycles(len(e.threads))*e.cfg.StartStagger + 4_000_000
+	return e.RunMeasured(warm, measure)
+}

@@ -1,0 +1,437 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/metrics"
+)
+
+// circuit is the canonical benchmark loop: NCS work; acquire; CS work;
+// release; step. Durations in cycles.
+type circuit struct {
+	l       *Lock
+	ncs, cs Cycles
+	phase   int
+	inCS    bool
+}
+
+func (c *circuit) Next(t *Thread) Action {
+	switch c.phase {
+	case 0:
+		c.phase = 1
+		return Action{Kind: ActWork, Dur: c.ncs}
+	case 1:
+		c.phase = 2
+		return Action{Kind: ActAcquire, Lock: c.l}
+	case 2:
+		c.phase = 3
+		return Action{Kind: ActWork, Dur: c.cs}
+	case 3:
+		c.phase = 4
+		return Action{Kind: ActRelease, Lock: c.l}
+	default:
+		c.phase = 0
+		return Action{Kind: ActStep}
+	}
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig(16)
+	cfg.Cores = 4
+	cfg.StrandsPerCore = 4
+	// Engine unit tests exercise mechanisms on short runs; keep the
+	// thread-start ramp negligible (workload-level tests use the
+	// realistic default).
+	cfg.StartStagger = 1_000
+	return cfg
+}
+
+func runCircuit(t *testing.T, cfg Config, spec LockSpec, threads int, ncs, cs Cycles, dur Cycles) (*Engine, *Lock, Result) {
+	t.Helper()
+	e := New(cfg)
+	l := e.NewLock(spec)
+	for i := 0; i < threads; i++ {
+		e.Spawn(&circuit{l: l, ncs: ncs, cs: cs})
+	}
+	res := e.RunMeasured(dur/5, dur)
+	return e, l, res
+}
+
+func TestSingleThreadProgress(t *testing.T) {
+	for _, kind := range []LockKind{KindNull, KindTAS, KindMCS, KindMCSCR, KindLIFO} {
+		_, _, res := runCircuit(t, smallConfig(), LockSpec{Kind: kind, Mode: ModeSTP}, 1, 1000, 200, 2_000_000)
+		if res.Steps == 0 {
+			t.Fatalf("%v: no progress with a single thread", kind)
+		}
+		if res.Halted {
+			t.Fatalf("%v: halted", kind)
+		}
+	}
+}
+
+func TestContendedProgressAllLocks(t *testing.T) {
+	for _, kind := range []LockKind{KindTAS, KindMCS, KindMCSCR, KindLIFO} {
+		for _, mode := range []WaitMode{ModeSpin, ModeSTP} {
+			_, l, res := runCircuit(t, smallConfig(), LockSpec{Kind: kind, Mode: mode}, 12, 2000, 400, 4_000_000)
+			if res.Steps == 0 {
+				t.Fatalf("%v-%v: no progress under contention", kind, mode)
+			}
+			if res.Halted {
+				t.Fatalf("%v-%v: halted (stranded waiters: queue=%d passive=%d)",
+					kind, mode, l.QueueLen(), l.PassiveSize())
+			}
+		}
+	}
+}
+
+func TestAdmissionHistoryMatchesSteps(t *testing.T) {
+	// Each step is exactly one acquisition, so the admission history
+	// length must track total steps (±in-flight iterations).
+	_, l, res := runCircuit(t, smallConfig(), LockSpec{Kind: KindMCS, Mode: ModeSTP}, 6, 2000, 400, 4_000_000)
+	n := uint64(len(l.History()))
+	if n < res.Steps || n > res.Steps+6 {
+		t.Fatalf("history %d vs steps %d", n, res.Steps)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, float64, uint64) {
+		_, l, res := runCircuit(t, smallConfig(), LockSpec{Kind: KindMCSCR, Mode: ModeSTP}, 10, 3000, 500, 3_000_000)
+		return res.Steps, res.Fairness.AvgLWSS, uint64(len(l.History()))
+	}
+	s1, w1, h1 := run()
+	s2, w2, h2 := run()
+	if s1 != s2 || w1 != w2 || h1 != h2 {
+		t.Fatalf("nondeterministic: (%d %f %d) vs (%d %f %d)", s1, w1, h1, s2, w2, h2)
+	}
+}
+
+func TestMCSIsFIFOFair(t *testing.T) {
+	_, l, _ := runCircuit(t, smallConfig(), LockSpec{Kind: KindMCS, Mode: ModeSpin}, 8, 4000, 400, 4_000_000)
+	s := metrics.Summarize(l.History(), 100)
+	// Strict FIFO over 8 saturating threads: every thread circulates, so
+	// the working set is the full population and work is evenly spread.
+	if s.AvgLWSS < 7.5 {
+		t.Fatalf("MCS AvgLWSS=%v, want ~8 (strict FIFO)", s.AvgLWSS)
+	}
+	if s.Gini > 0.05 {
+		t.Fatalf("MCS Gini=%v, want ~0", s.Gini)
+	}
+}
+
+func TestMCSCRRestrictsConcurrency(t *testing.T) {
+	// The saturation arithmetic of §1: NCS/CS = 5 means ~6 threads
+	// saturate the lock; with 16 threads MCSCR should clamp the working
+	// set near saturation while MCS circulates all 16.
+	cfg := smallConfig()
+	_, lcr, _ := runCircuit(t, cfg, LockSpec{Kind: KindMCSCR, Mode: ModeSTP}, 16, 5000, 1000, 8_000_000)
+	_, lfifo, _ := runCircuit(t, cfg, LockSpec{Kind: KindMCS, Mode: ModeSpin}, 16, 5000, 1000, 8_000_000)
+	cr := metrics.Summarize(lcr.History(), metrics.DefaultWindow)
+	fifo := metrics.Summarize(lfifo.History(), metrics.DefaultWindow)
+	if fifo.AvgLWSS < 15 {
+		t.Fatalf("MCS LWSS=%v want ~16", fifo.AvgLWSS)
+	}
+	if cr.AvgLWSS > fifo.AvgLWSS/1.5 {
+		t.Fatalf("MCSCR LWSS=%v did not restrict vs MCS %v", cr.AvgLWSS, fifo.AvgLWSS)
+	}
+	if lcr.Stats().Culls == 0 {
+		t.Fatal("MCSCR never culled under 16-way saturation")
+	}
+}
+
+func TestMCSCRLongTermFairness(t *testing.T) {
+	// With promotion enabled, every thread must complete steps.
+	e, _, res := runCircuit(t, smallConfig(), LockSpec{Kind: KindMCSCR, Mode: ModeSTP, FairnessPeriod: 200}, 12, 3000, 600, 20_000_000)
+	if res.Lock.Promotions == 0 {
+		t.Fatal("no fairness promotions in a long saturated run")
+	}
+	for _, th := range e.Threads() {
+		if th.Steps == 0 {
+			t.Fatalf("thread %d starved", th.ID)
+		}
+	}
+}
+
+func TestMCSCRNoFairnessStarves(t *testing.T) {
+	// With promotion disabled and sustained saturation, the passive set
+	// should hold threads for the whole run: short-term-unfair by design.
+	e, l, _ := runCircuit(t, smallConfig(), LockSpec{Kind: KindMCSCR, Mode: ModeSTP, FairnessPeriod: NoFairness}, 12, 3000, 600, 10_000_000)
+	if l.Stats().Promotions != 0 {
+		t.Fatal("promotions occurred despite NoFairness")
+	}
+	starved := 0
+	for _, th := range e.Threads() {
+		if th.Steps == 0 {
+			starved++
+		}
+	}
+	if starved == 0 {
+		t.Skip("load did not keep the lock saturated enough to exhibit starvation")
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	// At the end of a run the lock must not be idle while threads wait:
+	// drain by running until the heap empties with finite workloads.
+	cfg := smallConfig()
+	e := New(cfg)
+	l := e.NewLock(LockSpec{Kind: KindMCSCR, Mode: ModeSTP})
+	const iters = 200
+	for i := 0; i < 10; i++ {
+		n := 0
+		e.Spawn(BehaviorFunc(func(t *Thread) Action {
+			// acquire/release iters times, then done.
+			switch n % 3 {
+			case 0:
+				n++
+				return Action{Kind: ActAcquire, Lock: l}
+			case 1:
+				n++
+				return Action{Kind: ActRelease, Lock: l}
+			default:
+				n++
+				if n/3 >= iters {
+					return Action{Kind: ActDone}
+				}
+				return Action{Kind: ActStep}
+			}
+		}))
+	}
+	e.Run(1 << 40)
+	for _, th := range e.Threads() {
+		if th.State() != "done" {
+			t.Fatalf("thread %d stuck in state %s (queue=%d passive=%d held=%v)",
+				th.ID, th.State(), l.QueueLen(), l.PassiveSize(), l.Held())
+		}
+	}
+	if l.Held() || l.QueueLen() != 0 || l.PassiveSize() != 0 {
+		t.Fatal("lock not quiescent after all threads finished")
+	}
+}
+
+func TestPreemptionBeyondCPUCount(t *testing.T) {
+	// More threads than CPUs: with a FIFO lock everybody must still make
+	// progress via time slicing (16 CPUs in smallConfig, 40 threads).
+	e, _, res := runCircuit(t, smallConfig(), LockSpec{Kind: KindMCS, Mode: ModeSTP}, 40, 20_000, 200, 30_000_000)
+	if res.Halted {
+		t.Fatal("halted")
+	}
+	progressed := 0
+	for _, th := range e.Threads() {
+		if th.Steps > 0 {
+			progressed++
+		}
+	}
+	if progressed != 40 {
+		t.Fatalf("only %d/40 threads progressed under multiprogramming", progressed)
+	}
+}
+
+func TestTASStarvesParkedWaiters(t *testing.T) {
+	// §5.3: TAS admits "unbounded bypass with potentially indefinite
+	// starvation": once a waiter parks, a steady flow of barging arrivals
+	// can keep it parked. The model reproduces the hazard: under heavy
+	// multiprogramming some TAS-STP threads may complete no work, while
+	// aggregate throughput stays high.
+	e, _, res := runCircuit(t, smallConfig(), LockSpec{Kind: KindTAS, Mode: ModeSTP}, 40, 20_000, 200, 30_000_000)
+	if res.Steps == 0 {
+		t.Fatal("no aggregate progress at all")
+	}
+	progressed := 0
+	for _, th := range e.Threads() {
+		if th.Steps > 0 {
+			progressed++
+		}
+	}
+	if progressed < 16 {
+		t.Fatalf("TAS collapsed entirely: only %d/40 progressed", progressed)
+	}
+	t.Logf("TAS-STP: %d/40 threads progressed (bypass/starvation expected)", progressed)
+}
+
+func TestSpinnersOccupyCPUs(t *testing.T) {
+	// MCS-S waiters spin: CPU utilization should be near the thread
+	// count. MCS-STP waiters park: utilization should be far lower.
+	_, _, spin := runCircuit(t, smallConfig(), LockSpec{Kind: KindMCS, Mode: ModeSpin}, 12, 1000, 4000, 8_000_000)
+	_, _, stp := runCircuit(t, smallConfig(), LockSpec{Kind: KindMCS, Mode: ModeSTP}, 12, 1000, 4000, 8_000_000)
+	if spin.CPUUtil < 10 {
+		t.Fatalf("MCS-S utilization %.1f, want ~12 (spinners hold CPUs)", spin.CPUUtil)
+	}
+	if stp.CPUUtil > spin.CPUUtil/1.5 {
+		t.Fatalf("MCS-STP utilization %.1f not far below MCS-S %.1f", stp.CPUUtil, spin.CPUUtil)
+	}
+	if stp.VoluntaryCtxSwitches == 0 {
+		t.Fatal("MCS-STP produced no voluntary context switches")
+	}
+	if spin.VoluntaryCtxSwitches != 0 {
+		t.Fatal("MCS-S should never park")
+	}
+	if spin.DeltaWatts <= stp.DeltaWatts {
+		t.Fatalf("spinning (%.0fW) should cost more power than parking (%.0fW)",
+			spin.DeltaWatts, stp.DeltaWatts)
+	}
+}
+
+func TestHandoffToParkedIsCounted(t *testing.T) {
+	// MCS-STP under saturation with a long queue: successors exhaust
+	// their spin budget, so handoffs should routinely hit parked threads
+	// (§5.1's FIFO/STP pathology).
+	_, l, _ := runCircuit(t, smallConfig(), LockSpec{Kind: KindMCS, Mode: ModeSTP}, 12, 1000, 4000, 8_000_000)
+	if l.Stats().HandoffsToParked == 0 {
+		t.Fatal("no handoffs to parked successors under MCS-STP saturation")
+	}
+}
+
+func TestNullLockScalesWithCPUs(t *testing.T) {
+	// Null lock, pure compute: throughput should scale roughly with
+	// thread count until CPUs saturate.
+	_, _, one := runCircuit(t, smallConfig(), LockSpec{Kind: KindNull}, 1, 4000, 0, 4_000_000)
+	_, _, eight := runCircuit(t, smallConfig(), LockSpec{Kind: KindNull}, 8, 4000, 0, 4_000_000)
+	if eight.Steps < one.Steps*4 {
+		t.Fatalf("8 threads: %d steps vs 1 thread %d; expected ~8x", eight.Steps, one.Steps)
+	}
+}
+
+func TestCondVarPingPong(t *testing.T) {
+	// One producer, one consumer over a 1-slot mailbox.
+	cfg := smallConfig()
+	e := New(cfg)
+	l := e.NewLock(LockSpec{Kind: KindMCS, Mode: ModeSTP})
+	full := e.NewCond(1.0, ModeSTP)
+	empty := e.NewCond(1.0, ModeSTP)
+	slot := 0
+	prodPhase, consPhase := 0, 0
+	e.Spawn(BehaviorFunc(func(t *Thread) Action { // producer
+		switch prodPhase {
+		case 0:
+			prodPhase = 1
+			return Action{Kind: ActAcquire, Lock: l}
+		case 1:
+			if slot == 1 {
+				return Action{Kind: ActWait, Cond: empty, Lock: l}
+			}
+			slot = 1
+			prodPhase = 2
+			return Action{Kind: ActSignal, Cond: full}
+		case 2:
+			prodPhase = 3
+			return Action{Kind: ActRelease, Lock: l}
+		default:
+			prodPhase = 0
+			return Action{Kind: ActStep}
+		}
+	}))
+	e.Spawn(BehaviorFunc(func(t *Thread) Action { // consumer
+		switch consPhase {
+		case 0:
+			consPhase = 1
+			return Action{Kind: ActAcquire, Lock: l}
+		case 1:
+			if slot == 0 {
+				return Action{Kind: ActWait, Cond: full, Lock: l}
+			}
+			slot = 0
+			consPhase = 2
+			return Action{Kind: ActSignal, Cond: empty}
+		case 2:
+			consPhase = 3
+			return Action{Kind: ActRelease, Lock: l}
+		default:
+			consPhase = 0
+			return Action{Kind: ActStep}
+		}
+	}))
+	res := e.RunMeasured(1_000_000, 5_000_000)
+	if res.Halted {
+		t.Fatal("ping-pong deadlocked")
+	}
+	if res.Steps < 100 {
+		t.Fatalf("only %d messages conveyed", res.Steps)
+	}
+}
+
+func TestSemaphoreConveysPermits(t *testing.T) {
+	cfg := smallConfig()
+	e := New(cfg)
+	_ = e.NewLock(LockSpec{Kind: KindNull}) // primary lock slot for Collect
+	s := e.NewSem(3, 1.0, ModeSTP)
+	for i := 0; i < 8; i++ {
+		phase := 0
+		e.Spawn(BehaviorFunc(func(t *Thread) Action {
+			switch phase {
+			case 0:
+				phase = 1
+				return Action{Kind: ActSemAcquire, Sem: s}
+			case 1:
+				phase = 2
+				return Action{Kind: ActWork, Dur: 2000}
+			case 2:
+				phase = 3
+				return Action{Kind: ActSemRelease, Sem: s}
+			default:
+				phase = 0
+				return Action{Kind: ActStep}
+			}
+		}))
+	}
+	res := e.RunMeasured(500_000, 3_000_000)
+	if res.Halted {
+		t.Fatal("semaphore workload deadlocked")
+	}
+	if res.Steps < 100 {
+		t.Fatalf("steps=%d", res.Steps)
+	}
+	if s.Count() < 0 || s.Count() > 3 {
+		t.Fatalf("permit count out of range: %d", s.Count())
+	}
+}
+
+func TestMemoryPressureSlowsThroughput(t *testing.T) {
+	// Identical compute, but one variant touches an over-LLC footprint:
+	// cache misses must reduce throughput.
+	run := func(footLines int) uint64 {
+		cfg := smallConfig()
+		e := New(cfg)
+		l := e.NewLock(LockSpec{Kind: KindMCS, Mode: ModeSpin})
+		for i := 0; i < 4; i++ {
+			id := i
+			phase := 0
+			addrs := make([]uint64, 32)
+			e.Spawn(BehaviorFunc(func(t *Thread) Action {
+				switch phase {
+				case 0:
+					phase = 1
+					for j := range addrs {
+						line := t.Rng.Intn(footLines)
+						addrs[j] = uint64(id)<<32 | uint64(line*64)
+					}
+					return Action{Kind: ActWork, Dur: 500, Addrs: addrs}
+				case 1:
+					phase = 2
+					return Action{Kind: ActAcquire, Lock: l}
+				case 2:
+					phase = 3
+					return Action{Kind: ActRelease, Lock: l}
+				default:
+					phase = 0
+					return Action{Kind: ActStep}
+				}
+			}))
+		}
+		return e.RunMeasured(1_000_000, 5_000_000).Steps
+	}
+	small := run(64)     // fits private cache
+	large := run(100000) // far beyond LLC
+	if large*2 > small {
+		t.Fatalf("over-capacity footprint should at least halve throughput: small=%d large=%d", small, large)
+	}
+}
+
+func TestCollectBeforeResetIsSane(t *testing.T) {
+	e := New(smallConfig())
+	_ = e.NewLock(LockSpec{Kind: KindNull})
+	res := e.Collect()
+	if res.Steps != 0 || res.Cycles <= 0 {
+		t.Fatalf("empty engine collect: %+v", res)
+	}
+}

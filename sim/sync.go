@@ -1,0 +1,125 @@
+package sim
+
+import "repro/internal/core"
+
+// Cond is a condition variable living in the simulated world, with a
+// policy-controlled wait queue: appendProb 1 is strict FIFO, 0 is pure
+// LIFO, and 1/1000 is the paper's mostly-LIFO CR policy (§6.10).
+type Cond struct {
+	e          *Engine
+	mode       WaitMode
+	appendProb float64
+	waiters    []*Thread // index 0 = head (next to be signaled)
+	trial      *core.Trial
+
+	Signals uint64 // signals that woke a waiter
+	Empty   uint64 // signals with no waiter
+}
+
+// NewCond creates a condition variable. mode selects how waiters wait
+// (the paper's condvar experiments use unbounded spinning; production
+// condvars park).
+func (e *Engine) NewCond(appendProb float64, mode WaitMode) *Cond {
+	return &Cond{
+		e:          e,
+		mode:       mode,
+		appendProb: appendProb,
+		trial:      core.NewTrial(0, e.cfg.Seed*104729+uint64(len(e.threads))+3),
+	}
+}
+
+func (c *Cond) enqueueWaiter(t *Thread) {
+	if len(c.waiters) == 0 || c.trial.Prob(c.appendProb) {
+		c.waiters = append(c.waiters, t) // append at tail (FIFO-style)
+		return
+	}
+	// Prepend at head (LIFO-style: CR admission).
+	c.waiters = append(c.waiters, nil)
+	copy(c.waiters[1:], c.waiters)
+	c.waiters[0] = t
+}
+
+// signal wakes the head waiter; returns the waker's cost.
+func (c *Cond) signal() Cycles {
+	if len(c.waiters) == 0 {
+		c.Empty++
+		return 0
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.Signals++
+	w.granted = true // signaled; afterWake will reacquire w.reacquire
+	return c.e.wake(w)
+}
+
+// broadcast wakes every waiter; returns the waker's cost.
+func (c *Cond) broadcast() Cycles {
+	var cost Cycles
+	for _, w := range c.waiters {
+		w.granted = true
+		cost += c.e.wake(w)
+		c.Signals++
+	}
+	c.waiters = c.waiters[:0]
+	return cost
+}
+
+// Len reports the current number of waiters.
+func (c *Cond) Len() int { return len(c.waiters) }
+
+// Sem is a counting semaphore in the simulated world with
+// policy-controlled waiter admission (§6.11).
+type Sem struct {
+	e          *Engine
+	mode       WaitMode
+	appendProb float64
+	count      int
+	waiters    []*Thread
+	trial      *core.Trial
+}
+
+// NewSem creates a semaphore with n initial permits.
+func (e *Engine) NewSem(n int, appendProb float64, mode WaitMode) *Sem {
+	return &Sem{
+		e:          e,
+		mode:       mode,
+		appendProb: appendProb,
+		count:      n,
+		trial:      core.NewTrial(0, e.cfg.Seed*130363+uint64(len(e.threads))+5),
+	}
+}
+
+// acquire takes a permit for t; reports whether it was immediate.
+func (s *Sem) acquire(t *Thread) bool {
+	if s.count > 0 && len(s.waiters) == 0 {
+		s.count--
+		return true
+	}
+	if len(s.waiters) == 0 || s.trial.Prob(s.appendProb) {
+		s.waiters = append(s.waiters, t)
+	} else {
+		s.waiters = append(s.waiters, nil)
+		copy(s.waiters[1:], s.waiters)
+		s.waiters[0] = t
+	}
+	t.granted = false
+	t.syncWait = true
+	s.e.startWaiting(t, s.mode)
+	return false
+}
+
+// release returns a permit, handing it directly to the head waiter if one
+// exists; returns the waker's cost.
+func (s *Sem) release() Cycles {
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		w.granted = true
+		return s.e.wake(w)
+	}
+	s.count++
+	return 0
+}
+
+// Count reports available permits.
+func (s *Sem) Count() int { return s.count }

@@ -1,0 +1,125 @@
+package sim
+
+import "repro/internal/xrand"
+
+// ActionKind enumerates the primitive operations a simulated thread can
+// perform.
+type ActionKind uint8
+
+const (
+	// ActWork executes Dur cycles of computation plus the memory accesses
+	// in Addrs (each charged through the cache hierarchy).
+	ActWork ActionKind = iota
+	// ActAcquire acquires Lock, waiting per the lock's policy.
+	ActAcquire
+	// ActRelease releases Lock.
+	ActRelease
+	// ActWait releases Lock, waits on Cond, and reacquires Lock before
+	// continuing (condition-variable wait; callers re-check predicates in
+	// their Behavior, as with any condition variable).
+	ActWait
+	// ActSignal wakes one waiter of Cond.
+	ActSignal
+	// ActBroadcast wakes all waiters of Cond.
+	ActBroadcast
+	// ActSemAcquire obtains one permit from Sem, waiting if necessary.
+	ActSemAcquire
+	// ActSemRelease returns one permit to Sem.
+	ActSemRelease
+	// ActStep marks the completion of one workload iteration; it takes no
+	// simulated time and increments the thread's step counter (the
+	// benchmarks' unit of throughput).
+	ActStep
+	// ActDone terminates the thread.
+	ActDone
+)
+
+// Action is one primitive operation returned by a Behavior.
+type Action struct {
+	Kind  ActionKind
+	Dur   Cycles   // ActWork: compute cycles
+	Addrs []uint64 // ActWork: memory access virtual addresses
+	Lock  *Lock
+	Cond  *Cond
+	Sem   *Sem
+}
+
+// Behavior generates the action stream of one simulated thread. Next is
+// called whenever the thread is ready for its next operation; the returned
+// Action's Addrs slice may be reused across calls (the engine consumes it
+// before asking for the next action).
+type Behavior interface {
+	Next(t *Thread) Action
+}
+
+// BehaviorFunc adapts a function to the Behavior interface.
+type BehaviorFunc func(t *Thread) Action
+
+// Next implements Behavior.
+func (f BehaviorFunc) Next(t *Thread) Action { return f(t) }
+
+// threadState is the scheduler-visible state of a thread.
+type threadState uint8
+
+const (
+	stateReady    threadState = iota // runnable, waiting for a CPU
+	stateRunning                     // on a CPU, executing work
+	stateSpinning                    // on a CPU, polling for a lock grant
+	stateParked                      // blocked; not dispatchable
+	stateDone                        // exited
+)
+
+// Thread is one simulated thread.
+type Thread struct {
+	// ID identifies the thread; lock admission histories record it.
+	ID int
+	// Rng is a thread-local generator for workload address streams.
+	Rng xrand.State
+
+	beh Behavior
+
+	state   threadState
+	cpu     int // CPU index while running/spinning; -1 otherwise
+	lastCPU int // most recent CPU (wake affinity); -1 before first dispatch
+	core    int // last core dispatched on (affinity hint)
+	gen     uint64
+
+	quantumStart Cycles
+
+	// Lock-waiting bookkeeping.
+	waitLock  *Lock
+	waitStart Cycles
+	waitMode  WaitMode
+	granted   bool
+	// syncWait marks a thread blocked on a condition variable or
+	// semaphore (it distinguishes "redispatched after preemption while
+	// still waiting" from "woken by a signal/permit").
+	syncWait bool
+	// After a condition wait or signal, the thread must (re)acquire this
+	// lock before continuing its behavior.
+	reacquire *Lock
+
+	// Statistics.
+	Steps     uint64 // completed iterations (ActStep)
+	RunCycles Cycles // cycles spent on a CPU running (not spinning)
+	SpinCyc   Cycles // cycles spent spinning
+	Parks     uint64 // voluntary context switches
+
+	lastOnCPU Cycles // when the thread last got/changed CPU state (for accounting)
+}
+
+// State reports a coarse, test-visible classification of the thread state.
+func (t *Thread) State() string {
+	switch t.state {
+	case stateReady:
+		return "ready"
+	case stateRunning:
+		return "running"
+	case stateSpinning:
+		return "spinning"
+	case stateParked:
+		return "parked"
+	default:
+		return "done"
+	}
+}

@@ -1,0 +1,123 @@
+package workloads
+
+import (
+	"repro/internal/deque"
+	"repro/sim"
+)
+
+// BufferPoolParams configures the §6.11 Buffer Pool benchmark: a central
+// blocking pool of 5 one-megabyte buffers built from a pthread mutex, a
+// NotEmpty condition variable and a deque of buffer pointers, with LIFO
+// allocation. Each thread loops: take a buffer (waiting if none);
+// exchange 500 random locations between the buffer and a private buffer;
+// return the buffer; update 5000 random locations in the private buffer.
+//
+// The figure sweeps the condition variable's append probability P: P=1 is
+// FIFO, P=0 pure LIFO; "a mostly-prepend policy (say, 1/1000) yields most
+// of the throughput advantage of pure LIFO, but preserves long-term
+// fairness."
+type BufferPoolParams struct {
+	Buffers         int // 5
+	BufferBytes     int // 1 MB full scale, divided by cache scale
+	ExchangeTouches int // 500
+	PrivateTouches  int // 5000
+}
+
+// DefaultBufferPool returns the paper's parameters.
+func DefaultBufferPool() BufferPoolParams {
+	return BufferPoolParams{Buffers: 5, BufferBytes: 1 << 20, ExchangeTouches: 500, PrivateTouches: 5000}
+}
+
+type poolThread struct {
+	l        *sim.Lock
+	notEmpty *sim.Cond
+	pool     *deque.Deque
+	p        BufferPoolParams
+	span     int
+	priv     uint64
+
+	phase int
+	buf   uint64
+	addrs []uint64
+}
+
+func (pt *poolThread) Next(t *sim.Thread) sim.Action {
+	switch pt.phase {
+	case 0: // allocate a buffer from the pool
+		pt.phase = 1
+		return sim.Action{Kind: sim.ActAcquire, Lock: pt.l}
+	case 1:
+		if pt.pool.Len() == 0 {
+			return sim.Action{Kind: sim.ActWait, Cond: pt.notEmpty, Lock: pt.l}
+		}
+		// LIFO allocation policy: most recently returned buffer first.
+		pt.buf, _ = pt.pool.PopBack()
+		pt.phase = 2
+		return sim.Action{Kind: sim.ActRelease, Lock: pt.l}
+	case 2: // exchange 500 random locations buffer <-> private
+		pt.phase = 3
+		pt.addrs = pt.addrs[:0]
+		for k := 0; k < pt.p.ExchangeTouches; k++ {
+			pt.addrs = append(pt.addrs, randIn(t, pt.buf, pt.span))
+			pt.addrs = append(pt.addrs, randIn(t, pt.priv, pt.span))
+		}
+		return sim.Action{Kind: sim.ActWork, Dur: sim.Cycles(pt.p.ExchangeTouches) * 8, Addrs: pt.addrs}
+	case 3: // return the buffer
+		pt.phase = 4
+		return sim.Action{Kind: sim.ActAcquire, Lock: pt.l}
+	case 4:
+		pt.pool.PushBack(pt.buf)
+		pt.phase = 5
+		return sim.Action{Kind: sim.ActSignal, Cond: pt.notEmpty}
+	case 5:
+		pt.phase = 6
+		return sim.Action{Kind: sim.ActRelease, Lock: pt.l}
+	case 6: // private update phase
+		pt.phase = 7
+		pt.addrs = pt.addrs[:0]
+		for k := 0; k < pt.p.PrivateTouches; k++ {
+			pt.addrs = append(pt.addrs, randIn(t, pt.priv, pt.span))
+		}
+		return sim.Action{Kind: sim.ActWork, Dur: sim.Cycles(pt.p.PrivateTouches) * 4, Addrs: pt.addrs}
+	default:
+		pt.phase = 0
+		return sim.Action{Kind: sim.ActStep}
+	}
+}
+
+// BuildBufferPool spawns n threads over a pool whose NotEmpty condition
+// variable appends with probability condAppendProb. Both the mutex and
+// the condvar use unbounded spinning, as in the paper's Figure 14 runs.
+func BuildBufferPool(e *sim.Engine, l *sim.Lock, n int, p BufferPoolParams, condAppendProb float64) {
+	scale := e.Config().Cache.Scale
+	span := p.BufferBytes / scale
+	if span < 4096 {
+		span = 4096
+	}
+	// Scale the per-iteration touch counts with the buffer so an
+	// iteration covers a similar fraction of the buffer at any scale.
+	pp := p
+	pp.ExchangeTouches = p.ExchangeTouches / scale
+	if pp.ExchangeTouches < 32 {
+		pp.ExchangeTouches = 32
+	}
+	pp.PrivateTouches = p.PrivateTouches / scale
+	if pp.PrivateTouches < 64 {
+		pp.PrivateTouches = 64
+	}
+	pool := &deque.Deque{}
+	for b := 0; b < p.Buffers; b++ {
+		pool.PushBack(sharedBase + uint64(b+1)*(uint64(span)+4096))
+	}
+	notEmpty := e.NewCond(condAppendProb, sim.ModeSpin)
+	for i := 0; i < n; i++ {
+		e.Spawn(&poolThread{
+			l:        l,
+			notEmpty: notEmpty,
+			pool:     pool,
+			p:        pp,
+			span:     span,
+			priv:     PrivateBase(i),
+		})
+	}
+}

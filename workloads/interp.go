@@ -1,0 +1,106 @@
+package workloads
+
+import "repro/sim"
+
+// InterpParams configures the §6.10 perl benchmark: RandArray
+// transliterated to an interpreted language. Perl's lock construct is a
+// pthread mutex, a condition variable and an owner field; waiting happens
+// on the condition variable, the mutex itself is rarely contended, and so
+// "CR on the mutex would provide no benefit for such a design. Instead,
+// we apply CR via the condition variable."
+//
+// The interpreter is modeled by a large per-step cycle cost (bytecode
+// dispatch dominates; absolute rates are "far below that of RandArray").
+type InterpParams struct {
+	ArrayElems    int        // 50000 in the paper
+	ElemBytes     int        // a perl integer is an SV of ~24 bytes, not 4
+	NCSAccesses   int        // 400
+	CSAccesses    int        // 100
+	InterpPerStep sim.Cycles // interpreter overhead per loop step
+}
+
+// DefaultInterp returns the paper's parameters.
+func DefaultInterp() InterpParams {
+	return InterpParams{ArrayElems: 50_000, ElemBytes: 24, NCSAccesses: 400, CSAccesses: 100, InterpPerStep: 500}
+}
+
+// perlLock is the perl lock construct: mutex + condvar + owner flag.
+type perlLock struct {
+	mu    *sim.Lock
+	cv    *sim.Cond
+	owner int // -1 free; owner thread id otherwise (guarded by mu)
+}
+
+// interpThread runs the transliterated RandArray loop over a perlLock.
+type interpThread struct {
+	pl    *perlLock
+	p     InterpParams
+	span  int
+	priv  uint64
+	phase int
+	buf   []uint64
+}
+
+func (it *interpThread) Next(t *sim.Thread) sim.Action {
+	switch it.phase {
+	case 0: // NCS over the private array
+		it.phase = 1
+		it.buf = it.buf[:0]
+		for k := 0; k < it.p.NCSAccesses; k++ {
+			it.buf = append(it.buf, randIn(t, it.priv, it.span))
+		}
+		return sim.Action{Kind: sim.ActWork,
+			Dur: sim.Cycles(it.p.NCSAccesses) * it.p.InterpPerStep, Addrs: it.buf}
+	case 1: // perl lock(): acquire mutex
+		it.phase = 2
+		return sim.Action{Kind: sim.ActAcquire, Lock: it.pl.mu}
+	case 2: // while owned by someone else, wait on the condvar
+		if it.pl.owner >= 0 {
+			return sim.Action{Kind: sim.ActWait, Cond: it.pl.cv, Lock: it.pl.mu}
+		}
+		it.pl.owner = t.ID
+		it.phase = 3
+		return sim.Action{Kind: sim.ActRelease, Lock: it.pl.mu}
+	case 3: // CS over the shared array (perl lock held via owner field)
+		it.phase = 4
+		it.buf = it.buf[:0]
+		for k := 0; k < it.p.CSAccesses; k++ {
+			it.buf = append(it.buf, randIn(t, sharedBase, it.span))
+		}
+		return sim.Action{Kind: sim.ActWork,
+			Dur: sim.Cycles(it.p.CSAccesses) * it.p.InterpPerStep, Addrs: it.buf}
+	case 4: // perl unlock(): acquire mutex, clear owner, signal, release
+		it.phase = 5
+		return sim.Action{Kind: sim.ActAcquire, Lock: it.pl.mu}
+	case 5:
+		it.pl.owner = -1
+		it.phase = 6
+		return sim.Action{Kind: sim.ActSignal, Cond: it.pl.cv}
+	case 6:
+		it.phase = 7
+		return sim.Action{Kind: sim.ActRelease, Lock: it.pl.mu}
+	default:
+		it.phase = 0
+		return sim.Action{Kind: sim.ActStep}
+	}
+}
+
+// BuildInterp spawns n interpreter threads sharing one perl lock whose
+// condition variable uses the given append probability (1 = FIFO,
+// 1/1000 = mostly-LIFO CR). The mutex is classic MCS, as in the paper;
+// the experiment uses unbounded spinning.
+func BuildInterp(e *sim.Engine, n int, p InterpParams, condAppendProb float64) {
+	scale := e.Config().Cache.Scale
+	span := p.ArrayElems * p.ElemBytes / scale
+	if span < 4096 {
+		span = 4096
+	}
+	pl := &perlLock{
+		mu:    e.NewLock(sim.LockSpec{Kind: sim.KindMCS, Mode: sim.ModeSpin}),
+		cv:    e.NewCond(condAppendProb, sim.ModeSpin),
+		owner: -1,
+	}
+	for i := 0; i < n; i++ {
+		e.Spawn(&interpThread{pl: pl, p: p, span: span, priv: PrivateBase(i)})
+	}
+}

@@ -1,0 +1,198 @@
+package workloads
+
+import (
+	"repro/internal/rbtree"
+	"repro/sim"
+)
+
+// SimpleLRU ports the CEPH SimpleLRU class used in §6.9: "a C++ std::map
+// — implemented via a red-black tree — protected by a single mutex",
+// plus a doubly-linked recency list. On a miss the key itself is
+// installed as the value; capacity is enforced by trimming the list tail.
+//
+// Every entry remembers which thread installed it, so the cache exposes
+// the self- vs other-displacement discrimination the paper notes is
+// trivial to collect here ("In LRUCache it is trivial to collect
+// displacement statistics and discern self-displacement of cache elements
+// versus displacement caused by other threads, which reflects destructive
+// interference.").
+type SimpleLRU struct {
+	tree     *rbtree.Tree
+	capacity int
+
+	entries    []lruEntry
+	free       []int
+	head, tail int // recency list; -1 when empty
+
+	touch    *[]uint64
+	addrBase uint64
+
+	// Stats.
+	Hits, Misses  uint64
+	SelfDisplace  uint64 // trimmed entry was installed by the requester
+	OtherDisplace uint64 // trimmed entry was installed by another thread
+}
+
+type lruEntry struct {
+	key        uint64
+	inserter   int
+	prev, next int
+	addr       uint64
+}
+
+// NewSimpleLRU creates a cache bounded to capacity entries.
+func NewSimpleLRU(capacity int, base uint64) *SimpleLRU {
+	c := &SimpleLRU{
+		tree:     rbtree.New(),
+		capacity: capacity,
+		head:     -1,
+		tail:     -1,
+		addrBase: base,
+	}
+	buf := make([]uint64, 0, 128)
+	c.touch = &buf
+	next := base
+	c.tree.NextAddr = func() uint64 { next += 96; return next }
+	c.tree.Touch = func(addr uint64) { *c.touch = append(*c.touch, addr) }
+	return c
+}
+
+func (c *SimpleLRU) touchEntry(i int) {
+	*c.touch = append(*c.touch, c.entries[i].addr)
+}
+
+func (c *SimpleLRU) unlink(i int) {
+	e := &c.entries[i]
+	if e.prev >= 0 {
+		c.entries[e.prev].next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next >= 0 {
+		c.entries[e.next].prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = -1, -1
+}
+
+func (c *SimpleLRU) pushFront(i int) {
+	e := &c.entries[i]
+	e.prev, e.next = -1, c.head
+	if c.head >= 0 {
+		c.entries[c.head].prev = i
+	}
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
+	}
+}
+
+// Lookup performs one cached access by thread id. It returns whether the
+// key hit, and appends all touched virtual addresses to addrs.
+func (c *SimpleLRU) Lookup(id int, key uint64, addrs []uint64) (bool, []uint64) {
+	*c.touch = (*c.touch)[:0]
+	idx, ok := c.tree.Get(key + 1)
+	if ok {
+		c.Hits++
+		i := int(idx)
+		c.touchEntry(i)
+		// Move to front of the recency list.
+		c.unlink(i)
+		c.pushFront(i)
+	} else {
+		c.Misses++
+		// Install key→key ("on a cache miss we simply install the key
+		// itself as the value").
+		var i int
+		if n := len(c.free); n > 0 {
+			i = c.free[n-1]
+			c.free = c.free[:n-1]
+		} else {
+			c.entries = append(c.entries, lruEntry{})
+			i = len(c.entries) - 1
+			c.entries[i].addr = c.addrBase + uint64(i)*64 + 32
+		}
+		c.entries[i] = lruEntry{key: key, inserter: id, prev: -1, next: -1, addr: c.entries[i].addr}
+		c.tree.Put(key+1, uint64(i))
+		c.pushFront(i)
+		c.touchEntry(i)
+		// Trim beyond capacity.
+		if c.tree.Len() > c.capacity {
+			victim := c.tail
+			c.touchEntry(victim)
+			c.unlink(victim)
+			c.tree.Delete(c.entries[victim].key + 1)
+			if c.entries[victim].inserter == id {
+				c.SelfDisplace++
+			} else {
+				c.OtherDisplace++
+			}
+			c.free = append(c.free, victim)
+		}
+	}
+	return ok, append(addrs, *c.touch...)
+}
+
+// Len returns the number of cached entries.
+func (c *SimpleLRU) Len() int { return c.tree.Len() }
+
+// LRUCacheParams configures the §6.9 LRUCache benchmark: like keymap, but
+// the CS performs lookups on the shared software LRU cache. "Threads in
+// LRUCache compete for occupancy in the software LRU cache" — the cache
+// is "conceptually equivalent to a small shared hardware cache having
+// perfect (ideal) associativity", so CR lowers its miss rate.
+type LRUCacheParams struct {
+	Capacity   int     // 10000
+	KeyRange   int     // 1,000,000
+	KeysetSize int     // 1000
+	ReuseProb  float64 // replacement probability is 1-ReuseProb = 0.01
+	NCSSpins   int
+}
+
+// DefaultLRUCache returns the paper's parameters.
+func DefaultLRUCache() LRUCacheParams {
+	return LRUCacheParams{Capacity: 10_000, KeyRange: 1_000_000, KeysetSize: 1000, ReuseProb: 0.99, NCSSpins: 1000}
+}
+
+// BuildLRUCache spawns n threads doing SimpleLRU lookups under l. The
+// cache capacity is scaled with the engine's cache scale (it plays the
+// role of a shared cache); key range scales identically so hit ratios are
+// preserved.
+func BuildLRUCache(e *sim.Engine, l *sim.Lock, n int, p LRUCacheParams) *SimpleLRU {
+	scale := e.Config().Cache.Scale
+	capacity := p.Capacity / scale
+	if capacity < 256 {
+		capacity = 256
+	}
+	keyRange := p.KeyRange / scale
+	if keyRange < capacity*4 {
+		keyRange = capacity * 4
+	}
+	cache := NewSimpleLRU(capacity, sharedBase)
+	init := newWorkloadRng(e, 0x12c)
+	for i := 0; i < n; i++ {
+		id := i
+		keyset := make([]uint64, p.KeysetSize)
+		for k := range keyset {
+			keyset[k] = uint64(init.Intn(keyRange))
+		}
+		priv := PrivateBase(i)
+		e.Spawn(&Circuit{
+			Lock: l,
+			NCS: func(t *sim.Thread, addrs []uint64) (sim.Cycles, []uint64) {
+				return sim.Cycles(p.NCSSpins) * 6, addrs
+			},
+			CS: func(t *sim.Thread, addrs []uint64) (sim.Cycles, []uint64) {
+				idx := t.Rng.Intn(len(keyset))
+				addrs = append(addrs, priv+uint64(idx)*8)
+				if !t.Rng.Prob(p.ReuseProb) {
+					keyset[idx] = uint64(t.Rng.Intn(keyRange))
+				}
+				_, addrs = cache.Lookup(id, keyset[idx], addrs)
+				return 500, addrs
+			},
+		})
+	}
+	return cache
+}

@@ -1,0 +1,119 @@
+package workloads
+
+import (
+	"repro/internal/splay"
+	"repro/sim"
+)
+
+// MmicroParams configures the §6.4 malloc scalability benchmark over the
+// splay-tree arena allocator (the Solaris libc design: a splay tree
+// protected by a central mutex). Each thread loops: allocate and zero
+// Blocks blocks of BlockBytes, then free them all. Every malloc and free
+// acquires the central lock; the splay tree's own metadata traffic is the
+// CS footprint, and the zeroing of freshly allocated blocks is the NCS
+// footprint.
+type MmicroParams struct {
+	Blocks     int // allocations per episode (1000 in the paper)
+	BlockBytes int // 1000 in the paper
+	OpCycles   sim.Cycles
+}
+
+// DefaultMmicro returns the paper's parameters, with the episode length
+// divided by the cache scale so the heap footprint keeps its ratio to the
+// LLC.
+func DefaultMmicro(scale int) MmicroParams {
+	blocks := 1000 / scale
+	if blocks < 8 {
+		blocks = 8
+	}
+	return MmicroParams{Blocks: blocks, BlockBytes: 1000, OpCycles: 300}
+}
+
+// mmicroThread is one thread's episode state machine: allocate phase,
+// then free phase, one lock acquisition per operation.
+type mmicroThread struct {
+	l     *sim.Lock
+	a     *splay.Allocator
+	p     MmicroParams
+	touch *[]uint64
+
+	phase   int // 0 ncs-ish gap, 1 acquire, 2 cs-op, 3 release, 4 use/step
+	idx     int
+	freeing bool
+	ptrs    []uint64
+	buf     []uint64
+}
+
+func (m *mmicroThread) Next(t *sim.Thread) sim.Action {
+	switch m.phase {
+	case 0:
+		m.phase = 1
+		return sim.Action{Kind: sim.ActAcquire, Lock: m.l}
+	case 1:
+		// Critical section: perform the allocator operation now; the
+		// splay tree reports every metadata line it touches.
+		m.phase = 2
+		*m.touch = (*m.touch)[:0]
+		if !m.freeing {
+			p := m.a.Alloc(uint64(m.p.BlockBytes))
+			if p == 0 {
+				// Arena exhausted (should not happen; sized generously).
+				// Restart the episode by freeing what we have.
+				m.freeing = true
+				m.idx = 0
+				m.phase = 3
+				return sim.Action{Kind: sim.ActRelease, Lock: m.l}
+			}
+			m.ptrs[m.idx] = p
+		} else {
+			m.a.Free(m.ptrs[m.idx], uint64(m.p.BlockBytes))
+		}
+		m.buf = append(m.buf[:0], *m.touch...)
+		return sim.Action{Kind: sim.ActWork, Dur: m.p.OpCycles, Addrs: m.buf}
+	case 2:
+		m.phase = 3
+		return sim.Action{Kind: sim.ActRelease, Lock: m.l}
+	case 3:
+		if !m.freeing {
+			// NCS: zero the freshly allocated block (write traffic over
+			// its lines).
+			m.phase = 4
+			p := m.ptrs[m.idx]
+			m.buf = m.buf[:0]
+			for off := 0; off < m.p.BlockBytes; off += 64 {
+				m.buf = append(m.buf, p+uint64(off))
+			}
+			return sim.Action{Kind: sim.ActWork, Dur: 100, Addrs: m.buf}
+		}
+		// A free completes one malloc-free pair.
+		m.phase = 4
+		return sim.Action{Kind: sim.ActStep}
+	default:
+		m.idx++
+		if m.idx >= m.p.Blocks {
+			m.idx = 0
+			m.freeing = !m.freeing
+		}
+		m.phase = 0
+		return sim.Action{Kind: sim.ActWork, Dur: 50} // inter-op gap
+	}
+}
+
+// BuildMmicro spawns n allocator-hammering threads over one shared arena
+// protected by l. It returns the allocator for inspection.
+func BuildMmicro(e *sim.Engine, l *sim.Lock, n int, p MmicroParams) *splay.Allocator {
+	arenaNeed := uint64(2*n*p.Blocks*(p.BlockBytes+64)) + 1<<20
+	a := splay.New(sharedBase, arenaNeed)
+	touch := make([]uint64, 0, 256)
+	a.Touch = func(addr uint64) { touch = append(touch, addr) }
+	for i := 0; i < n; i++ {
+		e.Spawn(&mmicroThread{
+			l:     l,
+			a:     a,
+			p:     p,
+			touch: &touch,
+			ptrs:  make([]uint64, p.Blocks),
+		})
+	}
+	return a
+}

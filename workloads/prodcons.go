@@ -1,0 +1,118 @@
+package workloads
+
+import (
+	"repro/internal/deque"
+	"repro/sim"
+)
+
+// ProdConsParams configures the §6.7 producer-consumer benchmark from the
+// COZ package: a bounded blocking queue built from one mutex, two
+// condition variables (not-empty, not-full) and a deque. The benchmark
+// fixes the consumer count and varies producers, "modeling an environment
+// with 3 server threads and a variable number of clients". A step is one
+// message consumed.
+//
+// Under a FIFO lock producers suffer futile acquisitions (acquire, find
+// the queue full, block on the condvar, reacquire later): 3 lock
+// acquisitions per message. Under a CR lock the system enters the "fast
+// flow" mode with 2 acquisitions per message and waiting concentrated on
+// the mutex rather than the condition variables.
+type ProdConsParams struct {
+	Consumers int // 3
+	Bound     int // queue capacity (10000 in the paper; scale-divided)
+	WorkNCS   sim.Cycles
+}
+
+// DefaultProdCons returns the paper's parameters.
+func DefaultProdCons() ProdConsParams {
+	return ProdConsParams{Consumers: 3, Bound: 10_000, WorkNCS: 1500}
+}
+
+type producer struct {
+	l        *sim.Lock
+	notFull  *sim.Cond
+	notEmpty *sim.Cond
+	q        *deque.Deque
+	bound    int
+	ncs      sim.Cycles
+	phase    int
+}
+
+func (p *producer) Next(t *sim.Thread) sim.Action {
+	switch p.phase {
+	case 0:
+		p.phase = 1
+		return sim.Action{Kind: sim.ActWork, Dur: p.ncs}
+	case 1:
+		p.phase = 2
+		return sim.Action{Kind: sim.ActAcquire, Lock: p.l}
+	case 2:
+		if p.q.Len() >= p.bound {
+			// Futile acquisition: wait until not full (re-checks on
+			// wake, as condvar discipline requires).
+			return sim.Action{Kind: sim.ActWait, Cond: p.notFull, Lock: p.l}
+		}
+		p.q.PushBack(t.Rng.Next())
+		p.phase = 3
+		return sim.Action{Kind: sim.ActWork, Dur: 150} // queue insert cost
+	case 3:
+		p.phase = 4
+		return sim.Action{Kind: sim.ActSignal, Cond: p.notEmpty}
+	default:
+		p.phase = 0
+		return sim.Action{Kind: sim.ActRelease, Lock: p.l}
+	}
+}
+
+type consumer struct {
+	l        *sim.Lock
+	notFull  *sim.Cond
+	notEmpty *sim.Cond
+	q        *deque.Deque
+	phase    int
+}
+
+func (c *consumer) Next(t *sim.Thread) sim.Action {
+	switch c.phase {
+	case 0:
+		c.phase = 1
+		return sim.Action{Kind: sim.ActAcquire, Lock: c.l}
+	case 1:
+		if c.q.Len() == 0 {
+			return sim.Action{Kind: sim.ActWait, Cond: c.notEmpty, Lock: c.l}
+		}
+		c.q.PopFront()
+		c.phase = 2
+		return sim.Action{Kind: sim.ActWork, Dur: 150}
+	case 2:
+		c.phase = 3
+		return sim.Action{Kind: sim.ActSignal, Cond: c.notFull}
+	case 3:
+		c.phase = 4
+		return sim.Action{Kind: sim.ActRelease, Lock: c.l}
+	default:
+		c.phase = 0
+		return sim.Action{Kind: sim.ActStep} // one message conveyed
+	}
+}
+
+// BuildProdCons spawns the fixed consumers plus `producers` producer
+// threads. condAppendProb controls the condition variables' admission
+// policy (1 = FIFO as in the paper's baseline runs).
+func BuildProdCons(e *sim.Engine, l *sim.Lock, producers int, p ProdConsParams, condAppendProb float64, condMode sim.WaitMode) *deque.Deque {
+	scale := e.Config().Cache.Scale
+	bound := p.Bound / scale
+	if bound < 64 {
+		bound = 64
+	}
+	q := &deque.Deque{}
+	notFull := e.NewCond(condAppendProb, condMode)
+	notEmpty := e.NewCond(condAppendProb, condMode)
+	for i := 0; i < p.Consumers; i++ {
+		e.Spawn(&consumer{l: l, notFull: notFull, notEmpty: notEmpty, q: q})
+	}
+	for i := 0; i < producers; i++ {
+		e.Spawn(&producer{l: l, notFull: notFull, notEmpty: notEmpty, q: q, bound: bound, ncs: p.WorkNCS})
+	}
+	return q
+}

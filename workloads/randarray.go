@@ -1,0 +1,70 @@
+package workloads
+
+import "repro/sim"
+
+// RandArrayParams configures the §6.1 Random Access Array microbenchmark.
+//
+// Paper parameters (full scale): each thread loops over an NCS of 400
+// uniformly random fetches from a thread-private 1 MB array of 256 K
+// 32-bit integers, then a CS of 100 random fetches from a shared 1 MB
+// array. Arrays reside on large pages "to avoid DTLB concerns"; random
+// indexes defeat hardware prefetching (which the cache model does not
+// implement anyway). The ideal speedup is 5x.
+type RandArrayParams struct {
+	// ArrayBytes is the full-scale array size (1 MB in the paper). It is
+	// divided by the engine's cache Scale so footprint/LLC ratios match
+	// the paper at any scale.
+	ArrayBytes int
+	// NCSAccesses and CSAccesses are the loop trip counts (400 and 100).
+	NCSAccesses int
+	CSAccesses  int
+	// PerAccessCycles models the non-memory work of one loop iteration
+	// (index generation and bookkeeping).
+	PerAccessCycles sim.Cycles
+}
+
+// DefaultRandArray returns the paper's parameters.
+func DefaultRandArray() RandArrayParams {
+	return RandArrayParams{
+		ArrayBytes:      1 << 20,
+		NCSAccesses:     400,
+		CSAccesses:      100,
+		PerAccessCycles: 25,
+	}
+}
+
+// BuildRandArray spawns n threads running the RandArray loop over the
+// given lock. The engine's cache page size should be large (the arrays
+// live on large pages); use ConfigureLargePages before building.
+func BuildRandArray(e *sim.Engine, l *sim.Lock, n int, p RandArrayParams) {
+	scale := e.Config().Cache.Scale
+	span := p.ArrayBytes / scale
+	if span < 4096 {
+		span = 4096
+	}
+	for i := 0; i < n; i++ {
+		priv := PrivateBase(i)
+		e.Spawn(&Circuit{
+			Lock: l,
+			NCS: func(t *sim.Thread, addrs []uint64) (sim.Cycles, []uint64) {
+				for k := 0; k < p.NCSAccesses; k++ {
+					addrs = append(addrs, randIn(t, priv, span))
+				}
+				return sim.Cycles(p.NCSAccesses) * p.PerAccessCycles, addrs
+			},
+			CS: func(t *sim.Thread, addrs []uint64) (sim.Cycles, []uint64) {
+				for k := 0; k < p.CSAccesses; k++ {
+					addrs = append(addrs, randIn(t, sharedBase, span))
+				}
+				return sim.Cycles(p.CSAccesses) * p.PerAccessCycles, addrs
+			},
+		})
+	}
+}
+
+// ConfigureLargePages sets the TLB page size so that multi-megabyte
+// arrays span only a handful of pages, modeling the paper's use of large
+// pages for array-based workloads.
+func ConfigureLargePages(cfg *sim.Config) {
+	cfg.Cache.PageBytes = 4 << 20
+}

@@ -1,0 +1,77 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/sim"
+)
+
+// runRA runs RandArray at the given thread count and lock spec on the
+// full 128-CPU machine at cache scale 16.
+func runRA(threads int, spec sim.LockSpec) sim.Result {
+	cfg := sim.DefaultConfig(16)
+	ConfigureLargePages(&cfg)
+	e := sim.New(cfg)
+	l := e.NewLock(spec)
+	BuildRandArray(e, l, threads, DefaultRandArray())
+	return e.RunStandard(12_000_000)
+}
+
+func TestRandArrayShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	mcsS := sim.LockSpec{Kind: sim.KindMCS, Mode: sim.ModeSpin}
+	mcsSTP := sim.LockSpec{Kind: sim.KindMCS, Mode: sim.ModeSTP}
+	crS := sim.LockSpec{Kind: sim.KindMCSCR, Mode: sim.ModeSpin}
+	crSTP := sim.LockSpec{Kind: sim.KindMCSCR, Mode: sim.ModeSTP}
+
+	// Single thread: all locks within a few percent (CR does no harm
+	// absent contention).
+	base := runRA(1, mcsS).Steps
+	for name, spec := range map[string]sim.LockSpec{"MCS-STP": mcsSTP, "MCSCR-S": crS, "MCSCR-STP": crSTP} {
+		got := runRA(1, spec).Steps
+		lo, hi := base*95/100, base*105/100
+		if got < lo || got > hi {
+			t.Errorf("%s single-thread steps=%d, MCS-S=%d (must match)", name, got, base)
+		}
+	}
+
+	// 32 threads: the Fig 3/4 regime. MCS forms thrash the LLC; CR forms
+	// restrict and win.
+	resMCS := runRA(32, mcsS)
+	resMCSSTP := runRA(32, mcsSTP)
+	resCR := runRA(32, crSTP)
+	t.Logf("32T MCS-S:     %v", resMCS)
+	t.Logf("32T MCS-STP:   %v", resMCSSTP)
+	t.Logf("32T MCSCR-STP: %v", resCR)
+
+	if resCR.Steps < resMCS.Steps*3/2 {
+		t.Errorf("MCSCR-STP (%d) should beat MCS-S (%d) clearly at 32 threads", resCR.Steps, resMCS.Steps)
+	}
+	if resMCS.Steps < resMCSSTP.Steps {
+		t.Errorf("MCS-S (%d) should beat MCS-STP (%d) at 32 threads (paper Fig 4)", resMCS.Steps, resMCSSTP.Steps)
+	}
+	// Figure 4 fairness rows: FIFO LWSS ≈ 32, CR LWSS near saturation.
+	if resMCS.Fairness.AvgLWSS < 30 {
+		t.Errorf("MCS-S LWSS=%v want ~32", resMCS.Fairness.AvgLWSS)
+	}
+	if resCR.Fairness.AvgLWSS > 12 {
+		t.Errorf("MCSCR-STP LWSS=%v want near saturation (~5)", resCR.Fairness.AvgLWSS)
+	}
+	if resCR.Fairness.Gini <= resMCS.Fairness.Gini {
+		t.Errorf("CR should be short-term unfairer: Gini %v vs %v", resCR.Fairness.Gini, resMCS.Fairness.Gini)
+	}
+	// CR reduces L3 misses by a large factor (paper: 11M vs 152K).
+	if resCR.CacheStats.LLCMisses*4 > resMCS.CacheStats.LLCMisses {
+		t.Errorf("CR L3 misses %d not far below MCS-S %d",
+			resCR.CacheStats.LLCMisses, resMCS.CacheStats.LLCMisses)
+	}
+	// CR-STP consumes far less CPU and power.
+	if resCR.CPUUtil > resMCS.CPUUtil/2 {
+		t.Errorf("MCSCR-STP util %.1f not well below MCS-S %.1f", resCR.CPUUtil, resMCS.CPUUtil)
+	}
+	if resCR.DeltaWatts >= resMCS.DeltaWatts {
+		t.Errorf("MCSCR-STP watts %.0f not below MCS-S %.0f", resCR.DeltaWatts, resMCS.DeltaWatts)
+	}
+}

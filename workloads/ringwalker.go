@@ -1,0 +1,79 @@
+package workloads
+
+import "repro/sim"
+
+// RingWalkerParams configures the §6.2 core-level DTLB pressure
+// benchmark. Each thread owns a private circularly linked list of
+// Elements nodes, each 8 KB long on its own page; the NCS walks
+// NCSSteps private elements (resuming where the previous iteration
+// stopped), the CS advances CSSteps elements around a shared ring.
+//
+// The arithmetic of Figure 5: with 128 TLB entries per core, one thread's
+// ring (50 pages) plus the shared ring (50 pages) fits; two threads on
+// one core bring the span to 150 pages and the TLB thrashes.
+type RingWalkerParams struct {
+	Elements      int        // ring length (50)
+	ElementBytes  int        // 8192: one page per element
+	NCSSteps      int        // 50
+	CSSteps       int        // 10
+	PerStepCycles sim.Cycles // non-memory cost per element visit
+}
+
+// DefaultRingWalker returns the paper's parameters.
+func DefaultRingWalker() RingWalkerParams {
+	return RingWalkerParams{
+		Elements:      50,
+		ElementBytes:  8192,
+		NCSSteps:      50,
+		CSSteps:       10,
+		PerStepCycles: 20,
+	}
+}
+
+// ringState carries the walker positions; the shared ring position lives
+// in the workload (it is CS data, mutated under the lock).
+type ringState struct {
+	privatePos int
+	sharedPos  *int
+	offsets    []uint64 // per-element random page offsets ("colored")
+}
+
+// BuildRingWalker spawns n threads walking private and shared rings.
+// Rings are NOT scaled: DTLB entries are a count, not a byte capacity,
+// and the paper's inflection arithmetic depends on the exact page spans.
+func BuildRingWalker(e *sim.Engine, l *sim.Lock, n int, p RingWalkerParams) {
+	sharedPos := 0
+	// Random intra-page offsets to avoid cache index conflicts, as in the
+	// paper ("the offsets of elements within their respective pages were
+	// randomly colored").
+	offsets := make([]uint64, p.Elements*(n+1))
+	seedRng := newWorkloadRng(e, 0x51)
+	for i := range offsets {
+		offsets[i] = uint64(seedRng.Intn(p.ElementBytes/64)) * 64
+	}
+	elemAddr := func(base uint64, ring, idx int) uint64 {
+		return base + uint64(idx)*uint64(p.ElementBytes) + offsets[(ring*p.Elements+idx)%len(offsets)]
+	}
+	for i := 0; i < n; i++ {
+		st := &ringState{sharedPos: &sharedPos, offsets: offsets}
+		priv := PrivateBase(i)
+		ring := i + 1
+		e.Spawn(&Circuit{
+			Lock: l,
+			NCS: func(t *sim.Thread, addrs []uint64) (sim.Cycles, []uint64) {
+				for k := 0; k < p.NCSSteps; k++ {
+					st.privatePos = (st.privatePos + 1) % p.Elements
+					addrs = append(addrs, elemAddr(priv, ring, st.privatePos))
+				}
+				return sim.Cycles(p.NCSSteps) * p.PerStepCycles, addrs
+			},
+			CS: func(t *sim.Thread, addrs []uint64) (sim.Cycles, []uint64) {
+				for k := 0; k < p.CSSteps; k++ {
+					*st.sharedPos = (*st.sharedPos + 1) % p.Elements
+					addrs = append(addrs, elemAddr(sharedBase, 0, *st.sharedPos))
+				}
+				return sim.Cycles(p.CSSteps) * p.PerStepCycles, addrs
+			},
+		})
+	}
+}

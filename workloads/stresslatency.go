@@ -1,0 +1,38 @@
+package workloads
+
+import "repro/sim"
+
+// StressLatencyParams configures the §6.3 libslock stress_latency
+// benchmark: a cycle-bound loop with no memory accesses in either
+// section, isolating competition for core pipelines. The paper's command
+// line is -a 200 (CS delay iterations) and -p 5000 (NCS delay
+// iterations).
+type StressLatencyParams struct {
+	CSLoops       int        // 200
+	NCSLoops      int        // 5000
+	CyclesPerLoop sim.Cycles // delay-loop iteration cost
+}
+
+// DefaultStressLatency returns the paper's parameters.
+func DefaultStressLatency() StressLatencyParams {
+	return StressLatencyParams{CSLoops: 200, NCSLoops: 5000, CyclesPerLoop: 4}
+}
+
+// BuildStressLatency spawns n threads running the delay-loop circuit.
+// "Very few distinct locations are accessed": no memory traffic at all,
+// so the only collapse mode is pipeline (and eventually CPU) competition,
+// with the main inflection where spinning waiters start sharing cores
+// with working threads.
+func BuildStressLatency(e *sim.Engine, l *sim.Lock, n int, p StressLatencyParams) {
+	for i := 0; i < n; i++ {
+		e.Spawn(&Circuit{
+			Lock: l,
+			NCS: func(t *sim.Thread, addrs []uint64) (sim.Cycles, []uint64) {
+				return sim.Cycles(p.NCSLoops) * p.CyclesPerLoop, addrs
+			},
+			CS: func(t *sim.Thread, addrs []uint64) (sim.Cycles, []uint64) {
+				return sim.Cycles(p.CSLoops) * p.CyclesPerLoop, addrs
+			},
+		})
+	}
+}

@@ -1,0 +1,86 @@
+// Package workloads implements the benchmarks of the paper's evaluation
+// (§6) as simulator behaviors: randarray (Fig 3/4), ringwalker (Fig 5),
+// stresslatency (Fig 6), mmicro (Fig 7), kvstore (Fig 8), hashdb (Fig 9),
+// prodcons (Fig 10), keymap (Fig 11), lrucache (Fig 12), interp (Fig 13)
+// and bufferpool (Fig 14).
+//
+// Each workload constructs per-thread behaviors over a shared sim.Engine
+// plus any software substrate it needs (allocator, trees, queues). The
+// common shape is the paper's circulation loop: execute a non-critical
+// section, acquire a central lock, execute a critical section, release,
+// repeat. Address streams are synthesized over disjoint virtual regions:
+// thread-private regions for NCS data and a shared region for CS data, so
+// the cache model sees exactly the paper's footprints.
+package workloads
+
+import (
+	"repro/internal/xrand"
+	"repro/sim"
+)
+
+// Virtual address space layout. Regions are disjoint by construction.
+const (
+	sharedBase  = uint64(1) << 60 // CS (shared) data
+	privateStep = uint64(1) << 32 // per-thread NCS regions
+)
+
+// PrivateBase returns the base address of thread id's private region.
+func PrivateBase(id int) uint64 { return privateStep * uint64(id+1) }
+
+// Circuit is the canonical lock-circulation behavior: NCS work, acquire,
+// CS work, release, step. The NCS and CS callbacks fill in the work for
+// each iteration; either may be nil for "no work".
+type Circuit struct {
+	Lock *sim.Lock
+	// NCS and CS return compute cycles and fill addrs (reusing the
+	// provided buffer) with the memory accesses of this iteration.
+	NCS func(t *sim.Thread, addrs []uint64) (sim.Cycles, []uint64)
+	CS  func(t *sim.Thread, addrs []uint64) (sim.Cycles, []uint64)
+
+	phase int
+	buf   []uint64
+}
+
+// Next implements sim.Behavior.
+func (c *Circuit) Next(t *sim.Thread) sim.Action {
+	switch c.phase {
+	case 0: // non-critical section
+		c.phase = 1
+		if c.NCS == nil {
+			return sim.Action{Kind: sim.ActStep} // degenerate; keeps moving
+		}
+		dur, addrs := c.NCS(t, c.buf[:0])
+		c.buf = addrs[:0]
+		return sim.Action{Kind: sim.ActWork, Dur: dur, Addrs: addrs}
+	case 1:
+		c.phase = 2
+		return sim.Action{Kind: sim.ActAcquire, Lock: c.Lock}
+	case 2: // critical section
+		c.phase = 3
+		if c.CS == nil {
+			return sim.Action{Kind: sim.ActWork, Dur: 1}
+		}
+		dur, addrs := c.CS(t, c.buf[:0])
+		c.buf = addrs[:0]
+		return sim.Action{Kind: sim.ActWork, Dur: dur, Addrs: addrs}
+	case 3:
+		c.phase = 4
+		return sim.Action{Kind: sim.ActRelease, Lock: c.Lock}
+	default:
+		c.phase = 0
+		return sim.Action{Kind: sim.ActStep}
+	}
+}
+
+// randIn returns a uniformly random cache-line-aligned address within
+// [base, base+span).
+func randIn(t *sim.Thread, base uint64, spanBytes int) uint64 {
+	line := t.Rng.Intn(spanBytes / 64)
+	return base + uint64(line)*64
+}
+
+// newWorkloadRng returns a workload-construction generator derived from
+// the engine seed, keeping workload layout deterministic per run.
+func newWorkloadRng(e *sim.Engine, salt uint64) *xrand.State {
+	return xrand.New(e.Config().Seed*2654435761 + salt)
+}

@@ -1,0 +1,255 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/sim"
+)
+
+func t5(scale int) sim.Config { return sim.DefaultConfig(scale) }
+
+func mcsSTP() sim.LockSpec   { return sim.LockSpec{Kind: sim.KindMCS, Mode: sim.ModeSTP} }
+func mcsS() sim.LockSpec     { return sim.LockSpec{Kind: sim.KindMCS, Mode: sim.ModeSpin} }
+func mcscrSTP() sim.LockSpec { return sim.LockSpec{Kind: sim.KindMCSCR, Mode: sim.ModeSTP} }
+
+// checkProgress runs the engine and requires forward progress.
+func checkProgress(t *testing.T, e *sim.Engine, warm, meas sim.Cycles) sim.Result {
+	t.Helper()
+	_ = warm
+	res := e.RunStandard(meas)
+	if res.Halted {
+		t.Fatal("workload halted (deadlock or drained event queue)")
+	}
+	if res.Steps == 0 {
+		t.Fatal("no steps completed")
+	}
+	return res
+}
+
+func TestRingWalkerProgress(t *testing.T) {
+	cfg := t5(16)
+	e := sim.New(cfg)
+	l := e.NewLock(mcsSTP())
+	BuildRingWalker(e, l, 8, DefaultRingWalker())
+	checkProgress(t, e, 1_000_000, 5_000_000)
+}
+
+func TestRingWalkerTLBPressureShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	// Figure 5: the MCS forms hit DTLB thrash when two circulating
+	// threads share a core (span 150 pages > 128 entries); CR keeps the
+	// active set small enough to avoid it. Compare per-step TLB misses at
+	// 32 threads (16 cores => 2 threads/core for the FIFO lock).
+	run := func(spec sim.LockSpec) (uint64, uint64) {
+		cfg := t5(16)
+		e := sim.New(cfg)
+		l := e.NewLock(spec)
+		BuildRingWalker(e, l, 32, DefaultRingWalker())
+		res := e.RunStandard(9_000_000)
+		return res.CacheStats.TLBMisses, res.Steps
+	}
+	fifoMiss, fifoSteps := run(mcsS())
+	crMiss, crSteps := run(mcscrSTP())
+	fifoRate := float64(fifoMiss) / float64(fifoSteps)
+	crRate := float64(crMiss) / float64(crSteps)
+	if crRate*2 > fifoRate {
+		t.Fatalf("CR per-step TLB miss rate %.2f not well below FIFO %.2f", crRate, fifoRate)
+	}
+	if crSteps < fifoSteps {
+		t.Fatalf("CR steps %d below FIFO %d despite TLB relief", crSteps, fifoSteps)
+	}
+}
+
+func TestStressLatencyPipelineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	// Figure 6 is cycle-bound: beyond 16 threads (one per core), spinning
+	// waiters compete with workers for pipelines. MCSCR-STP parks its
+	// passive set and should win at 64 threads.
+	run := func(spec sim.LockSpec, n int) uint64 {
+		cfg := t5(16)
+		e := sim.New(cfg)
+		l := e.NewLock(spec)
+		BuildStressLatency(e, l, n, DefaultStressLatency())
+		return e.RunStandard(8_000_000).Steps
+	}
+	if fifo, cr := run(mcsS(), 64), run(mcscrSTP(), 64); cr <= fifo {
+		t.Fatalf("at 64 threads MCSCR-STP (%d) should beat MCS-S (%d)", cr, fifo)
+	}
+}
+
+func TestMmicroProgressAndReuse(t *testing.T) {
+	cfg := t5(16)
+	ConfigureLargePages(&cfg)
+	e := sim.New(cfg)
+	l := e.NewLock(mcsSTP())
+	a := BuildMmicro(e, l, 6, DefaultMmicro(16))
+	checkProgress(t, e, 2_000_000, 8_000_000)
+	if a.FreeBlocks() < 0 {
+		t.Fatal("allocator corrupted")
+	}
+}
+
+func TestKVStoreProgress(t *testing.T) {
+	cfg := t5(16)
+	ConfigureLargePages(&cfg)
+	e := sim.New(cfg)
+	l := e.NewLock(mcsSTP())
+	mem := BuildKVStore(e, l, 8, DefaultKVStore())
+	checkProgress(t, e, 1_000_000, 6_000_000)
+	if !mem.CheckInvariants() {
+		t.Fatal("memtable invariants violated after concurrent traffic")
+	}
+}
+
+func TestHashDBProgress(t *testing.T) {
+	cfg := t5(16)
+	ConfigureLargePages(&cfg)
+	e := sim.New(cfg)
+	l := e.NewLock(mcsSTP())
+	db := BuildHashDB(e, l, 8, DefaultHashDB())
+	checkProgress(t, e, 1_000_000, 6_000_000)
+	if db.Len() == 0 {
+		t.Fatal("database emptied unexpectedly")
+	}
+}
+
+func TestKeymapProgress(t *testing.T) {
+	cfg := t5(16)
+	ConfigureLargePages(&cfg)
+	e := sim.New(cfg)
+	l := e.NewLock(mcsSTP())
+	BuildKeymap(e, l, 8, DefaultKeymap())
+	checkProgress(t, e, 1_000_000, 6_000_000)
+}
+
+func TestProdConsConveysMessages(t *testing.T) {
+	cfg := t5(16)
+	e := sim.New(cfg)
+	l := e.NewLock(mcsSTP())
+	q := BuildProdCons(e, l, 8, DefaultProdCons(), 1.0, sim.ModeSTP)
+	res := checkProgress(t, e, 2_000_000, 8_000_000)
+	if q.Len() < 0 {
+		t.Fatal("queue corrupted")
+	}
+	if res.Steps < 100 {
+		t.Fatalf("only %d messages", res.Steps)
+	}
+}
+
+func TestProdConsFastFlowShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	// §6.7: CR locks enter "fast flow" (2 lock acquisitions/message vs
+	// 3); with many producers the CR configuration should convey at least
+	// as many messages.
+	run := func(spec sim.LockSpec) uint64 {
+		cfg := t5(16)
+		e := sim.New(cfg)
+		l := e.NewLock(spec)
+		BuildProdCons(e, l, 48, DefaultProdCons(), 1.0, sim.ModeSTP)
+		return e.RunStandard(9_000_000).Steps
+	}
+	fifo := run(mcsS())
+	cr := run(mcscrSTP())
+	if cr*10 < fifo*9 { // allow 10% noise, but CR must not collapse
+		t.Fatalf("CR prodcons %d well below FIFO %d", cr, fifo)
+	}
+}
+
+func TestLRUCacheSoftwareMissShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	// §6.9: CR reduces the *software* LRU miss rate — fewer distinct
+	// keysets competing for cache occupancy in a window.
+	run := func(spec sim.LockSpec) (*SimpleLRU, uint64) {
+		cfg := t5(16)
+		ConfigureLargePages(&cfg)
+		e := sim.New(cfg)
+		l := e.NewLock(spec)
+		c := BuildLRUCache(e, l, 32, DefaultLRUCache())
+		res := e.RunStandard(9_000_000)
+		return c, res.Steps
+	}
+	fifoCache, fifoSteps := run(mcsS())
+	crCache, crSteps := run(mcscrSTP())
+	fifoMiss := float64(fifoCache.Misses) / float64(fifoCache.Hits+fifoCache.Misses)
+	crMiss := float64(crCache.Misses) / float64(crCache.Hits+crCache.Misses)
+	t.Logf("software LRU miss rate: FIFO %.3f (steps %d) CR %.3f (steps %d)",
+		fifoMiss, fifoSteps, crMiss, crSteps)
+	if crMiss >= fifoMiss {
+		t.Fatalf("CR software miss rate %.3f not below FIFO %.3f", crMiss, fifoMiss)
+	}
+	if fifoCache.OtherDisplace == 0 {
+		t.Fatal("FIFO run recorded no cross-thread displacement")
+	}
+}
+
+func TestInterpProgressAndCRBenefit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	// Figure 13: mostly-LIFO condvar admission should beat FIFO around
+	// mid thread counts; throughput is far below RandArray (interpreter).
+	run := func(appendProb float64, n int) uint64 {
+		cfg := t5(16)
+		ConfigureLargePages(&cfg)
+		e := sim.New(cfg)
+		_ = e.NewLock(sim.LockSpec{Kind: sim.KindNull}) // primary slot
+		BuildInterp(e, n, DefaultInterp(), appendProb)
+		return e.RunStandard(12_000_000).Steps
+	}
+	fifo := run(1.0, 16)
+	lifo := run(1.0/1000, 16)
+	if fifo == 0 || lifo == 0 {
+		t.Fatal("interp made no progress")
+	}
+	if lifo < fifo {
+		t.Fatalf("mostly-LIFO (%d) below FIFO (%d) at 16 threads", lifo, fifo)
+	}
+}
+
+func TestBufferPoolPolicySweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	// Figure 14: pure prepend (P=0) best; mostly-prepend (1/1000) close;
+	// FIFO (P=1) worst.
+	run := func(appendProb float64) uint64 {
+		cfg := t5(16)
+		ConfigureLargePages(&cfg)
+		e := sim.New(cfg)
+		l := e.NewLock(sim.LockSpec{Kind: sim.KindMCS, Mode: sim.ModeSpin})
+		BuildBufferPool(e, l, 32, DefaultBufferPool(), appendProb)
+		return e.RunStandard(9_000_000).Steps
+	}
+	fifo := run(1.0)
+	mostly := run(1.0 / 1000)
+	lifo := run(0.0)
+	t.Logf("bufferpool steps: FIFO=%d mostly-LIFO=%d LIFO=%d", fifo, mostly, lifo)
+	if lifo < fifo {
+		t.Fatalf("LIFO (%d) should not lose to FIFO (%d)", lifo, fifo)
+	}
+	if mostly*10 < lifo*8 {
+		t.Fatalf("mostly-LIFO (%d) should capture most of pure LIFO's benefit (%d)", mostly, lifo)
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	run := func() uint64 {
+		cfg := t5(16)
+		ConfigureLargePages(&cfg)
+		e := sim.New(cfg)
+		l := e.NewLock(mcscrSTP())
+		BuildKeymap(e, l, 12, DefaultKeymap())
+		return e.RunStandard(4_000_000).Steps
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic workload: %d vs %d", a, b)
+	}
+}
