@@ -7,6 +7,12 @@
 //
 //	lockbench -lock mcscr -threads 8 -duration 2s
 //	lockbench -lock all -threads 16 -ncs 2000
+//	lockbench -lock all -json BENCH_locks.json
+//
+// With -json, the results table (plus each lock's CR event counters) is
+// also written to the named file as a machine-readable benchmark record;
+// BENCH_locks.json checked into the repository root tracks the perf
+// trajectory across changes.
 //
 // Note: host-machine numbers demonstrate lock overheads and fairness
 // behaviour, not the paper's hardware collapse curves — those come from
@@ -14,14 +20,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/lock"
 	"repro/metrics"
 )
@@ -41,6 +50,34 @@ func builders(seed uint64) map[string]func() lock.Mutex {
 	}
 }
 
+// result is one benchmark row, shaped for both the stdout table and the
+// -json record.
+type result struct {
+	Lock      string  `json:"lock"`
+	Threads   int     `json:"threads"`
+	Duration  float64 `json:"duration_sec"`
+	Ops       int     `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	AvgLWSS   float64 `json:"avg_lwss"`
+	MTTR      float64 `json:"mttr"`
+	Gini      float64 `json:"gini"`
+	RSTDDEV   float64 `json:"rstddev"`
+
+	// CR event counters, when the lock exposes them.
+	Stats map[string]uint64 `json:"stats,omitempty"`
+}
+
+// record is the top-level -json document: enough environment detail to
+// compare BENCH_locks.json files across machines and changes.
+type record struct {
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	GoVersion  string   `json:"go_version"`
+	NCS        int      `json:"ncs_spin"`
+	CS         int      `json:"cs_spin"`
+	Results    []result `json:"results"`
+}
+
 func main() {
 	var (
 		name     = flag.String("lock", "mcscr-stp", "lock to benchmark (or 'all')")
@@ -49,6 +86,7 @@ func main() {
 		ncs      = flag.Int("ncs", 500, "non-critical-section work (spin iterations)")
 		cs       = flag.Int("cs", 100, "critical-section work (spin iterations)")
 		seed     = flag.Uint64("seed", 1, "lock PRNG seed")
+		jsonPath = flag.String("json", "", "also write results to this file as JSON")
 	)
 	flag.Parse()
 
@@ -61,6 +99,13 @@ func main() {
 		}
 		sort.Strings(names)
 	}
+	rec := record{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		NCS:        *ncs,
+		CS:         *cs,
+	}
 	fmt.Printf("%-10s %10s %10s %8s %8s %8s %8s\n",
 		"lock", "ops", "ops/sec", "LWSS", "MTTR", "Gini", "RSTDDEV")
 	for _, n := range names {
@@ -69,7 +114,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "lockbench: unknown lock %q\n", n)
 			os.Exit(2)
 		}
-		run(n, build(), *threads, *duration, *ncs, *cs)
+		rec.Results = append(rec.Results, run(n, build(), *threads, *duration, *ncs, *cs))
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lockbench: marshal: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "lockbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -83,7 +140,7 @@ func spin(n int) {
 	atomic.StoreUint64(&sink, s)
 }
 
-func run(name string, m lock.Mutex, threads int, d time.Duration, ncs, cs int) {
+func run(name string, m lock.Mutex, threads int, d time.Duration, ncs, cs int) result {
 	rec := metrics.NewRecorder(1 << 20)
 	var stop atomic.Bool
 	var wg sync.WaitGroup
@@ -107,4 +164,30 @@ func run(name string, m lock.Mutex, threads int, d time.Duration, ncs, cs int) {
 	s := metrics.Summarize(h, metrics.DefaultWindow)
 	fmt.Printf("%-10s %10d %10.0f %8.1f %8.1f %8.3f %8.3f\n",
 		name, len(h), float64(len(h))/d.Seconds(), s.AvgLWSS, s.MTTR, s.Gini, s.RSTDDEV)
+	r := result{
+		Lock:      name,
+		Threads:   threads,
+		Duration:  d.Seconds(),
+		Ops:       len(h),
+		OpsPerSec: float64(len(h)) / d.Seconds(),
+		AvgLWSS:   s.AvgLWSS,
+		MTTR:      s.MTTR,
+		Gini:      s.Gini,
+		RSTDDEV:   s.RSTDDEV,
+	}
+	if sl, ok := m.(interface{ Stats() core.Snapshot }); ok {
+		snap := sl.Stats()
+		r.Stats = map[string]uint64{
+			"acquires":     snap.Acquires,
+			"handoffs":     snap.Handoffs,
+			"culls":        snap.Culls,
+			"reprovisions": snap.Reprovisions,
+			"promotions":   snap.Promotions,
+			"parks":        snap.Parks,
+			"unparks":      snap.Unparks,
+			"fast_path":    snap.FastPath,
+			"slow_path":    snap.SlowPath,
+		}
+	}
+	return r
 }

@@ -46,7 +46,10 @@ type Cond struct {
 	// L is held by callers of Wait, as with sync.Cond.
 	L sync.Locker
 
-	mu         lock.TAS // guards the wait list and trial
+	// mu guards the wait list and trial. The zero-value TAS carries no
+	// stats reference, so this internal latch is instrumentation-free:
+	// enqueue/dequeue pay no striped-counter updates on the signal path.
+	mu         lock.TAS
 	head, tail *waiter
 	size       int
 	appendProb float64

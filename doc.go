@@ -5,7 +5,8 @@
 //
 //   - package lock: the Malthusian lock family (MCSCR, LIFO-CR, LOITER)
 //     plus classic baselines (TAS, ticket, CLH, MCS) as real goroutine
-//     locks satisfying sync.Locker;
+//     locks satisfying sync.Locker, with cache-line-isolated hot fields
+//     and striped, optionally disabled (WithStats) event counters;
 //   - packages condvar and semaphore: concurrency-restricting waiter
 //     admission (mostly-LIFO) for condition variables and semaphores;
 //   - package metrics: the paper's fairness instruments (LWSS, MTTR,

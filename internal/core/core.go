@@ -16,8 +16,6 @@
 package core
 
 import (
-	"sync/atomic"
-
 	"repro/internal/xrand"
 )
 
@@ -84,47 +82,6 @@ func (t *Trial) Prob(p float64) bool {
 	return t.rng.Prob(p)
 }
 
-// Stats counts the CR events of a lock. All fields are atomics so readers
-// may snapshot concurrently with lock traffic; writers are the lock paths
-// themselves.
-type Stats struct {
-	Acquires     atomic.Uint64 // successful lock acquisitions
-	Handoffs     atomic.Uint64 // direct handoffs to a waiting successor
-	Culls        atomic.Uint64 // ACS→PS transfers (culling)
-	Reprovisions atomic.Uint64 // PS→ACS transfers to preserve work conservation
-	Promotions   atomic.Uint64 // PS→ownership fairness grafts (Bernoulli)
-	Parks        atomic.Uint64 // voluntary context switches: waiter parked
-	Unparks      atomic.Uint64 // wakeups issued to parked waiters
-	FastPath     atomic.Uint64 // uncontended / barging acquisitions
-	SlowPath     atomic.Uint64 // acquisitions that queued
-}
-
-// Snapshot is a plain-value copy of Stats.
-type Snapshot struct {
-	Acquires     uint64
-	Handoffs     uint64
-	Culls        uint64
-	Reprovisions uint64
-	Promotions   uint64
-	Parks        uint64
-	Unparks      uint64
-	FastPath     uint64
-	SlowPath     uint64
-}
-
-// Read returns a consistent-enough snapshot for reporting. Individual
-// counters are read atomically; cross-counter skew is acceptable for the
-// monitoring purposes they serve.
-func (s *Stats) Read() Snapshot {
-	return Snapshot{
-		Acquires:     s.Acquires.Load(),
-		Handoffs:     s.Handoffs.Load(),
-		Culls:        s.Culls.Load(),
-		Reprovisions: s.Reprovisions.Load(),
-		Promotions:   s.Promotions.Load(),
-		Parks:        s.Parks.Load(),
-		Unparks:      s.Unparks.Load(),
-		FastPath:     s.FastPath.Load(),
-		SlowPath:     s.SlowPath.Load(),
-	}
-}
+// The event counters a lock maintains (Stats, Snapshot, Event) live in
+// stats.go: a striped, cache-line-padded subsystem so the measurement
+// machinery itself stays invisible to the coherence fabric.

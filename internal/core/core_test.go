@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sync"
 	"testing"
 )
 
@@ -63,37 +62,4 @@ func TestTrialProb(t *testing.T) {
 	}
 }
 
-func TestStatsSnapshotConcurrent(t *testing.T) {
-	var s Stats
-	var wg sync.WaitGroup
-	for g := 0; g < 4; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := 0; i < 10_000; i++ {
-				s.Acquires.Add(1)
-				s.Culls.Add(1)
-			}
-		}()
-	}
-	done := make(chan struct{})
-	go func() {
-		// Concurrent snapshots must be safe (values monotone).
-		var last uint64
-		for i := 0; i < 1000; i++ {
-			snap := s.Read()
-			if snap.Acquires < last {
-				t.Error("acquires went backwards")
-				break
-			}
-			last = snap.Acquires
-		}
-		close(done)
-	}()
-	wg.Wait()
-	<-done
-	snap := s.Read()
-	if snap.Acquires != 40_000 || snap.Culls != 40_000 {
-		t.Fatalf("final snapshot %+v", snap)
-	}
-}
+// Stats tests (striping, disabled mode, layout) live in stats_test.go.

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Event identifies one of the CR event counters a lock maintains. Events
+// index into a stats stripe; the set mirrors the fields of Snapshot.
+type Event uint32
+
+const (
+	EvAcquires     Event = iota // successful lock acquisitions
+	EvHandoffs                  // direct handoffs to a waiting successor
+	EvCulls                     // ACS→PS transfers (culling)
+	EvReprovisions              // PS→ACS transfers to preserve work conservation
+	EvPromotions                // PS→ownership fairness grafts (Bernoulli)
+	EvParks                     // voluntary context switches: waiter parked
+	EvUnparks                   // wakeups issued to parked waiters
+	EvFastPath                  // uncontended / barging acquisitions
+	EvSlowPath                  // acquisitions that queued
+
+	numEvents
+)
+
+// stripeBytes is the footprint of one stripe: two cache lines, so adjacent
+// stripes never share a line even under the adjacent-line prefetcher.
+const stripeBytes = 128
+
+// stripe holds one full set of event counters on its own pair of cache
+// lines. Writers hash to a stripe; Read sums across all of them.
+type stripe struct {
+	c [numEvents]atomic.Uint64
+	_ [stripeBytes - (uintptr(numEvents) * 8)]byte
+}
+
+// Stats counts the CR events of a lock, striped across cache-line-padded
+// counter sets so concurrent writers on different processors do not fight
+// over a single hot line. A nil *Stats is valid and counts nothing: every
+// method no-ops, which is the WithStats(false) zero-instrumentation mode.
+//
+// Writers pick a stripe by a cheap per-goroutine hash (derived from the
+// goroutine's stack address), so each circulating goroutine tends to dirty
+// only its own stripe. Read sums the stripes into a Snapshot.
+type Stats struct {
+	stripes []stripe
+	mask    uint32
+}
+
+// NewStats returns striped stats sized to the host's true write
+// parallelism — min(GOMAXPROCS, NumCPU), rounded up to a power of two.
+// GOMAXPROCS alone overcounts on oversubscribed hosts (more Ps than
+// CPUs), where extra stripes cost cache footprint with no concurrent
+// writers to separate.
+func NewStats() *Stats {
+	n := runtime.GOMAXPROCS(0)
+	if c := runtime.NumCPU(); c < n {
+		n = c
+	}
+	return NewStatsStripes(n)
+}
+
+// NewStatsStripes returns stats with at least n stripes, rounded up to a
+// power of two (minimum 1).
+func NewStatsStripes(n int) *Stats {
+	if n < 1 {
+		n = 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return &Stats{stripes: make([]stripe, p), mask: uint32(p - 1)}
+}
+
+// Stripes reports the number of counter stripes (a power of two).
+func (s *Stats) Stripes() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.stripes)
+}
+
+// stripeFor picks the caller's stripe. Goroutine stacks are distinct
+// allocations at least 2 KiB apart, so the address of a stack variable,
+// coarsened to 1 KiB granularity and mixed by a Fibonacci hash, is a cheap
+// per-goroutine identifier — no atomics, no TLS, no runtime hooks. Stripe
+// choice only spreads contention; correctness never depends on stability.
+func (s *Stats) stripeFor() *stripe {
+	if s.mask == 0 {
+		// Single stripe (single-CPU host): skip the hash entirely.
+		return &s.stripes[0]
+	}
+	var probe byte
+	h := uint32(uintptr(unsafe.Pointer(&probe))>>10) * 0x9E3779B1
+	return &s.stripes[(h>>16)&s.mask]
+}
+
+// Inc adds one to event e. Nil-safe; the nil fast path is a single
+// predictable branch.
+func (s *Stats) Inc(e Event) {
+	if s == nil {
+		return
+	}
+	s.stripeFor().c[e].Add(1)
+}
+
+// Inc2 adds one to two events with a single stripe lookup.
+func (s *Stats) Inc2(a, b Event) {
+	if s == nil {
+		return
+	}
+	st := s.stripeFor()
+	st.c[a].Add(1)
+	st.c[b].Add(1)
+}
+
+// Inc3 adds one to three events with a single stripe lookup.
+func (s *Stats) Inc3(a, b, c Event) {
+	if s == nil {
+		return
+	}
+	st := s.stripeFor()
+	st.c[a].Add(1)
+	st.c[b].Add(1)
+	st.c[c].Add(1)
+}
+
+// Snapshot is a plain-value summary of Stats.
+type Snapshot struct {
+	Acquires     uint64
+	Handoffs     uint64
+	Culls        uint64
+	Reprovisions uint64
+	Promotions   uint64
+	Parks        uint64
+	Unparks      uint64
+	FastPath     uint64
+	SlowPath     uint64
+}
+
+// Read sums the stripes into a consistent-enough snapshot for reporting.
+// Individual counters are read atomically; cross-counter skew is
+// acceptable for the monitoring purposes they serve. Read of a nil *Stats
+// returns a zero Snapshot.
+func (s *Stats) Read() Snapshot {
+	var sum [numEvents]uint64
+	if s != nil {
+		for i := range s.stripes {
+			st := &s.stripes[i]
+			for e := range sum {
+				sum[e] += st.c[e].Load()
+			}
+		}
+	}
+	return Snapshot{
+		Acquires:     sum[EvAcquires],
+		Handoffs:     sum[EvHandoffs],
+		Culls:        sum[EvCulls],
+		Reprovisions: sum[EvReprovisions],
+		Promotions:   sum[EvPromotions],
+		Parks:        sum[EvParks],
+		Unparks:      sum[EvUnparks],
+		FastPath:     sum[EvFastPath],
+		SlowPath:     sum[EvSlowPath],
+	}
+}

@@ -4,6 +4,17 @@
 // The Malthusian lock algorithms place frequently written fields (the MCS
 // tail, the TAS word, per-waiter flags) on their own cache lines so that
 // coherence traffic on one field does not invalidate its neighbours.
+//
+// Two idioms are used throughout package lock:
+//
+//   - Intra-struct isolation: a trailing anonymous [CacheLineSize - n]byte
+//     after an n-byte contended field pushes the next field onto a fresh
+//     line (asserted by lock/layout_test.go with unsafe.Offsetof).
+//   - Size-class alignment for pooled nodes: a heap object whose size is
+//     exactly CacheLineSize lands in the 64-byte allocation size class,
+//     whose slots are line-aligned, so padding a waiter node to exactly
+//     one line guarantees its spin flag never shares a coherence granule
+//     with a neighbouring node — without any explicit aligned allocation.
 package pad
 
 // CacheLineSize is the assumed coherence granule in bytes. 64 is correct

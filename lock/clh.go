@@ -1,25 +1,31 @@
 package lock
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/pad"
 )
 
 // clhNode is a CLH queue element. Unlike MCS, a waiter spins on its
-// predecessor's node; the node a thread enqueues is reclaimed by its
-// successor.
+// predecessor's node; once the predecessor is granted and displaced it is
+// dropped for the GC. Padded to a full cache line so each waiter's spin
+// target occupies its own coherence granule (see layout_test.go).
 type clhNode struct {
 	waitCell
+	_ [pad.CacheLineSize - 16]byte
 }
 
-var clhPool = sync.Pool{New: func() any { return new(clhNode) }}
-
+// newCLHNode allocates a fresh node. CLH nodes are deliberately NOT
+// pooled: TryLock compare-and-swaps the tail against a previously loaded
+// node pointer, and recycling would admit an ABA — the snapshot node could
+// be freed, drawn from the pool by another Lock on the same CLH instance,
+// and republished as the live tail, letting a stale TryLock CAS succeed
+// against a node that now belongs to the current holder (two owners).
+// Garbage collection makes the pointer CAS safe: a node cannot be
+// reallocated while any goroutine still holds a reference to it.
 func newCLHNode() *clhNode {
-	n := clhPool.Get().(*clhNode)
-	n.reset()
-	return n
+	return new(clhNode)
 }
 
 // CLH is the Craig–Landin–Hagersten queue lock: strict FIFO, direct
@@ -27,18 +33,22 @@ func newCLHNode() *clhNode {
 // second classic FIFO baseline (the paper's related work discusses its
 // NUMA-hierarchical descendant, HCLH).
 type CLH struct {
+	// tail is the arrival word; isolated from the holder-only fields.
 	tail atomic.Pointer[clhNode]
-	// node published by the current owner (granted at unlock) and the
-	// predecessor node it will reclaim; both lock-protected.
+	_    [pad.CacheLineSize - 8]byte
+
+	// node published by the current owner (granted at unlock);
+	// lock-protected. The displaced predecessor is simply dropped and
+	// reclaimed by the GC (see newCLHNode).
 	ownerNode *clhNode
-	ownerPred *clhNode
 	cfg       config
-	stats     core.Stats
+	stats     *core.Stats
 }
 
 // NewCLH returns an unlocked CLH lock.
 func NewCLH(opts ...Option) *CLH {
-	return &CLH{cfg: buildConfig(opts)}
+	cfg := buildConfig(opts)
+	return &CLH{cfg: cfg, stats: cfg.newStats()}
 }
 
 // Lock enqueues the caller and waits on its predecessor's flag. A nil tail
@@ -47,20 +57,21 @@ func (l *CLH) Lock() {
 	n := newCLHNode()
 	pred := l.tail.Swap(n)
 	if pred == nil {
-		l.ownerNode, l.ownerPred = n, nil
-		l.stats.FastPath.Add(1)
-		l.stats.Acquires.Add(1)
+		l.ownerNode = n
+		l.stats.Inc2(core.EvFastPath, core.EvAcquires)
 		return
 	}
-	if pred.await(l.cfg.wait, l.cfg.policy.SpinBudget) {
-		l.stats.Parks.Add(1)
+	parked := pred.await(l.cfg.wait, l.cfg.policy.SpinBudget)
+	l.ownerNode = n
+	if parked {
+		l.stats.Inc3(core.EvParks, core.EvSlowPath, core.EvAcquires)
+	} else {
+		l.stats.Inc2(core.EvSlowPath, core.EvAcquires)
 	}
-	l.ownerNode, l.ownerPred = n, pred
-	l.stats.SlowPath.Add(1)
-	l.stats.Acquires.Add(1)
 }
 
-// TryLock acquires the lock only if it is observably free.
+// TryLock acquires the lock only if it is observably free. The failure
+// path allocates no node until the lock looks free.
 func (l *CLH) TryLock() bool {
 	t := l.tail.Load()
 	if t != nil && t.state.Load() != stateGranted {
@@ -68,13 +79,12 @@ func (l *CLH) TryLock() bool {
 	}
 	n := newCLHNode()
 	if !l.tail.CompareAndSwap(t, n) {
-		clhPool.Put(n)
 		return false
 	}
-	// We displaced a granted (free) node or nil; reclaim the old tail.
-	l.ownerNode, l.ownerPred = n, t
-	l.stats.FastPath.Add(1)
-	l.stats.Acquires.Add(1)
+	// We displaced a granted (free) node or nil; the old tail is dropped
+	// for the GC.
+	l.ownerNode = n
+	l.stats.Inc2(core.EvFastPath, core.EvAcquires)
 	return true
 }
 
@@ -85,14 +95,11 @@ func (l *CLH) Unlock() {
 	if n == nil {
 		panic("lock: CLH.Unlock of unlocked mutex")
 	}
-	pred := l.ownerPred
-	l.ownerNode, l.ownerPred = nil, nil
+	l.ownerNode = nil
 	if n.grant() {
-		l.stats.Unparks.Add(1)
-	}
-	l.stats.Handoffs.Add(1)
-	if pred != nil {
-		clhPool.Put(pred)
+		l.stats.Inc2(core.EvUnparks, core.EvHandoffs)
+	} else {
+		l.stats.Inc(core.EvHandoffs)
 	}
 }
 

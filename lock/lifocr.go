@@ -5,15 +5,31 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/pad"
 )
 
-// lifoNode is a stack element for LIFOCR waiters.
+// lifoNode is a stack element for LIFOCR waiters, padded to a full cache
+// line so each waiter's spin flag owns its coherence granule.
 type lifoNode struct {
 	waitCell
 	next *lifoNode // stack link; immutable after push until popped
+	_    [pad.CacheLineSize - 24]byte
 }
 
 var lifoPool = sync.Pool{New: func() any { return new(lifoNode) }}
+
+// newLifoNode returns a ready-to-push node; pooled nodes are reset at free
+// time, so the acquisition path issues no stores here.
+func newLifoNode() *lifoNode {
+	return lifoPool.Get().(*lifoNode)
+}
+
+// freeLifoNode restores the reset state and recycles the node.
+func freeLifoNode(n *lifoNode) {
+	n.state.Store(stateWaiting)
+	n.next = nil
+	lifoPool.Put(n)
+}
 
 // LIFOCR is the paper's LIFO-CR lock (Appendix A.2): an explicit stack
 // ("Treiber style") of waiting threads with direct handoff to the most
@@ -33,12 +49,17 @@ type LIFOCR struct {
 	//   nil          — unlocked
 	//   &lockedEmpty — locked, no waiters
 	//   other        — locked, top of the waiter stack
-	top         atomic.Pointer[lifoNode]
+	// It is the CAS target of every arrival and release, so it sits alone
+	// on its cache line. lockedEmpty is address-only (its fields are never
+	// accessed), and lifoNode is itself line-sized, so it cannot false-share.
+	top atomic.Pointer[lifoNode]
+	_   [pad.CacheLineSize - 8]byte
+
 	lockedEmpty lifoNode
 
 	trial *core.Trial // lock-protected (unlock path only)
 	cfg   config
-	stats core.Stats
+	stats *core.Stats
 }
 
 // NewLIFOCR returns an unlocked LIFO-CR lock.
@@ -47,6 +68,7 @@ func NewLIFOCR(opts ...Option) *LIFOCR {
 	return &LIFOCR{
 		cfg:   cfg,
 		trial: core.NewTrial(cfg.policy.FairnessPeriod, cfg.policy.Seed),
+		stats: cfg.newStats(),
 	}
 }
 
@@ -54,20 +76,17 @@ func NewLIFOCR(opts ...Option) *LIFOCR {
 // is held.
 func (l *LIFOCR) Lock() {
 	if l.top.CompareAndSwap(nil, &l.lockedEmpty) {
-		l.stats.FastPath.Add(1)
-		l.stats.Acquires.Add(1)
+		l.stats.Inc2(core.EvFastPath, core.EvAcquires)
 		return
 	}
-	n := lifoPool.Get().(*lifoNode)
-	n.reset()
+	n := newLifoNode()
 	for {
 		top := l.top.Load()
 		if top == nil {
 			// Lock released while we prepared; try to take it.
 			if l.top.CompareAndSwap(nil, &l.lockedEmpty) {
-				lifoPool.Put(n)
-				l.stats.FastPath.Add(1)
-				l.stats.Acquires.Add(1)
+				freeLifoNode(n)
+				l.stats.Inc2(core.EvFastPath, core.EvAcquires)
 				return
 			}
 			continue
@@ -81,20 +100,20 @@ func (l *LIFOCR) Lock() {
 			break
 		}
 	}
-	if n.await(l.cfg.wait, l.cfg.policy.SpinBudget) {
-		l.stats.Parks.Add(1)
-	}
+	parked := n.await(l.cfg.wait, l.cfg.policy.SpinBudget)
 	// Handoff: the granter popped our node; we own the lock now.
-	lifoPool.Put(n)
-	l.stats.SlowPath.Add(1)
-	l.stats.Acquires.Add(1)
+	freeLifoNode(n)
+	if parked {
+		l.stats.Inc3(core.EvParks, core.EvSlowPath, core.EvAcquires)
+	} else {
+		l.stats.Inc2(core.EvSlowPath, core.EvAcquires)
+	}
 }
 
 // TryLock acquires the lock if it is free.
 func (l *LIFOCR) TryLock() bool {
 	if l.top.CompareAndSwap(nil, &l.lockedEmpty) {
-		l.stats.FastPath.Add(1)
-		l.stats.Acquires.Add(1)
+		l.stats.Inc2(core.EvFastPath, core.EvAcquires)
 		return true
 	}
 	return false
@@ -120,7 +139,7 @@ func (l *LIFOCR) Unlock() {
 		// unlinking interior nodes is safe; new pushes only change the top.
 		if top.next != nil && l.trial.Promote() {
 			if l.grantEldest(top) {
-				l.stats.Promotions.Add(1)
+				l.stats.Inc(core.EvPromotions)
 				return
 			}
 			continue
@@ -158,9 +177,10 @@ func (l *LIFOCR) grantEldest(start *lifoNode) bool {
 
 func (l *LIFOCR) finishGrant(n *lifoNode) {
 	if n.grant() {
-		l.stats.Unparks.Add(1)
+		l.stats.Inc2(core.EvUnparks, core.EvHandoffs)
+	} else {
+		l.stats.Inc(core.EvHandoffs)
 	}
-	l.stats.Handoffs.Add(1)
 }
 
 // Stats returns a snapshot of the lock's event counters.

@@ -22,8 +22,23 @@
 //   - Null (degenerate; for harness calibration only).
 //
 // All locks satisfy sync.Locker. Queue-based locks allocate their waiter
-// nodes from pools and are safe for use by any number of goroutines; no
-// per-thread registration is required.
+// nodes from pools (except CLH, which allocates per acquisition: GC
+// reclamation is what keeps its TryLock pointer-CAS immune to ABA) and
+// are safe for use by any number of goroutines; no per-thread
+// registration is required.
+//
+// # Instrumentation
+//
+// Every lock maintains the paper's CR event counters (acquires, handoffs,
+// culls, reprovisions, promotions, parks, unparks, fast/slow path),
+// exposed via its Stats method as a core.Snapshot. The counters are
+// striped: writes land in one of ~GOMAXPROCS cache-line-padded counter
+// sets selected by a cheap per-goroutine hash, so the instrumentation
+// itself generates no cross-processor coherence traffic on the hot path.
+// WithStats(false) removes even that cost — the lock carries a nil stats
+// reference and every counter update compiles down to a single predicted
+// branch. Contended lock words and per-waiter flags are cache-line
+// isolated (see internal/pad) so local spinning stays local.
 //
 // # Waiting policies
 //
@@ -78,8 +93,9 @@ type Option func(*config)
 type config struct {
 	policy       core.Policy
 	wait         WaitPolicy
-	patience     int // LOITER standby impatience threshold
-	arrivalSpins int // LOITER fast-path attempt bound
+	patience     int  // LOITER standby impatience threshold
+	arrivalSpins int  // LOITER fast-path attempt bound
+	noStats      bool // WithStats(false): skip counter maintenance entirely
 }
 
 func defaultConfig() config {
@@ -89,6 +105,15 @@ func defaultConfig() config {
 		patience:     DefaultPatience,
 		arrivalSpins: DefaultArrivalSpins,
 	}
+}
+
+// newStats builds the striped stats for a lock under construction, or nil
+// when instrumentation is disabled (nil *core.Stats no-ops every update).
+func (c *config) newStats() *core.Stats {
+	if c.noStats {
+		return nil
+	}
+	return core.NewStats()
 }
 
 func buildConfig(opts []Option) config {
@@ -125,4 +150,12 @@ func WithSpinBudget(n int) Option {
 // reproducible. Zero (the default) selects a fixed internal seed.
 func WithSeed(seed uint64) Option {
 	return func(c *config) { c.policy.Seed = seed }
+}
+
+// WithStats enables or disables event-counter maintenance (default
+// enabled). Disabled, the lock's Stats method returns a zero snapshot and
+// the hot paths carry no instrumentation cost beyond one predicted
+// nil-check branch per counter site.
+func WithStats(enabled bool) Option {
+	return func(c *config) { c.noStats = !enabled }
 }

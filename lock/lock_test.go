@@ -300,32 +300,82 @@ func TestMCSCRCullsUnderContention(t *testing.T) {
 	}
 }
 
-// TestLOITERImpatienceHandoff drives the anti-starvation direct handoff:
-// with patience 1 the standby thread should frequently receive the lock by
-// direct handoff rather than barging.
-func TestLOITERImpatienceHandoff(t *testing.T) {
-	m := NewLOITER(WithPatience(1), WithArrivalSpins(1))
-	runWithTimeout(t, 60*time.Second, func() {
-		var wg sync.WaitGroup
-		for g := 0; g < 8; g++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := 0; i < 2000; i++ {
-					m.Lock()
-					m.Unlock()
-				}
-			}()
+// waitUntil polls cond (yielding between polls) until it holds or the
+// deadline passes, reporting whether it held.
+func waitUntil(deadline time.Time, cond func() bool) bool {
+	for !cond() {
+		if time.Now().After(deadline) {
+			return false
 		}
-		wg.Wait()
-	})
-	s := m.Stats()
-	if s.SlowPath == 0 {
-		t.Skip("contention never pushed a thread to the slow path")
+		runtime.Gosched()
 	}
-	if s.Promotions == 0 {
-		t.Error("impatient standby never received direct handoff")
+	return true
+}
+
+// TestLOITERImpatienceHandoff drives the anti-starvation direct handoff
+// deterministically. A statistical hammer is unreliable here: once the
+// lost-wakeup fix wakes the standby promptly, it usually wins the freed
+// lock before turning impatient (especially on few-CPU hosts). Instead
+// the test orchestrates the protocol: hold the lock until a waiter
+// becomes the parked standby (attempt 1), release and immediately retake
+// it so the standby's next attempt fails too (attempt 2 > patience 1 →
+// impatient), wait for it to park again, and unlock — the unlock path
+// must now convey ownership by direct handoff (a Promotions event).
+// Spin budget 0 makes each failed standby attempt park immediately, so
+// the LOITER Parks counter is the progress signal. Rounds retry only the
+// one racy step (retaking the lock before the woken standby).
+func TestLOITERImpatienceHandoff(t *testing.T) {
+	m := NewLOITER(WithPatience(1), WithArrivalSpins(1), WithSpinBudget(0))
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		base := m.Stats()
+		m.Lock()
+		done := make(chan struct{})
+		go func() {
+			m.Lock()
+			m.Unlock()
+			close(done)
+		}()
+		// Standby registered, failed attempt 1 against our hold, parked.
+		if !waitUntil(deadline, func() bool { return m.Stats().Parks > base.Parks }) {
+			break
+		}
+		// Snapshot Parks while the standby is still parked and we still
+		// hold the lock: the counter cannot move until the release below
+		// wakes it, so the snapshot cannot race past the second park.
+		parked1 := m.Stats().Parks
+		m.Unlock()
+		if !m.TryLock() {
+			// The woken standby beat us to the lock; no impatience this
+			// round. Let it finish and retry.
+			<-done
+			continue
+		}
+		// Standby woke, failed attempt 2 (impatient now), parked again.
+		ok := waitUntil(deadline, func() bool {
+			select {
+			case <-done: // standby slipped through after all
+				return true
+			default:
+			}
+			return m.Stats().Parks > parked1
+		})
+		m.Unlock() // must direct-handoff to the parked impatient standby
+		if !ok {
+			break
+		}
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("standby stranded after impatient handoff")
+		}
+		if s := m.Stats(); s.Promotions > base.Promotions {
+			return // direct handoff observed
+		}
+		// The standby acquired without the handoff (lost TryLock race
+		// resolved late); retry.
 	}
+	t.Fatalf("impatient standby never received direct handoff: %+v", m.Stats())
 }
 
 // TestWorksWithSyncCond demonstrates drop-in compatibility: the locks are

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/pad"
 	"repro/internal/park"
 )
 
@@ -64,14 +65,23 @@ type loiterStandby struct {
 // This is the paper's 3-stage waiting policy: spin globally; then enqueue
 // and spin locally; then park.
 type LOITER struct {
-	outer   atomic.Uint32 // 0 free, 1 held
-	inner   *MCS
+	// outer is the barging-spun lock word; it owns its cache line so the
+	// fast-path CAS storm does not invalidate the standby pointer or the
+	// holder-only fields.
+	outer atomic.Uint32 // 0 free, 1 held
+	_     [pad.CacheLineSize - 4]byte
+
+	// standby is written on every slow-path entry/exit and read on every
+	// unlock; it gets its own line too.
 	standby atomic.Pointer[loiterStandby]
+	_       [pad.CacheLineSize - 8]byte
+
+	inner *MCS
 	// slowOwner records whether the current owner came via the slow path
 	// and therefore also holds the inner lock. Lock-protected.
 	slowOwner bool
 	cfg       config
-	stats     core.Stats
+	stats     *core.Stats
 }
 
 // NewLOITER returns an unlocked LOITER lock. The waiting-policy option
@@ -82,8 +92,10 @@ func NewLOITER(opts ...Option) *LOITER {
 		inner: NewMCS(
 			WithWaitPolicy(cfg.wait),
 			WithSpinBudget(cfg.policy.SpinBudget),
+			WithStats(!cfg.noStats),
 		),
-		cfg: cfg,
+		cfg:   cfg,
+		stats: cfg.newStats(),
 	}
 }
 
@@ -94,8 +106,7 @@ func (l *LOITER) Lock() {
 	// randomized backoff.
 	if l.outer.CompareAndSwap(0, 1) {
 		l.slowOwner = false
-		l.stats.FastPath.Add(1)
-		l.stats.Acquires.Add(1)
+		l.stats.Inc2(core.EvFastPath, core.EvAcquires)
 		return
 	}
 	b := newBackoff(nextSeed())
@@ -105,8 +116,7 @@ func (l *LOITER) Lock() {
 		}
 		if l.outer.CompareAndSwap(0, 1) {
 			l.slowOwner = false
-			l.stats.FastPath.Add(1)
-			l.stats.Acquires.Add(1)
+			l.stats.Inc2(core.EvFastPath, core.EvAcquires)
 			return
 		}
 		b.pause()
@@ -133,8 +143,7 @@ func (l *LOITER) Lock() {
 	}
 	l.standby.Store(nil)
 	l.slowOwner = true
-	l.stats.SlowPath.Add(1)
-	l.stats.Acquires.Add(1)
+	l.stats.Inc2(core.EvSlowPath, core.EvAcquires)
 }
 
 // standbyWait waits for the outer lock to change state: a bounded polite
@@ -154,7 +163,7 @@ func (l *LOITER) standbyWait(sb *loiterStandby) {
 		}
 		politePause(i)
 	}
-	l.stats.Parks.Add(1)
+	l.stats.Inc(core.EvParks)
 	sb.parker.Park()
 }
 
@@ -162,8 +171,7 @@ func (l *LOITER) standbyWait(sb *loiterStandby) {
 func (l *LOITER) TryLock() bool {
 	if l.outer.CompareAndSwap(0, 1) {
 		l.slowOwner = false
-		l.stats.FastPath.Add(1)
-		l.stats.Acquires.Add(1)
+		l.stats.Inc2(core.EvFastPath, core.EvAcquires)
 		return true
 	}
 	return false
@@ -183,16 +191,20 @@ func (l *LOITER) Unlock() {
 		// word stays 1.
 		sb.granted.Store(true)
 		sb.parker.Unpark()
-		l.stats.Promotions.Add(1)
-		l.stats.Handoffs.Add(1)
-		l.stats.Unparks.Add(1)
+		l.stats.Inc3(core.EvPromotions, core.EvHandoffs, core.EvUnparks)
 		return
 	}
 	l.outer.Store(0)
-	if sb != nil {
+	// Re-read the standby after publishing the release: a slow-path thread
+	// may have registered itself between the pre-release read above and the
+	// store, and with no wakeup it would park with nobody left to unpark it
+	// (a lost-wakeup strand at quiescence). Unpark-before-park is safe —
+	// the parker holds the permit — and a standby that misses both reads
+	// necessarily observes outer == 0 before parking.
+	if sb = l.standby.Load(); sb != nil {
 		// Wake the heir presumptive so it can re-contend.
 		sb.parker.Unpark()
-		l.stats.Unparks.Add(1)
+		l.stats.Inc(core.EvUnparks)
 	}
 	if wasSlow {
 		// We came via the slow path and still hold the inner lock;

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/pad"
 )
 
 // mcsNode is a waiter element on the MCS chain. Nodes are pooled: a node
@@ -12,24 +13,36 @@ import (
 // released, and by nobody afterwards. The passive-list fields (prev) are
 // used only by MCSCR while a node sits on the explicit passive list, where
 // accesses are serialized by the lock itself.
+//
+// The trailing pad rounds the node up to exactly one cache line. Pooled
+// nodes land in the 64-byte size class, whose slots are line-aligned, so a
+// waiter spinning on its own wait flag never shares a coherence granule
+// with a neighbouring waiter's flag or link being written (local spinning
+// stays local). layout_test.go asserts the size.
 type mcsNode struct {
-	waitCell
-	next atomic.Pointer[mcsNode]
-	prev *mcsNode // passive-list back link (MCSCR only; lock-protected)
-	id   int      // optional owner tag for diagnostics
+	waitCell // 16 bytes: state word + lazy parker
+	next     atomic.Pointer[mcsNode]
+	prev     *mcsNode // passive-list back link (MCSCR only; lock-protected)
+	id       int      // optional owner tag for diagnostics
+	_        [pad.CacheLineSize - 40]byte
 }
 
 var mcsPool = sync.Pool{New: func() any { return new(mcsNode) }}
 
+// newMCSNode returns a ready-to-enqueue node. Pool invariant: nodes are
+// reset when freed (and sync.Pool's New returns a zeroed node, which is
+// the reset state), so the acquisition fast path issues no stores here.
 func newMCSNode() *mcsNode {
-	n := mcsPool.Get().(*mcsNode)
-	n.reset()
-	n.next.Store(nil)
-	n.prev = nil
-	return n
+	return mcsPool.Get().(*mcsNode)
 }
 
+// freeMCSNode restores the reset state and recycles the node. The caller
+// owns the node exclusively at this point, so the stores cannot race with
+// a waiter; doing the cleanup here moves it off the acquisition path.
 func freeMCSNode(n *mcsNode) {
+	n.state.Store(stateWaiting)
+	n.next.Store(nil)
+	n.prev = nil
 	mcsPool.Put(n)
 }
 
@@ -43,16 +56,21 @@ func freeMCSNode(n *mcsNode) {
 // handoff under contention: the longest waiter — next in FIFO order — is
 // the one most likely to have parked, so every handover pays an unpark.
 type MCS struct {
-	tail  atomic.Pointer[mcsNode]
+	// tail is the only word every arriving thread writes; it sits alone
+	// on its cache line, away from the holder-only fields below.
+	tail atomic.Pointer[mcsNode]
+	_    [pad.CacheLineSize - 8]byte
+
 	owner *mcsNode // node of the current holder; lock-protected
 	cfg   config
-	stats core.Stats
+	stats *core.Stats
 }
 
 // NewMCS returns an unlocked MCS lock. By default it uses spin-then-park
 // waiting; use WithWaitPolicy(WaitSpin) for the "-S" variant.
 func NewMCS(opts ...Option) *MCS {
-	return &MCS{cfg: buildConfig(opts)}
+	cfg := buildConfig(opts)
+	return &MCS{cfg: cfg, stats: cfg.newStats()}
 }
 
 // Lock enqueues the caller and waits for direct handoff.
@@ -62,26 +80,30 @@ func (l *MCS) Lock() {
 	if pred == nil {
 		// Uncontended: we are the head and the owner.
 		l.owner = n
-		l.stats.FastPath.Add(1)
-		l.stats.Acquires.Add(1)
+		l.stats.Inc2(core.EvFastPath, core.EvAcquires)
 		return
 	}
 	pred.next.Store(n)
-	if n.await(l.cfg.wait, l.cfg.policy.SpinBudget) {
-		l.stats.Parks.Add(1)
-	}
+	parked := n.await(l.cfg.wait, l.cfg.policy.SpinBudget)
 	l.owner = n
-	l.stats.SlowPath.Add(1)
-	l.stats.Acquires.Add(1)
+	if parked {
+		l.stats.Inc3(core.EvParks, core.EvSlowPath, core.EvAcquires)
+	} else {
+		l.stats.Inc2(core.EvSlowPath, core.EvAcquires)
+	}
 }
 
-// TryLock acquires the lock only if the chain is empty.
+// TryLock acquires the lock only if the chain is empty. The failure path
+// is allocation-free: a node is drawn from the pool only after the chain
+// is observed empty.
 func (l *MCS) TryLock() bool {
+	if l.tail.Load() != nil {
+		return false
+	}
 	n := newMCSNode()
 	if l.tail.CompareAndSwap(nil, n) {
 		l.owner = n
-		l.stats.FastPath.Add(1)
-		l.stats.Acquires.Add(1)
+		l.stats.Inc2(core.EvFastPath, core.EvAcquires)
 		return true
 	}
 	freeMCSNode(n)
@@ -108,9 +130,10 @@ func (l *MCS) Unlock() {
 		}
 	}
 	if succ.grant() {
-		l.stats.Unparks.Add(1)
+		l.stats.Inc2(core.EvUnparks, core.EvHandoffs)
+	} else {
+		l.stats.Inc(core.EvHandoffs)
 	}
-	l.stats.Handoffs.Add(1)
 	freeMCSNode(n)
 }
 

@@ -1,8 +1,10 @@
 package lock
 
 import (
-	"repro/internal/core"
 	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/pad"
 )
 
 // MCSCR is the paper's Malthusian MCS lock (§4): a classic MCS lock whose
@@ -32,18 +34,24 @@ import (
 // The ACS is implicit (owner + threads in their non-critical sections +
 // the at-most-one waiting thread); the PS is the explicit list.
 type MCSCR struct {
-	tail  atomic.Pointer[mcsNode]
+	// tail is the word every arriving thread swaps; it lives alone on its
+	// cache line so arrivals do not invalidate the holder-only fields.
+	tail atomic.Pointer[mcsNode]
+	_    [pad.CacheLineSize - 8]byte
+
 	owner *mcsNode // node of current holder; lock-protected
 
 	// Passive set: intrusive doubly-linked list, lock-protected.
 	// psHead is the most recently culled thread, psTail the eldest.
+	// psSize is written under the lock but read lock-free by monitors
+	// (PassiveSize), hence atomic.
 	psHead *mcsNode
 	psTail *mcsNode
-	psSize int
+	psSize atomic.Int64
 
 	trial *core.Trial
 	cfg   config
-	stats core.Stats
+	stats *core.Stats
 }
 
 // NewMCSCR returns an unlocked Malthusian MCS lock. The default waiting
@@ -54,6 +62,7 @@ func NewMCSCR(opts ...Option) *MCSCR {
 	return &MCSCR{
 		cfg:   cfg,
 		trial: core.NewTrial(cfg.policy.FairnessPeriod, cfg.policy.Seed),
+		stats: cfg.newStats(),
 	}
 }
 
@@ -64,26 +73,30 @@ func (l *MCSCR) Lock() {
 	pred := l.tail.Swap(n)
 	if pred == nil {
 		l.owner = n
-		l.stats.FastPath.Add(1)
-		l.stats.Acquires.Add(1)
+		l.stats.Inc2(core.EvFastPath, core.EvAcquires)
 		return
 	}
 	pred.next.Store(n)
-	if n.await(l.cfg.wait, l.cfg.policy.SpinBudget) {
-		l.stats.Parks.Add(1)
-	}
+	parked := n.await(l.cfg.wait, l.cfg.policy.SpinBudget)
 	l.owner = n
-	l.stats.SlowPath.Add(1)
-	l.stats.Acquires.Add(1)
+	if parked {
+		l.stats.Inc3(core.EvParks, core.EvSlowPath, core.EvAcquires)
+	} else {
+		l.stats.Inc2(core.EvSlowPath, core.EvAcquires)
+	}
 }
 
-// TryLock acquires the lock only if the chain is empty.
+// TryLock acquires the lock only if the chain is empty. The failure path
+// is allocation-free: a node is drawn from the pool only after the chain
+// is observed empty.
 func (l *MCSCR) TryLock() bool {
+	if l.tail.Load() != nil {
+		return false
+	}
 	n := newMCSNode()
 	if l.tail.CompareAndSwap(nil, n) {
 		l.owner = n
-		l.stats.FastPath.Add(1)
-		l.stats.Acquires.Add(1)
+		l.stats.Inc2(core.EvFastPath, core.EvAcquires)
 		return true
 	}
 	freeMCSNode(n)
@@ -101,10 +114,10 @@ func (l *MCSCR) Unlock() {
 
 	// Long-term fairness graft: cede ownership to the eldest passive
 	// thread on a successful Bernoulli trial.
-	if l.psSize > 0 && l.trial.Promote() {
+	if l.psSize.Load() > 0 && l.trial.Promote() {
 		t := l.psPopTail()
 		l.graftAndGrant(n, t)
-		l.stats.Promotions.Add(1)
+		l.stats.Inc(core.EvPromotions)
 		return
 	}
 
@@ -112,11 +125,11 @@ func (l *MCSCR) Unlock() {
 	if succ == nil {
 		// No waiter visible on the chain. Work conservation: pull the
 		// most recently arrived passive thread back into the ACS.
-		if l.psSize > 0 {
+		if l.psSize.Load() > 0 {
 			t := l.psPopHead()
 			if l.tail.CompareAndSwap(n, t) {
 				l.finishGrant(t)
-				l.stats.Reprovisions.Add(1)
+				l.stats.Inc(core.EvReprovisions)
 				freeMCSNode(n)
 				return
 			}
@@ -141,7 +154,7 @@ func (l *MCSCR) Unlock() {
 	if nn := succ.next.Load(); nn != nil {
 		succ.next.Store(nil)
 		l.psPushHead(succ)
-		l.stats.Culls.Add(1)
+		l.stats.Inc(core.EvCulls)
 		succ = nn
 	}
 	l.finishGrant(succ)
@@ -169,9 +182,10 @@ func (l *MCSCR) graftAndGrant(n, t *mcsNode) {
 
 func (l *MCSCR) finishGrant(succ *mcsNode) {
 	if succ.grant() {
-		l.stats.Unparks.Add(1)
+		l.stats.Inc2(core.EvUnparks, core.EvHandoffs)
+	} else {
+		l.stats.Inc(core.EvHandoffs)
 	}
-	l.stats.Handoffs.Add(1)
 }
 
 // Passive-list operations. All run in the unlock path while the lock is
@@ -186,7 +200,7 @@ func (l *MCSCR) psPushHead(n *mcsNode) {
 		l.psHead.prev = n
 		l.psHead = n
 	}
-	l.psSize++
+	l.psSize.Add(1)
 }
 
 func (l *MCSCR) psPopHead() *mcsNode {
@@ -200,7 +214,7 @@ func (l *MCSCR) psPopHead() *mcsNode {
 	}
 	n.next.Store(nil)
 	n.prev = nil
-	l.psSize--
+	l.psSize.Add(-1)
 	return n
 }
 
@@ -215,13 +229,14 @@ func (l *MCSCR) psPopTail() *mcsNode {
 	}
 	n.next.Store(nil)
 	n.prev = nil
-	l.psSize--
+	l.psSize.Add(-1)
 	return n
 }
 
-// PassiveSize reports the current size of the passive set. It is a racy
-// read intended for monitoring and tests.
-func (l *MCSCR) PassiveSize() int { return l.psSize }
+// PassiveSize reports the current size of the passive set. Safe to call
+// concurrently with lock traffic (the counter is atomic); the value is a
+// point-in-time observation for monitoring and tests.
+func (l *MCSCR) PassiveSize() int { return int(l.psSize.Load()) }
 
 // Stats returns a snapshot of the lock's event counters.
 func (l *MCSCR) Stats() core.Snapshot { return l.stats.Read() }

@@ -38,16 +38,15 @@ const (
 // waitCell is the per-waiter flag + parker shared by the queue-based
 // locks. It embeds everything a granter touches, so grant/await logic
 // lives in one place.
+//
+// Lifecycle invariant: pooled nodes embedding a waitCell are returned to
+// their pool already reset (state == stateWaiting, links cleared), so the
+// allocation fast path issues no stores at all — a node fresh from
+// sync.Pool's New is zeroed, and zero is the reset state. The parker is
+// allocated lazily on the first actual park and survives pool recycling.
 type waitCell struct {
 	state  atomic.Uint32
 	parker *park.Parker
-}
-
-func (w *waitCell) reset() {
-	if w.parker == nil {
-		w.parker = park.NewParker()
-	}
-	w.state.Store(stateWaiting)
 }
 
 // grant marks the cell granted and wakes its waiter if parked. It returns
@@ -75,8 +74,14 @@ func (w *waitCell) await(policy WaitPolicy, budget int) (parked bool) {
 		}
 		politePause(i)
 	}
-	// Budget exhausted: advertise that we are parking. If the CAS fails
-	// the grant already happened.
+	// Budget exhausted: advertise that we are parking. The parker must
+	// exist before the CAS publishes stateParked — the granter reads
+	// w.parker only after observing stateParked, so the CAS's release
+	// ordering makes the plain parker store visible to it. If the CAS
+	// fails the grant already happened.
+	if w.parker == nil {
+		w.parker = park.NewParker()
+	}
 	if !w.state.CompareAndSwap(stateWaiting, stateParked) {
 		return false
 	}

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/pad"
 )
 
 // TAS is a test-and-set spin lock with competitive succession and global
@@ -16,23 +17,30 @@ import (
 // TAS never hands the lock to a preempted thread (the acquirer is running
 // by definition), the property that makes TAS-family locks robust under
 // multiprogramming (§7, Appendix A.1).
+//
+// The zero value is a valid, unlocked, uninstrumented TAS (nil stats);
+// packages condvar and semaphore embed it this way as their internal
+// latch. NewTAS attaches striped stats unless WithStats(false) is given.
 type TAS struct {
-	word  atomic.Uint32
-	stats core.Stats
+	// word is the globally-spun-on lock word; it lives alone on its cache
+	// line so waiter polling does not collide with the stats reference.
+	word atomic.Uint32
+	_    [pad.CacheLineSize - 4]byte
+
+	stats *core.Stats
 }
 
-// NewTAS returns an unlocked TAS lock. Options are accepted for interface
-// symmetry; TAS has no CR policy knobs.
+// NewTAS returns an unlocked TAS lock. Options other than WithStats are
+// accepted for interface symmetry; TAS has no CR policy knobs.
 func NewTAS(opts ...Option) *TAS {
-	buildConfig(opts) // validate options; TAS consumes none of them
-	return &TAS{}
+	cfg := buildConfig(opts)
+	return &TAS{stats: cfg.newStats()}
 }
 
 // Lock acquires the lock, spinning with randomized backoff.
 func (l *TAS) Lock() {
 	if l.word.CompareAndSwap(0, 1) {
-		l.stats.FastPath.Add(1)
-		l.stats.Acquires.Add(1)
+		l.stats.Inc2(core.EvFastPath, core.EvAcquires)
 		return
 	}
 	b := newBackoff(nextSeed())
@@ -43,8 +51,7 @@ func (l *TAS) Lock() {
 			politePause(i)
 		}
 		if l.word.CompareAndSwap(0, 1) {
-			l.stats.SlowPath.Add(1)
-			l.stats.Acquires.Add(1)
+			l.stats.Inc2(core.EvSlowPath, core.EvAcquires)
 			return
 		}
 		b.pause()
@@ -54,8 +61,7 @@ func (l *TAS) Lock() {
 // TryLock acquires the lock if it is free.
 func (l *TAS) TryLock() bool {
 	if l.word.Load() == 0 && l.word.CompareAndSwap(0, 1) {
-		l.stats.FastPath.Add(1)
-		l.stats.Acquires.Add(1)
+		l.stats.Inc2(core.EvFastPath, core.EvAcquires)
 		return true
 	}
 	return false

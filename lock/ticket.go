@@ -21,13 +21,13 @@ type Ticket struct {
 	_     [pad.CacheLineSize - 8]byte // keep ticket and grant counters apart
 	serve atomic.Uint64
 	_     [pad.CacheLineSize - 8]byte
-	stats core.Stats
+	stats *core.Stats
 }
 
 // NewTicket returns an unlocked ticket lock.
 func NewTicket(opts ...Option) *Ticket {
-	buildConfig(opts)
-	return &Ticket{}
+	cfg := buildConfig(opts)
+	return &Ticket{stats: cfg.newStats()}
 }
 
 // Lock takes a ticket and waits for it to be served.
@@ -44,8 +44,7 @@ func (l *Ticket) Lock() {
 		}
 		politePause(i)
 	}
-	l.stats.Acquires.Add(1)
-	l.stats.Handoffs.Add(1)
+	l.stats.Inc2(core.EvAcquires, core.EvHandoffs)
 }
 
 // TryLock acquires the lock only if no other thread holds or awaits it.
@@ -56,8 +55,7 @@ func (l *Ticket) TryLock() bool {
 		return false
 	}
 	if l.next.CompareAndSwap(n, n+1) {
-		l.stats.Acquires.Add(1)
-		l.stats.FastPath.Add(1)
+		l.stats.Inc2(core.EvAcquires, core.EvFastPath)
 		return true
 	}
 	return false

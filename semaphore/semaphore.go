@@ -38,6 +38,9 @@ type waiter struct {
 
 // Semaphore is a counting semaphore with policy-controlled admission.
 type Semaphore struct {
+	// mu guards the count and waiter list. The zero-value TAS carries no
+	// stats reference, so the acquire/release paths pay no striped-counter
+	// updates for the internal latch.
 	mu         lock.TAS
 	count      int
 	head, tail *waiter
