@@ -11,8 +11,10 @@ package repro
 // full-sweep TSVs.
 
 import (
+	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/experiments"
 	"repro/lock"
@@ -247,29 +249,82 @@ func benchLock(b *testing.B, m lock.Mutex, goroutines int) {
 	wg.Wait()
 }
 
+// realLocks enumerates the goroutine-lock microbenchmark subjects via
+// the registry — the single source of truth for lock names. Null is
+// excluded (it measures only harness overhead).
+func realLocks(b *testing.B) []string {
+	b.Helper()
+	var names []string
+	for _, n := range lock.Names() {
+		if n != "null" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
 func BenchmarkLockUncontended(b *testing.B) {
-	for name, build := range map[string]func() lock.Mutex{
-		"TAS":    func() lock.Mutex { return lock.NewTAS() },
-		"Ticket": func() lock.Mutex { return lock.NewTicket() },
-		"CLH":    func() lock.Mutex { return lock.NewCLH() },
-		"MCS":    func() lock.Mutex { return lock.NewMCS() },
-		"MCSCR":  func() lock.Mutex { return lock.NewMCSCR() },
-		"LIFOCR": func() lock.Mutex { return lock.NewLIFOCR() },
-		"LOITER": func() lock.Mutex { return lock.NewLOITER() },
-	} {
-		b.Run(name, func(b *testing.B) { benchLock(b, build(), 1) })
+	for _, name := range realLocks(b) {
+		b.Run(name, func(b *testing.B) { benchLock(b, lock.MustNew(name), 1) })
 	}
 }
 
 func BenchmarkLockContended(b *testing.B) {
-	for name, build := range map[string]func() lock.Mutex{
-		"TAS":       func() lock.Mutex { return lock.NewTAS() },
-		"MCS-STP":   func() lock.Mutex { return lock.NewMCS() },
-		"MCSCR-STP": func() lock.Mutex { return lock.NewMCSCR() },
-		"LIFOCR":    func() lock.Mutex { return lock.NewLIFOCR() },
-		"LOITER":    func() lock.Mutex { return lock.NewLOITER() },
-	} {
-		b.Run(name, func(b *testing.B) { benchLock(b, build(), 8) })
+	for _, name := range realLocks(b) {
+		b.Run(name, func(b *testing.B) { benchLock(b, lock.MustNew(name), 8) })
+	}
+}
+
+// BenchmarkLockContextUncontended measures LockContext(Background) on the
+// uncontended path: the acceptance gate for keeping the cancellation
+// machinery off the fast path (it should match BenchmarkLockUncontended
+// up to the cost of one Done() == nil check).
+func BenchmarkLockContextUncontended(b *testing.B) {
+	ctx := context.Background()
+	for _, name := range realLocks(b) {
+		b.Run(name, func(b *testing.B) {
+			m := lock.MustNew(name).(lock.ContextMutex)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.LockContext(ctx); err != nil {
+					b.Fatal(err)
+				}
+				m.Unlock()
+			}
+		})
+	}
+}
+
+// BenchmarkLockContextDeadline measures the contended cancellable path: 8
+// goroutines acquiring through LockContext with a live (generous)
+// deadline, so the context plumbing and deadline timers are on the path
+// but cancellations are rare.
+func BenchmarkLockContextDeadline(b *testing.B) {
+	for _, name := range realLocks(b) {
+		b.Run(name, func(b *testing.B) {
+			m := lock.MustNew(name).(lock.ContextMutex)
+			var wg sync.WaitGroup
+			const goroutines = 8
+			per := b.N / goroutines
+			if per == 0 {
+				per = 1
+			}
+			b.ResetTimer()
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+						if err := m.LockContext(ctx); err == nil {
+							m.Unlock()
+						}
+						cancel()
+					}
+				}()
+			}
+			wg.Wait()
+		})
 	}
 }
 

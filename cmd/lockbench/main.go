@@ -3,11 +3,19 @@
 // fairness metrics (average LWSS, MTTR, Gini, RSTDDEV) over the recorded
 // admission history.
 //
-// Usage:
+// Locks are selected by registry spec (see lock.New), so every tunable is
+// reachable from the command line without code changes:
 //
-//	lockbench -lock mcscr -threads 8 -duration 2s
+//	lockbench -lock mcscr-stp -threads 8 -duration 2s
+//	lockbench -lock 'mcscr-stp?fairness=500&spin=4096&seed=42' -threads 16
 //	lockbench -lock all -threads 16 -ncs 2000
 //	lockbench -lock all -json BENCH_locks.json
+//
+// With -cancel-frac F (and -cancel-after D), that fraction of
+// acquisitions goes through LockContext with a deadline of D, and the
+// table gains a cancel% column: the observed cancellation rate. This
+// exercises the cancellation machinery under real contention and shows
+// its cost to the surviving acquisitions.
 //
 // With -json, the results table (plus each lock's CR event counters) is
 // also written to the named file as a machine-readable benchmark record;
@@ -20,35 +28,20 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
 	"repro/lock"
 	"repro/metrics"
 )
-
-func builders(seed uint64) map[string]func() lock.Mutex {
-	return map[string]func() lock.Mutex{
-		"tas":       func() lock.Mutex { return lock.NewTAS() },
-		"ticket":    func() lock.Mutex { return lock.NewTicket() },
-		"clh":       func() lock.Mutex { return lock.NewCLH() },
-		"mcs-s":     func() lock.Mutex { return lock.NewMCS(lock.WithWaitPolicy(lock.WaitSpin)) },
-		"mcs-stp":   func() lock.Mutex { return lock.NewMCS() },
-		"mcscr-s":   func() lock.Mutex { return lock.NewMCSCR(lock.WithWaitPolicy(lock.WaitSpin), lock.WithSeed(seed)) },
-		"mcscr-stp": func() lock.Mutex { return lock.NewMCSCR(lock.WithSeed(seed)) },
-		"lifocr":    func() lock.Mutex { return lock.NewLIFOCR(lock.WithSeed(seed)) },
-		"loiter":    func() lock.Mutex { return lock.NewLOITER(lock.WithSeed(seed)) },
-		"null":      func() lock.Mutex { return lock.NewNull() },
-	}
-}
 
 // result is one benchmark row, shaped for both the stdout table and the
 // -json record.
@@ -63,6 +56,12 @@ type result struct {
 	Gini      float64 `json:"gini"`
 	RSTDDEV   float64 `json:"rstddev"`
 
+	// Cancellation traffic, when -cancel-frac is set: attempts that used
+	// LockContext, how many of them timed out, and the resulting rate.
+	CancelAttempts int     `json:"cancel_attempts,omitempty"`
+	Cancelled      int     `json:"cancelled,omitempty"`
+	CancelRate     float64 `json:"cancel_rate,omitempty"`
+
 	// CR event counters, when the lock exposes them.
 	Stats map[string]uint64 `json:"stats,omitempty"`
 }
@@ -70,34 +69,33 @@ type result struct {
 // record is the top-level -json document: enough environment detail to
 // compare BENCH_locks.json files across machines and changes.
 type record struct {
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	NumCPU     int      `json:"num_cpu"`
-	GoVersion  string   `json:"go_version"`
-	NCS        int      `json:"ncs_spin"`
-	CS         int      `json:"cs_spin"`
-	Results    []result `json:"results"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	NumCPU      int      `json:"num_cpu"`
+	GoVersion   string   `json:"go_version"`
+	NCS         int      `json:"ncs_spin"`
+	CS          int      `json:"cs_spin"`
+	CancelFrac  float64  `json:"cancel_frac,omitempty"`
+	CancelAfter string   `json:"cancel_after,omitempty"`
+	Results     []result `json:"results"`
 }
 
 func main() {
 	var (
-		name     = flag.String("lock", "mcscr-stp", "lock to benchmark (or 'all')")
-		threads  = flag.Int("threads", 8, "goroutines")
-		duration = flag.Duration("duration", time.Second, "measurement interval")
-		ncs      = flag.Int("ncs", 500, "non-critical-section work (spin iterations)")
-		cs       = flag.Int("cs", 100, "critical-section work (spin iterations)")
-		seed     = flag.Uint64("seed", 1, "lock PRNG seed")
-		jsonPath = flag.String("json", "", "also write results to this file as JSON")
+		name        = flag.String("lock", "mcscr-stp", "lock spec (see lock.New), or 'all'")
+		threads     = flag.Int("threads", 8, "goroutines")
+		duration    = flag.Duration("duration", time.Second, "measurement interval")
+		ncs         = flag.Int("ncs", 500, "non-critical-section work (spin iterations)")
+		cs          = flag.Int("cs", 100, "critical-section work (spin iterations)")
+		seed        = flag.Uint64("seed", 1, "lock PRNG seed (unless the spec sets one)")
+		cancelFrac  = flag.Float64("cancel-frac", 0, "fraction of acquisitions using LockContext with a deadline (0..1)")
+		cancelAfter = flag.Duration("cancel-after", 50*time.Microsecond, "LockContext deadline for -cancel-frac acquisitions")
+		jsonPath    = flag.String("json", "", "also write results to this file as JSON")
 	)
 	flag.Parse()
 
-	all := builders(*seed)
-	names := []string{*name}
+	specs := []string{*name}
 	if *name == "all" {
-		names = names[:0]
-		for n := range all {
-			names = append(names, n)
-		}
-		sort.Strings(names)
+		specs = lock.Names()
 	}
 	rec := record{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -105,16 +103,27 @@ func main() {
 		GoVersion:  runtime.Version(),
 		NCS:        *ncs,
 		CS:         *cs,
+		CancelFrac: *cancelFrac,
 	}
-	fmt.Printf("%-10s %10s %10s %8s %8s %8s %8s\n",
-		"lock", "ops", "ops/sec", "LWSS", "MTTR", "Gini", "RSTDDEV")
-	for _, n := range names {
-		build, ok := all[n]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "lockbench: unknown lock %q\n", n)
+	if *cancelFrac > 0 {
+		rec.CancelAfter = cancelAfter.String()
+	}
+	// Resolve every spec before any benchmark runs (or table output), so
+	// a typo in a list fails fast instead of after minutes of measuring.
+	locks := make([]lock.Mutex, len(specs))
+	for i, spec := range specs {
+		m, err := lock.New(spec, lock.WithSeed(*seed))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lockbench: %v\n", err)
 			os.Exit(2)
 		}
-		rec.Results = append(rec.Results, run(n, build(), *threads, *duration, *ncs, *cs))
+		locks[i] = m
+	}
+	fmt.Printf("%-10s %10s %10s %8s %8s %8s %8s %8s\n",
+		"lock", "ops", "ops/sec", "LWSS", "MTTR", "Gini", "RSTDDEV", "cancel%")
+	for i, spec := range specs {
+		rec.Results = append(rec.Results,
+			run(spec, locks[i], *threads, *duration, *ncs, *cs, *cancelFrac, *cancelAfter))
 	}
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(rec, "", "  ")
@@ -140,17 +149,32 @@ func spin(n int) {
 	atomic.StoreUint64(&sink, s)
 }
 
-func run(name string, m lock.Mutex, threads int, d time.Duration, ncs, cs int) result {
+func run(name string, m lock.Mutex, threads int, d time.Duration, ncs, cs int,
+	cancelFrac float64, cancelAfter time.Duration) result {
+	cm, _ := m.(lock.ContextMutex) // every registry lock satisfies this
 	rec := metrics.NewRecorder(1 << 20)
 	var stop atomic.Bool
+	var attempts, cancelled atomic.Int64
 	var wg sync.WaitGroup
 	for g := 0; g < threads; g++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id) + 1))
 			for !stop.Load() {
 				spin(ncs)
-				m.Lock()
+				if cancelFrac > 0 && cm != nil && rng.Float64() < cancelFrac {
+					attempts.Add(1)
+					ctx, cancel := context.WithTimeout(context.Background(), cancelAfter)
+					err := cm.LockContext(ctx)
+					cancel()
+					if err != nil {
+						cancelled.Add(1)
+						continue
+					}
+				} else {
+					m.Lock()
+				}
 				rec.Record(id) // serialized by the lock
 				spin(cs)
 				m.Unlock()
@@ -162,8 +186,6 @@ func run(name string, m lock.Mutex, threads int, d time.Duration, ncs, cs int) r
 	wg.Wait()
 	h := rec.History()
 	s := metrics.Summarize(h, metrics.DefaultWindow)
-	fmt.Printf("%-10s %10d %10.0f %8.1f %8.1f %8.3f %8.3f\n",
-		name, len(h), float64(len(h))/d.Seconds(), s.AvgLWSS, s.MTTR, s.Gini, s.RSTDDEV)
 	r := result{
 		Lock:      name,
 		Threads:   threads,
@@ -175,7 +197,15 @@ func run(name string, m lock.Mutex, threads int, d time.Duration, ncs, cs int) r
 		Gini:      s.Gini,
 		RSTDDEV:   s.RSTDDEV,
 	}
-	if sl, ok := m.(interface{ Stats() core.Snapshot }); ok {
+	if n := attempts.Load(); n > 0 {
+		r.CancelAttempts = int(n)
+		r.Cancelled = int(cancelled.Load())
+		r.CancelRate = float64(cancelled.Load()) / float64(n)
+	}
+	fmt.Printf("%-10s %10d %10.0f %8.1f %8.1f %8.3f %8.3f %8.2f\n",
+		name, len(h), float64(len(h))/d.Seconds(), s.AvgLWSS, s.MTTR, s.Gini, s.RSTDDEV,
+		100*r.CancelRate)
+	if sl, ok := m.(lock.Instrumented); ok {
 		snap := sl.Stats()
 		r.Stats = map[string]uint64{
 			"acquires":     snap.Acquires,
@@ -187,6 +217,8 @@ func run(name string, m lock.Mutex, threads int, d time.Duration, ncs, cs int) r
 			"unparks":      snap.Unparks,
 			"fast_path":    snap.FastPath,
 			"slow_path":    snap.SlowPath,
+			"cancels":      snap.Cancels,
+			"abandons":     snap.Abandons,
 		}
 	}
 	return r

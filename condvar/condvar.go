@@ -15,6 +15,7 @@
 package condvar
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -122,6 +123,49 @@ func (c *Cond) WaitTimeout(d time.Duration) bool {
 	}
 	c.L.Lock()
 	return signaled
+}
+
+// WaitContext is Wait with cancellation: it returns nil when the caller
+// was signaled and ctx.Err() when ctx ended first, unlinking the waiter
+// so a later Signal is not consumed by a departed goroutine. As with
+// Wait, c.L is reacquired unconditionally before returning — the caller
+// still holds the lock on the error path and must release it. A signal
+// that races the cancellation wins: WaitContext returns nil and the
+// signal is consumed. An uncancellable ctx degenerates to Wait.
+func (c *Cond) WaitContext(ctx context.Context) error {
+	if ctx.Done() == nil {
+		c.Wait()
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		// Fail fast without enqueuing or cycling c.L, matching the
+		// ContextMutex contract (the caller keeps holding c.L).
+		return err
+	}
+	w := &waiter{parker: park.NewParker()}
+	c.enqueue(w)
+	c.L.Unlock()
+	var err error
+	for {
+		consumed := w.parker.ParkContext(ctx)
+		c.mu.Lock()
+		if w.signaled {
+			c.mu.Unlock()
+			break
+		}
+		if !consumed && ctx.Err() != nil {
+			// Cancelled, and no signal raced in (we hold mu, so signaled
+			// is authoritative): withdraw from the queue.
+			c.unlink(w)
+			c.mu.Unlock()
+			err = ctx.Err()
+			break
+		}
+		c.mu.Unlock()
+		// Spurious permit; keep waiting.
+	}
+	c.L.Lock()
+	return err
 }
 
 // Signal wakes the waiter at the head of the queue, if any. It may be

@@ -1,6 +1,8 @@
 package condvar
 
 import (
+	"context"
+	"errors"
 	"os"
 	"runtime"
 	"sync"
@@ -276,5 +278,106 @@ func TestProducerConsumerWithMalthusianLock(t *testing.T) {
 	}
 	if consumed.Load() != producers*items {
 		t.Fatalf("consumed %d want %d", consumed.Load(), producers*items)
+	}
+}
+
+func TestWaitContextCancel(t *testing.T) {
+	var mu sync.Mutex
+	c := NewFIFO(&mu)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		mu.Lock()
+		err := c.WaitContext(ctx)
+		mu.Unlock() // L must be reacquired even on the error path
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if c.Len() != 1 {
+		t.Fatal("waiter not enqueued")
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("WaitContext = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("WaitContext ignored cancellation")
+	}
+	if c.Len() != 0 {
+		t.Fatal("cancelled waiter left on the queue")
+	}
+	// A later Signal must not be consumed by the departed waiter.
+	c.Signal()
+}
+
+func TestWaitContextSignaled(t *testing.T) {
+	m := lock.MustNew("mcscr-stp?seed=11") // works with registry locks too
+	c := NewMostlyLIFO(m)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		c.Signal()
+	}()
+	m.Lock()
+	err := c.WaitContext(ctx)
+	m.Unlock()
+	if err != nil {
+		t.Fatalf("signaled WaitContext returned %v", err)
+	}
+}
+
+// TestWaitContextCancelStress: many waiters, racing signals and
+// cancellations; every waiter must return exactly once, signaled waiters
+// with nil, and the queue must drain.
+func TestWaitContextCancelStress(t *testing.T) {
+	m := lock.MustNew("mcscr-stp?seed=13")
+	c := NewMostlyLIFO(m)
+	const waiters = 32
+	ctx, cancel := context.WithCancel(context.Background())
+	var signaled, cancelled atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Lock()
+			err := c.WaitContext(ctx)
+			m.Unlock()
+			if err != nil {
+				cancelled.Add(1)
+			} else {
+				signaled.Add(1)
+			}
+		}()
+	}
+	for c.Len() < waiters {
+		runtime.Gosched()
+	}
+	for i := 0; i < waiters/2; i++ {
+		c.Signal()
+	}
+	cancel()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("stalled: signaled=%d cancelled=%d len=%d",
+			signaled.Load(), cancelled.Load(), c.Len())
+	}
+	if got := signaled.Load() + cancelled.Load(); got != waiters {
+		t.Fatalf("%d waiters returned, want %d", got, waiters)
+	}
+	// At least the pre-cancel signals must have been consumed as signals
+	// (a signal that raced the cancel may legitimately land either way
+	// for post-cancel stragglers, but these were issued first).
+	if signaled.Load() < waiters/2 {
+		t.Fatalf("only %d signaled, want >= %d", signaled.Load(), waiters/2)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("queue retained %d waiters", c.Len())
 	}
 }

@@ -6,9 +6,14 @@
 //   - package lock: the Malthusian lock family (MCSCR, LIFO-CR, LOITER)
 //     plus classic baselines (TAS, ticket, CLH, MCS) as real goroutine
 //     locks satisfying sync.Locker, with cache-line-isolated hot fields
-//     and striped, optionally disabled (WithStats) event counters;
+//     and striped, optionally disabled (WithStats) event counters. Locks
+//     are built from registry specs (lock.New("mcscr-stp?fairness=500"))
+//     and every implementation satisfies lock.ContextMutex — acquisition
+//     with context cancellation and deadlines (LockContext, TryLockFor),
+//     with waiter-excision protocols specified in DESIGN.md;
 //   - packages condvar and semaphore: concurrency-restricting waiter
 //     admission (mostly-LIFO) for condition variables and semaphores;
+//     condvar adds context-aware waiting (WaitContext);
 //   - package metrics: the paper's fairness instruments (LWSS, MTTR,
 //     Gini, RSTDDEV);
 //   - package sim (with sim/cache): a deterministic discrete-event model

@@ -1,6 +1,6 @@
 // Pipeline: the §6.7 producer-consumer pattern — a bounded blocking queue
 // built from a Malthusian mutex and two concurrency-restricting condition
-// variables.
+// variables, with every wait bounded by the run's deadline.
 //
 // With many more producers than consumers, a strict-FIFO queue forces the
 // "futile acquisition" cycle (acquire, find the queue full, block, later
@@ -8,10 +8,17 @@
 // admission lets the system settle into the paper's "fast flow" mode with
 // a small, stable set of active producers.
 //
+// Shutdown uses WaitContext: each stage waits on its condition under the
+// run's context, so when the deadline passes every goroutine unblocks
+// with ctx.Err() and exits — no unbounded Wait can strand a producer
+// whose consumers have already left (which is precisely the failure mode
+// unbounded parking has in production services).
+//
 //	go run ./examples/pipeline
 package main
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -26,10 +33,12 @@ const (
 	consumers = 3
 	capacity  = 64
 	runFor    = 500 * time.Millisecond
+	drainFor  = 200 * time.Millisecond
 )
 
 func run(name string, appendProb float64) {
-	m := lock.NewMCSCR(lock.WithSeed(7))
+	// The registry resolves the lock spec; any lock.Names() entry works.
+	m := lock.MustNew("mcscr-stp?seed=7")
 	notEmpty := condvar.New(m, appendProb, 1)
 	notFull := condvar.New(m, appendProb, 2)
 
@@ -37,6 +46,10 @@ func run(name string, appendProb float64) {
 	var messages atomic.Int64
 	var futile atomic.Int64
 	stop := time.Now().Add(runFor)
+	// Every wait in the pipeline is bounded by this context: producers
+	// stop producing at the deadline, consumers get a drain grace period.
+	ctx, cancel := context.WithDeadline(context.Background(), stop.Add(drainFor))
+	defer cancel()
 
 	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {
@@ -47,7 +60,10 @@ func run(name string, appendProb float64) {
 				m.Lock()
 				for queue == capacity {
 					futile.Add(1)
-					notFull.Wait()
+					if notFull.WaitContext(ctx) != nil {
+						m.Unlock()
+						return
+					}
 				}
 				queue++
 				m.Unlock()
@@ -59,12 +75,12 @@ func run(name string, appendProb float64) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for time.Now().Before(stop) {
+			for {
 				m.Lock()
 				for queue == 0 {
-					if !notEmpty.WaitTimeout(50 * time.Millisecond) {
+					if notEmpty.WaitContext(ctx) != nil {
 						m.Unlock()
-						return // producers are done
+						return // deadline passed and the queue is drained
 					}
 				}
 				queue--

@@ -1,25 +1,40 @@
-// Quickstart: MCSCR as a drop-in sync.Locker.
+// Quickstart: build any lock in the family from a spec string, use it as
+// a drop-in sync.Locker, and acquire it under a deadline.
 //
 // The Malthusian lock is API-compatible with sync.Mutex: construct one,
 // Lock/Unlock. Under contention it transparently culls surplus threads
 // into a passive set (improving cache residency for the active ones) and
 // periodically promotes the eldest passive thread for long-term fairness.
+// Every lock also satisfies lock.ContextMutex, so request-scoped code can
+// bound its wait with a context or a duration.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart 'lifocr?fairness=100&seed=7'
 package main
 
 import (
 	"fmt"
+	"os"
 	"sync"
+	"time"
 
 	"repro/lock"
 )
 
 func main() {
-	// A Malthusian MCS lock with spin-then-park waiting and the paper's
-	// 1/1000 fairness period. Every lock in the library satisfies
-	// sync.Locker, so it composes with sync.Cond, sync.WaitGroup, etc.
-	m := lock.NewMCSCR()
+	// A lock spec names the implementation and its tunables; the registry
+	// (lock.New) is the single source of truth for both. The default here
+	// is the paper's Malthusian MCS with spin-then-park waiting and the
+	// 1/1000 fairness period.
+	spec := "mcscr-stp?fairness=1000&seed=1"
+	if len(os.Args) > 1 {
+		spec = os.Args[1]
+	}
+	m, err := lock.New(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err) // the error lists the known locks
+		os.Exit(2)
+	}
 
 	var (
 		counter int
@@ -39,11 +54,33 @@ func main() {
 	}
 	wg.Wait()
 
-	s := m.Stats()
+	fmt.Printf("spec             = %s\n", spec)
 	fmt.Printf("counter          = %d (want %d)\n", counter, goroutines*iters)
-	fmt.Printf("acquisitions     = %d\n", s.Acquires)
-	fmt.Printf("culls            = %d (threads moved into the passive set)\n", s.Culls)
-	fmt.Printf("reprovisions     = %d (passive threads recalled to keep the lock saturated)\n", s.Reprovisions)
-	fmt.Printf("promotions       = %d (Bernoulli long-term-fairness grafts)\n", s.Promotions)
-	fmt.Printf("parks / unparks  = %d / %d\n", s.Parks, s.Unparks)
+	if s, ok := m.(lock.Instrumented); ok {
+		snap := s.Stats()
+		fmt.Printf("acquisitions     = %d\n", snap.Acquires)
+		fmt.Printf("culls            = %d (threads moved into the passive set)\n", snap.Culls)
+		fmt.Printf("reprovisions     = %d (passive threads recalled to keep the lock saturated)\n", snap.Reprovisions)
+		fmt.Printf("promotions       = %d (Bernoulli long-term-fairness grafts)\n", snap.Promotions)
+		fmt.Printf("parks / unparks  = %d / %d\n", snap.Parks, snap.Unparks)
+	}
+
+	// Deadline-bounded acquisition: with the lock held elsewhere, a
+	// request whose budget runs out abandons its place in the queue
+	// instead of waiting forever.
+	cm := m.(lock.ContextMutex)
+	m.Lock()
+	start := time.Now()
+	if cm.TryLockFor(25 * time.Millisecond) {
+		fmt.Println("TryLockFor unexpectedly succeeded on a held lock")
+		m.Unlock()
+	} else {
+		fmt.Printf("TryLockFor gave up after %v (lock was held), as a deadline-bound request should\n",
+			time.Since(start).Round(time.Millisecond))
+	}
+	m.Unlock()
+	if cm.TryLockFor(25 * time.Millisecond) {
+		fmt.Println("...and acquired immediately once the lock was free")
+		m.Unlock()
+	}
 }

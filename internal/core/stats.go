@@ -20,6 +20,8 @@ const (
 	EvUnparks                   // wakeups issued to parked waiters
 	EvFastPath                  // uncontended / barging acquisitions
 	EvSlowPath                  // acquisitions that queued
+	EvCancels                   // acquisitions abandoned (context cancelled / deadline)
+	EvAbandons                  // abandoned waiter nodes excised by other paths
 
 	numEvents
 )
@@ -138,6 +140,17 @@ type Snapshot struct {
 	Unparks      uint64
 	FastPath     uint64
 	SlowPath     uint64
+
+	// Cancels counts acquisition attempts that returned with a context
+	// error: exactly one per failed LockContext/TryLockFor call.
+	Cancels uint64
+	// Abandons counts abandoned waiter nodes excised by someone other
+	// than the cancelled waiter itself: the unlock path's chain walk,
+	// passive-list pops, a CLH successor inheriting a dead predecessor,
+	// or a LOITER standby resignation. Distinct from Cancels because a
+	// cancelled TAS/Ticket waiter leaves no node behind, and a node
+	// abandoned at quiescence may not be excised until later traffic.
+	Abandons uint64
 }
 
 // Read sums the stripes into a consistent-enough snapshot for reporting.
@@ -164,5 +177,7 @@ func (s *Stats) Read() Snapshot {
 		Unparks:      sum[EvUnparks],
 		FastPath:     sum[EvFastPath],
 		SlowPath:     sum[EvSlowPath],
+		Cancels:      sum[EvCancels],
+		Abandons:     sum[EvAbandons],
 	}
 }

@@ -24,6 +24,7 @@ func TestStatsStripeSum(t *testing.T) {
 				s.Inc(EvCulls)
 				s.Inc2(EvFastPath, EvAcquires)
 				s.Inc3(EvPromotions, EvHandoffs, EvUnparks)
+				s.Inc2(EvCancels, EvAbandons)
 			}
 		}()
 	}
@@ -46,7 +47,8 @@ func TestStatsStripeSum(t *testing.T) {
 	snap := s.Read()
 	total := uint64(goroutines * iters)
 	if snap.Culls != total || snap.Acquires != total || snap.FastPath != total ||
-		snap.Promotions != total || snap.Handoffs != total || snap.Unparks != total {
+		snap.Promotions != total || snap.Handoffs != total || snap.Unparks != total ||
+		snap.Cancels != total || snap.Abandons != total {
 		t.Fatalf("stripe sums wrong: %+v want %d each", snap, total)
 	}
 	if snap.Parks != 0 || snap.SlowPath != 0 || snap.Reprovisions != 0 {

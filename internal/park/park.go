@@ -16,6 +16,7 @@
 package park
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 )
@@ -67,6 +68,38 @@ func (p *Parker) ParkTimeout(d time.Duration) bool {
 			}
 		case <-timer.C:
 			// One more chance: a permit may have raced with the timer.
+			return p.state.CompareAndSwap(1, 0)
+		}
+	}
+}
+
+// ParkContext blocks until a permit is available or ctx is done, and
+// reports whether a permit was consumed. A nil ctx, or one that can never
+// be cancelled (Done() == nil), degenerates to Park. Like ParkTimeout it
+// admits spurious returns only through the ctx path: a false return means
+// ctx is done. Cancellable parking is what lets a queued lock waiter
+// abandon its slot (see package lock's cancellation protocol).
+func (p *Parker) ParkContext(ctx context.Context) bool {
+	if p.state.CompareAndSwap(1, 0) {
+		return true
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	if done == nil {
+		p.Park()
+		return true
+	}
+	for {
+		select {
+		case <-p.gate:
+			if p.state.CompareAndSwap(1, 0) {
+				return true
+			}
+			// Stale gate token; keep waiting.
+		case <-done:
+			// One more chance: a permit may have raced with cancellation.
 			return p.state.CompareAndSwap(1, 0)
 		}
 	}

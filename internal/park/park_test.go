@@ -1,6 +1,7 @@
 package park
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -176,5 +177,78 @@ func BenchmarkUncontendedParkUnpark(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p.Unpark()
 		p.Park()
+	}
+}
+
+func TestParkContextPermit(t *testing.T) {
+	p := NewParker()
+	p.Unpark()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if !p.ParkContext(ctx) {
+		t.Fatal("ParkContext missed the pending permit")
+	}
+}
+
+func TestParkContextCancel(t *testing.T) {
+	p := NewParker()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool, 1)
+	go func() { done <- p.ParkContext(ctx) }()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("ParkContext returned without permit or cancellation")
+	default:
+	}
+	cancel()
+	select {
+	case got := <-done:
+		if got {
+			t.Fatal("cancelled ParkContext reported a consumed permit")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("ParkContext ignored cancellation")
+	}
+}
+
+// TestParkContextPermitBeatsCancel: a permit racing with cancellation must
+// not be lost — either the permit is consumed (true) or it stays pending
+// for the next Park.
+func TestParkContextPermitBeatsCancel(t *testing.T) {
+	p := NewParker()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p.Unpark()
+	if !p.ParkContext(ctx) {
+		// Permit must still be pending.
+		if !p.TryConsume() {
+			t.Fatal("permit lost across a cancelled ParkContext")
+		}
+	}
+}
+
+// TestParkContextNil: a nil context (and a never-cancellable one)
+// degenerates to plain Park.
+func TestParkContextNil(t *testing.T) {
+	p := NewParker()
+	done := make(chan struct{})
+	go func() {
+		if !p.ParkContext(nil) {
+			t.Error("nil-ctx ParkContext returned false")
+		}
+		if !p.ParkContext(context.Background()) {
+			t.Error("Background-ctx ParkContext returned false")
+		}
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	p.Unpark()
+	time.Sleep(10 * time.Millisecond)
+	p.Unpark()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("ParkContext without cancellation did not behave like Park")
 	}
 }

@@ -1,19 +1,30 @@
 package lock
 
 import (
+	"context"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/pad"
+	"repro/internal/park"
 )
 
 // clhNode is a CLH queue element. Unlike MCS, a waiter spins on its
 // predecessor's node; once the predecessor is granted and displaced it is
 // dropped for the GC. Padded to a full cache line so each waiter's spin
 // target occupies its own coherence granule (see layout_test.go).
+//
+// pred records the node this waiter spins on, published before any
+// abandon so a successor that observes stateAbandoned (acquire) can
+// inherit the wait: CLH excision is performed by the successor, not the
+// unlock path. pred pointers are immutable once set and abandoned states
+// are terminal, so at most one live waiter ever walks to a given
+// predecessor.
 type clhNode struct {
 	waitCell
-	_ [pad.CacheLineSize - 16]byte
+	pred *clhNode
+	_    [pad.CacheLineSize - 24]byte
 }
 
 // newCLHNode allocates a fresh node. CLH nodes are deliberately NOT
@@ -23,7 +34,10 @@ type clhNode struct {
 // and republished as the live tail, letting a stale TryLock CAS succeed
 // against a node that now belongs to the current holder (two owners).
 // Garbage collection makes the pointer CAS safe: a node cannot be
-// reallocated while any goroutine still holds a reference to it.
+// reallocated while any goroutine still holds a reference to it — which
+// is also what lets a cancelled waiter simply mark its node abandoned and
+// leave: the chain of abandoned nodes stays reachable until the inheriting
+// successor walks past it, then becomes garbage.
 func newCLHNode() *clhNode {
 	return new(clhNode)
 }
@@ -51,6 +65,14 @@ func NewCLH(opts ...Option) *CLH {
 	return &CLH{cfg: cfg, stats: cfg.newStats()}
 }
 
+func init() {
+	Register(Registration{
+		Name:    "clh",
+		Summary: "CLH queue lock: FIFO, local spinning on the predecessor (wait=s|stp)",
+		Build:   func(opts ...Option) Mutex { return NewCLH(opts...) },
+	})
+}
+
 // Lock enqueues the caller and waits on its predecessor's flag. A nil tail
 // or a predecessor in granted state means the lock is free.
 func (l *CLH) Lock() {
@@ -61,13 +83,160 @@ func (l *CLH) Lock() {
 		l.stats.Inc2(core.EvFastPath, core.EvAcquires)
 		return
 	}
-	parked := pred.await(l.cfg.wait, l.cfg.policy.SpinBudget)
-	l.ownerNode = n
-	if parked {
-		l.stats.Inc3(core.EvParks, core.EvSlowPath, core.EvAcquires)
-	} else {
-		l.stats.Inc2(core.EvSlowPath, core.EvAcquires)
+	// n.pred stays nil on the arrival path: a plain-Lock waiter never
+	// abandons its node, so no successor will ever read its pred —
+	// skipping the store keeps a pointer write barrier off the hot path
+	// and keeps granted nodes from retaining their predecessor history
+	// for the GC. waitOn's path compression may still set it (inherit);
+	// clear that on grant so the invariant — granted nodes hold no
+	// predecessor references — survives mixed cancellable traffic.
+	parked, _ := l.waitOn(nil, n, pred)
+	if n.pred != nil {
+		n.pred = nil
 	}
+	l.ownerNode = n
+	slowAcquireStats(l.stats, parked)
+}
+
+// LockContext is Lock with cancellation. A cancelled CLH waiter marks its
+// own node abandoned and leaves; the excision is lazy and successor-side:
+// whoever waits on the abandoned node (a current waiter or a future
+// arrival) walks to the node's predecessor and inherits the wait there.
+// Until a successor arrives, an abandoned tail makes the lock look held
+// to TryLock — the next Lock/LockContext arrival restores it.
+func (l *CLH) LockContext(ctx context.Context) error {
+	if ctx.Done() == nil {
+		l.Lock()
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		l.stats.Inc(core.EvCancels)
+		return err
+	}
+	n := newCLHNode()
+	pred := l.tail.Swap(n)
+	if pred == nil {
+		l.ownerNode = n
+		l.stats.Inc2(core.EvFastPath, core.EvAcquires)
+		return nil
+	}
+	// Unlike plain Lock, a cancellable waiter may abandon, so its node
+	// must carry the pred pointer successors will inherit.
+	n.pred = pred
+	parked, err := l.waitOn(ctx, n, pred)
+	if err != nil {
+		// Abandon our own node so the successor can inherit pred. The
+		// grant cannot race here: only we grant our node, at unlock.
+		n.abandon()
+		cancelStats(l.stats, parked)
+		return err
+	}
+	// Granted: the node can never be abandoned now, so no successor will
+	// read n.pred — clear it so granted nodes do not chain-retain their
+	// predecessors.
+	n.pred = nil
+	l.ownerNode = n
+	slowAcquireStats(l.stats, parked)
+	return nil
+}
+
+// TryLockFor is TryLock with a patience bound, built on LockContext.
+func (l *CLH) TryLockFor(d time.Duration) bool { return tryLockFor(l, d) }
+
+// waitOn waits for a node on the predecessor chain to be granted,
+// inheriting earlier predecessors whenever a cancelled waiter abandons
+// the node being watched. ctx may be nil (wait forever). On err != nil
+// the caller still owns its node and must abandon it itself.
+//
+// Each inheritance step path-compresses: the walker republishes its own
+// node's pred to the inherited target (retarget), so when the walker
+// itself later abandons, its successor resumes at the live frontier
+// instead of re-walking the dead prefix — each abandoned node is
+// traversed, counted, and unreferenced exactly once. Writing n.pred here
+// is safe: a successor reads it only after observing n's abandon CAS,
+// which orders after every write below.
+//
+// A subtlety of inheritance: the abandoning waiter may already have
+// published stateParked on the watched cell and allocated its parker. The
+// inheritor then parks on that same parker — safe, because the abandoner
+// never touches the cell after its abandon CAS, and the CAS's ordering
+// publishes the parker allocation.
+func (l *CLH) waitOn(ctx context.Context, n, pred *clhNode) (parked bool, err error) {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	spinOnly := l.cfg.wait == WaitSpin
+	budget := l.cfg.policy.SpinBudget
+	for {
+		// Spin phase on the current predecessor.
+		for i := 0; spinOnly || i < budget; i++ {
+			switch pred.state.Load() {
+			case stateGranted:
+				return parked, nil
+			case stateAbandoned:
+				pred = l.inherit(n, pred)
+				i = 0
+				continue
+			}
+			if done != nil && i%ctxCheckEvery == ctxCheckEvery-1 {
+				select {
+				case <-done:
+					return parked, ctx.Err()
+				default:
+				}
+			}
+			politePause(i)
+		}
+		// Park phase: publish stateParked on the predecessor's cell (or
+		// adopt a parked state left behind by an abandoning waiter). The
+		// full switch is required here, not just in the spin phase: with a
+		// zero spin budget this is the only place granted or abandoned
+		// predecessors are noticed before parking.
+		switch s := pred.state.Load(); s {
+		case stateGranted:
+			return parked, nil
+		case stateAbandoned:
+			pred = l.inherit(n, pred)
+			continue
+		case stateWaiting:
+			if pred.parker == nil {
+				pred.parker = park.NewParker()
+			}
+			if !pred.state.CompareAndSwap(stateWaiting, stateParked) {
+				continue // granted or abandoned; re-examine
+			}
+		case stateParked:
+			// A cancelled predecessor-watcher left the cell parked; its
+			// parker is published by the CAS that set the state.
+		}
+		parked = true
+		for {
+			pred.parker.ParkContext(ctx)
+			switch pred.state.Load() {
+			case stateGranted:
+				return true, nil
+			case stateAbandoned:
+				// The waiter that owned this node cancelled and unparked
+				// us; inherit its predecessor.
+				pred = l.inherit(n, pred)
+			default:
+				if ctx != nil && ctx.Err() != nil {
+					return true, ctx.Err()
+				}
+				continue // spurious wakeup; park again
+			}
+			break // re-enter the outer loop on the inherited predecessor
+		}
+	}
+}
+
+// inherit steps waiter n's watch target past the abandoned node pred,
+// path-compressing n.pred to the new target (see waitOn).
+func (l *CLH) inherit(n, pred *clhNode) *clhNode {
+	l.stats.Inc(core.EvAbandons)
+	n.pred = pred.pred
+	return n.pred
 }
 
 // TryLock acquires the lock only if it is observably free. The failure
@@ -89,21 +258,19 @@ func (l *CLH) TryLock() bool {
 }
 
 // Unlock grants the owner's node, passing the lock to the successor
-// spinning on it (or marking the lock free if none arrives).
+// spinning on it (or marking the lock free if none arrives). The plain
+// grant is safe here: waiters abandon only their own nodes, never the
+// node they spin on, so the owner's cell cannot be abandoned.
 func (l *CLH) Unlock() {
 	n := l.ownerNode
 	if n == nil {
 		panic("lock: CLH.Unlock of unlocked mutex")
 	}
 	l.ownerNode = nil
-	if n.grant() {
-		l.stats.Inc2(core.EvUnparks, core.EvHandoffs)
-	} else {
-		l.stats.Inc(core.EvHandoffs)
-	}
+	grantStats(l.stats, n.grant())
 }
 
 // Stats returns a snapshot of the lock's event counters.
 func (l *CLH) Stats() core.Snapshot { return l.stats.Read() }
 
-var _ Mutex = (*CLH)(nil)
+var _ ContextMutex = (*CLH)(nil)

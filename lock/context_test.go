@@ -1,0 +1,348 @@
+package lock
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// contextLocks enumerates the locks under cancellation test via the
+// registry (the single source of truth for names); null is excluded
+// because it provides no exclusion to verify.
+func contextLocks() []string {
+	var names []string
+	for _, n := range Names() {
+		if n != "null" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// TestCancelStress is the central cancellation soak: goroutines hammer
+// each lock with a mix of plain Lock and LockContext under randomly
+// expiring deadlines, asserting
+//
+//   - mutual exclusion holds throughout (unprotected counter + occupancy),
+//   - no acquisition is lost or double-counted: successful acquisitions
+//     equal critical-section executions,
+//   - Cancels reconciles exactly with the observed error returns,
+//   - Abandons never exceeds Cancels (every excised node was cancelled),
+//   - the lock remains fully usable after the storm (no stranded waiter,
+//     no corrupted chain): a sequential drain completes.
+//
+// Run with -race in CI (the "Cancel" stage).
+func TestCancelStress(t *testing.T) {
+	const goroutines = 8
+	iters := 400
+	if raceEnabled {
+		iters = 120
+	}
+	for _, name := range contextLocks() {
+		t.Run(name, func(t *testing.T) {
+			m := MustNew(name, WithSeed(1), WithSpinBudget(64)).(ContextMutex)
+			var (
+				unprotected int // data race if exclusion fails
+				inside      atomic.Int32
+				maxInside   atomic.Int32
+				successes   atomic.Int64
+				cancels     atomic.Int64
+			)
+			cs := func() {
+				if v := inside.Add(1); v > maxInside.Load() {
+					maxInside.Store(v)
+				}
+				unprotected++
+				inside.Add(-1)
+			}
+			runWithTimeout(t, 120*time.Second, func() {
+				var wg sync.WaitGroup
+				for g := 0; g < goroutines; g++ {
+					wg.Add(1)
+					go func(id int) {
+						defer wg.Done()
+						rng := uint64(id)*0x9e3779b97f4a7c15 + 1
+						next := func() uint64 {
+							rng ^= rng << 13
+							rng ^= rng >> 7
+							rng ^= rng << 17
+							return rng
+						}
+						for i := 0; i < iters; i++ {
+							switch next() % 4 {
+							case 0: // plain lock
+								m.Lock()
+								cs()
+								m.Unlock()
+								successes.Add(1)
+							case 1: // uncancellable context
+								if err := m.LockContext(context.Background()); err != nil {
+									t.Errorf("Background LockContext failed: %v", err)
+									return
+								}
+								cs()
+								m.Unlock()
+								successes.Add(1)
+							default: // racing deadline, 0–40µs
+								d := time.Duration(next()%41) * time.Microsecond
+								ctx, cancel := context.WithTimeout(context.Background(), d)
+								err := m.LockContext(ctx)
+								cancel()
+								if err != nil {
+									if !errors.Is(err, context.DeadlineExceeded) {
+										t.Errorf("unexpected LockContext error: %v", err)
+										return
+									}
+									cancels.Add(1)
+								} else {
+									cs()
+									m.Unlock()
+									successes.Add(1)
+								}
+							}
+						}
+					}(g)
+				}
+				wg.Wait()
+			})
+			if got := int64(unprotected); got != successes.Load() {
+				t.Errorf("mutual exclusion violated: %d CS executions vs %d successful acquisitions",
+					got, successes.Load())
+			}
+			if maxInside.Load() != 1 {
+				t.Errorf("critical section occupancy reached %d", maxInside.Load())
+			}
+			// Post-storm liveness: the lock must still cycle cleanly.
+			runWithTimeout(t, 60*time.Second, func() {
+				for i := 0; i < 100; i++ {
+					m.Lock()
+					m.Unlock()
+				}
+			})
+			snap := m.(Instrumented).Stats()
+			if snap.Cancels != uint64(cancels.Load()) {
+				t.Errorf("Cancels=%d does not reconcile with %d observed timeouts",
+					snap.Cancels, cancels.Load())
+			}
+			if snap.Abandons > snap.Cancels {
+				t.Errorf("Abandons=%d exceeds Cancels=%d", snap.Abandons, snap.Cancels)
+			}
+			if want := successes.Load(); snap.Acquires != uint64(want) {
+				// The drain above adds 100 more.
+				if snap.Acquires != uint64(want)+100 {
+					t.Errorf("Acquires=%d, want %d (+100 drain)", snap.Acquires, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCancelParkedWaiter pins the hardest path: a waiter that has fully
+// parked must notice cancellation promptly, abandon its slot, and leave
+// the lock usable (the abandoned node excised by the next unlock).
+func TestCancelParkedWaiter(t *testing.T) {
+	for _, name := range contextLocks() {
+		t.Run(name, func(t *testing.T) {
+			// spin=0 parks (or for spin-free locks, waits) immediately.
+			m := MustNew(name + "?spin=0&seed=2").(ContextMutex)
+			m.Lock()
+			ctx, cancel := context.WithCancel(context.Background())
+			errc := make(chan error, 1)
+			go func() { errc <- m.LockContext(ctx) }()
+			time.Sleep(50 * time.Millisecond) // let the waiter park
+			cancel()
+			select {
+			case err := <-errc:
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("LockContext = %v, want context.Canceled", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("parked waiter ignored cancellation")
+			}
+			m.Unlock() // must excise the abandoned node, not hand off to it
+			runWithTimeout(t, 30*time.Second, func() {
+				for i := 0; i < 10; i++ {
+					m.Lock()
+					m.Unlock()
+				}
+			})
+		})
+	}
+}
+
+// TestCancelChainExcision abandons a waiter in the middle of a real
+// queue (holder + 3 waiters), then checks the survivors all acquire.
+func TestCancelChainExcision(t *testing.T) {
+	for _, name := range contextLocks() {
+		t.Run(name, func(t *testing.T) {
+			m := MustNew(name + "?spin=0&seed=3").(ContextMutex)
+			m.Lock()
+			ctx, cancel := context.WithCancel(context.Background())
+			var acquired atomic.Int64
+			var wg sync.WaitGroup
+			errc := make(chan error, 1)
+			wg.Add(1)
+			go func() { // the doomed middle waiter
+				defer wg.Done()
+				errc <- m.LockContext(ctx)
+			}()
+			time.Sleep(20 * time.Millisecond)
+			for i := 0; i < 3; i++ {
+				wg.Add(1)
+				go func() { // survivors
+					defer wg.Done()
+					m.Lock()
+					acquired.Add(1)
+					m.Unlock()
+				}()
+			}
+			time.Sleep(20 * time.Millisecond)
+			cancel()
+			if err := <-errc; err == nil {
+				// The doomed waiter may legitimately win a handoff race
+				// before noticing cancellation (grant-wins); release.
+				acquired.Add(1)
+				m.Unlock()
+			}
+			m.Unlock()
+			runWithTimeout(t, 60*time.Second, wg.Wait)
+			if got := acquired.Load(); got < 3 {
+				t.Fatalf("only %d survivors acquired after excision", got)
+			}
+		})
+	}
+}
+
+// TestLockContextPreCancelled: an already-dead context must fail fast,
+// count one cancel, and leave no trace in the waiter structures.
+func TestLockContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			m := MustNew(name).(ContextMutex)
+			if err := m.LockContext(ctx); !errors.Is(err, context.Canceled) {
+				t.Fatalf("LockContext(cancelled) = %v, want context.Canceled", err)
+			}
+			// The failed attempt must not have disturbed the lock.
+			if !m.TryLock() {
+				t.Fatal("lock unusable after fail-fast cancellation")
+			}
+			m.Unlock()
+		})
+	}
+}
+
+// TestLockContextBackground: an uncancellable context is exactly Lock.
+func TestLockContextBackground(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			m := MustNew(name).(ContextMutex)
+			if err := m.LockContext(context.Background()); err != nil {
+				t.Fatalf("Background LockContext: %v", err)
+			}
+			m.Unlock()
+		})
+	}
+}
+
+func TestTryLockFor(t *testing.T) {
+	for _, name := range contextLocks() {
+		t.Run(name, func(t *testing.T) {
+			m := MustNew(name).(ContextMutex)
+			// Free lock: immediate success, even with no budget.
+			if !m.TryLockFor(0) {
+				t.Fatal("TryLockFor(0) on a free lock failed")
+			}
+			// Held lock, no budget: immediate failure.
+			if m.TryLockFor(0) || m.TryLockFor(-time.Second) {
+				t.Fatal("TryLockFor(<=0) on a held lock succeeded")
+			}
+			// Held lock, short budget: timed failure.
+			start := time.Now()
+			if m.TryLockFor(20 * time.Millisecond) {
+				t.Fatal("TryLockFor acquired a held lock")
+			}
+			if time.Since(start) > 5*time.Second {
+				t.Fatal("TryLockFor overshot its deadline grossly")
+			}
+			m.Unlock()
+			// Contended but released within the budget: success.
+			release := make(chan struct{})
+			m.Lock()
+			done := make(chan bool, 1)
+			go func() {
+				<-release
+				time.Sleep(10 * time.Millisecond)
+				m.Unlock()
+			}()
+			go func() { close(release); done <- m.TryLockFor(30 * time.Second) }()
+			select {
+			case ok := <-done:
+				if !ok {
+					t.Fatal("TryLockFor missed a release inside its budget")
+				}
+				m.Unlock()
+			case <-time.After(60 * time.Second):
+				t.Fatal("TryLockFor hung")
+			}
+		})
+	}
+}
+
+// TestMCSCRCancelOnPassiveList drives a waiter into the passive set and
+// cancels it there: the passive-list pops must filter the abandoned node
+// and the PS must fully drain afterwards.
+func TestMCSCRCancelOnPassiveList(t *testing.T) {
+	m := MustNew("mcscr-stp?seed=5&spin=0").(*MCSCR)
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		m.Lock()
+		ctx, cancel := context.WithCancel(context.Background())
+		errs := make(chan error, 4)
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				errs <- m.LockContext(ctx)
+			}()
+		}
+		// Cycle the lock so the unlock path culls surplus waiters to the
+		// PS (the culler needs to observe >= 2 chain waiters).
+		if !waitUntil(deadline, func() bool { return m.Stats().Culls > 0 || m.PassiveSize() > 0 }) {
+			cancel()
+			m.Unlock()
+			t.Skip("culling never engaged (single-CPU scheduling); covered by TestCancelStress")
+		}
+		cancel()
+		m.Unlock()
+		granted := 0
+		for i := 0; i < 4; i++ {
+			if err := <-errs; err == nil {
+				granted++
+			}
+		}
+		// Unlock on behalf of any waiters that won grant-wins races; each
+		// unlock also reprovisions/excises from the PS.
+		for i := 0; i < granted; i++ {
+			m.Unlock()
+		}
+		wg.Wait()
+		// Drain: reprovision pops filter abandoned PS entries.
+		runWithTimeout(t, 30*time.Second, func() {
+			for m.PassiveSize() > 0 {
+				m.Lock()
+				m.Unlock()
+			}
+		})
+		if ps := m.PassiveSize(); ps != 0 {
+			t.Fatalf("passive set retained %d abandoned entries", ps)
+		}
+		return // one full round suffices
+	}
+	t.Fatal("test deadline exhausted")
+}

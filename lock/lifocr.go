@@ -1,8 +1,10 @@
 package lock
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/pad"
@@ -62,6 +64,14 @@ type LIFOCR struct {
 	stats *core.Stats
 }
 
+func init() {
+	Register(Registration{
+		Name:    "lifocr",
+		Summary: "LIFO-CR stack lock (App. A.2): handoff to the newest waiter, eldest promoted periodically",
+		Build:   func(opts ...Option) Mutex { return NewLIFOCR(opts...) },
+	})
+}
+
 // NewLIFOCR returns an unlocked LIFO-CR lock.
 func NewLIFOCR(opts ...Option) *LIFOCR {
 	cfg := buildConfig(opts)
@@ -74,10 +84,29 @@ func NewLIFOCR(opts ...Option) *LIFOCR {
 
 // Lock acquires the lock, pushing the caller onto the waiter stack if it
 // is held.
-func (l *LIFOCR) Lock() {
+func (l *LIFOCR) Lock() { l.lockStack(nil) }
+
+// LockContext is Lock with cancellation. A cancelled waiter abandons its
+// stack node in place; the node stays linked (pushes touch only the top,
+// and only the holder pops) until the holder's pop or eldest-walk reaches
+// it, fails the grant, and reclaims it. See ContextMutex and DESIGN.md.
+func (l *LIFOCR) LockContext(ctx context.Context) error {
+	if ctx.Done() == nil {
+		return l.lockStack(nil)
+	}
+	if err := ctx.Err(); err != nil {
+		l.stats.Inc(core.EvCancels)
+		return err
+	}
+	return l.lockStack(ctx)
+}
+
+// lockStack is the acquisition body shared by Lock and LockContext; a
+// nil ctx waits indefinitely and cannot fail.
+func (l *LIFOCR) lockStack(ctx context.Context) error {
 	if l.top.CompareAndSwap(nil, &l.lockedEmpty) {
 		l.stats.Inc2(core.EvFastPath, core.EvAcquires)
-		return
+		return nil
 	}
 	n := newLifoNode()
 	for {
@@ -87,7 +116,7 @@ func (l *LIFOCR) Lock() {
 			if l.top.CompareAndSwap(nil, &l.lockedEmpty) {
 				freeLifoNode(n)
 				l.stats.Inc2(core.EvFastPath, core.EvAcquires)
-				return
+				return nil
 			}
 			continue
 		}
@@ -100,15 +129,27 @@ func (l *LIFOCR) Lock() {
 			break
 		}
 	}
-	parked := n.await(l.cfg.wait, l.cfg.policy.SpinBudget)
+	var parked bool
+	var err error
+	if ctx == nil {
+		parked = n.await(l.cfg.wait, l.cfg.policy.SpinBudget)
+	} else {
+		parked, err = n.awaitCtx(ctx, l.cfg.wait, l.cfg.policy.SpinBudget)
+	}
+	if err != nil {
+		// The node is now stateAbandoned and stays on the stack; the
+		// holder reclaims it when a pop reaches it.
+		cancelStats(l.stats, parked)
+		return err
+	}
 	// Handoff: the granter popped our node; we own the lock now.
 	freeLifoNode(n)
-	if parked {
-		l.stats.Inc3(core.EvParks, core.EvSlowPath, core.EvAcquires)
-	} else {
-		l.stats.Inc2(core.EvSlowPath, core.EvAcquires)
-	}
+	slowAcquireStats(l.stats, parked)
+	return nil
 }
+
+// TryLockFor is TryLock with a patience bound, built on LockContext.
+func (l *LIFOCR) TryLockFor(d time.Duration) bool { return tryLockFor(l, d) }
 
 // TryLock acquires the lock if it is free.
 func (l *LIFOCR) TryLock() bool {
@@ -144,7 +185,9 @@ func (l *LIFOCR) Unlock() {
 			}
 			continue
 		}
-		// Pop the most recently arrived waiter and hand it the lock.
+		// Pop the most recently arrived waiter and hand it the lock. If it
+		// abandoned (cancelled LockContext), reclaim the node — we still
+		// hold the lock — and retry against the remaining stack.
 		var repl *lifoNode
 		if top.next == nil {
 			repl = &l.lockedEmpty
@@ -152,38 +195,42 @@ func (l *LIFOCR) Unlock() {
 			repl = top.next
 		}
 		if l.top.CompareAndSwap(top, repl) {
-			l.finishGrant(top)
-			return
+			if ok, unparked := top.tryGrant(); ok {
+				grantStats(l.stats, unparked)
+				return
+			}
+			l.stats.Inc(core.EvAbandons)
+			freeLifoNode(top)
 		}
-		// A push raced; retry against the new top.
+		// A push raced, or the popped waiter had abandoned; retry.
 	}
 }
 
-// grantEldest unlinks the bottom-most node at or below start and grants
-// it. It returns false if start was popped out from under us (cannot
-// happen — only the holder pops — but kept for symmetry with the CAS
-// loops). start.next is non-nil on entry, so the bottom is an interior
-// node and unlinking it cannot race with pushes, which touch only the top.
+// grantEldest unlinks the bottom-most live node below start and grants
+// it, reclaiming abandoned nodes met at the bottom on the way. It returns
+// false if the stack below start ran out of interior nodes (every one had
+// abandoned); the caller then falls back to the normal pop path. Only the
+// holder pops or unlinks, and pushes touch only the top, so walking and
+// editing interior links is safe.
 func (l *LIFOCR) grantEldest(start *lifoNode) bool {
-	prev := start
-	for prev.next.next != nil {
-		prev = prev.next
+	for start.next != nil {
+		prev := start
+		for prev.next.next != nil {
+			prev = prev.next
+		}
+		eldest := prev.next
+		prev.next = nil
+		if ok, unparked := eldest.tryGrant(); ok {
+			grantStats(l.stats, unparked)
+			return true
+		}
+		l.stats.Inc(core.EvAbandons)
+		freeLifoNode(eldest)
 	}
-	eldest := prev.next
-	prev.next = nil
-	l.finishGrant(eldest)
-	return true
-}
-
-func (l *LIFOCR) finishGrant(n *lifoNode) {
-	if n.grant() {
-		l.stats.Inc2(core.EvUnparks, core.EvHandoffs)
-	} else {
-		l.stats.Inc(core.EvHandoffs)
-	}
+	return false
 }
 
 // Stats returns a snapshot of the lock's event counters.
 func (l *LIFOCR) Stats() core.Snapshot { return l.stats.Read() }
 
-var _ Mutex = (*LIFOCR)(nil)
+var _ ContextMutex = (*LIFOCR)(nil)

@@ -21,11 +21,23 @@
 //   - CLH and MCS (FIFO, local spinning, direct handoff);
 //   - Null (degenerate; for harness calibration only).
 //
-// All locks satisfy sync.Locker. Queue-based locks allocate their waiter
-// nodes from pools (except CLH, which allocates per acquisition: GC
-// reclamation is what keeps its TryLock pointer-CAS immune to ABA) and
-// are safe for use by any number of goroutines; no per-thread
+// All locks satisfy sync.Locker — and ContextMutex: acquisition can be
+// bounded by a context (LockContext) or a duration (TryLockFor), with a
+// cancelled waiter excised from the lock's waiter structures without
+// breaking handoff (the per-lock protocols are specified in DESIGN.md
+// §3). Queue-based locks allocate their waiter nodes from pools (except
+// CLH, which allocates per acquisition: GC reclamation is what keeps its
+// TryLock pointer-CAS immune to ABA and its abandoned-node excision
+// safe) and are safe for use by any number of goroutines; no per-thread
 // registration is required.
+//
+// # Construction
+//
+// Locks are usually built from a registry spec — New("mcscr-stp"),
+// New("clh?wait=s&spin=1024") — so lock choice and tuning can live in
+// configuration; Names lists the registered implementations and Register
+// adds new ones. The typed constructors (NewMCSCR, NewTAS, ...) remain
+// for callers that want the concrete types.
 //
 // # Instrumentation
 //

@@ -21,22 +21,28 @@ func TestMain(m *testing.M) {
 }
 
 // builders enumerates every real (mutual-exclusion-providing) lock in the
-// package under both waiting policies.
+// package under both waiting policies, resolved through the registry so
+// the spec grammar itself is exercised by the whole suite.
 func builders() map[string]func() Mutex {
-	return map[string]func() Mutex{
-		"TAS":        func() Mutex { return NewTAS() },
-		"Ticket":     func() Mutex { return NewTicket() },
-		"CLH-S":      func() Mutex { return NewCLH(WithWaitPolicy(WaitSpin)) },
-		"CLH-STP":    func() Mutex { return NewCLH(WithWaitPolicy(WaitSpinThenPark)) },
-		"MCS-S":      func() Mutex { return NewMCS(WithWaitPolicy(WaitSpin)) },
-		"MCS-STP":    func() Mutex { return NewMCS(WithWaitPolicy(WaitSpinThenPark)) },
-		"MCSCR-S":    func() Mutex { return NewMCSCR(WithWaitPolicy(WaitSpin), WithSeed(1)) },
-		"MCSCR-STP":  func() Mutex { return NewMCSCR(WithWaitPolicy(WaitSpinThenPark), WithSeed(1)) },
-		"LIFOCR-S":   func() Mutex { return NewLIFOCR(WithWaitPolicy(WaitSpin), WithSeed(1)) },
-		"LIFOCR-STP": func() Mutex { return NewLIFOCR(WithWaitPolicy(WaitSpinThenPark), WithSeed(1)) },
-		"LOITER-S":   func() Mutex { return NewLOITER(WithWaitPolicy(WaitSpin), WithSeed(1)) },
-		"LOITER-STP": func() Mutex { return NewLOITER(WithWaitPolicy(WaitSpinThenPark), WithSeed(1)) },
+	specs := map[string]string{
+		"TAS":        "tas",
+		"Ticket":     "ticket",
+		"CLH-S":      "clh?wait=s",
+		"CLH-STP":    "clh?wait=stp",
+		"MCS-S":      "mcs-s",
+		"MCS-STP":    "mcs-stp",
+		"MCSCR-S":    "mcscr-s?seed=1",
+		"MCSCR-STP":  "mcscr-stp?seed=1",
+		"LIFOCR-S":   "lifocr?wait=s&seed=1",
+		"LIFOCR-STP": "lifocr?wait=stp&seed=1",
+		"LOITER-S":   "loiter?wait=s&seed=1",
+		"LOITER-STP": "loiter?wait=stp&seed=1",
 	}
+	out := make(map[string]func() Mutex, len(specs))
+	for name, spec := range specs {
+		out[name] = func() Mutex { return MustNew(spec) }
+	}
+	return out
 }
 
 // runWithTimeout fails the test if fn does not finish in the deadline,

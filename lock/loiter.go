@@ -1,7 +1,9 @@
 package lock
 
 import (
+	"context"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/pad"
@@ -39,11 +41,23 @@ func WithArrivalSpins(n int) Option {
 	}
 }
 
+// Standby states. The three-way CAS race between the unlock path's direct
+// handoff (waiting→granted) and the standby's cancellation
+// (waiting→cancelled) is what makes LOITER cancellation safe: exactly one
+// wins, so ownership is either conveyed to a standby that will take it, or
+// the unlock path observes the resignation and releases the outer word
+// normally.
+const (
+	sbWaiting uint32 = iota
+	sbGranted
+	sbCancelled
+)
+
 // loiterStandby is the record the standby thread publishes so the unlock
 // path can wake it (heir presumptive) or grant it the lock directly.
 type loiterStandby struct {
 	parker    *park.Parker
-	granted   atomic.Bool
+	state     atomic.Uint32 // sbWaiting / sbGranted / sbCancelled
 	impatient atomic.Bool
 }
 
@@ -84,6 +98,14 @@ type LOITER struct {
 	stats     *core.Stats
 }
 
+func init() {
+	Register(Registration{
+		Name:    "loiter",
+		Summary: "LOITER composite lock (App. A.1): outer TAS fast path, inner MCS passive set, standby bridge",
+		Build:   func(opts ...Option) Mutex { return NewLOITER(opts...) },
+	})
+}
+
 // NewLOITER returns an unlocked LOITER lock. The waiting-policy option
 // applies to both the inner MCS queue and the standby's wait.
 func NewLOITER(opts ...Option) *LOITER {
@@ -102,13 +124,44 @@ func NewLOITER(opts ...Option) *LOITER {
 // Lock acquires the lock: bounded barging on the outer lock first, then
 // the inner-lock slow path.
 func (l *LOITER) Lock() {
-	// Fast path: arrival phase with bounded global spinning and
-	// randomized backoff.
 	if l.outer.CompareAndSwap(0, 1) {
 		l.slowOwner = false
 		l.stats.Inc2(core.EvFastPath, core.EvAcquires)
 		return
 	}
+	l.lockSlow(nil)
+}
+
+// LockContext is Lock with cancellation at every stage: the barging
+// arrival phase polls ctx between attempts, the inner-queue wait uses the
+// MCS cancellation protocol, and a standby whose ctx expires resigns —
+// atomically, against the unlock path's direct handoff — and releases the
+// inner lock so the next slow-path waiter is elevated in its place.
+func (l *LOITER) LockContext(ctx context.Context) error {
+	if ctx.Done() == nil {
+		l.Lock()
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		l.stats.Inc(core.EvCancels)
+		return err
+	}
+	if l.outer.CompareAndSwap(0, 1) {
+		l.slowOwner = false
+		l.stats.Inc2(core.EvFastPath, core.EvAcquires)
+		return nil
+	}
+	return l.lockSlow(ctx)
+}
+
+// TryLockFor is TryLock with a patience bound, built on LockContext.
+func (l *LOITER) TryLockFor(d time.Duration) bool { return tryLockFor(l, d) }
+
+// lockSlow is the contended path: arrival-phase barging, then the inner
+// queue, then standby duty. A nil ctx waits indefinitely.
+func (l *LOITER) lockSlow(ctx context.Context) error {
+	// Fast path: arrival phase with bounded global spinning and
+	// randomized backoff.
 	b := newBackoff(nextSeed())
 	for a := 1; a < l.cfg.arrivalSpins; a++ {
 		for i := 0; l.outer.Load() != 0 && i < maxBackoff; i++ {
@@ -117,54 +170,92 @@ func (l *LOITER) Lock() {
 		if l.outer.CompareAndSwap(0, 1) {
 			l.slowOwner = false
 			l.stats.Inc2(core.EvFastPath, core.EvAcquires)
-			return
+			return nil
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				l.stats.Inc(core.EvCancels)
+				return err
+			}
 		}
 		b.pause()
 	}
 
 	// Slow path: acquire the inner lock and become the standby thread.
-	l.inner.Lock()
+	if ctx == nil {
+		l.inner.Lock()
+	} else if err := l.inner.LockContext(ctx); err != nil {
+		l.stats.Inc(core.EvCancels)
+		return err
+	}
 	sb := &loiterStandby{parker: park.NewParker()}
 	l.standby.Store(sb)
 	attempts := 0
 	for {
-		if sb.granted.Load() {
+		if sb.state.Load() == sbGranted {
 			// Direct handoff: the outer lock was never released; we own it.
 			break
 		}
 		if l.outer.CompareAndSwap(0, 1) {
 			break
 		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				if sb.state.CompareAndSwap(sbWaiting, sbCancelled) {
+					// Resign standby duty: deregister, then elevate the
+					// next slow-path waiter by releasing the inner lock.
+					l.standby.Store(nil)
+					l.inner.Unlock()
+					l.stats.Inc2(core.EvCancels, core.EvAbandons)
+					return err
+				}
+				// The direct handoff won the race: ownership already
+				// conveyed; take the lock (grant-wins).
+				continue
+			}
+		}
 		attempts++
 		if attempts > l.cfg.patience {
 			sb.impatient.Store(true)
 		}
-		l.standbyWait(sb)
+		l.standbyWait(sb, ctx)
 	}
 	l.standby.Store(nil)
 	l.slowOwner = true
 	l.stats.Inc2(core.EvSlowPath, core.EvAcquires)
+	return nil
 }
 
 // standbyWait waits for the outer lock to change state: a bounded polite
 // spin, then (under spin-then-park) parking until the unlock path's
-// heir-presumptive unpark.
-func (l *LOITER) standbyWait(sb *loiterStandby) {
+// heir-presumptive unpark — or ctx cancellation, handled by the caller.
+func (l *LOITER) standbyWait(sb *loiterStandby, ctx context.Context) {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	budget := l.cfg.policy.SpinBudget
 	if l.cfg.wait == WaitSpin {
 		budget = 1 << 62 // unbounded
 	}
 	for i := 0; i < budget; i++ {
-		if sb.granted.Load() || l.outer.Load() == 0 {
+		if sb.state.Load() != sbWaiting || l.outer.Load() == 0 {
 			return
 		}
 		if sb.parker.TryConsume() {
 			return // unpark raced ahead of our park
 		}
+		if done != nil && i%ctxCheckEvery == ctxCheckEvery-1 {
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
 		politePause(i)
 	}
 	l.stats.Inc(core.EvParks)
-	sb.parker.Park()
+	sb.parker.ParkContext(ctx)
 }
 
 // TryLock acquires the lock if the outer word is free.
@@ -179,17 +270,18 @@ func (l *LOITER) TryLock() bool {
 
 // Unlock releases the lock. A patient standby is woken as heir presumptive
 // (competitive succession); an impatient one receives the lock by direct
-// handoff without it ever becoming free.
+// handoff without it ever becoming free — unless its cancellation won the
+// state race, in which case the release proceeds normally.
 func (l *LOITER) Unlock() {
 	if l.outer.Load() != 1 {
 		panic("lock: LOITER.Unlock of unlocked mutex")
 	}
 	wasSlow := l.slowOwner
 	sb := l.standby.Load()
-	if sb != nil && sb.impatient.Load() {
+	if sb != nil && sb.impatient.Load() &&
+		sb.state.CompareAndSwap(sbWaiting, sbGranted) {
 		// Anti-starvation direct handoff: ownership conveys; the outer
 		// word stays 1.
-		sb.granted.Store(true)
 		sb.parker.Unpark()
 		l.stats.Inc3(core.EvPromotions, core.EvHandoffs, core.EvUnparks)
 		return
@@ -200,7 +292,8 @@ func (l *LOITER) Unlock() {
 	// store, and with no wakeup it would park with nobody left to unpark it
 	// (a lost-wakeup strand at quiescence). Unpark-before-park is safe —
 	// the parker holds the permit — and a standby that misses both reads
-	// necessarily observes outer == 0 before parking.
+	// necessarily observes outer == 0 before parking. A just-cancelled
+	// standby may be unparked redundantly; the stale permit is harmless.
 	if sb = l.standby.Load(); sb != nil {
 		// Wake the heir presumptive so it can re-contend.
 		sb.parker.Unpark()
@@ -220,4 +313,4 @@ func (l *LOITER) Stats() core.Snapshot { return l.stats.Read() }
 // InnerStats returns the inner (slow path) MCS lock's counters.
 func (l *LOITER) InnerStats() core.Snapshot { return l.inner.Stats() }
 
-var _ Mutex = (*LOITER)(nil)
+var _ ContextMutex = (*LOITER)(nil)

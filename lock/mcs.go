@@ -1,8 +1,10 @@
 package lock
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/pad"
@@ -73,25 +75,68 @@ func NewMCS(opts ...Option) *MCS {
 	return &MCS{cfg: cfg, stats: cfg.newStats()}
 }
 
+func init() {
+	Register(Registration{
+		Name:    "mcs-stp",
+		Aliases: []string{"mcs"},
+		Summary: "classic MCS queue lock, spin-then-park waiting",
+		Build:   func(opts ...Option) Mutex { return NewMCS(append(opts, WithWaitPolicy(WaitSpinThenPark))...) },
+	})
+	Register(Registration{
+		Name:    "mcs-s",
+		Summary: "classic MCS queue lock, unbounded polite spinning",
+		Build:   func(opts ...Option) Mutex { return NewMCS(append(opts, WithWaitPolicy(WaitSpin))...) },
+	})
+}
+
 // Lock enqueues the caller and waits for direct handoff.
-func (l *MCS) Lock() {
+func (l *MCS) Lock() { l.lockChain(nil) }
+
+// LockContext is Lock with cancellation: a waiter whose ctx expires
+// abandons its chain node (which the next unlock excises) and returns
+// ctx.Err(). See ContextMutex for the shared semantics.
+func (l *MCS) LockContext(ctx context.Context) error {
+	if ctx.Done() == nil {
+		return l.lockChain(nil)
+	}
+	if err := ctx.Err(); err != nil {
+		l.stats.Inc(core.EvCancels)
+		return err
+	}
+	return l.lockChain(ctx)
+}
+
+// lockChain is the acquisition body shared by Lock and LockContext; a
+// nil ctx waits indefinitely and cannot fail.
+func (l *MCS) lockChain(ctx context.Context) error {
 	n := newMCSNode()
 	pred := l.tail.Swap(n)
 	if pred == nil {
 		// Uncontended: we are the head and the owner.
 		l.owner = n
 		l.stats.Inc2(core.EvFastPath, core.EvAcquires)
-		return
+		return nil
 	}
 	pred.next.Store(n)
-	parked := n.await(l.cfg.wait, l.cfg.policy.SpinBudget)
-	l.owner = n
-	if parked {
-		l.stats.Inc3(core.EvParks, core.EvSlowPath, core.EvAcquires)
+	var parked bool
+	var err error
+	if ctx == nil {
+		parked = n.await(l.cfg.wait, l.cfg.policy.SpinBudget)
 	} else {
-		l.stats.Inc2(core.EvSlowPath, core.EvAcquires)
+		parked, err = n.awaitCtx(ctx, l.cfg.wait, l.cfg.policy.SpinBudget)
 	}
+	if err != nil {
+		// The node is now stateAbandoned; the unlock path owns it.
+		cancelStats(l.stats, parked)
+		return err
+	}
+	l.owner = n
+	slowAcquireStats(l.stats, parked)
+	return nil
 }
+
+// TryLockFor is TryLock with a patience bound, built on LockContext.
+func (l *MCS) TryLockFor(d time.Duration) bool { return tryLockFor(l, d) }
 
 // TryLock acquires the lock only if the chain is empty. The failure path
 // is allocation-free: a node is drawn from the pool only after the chain
@@ -110,34 +155,43 @@ func (l *MCS) TryLock() bool {
 	return false
 }
 
-// Unlock passes ownership to the next waiter, if any.
+// Unlock passes ownership to the next waiter, if any. Abandoned
+// successors (cancelled LockContext waiters) are excised and recycled as
+// the walk passes them: each loop iteration either hands off to a live
+// waiter, empties the chain, or skips one abandoned node.
 func (l *MCS) Unlock() {
 	n := l.owner
 	if n == nil {
 		panic("lock: MCS.Unlock of unlocked mutex")
 	}
 	l.owner = nil
-	succ := n.next.Load()
-	if succ == nil {
-		if l.tail.CompareAndSwap(n, nil) {
+	for {
+		succ := n.next.Load()
+		if succ == nil {
+			if l.tail.CompareAndSwap(n, nil) {
+				freeMCSNode(n)
+				return
+			}
+			// An arrival is between the tail swap and the next-link store;
+			// wait for the link to appear.
+			for succ = n.next.Load(); succ == nil; succ = n.next.Load() {
+				politePause(1)
+			}
+		}
+		if ok, unparked := succ.tryGrant(); ok {
+			grantStats(l.stats, unparked)
 			freeMCSNode(n)
 			return
 		}
-		// An arrival is between the tail swap and the next-link store;
-		// wait for the link to appear.
-		for succ = n.next.Load(); succ == nil; succ = n.next.Load() {
-			politePause(1)
-		}
+		// succ abandoned its acquisition: it becomes the departing head
+		// (nobody references the old head anymore) and the walk goes on.
+		l.stats.Inc(core.EvAbandons)
+		freeMCSNode(n)
+		n = succ
 	}
-	if succ.grant() {
-		l.stats.Inc2(core.EvUnparks, core.EvHandoffs)
-	} else {
-		l.stats.Inc(core.EvHandoffs)
-	}
-	freeMCSNode(n)
 }
 
 // Stats returns a snapshot of the lock's event counters.
 func (l *MCS) Stats() core.Snapshot { return l.stats.Read() }
 
-var _ Mutex = (*MCS)(nil)
+var _ ContextMutex = (*MCS)(nil)

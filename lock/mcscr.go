@@ -1,7 +1,9 @@
 package lock
 
 import (
+	"context"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/pad"
@@ -66,25 +68,70 @@ func NewMCSCR(opts ...Option) *MCSCR {
 	}
 }
 
+func init() {
+	Register(Registration{
+		Name:    "mcscr-stp",
+		Aliases: []string{"mcscr"},
+		Summary: "Malthusian MCS (§4): culling, reprovisioning, Bernoulli fairness; spin-then-park",
+		Build:   func(opts ...Option) Mutex { return NewMCSCR(append(opts, WithWaitPolicy(WaitSpinThenPark))...) },
+	})
+	Register(Registration{
+		Name:    "mcscr-s",
+		Summary: "Malthusian MCS (§4) with unbounded polite spinning",
+		Build:   func(opts ...Option) Mutex { return NewMCSCR(append(opts, WithWaitPolicy(WaitSpin))...) },
+	})
+}
+
 // Lock enqueues the caller on the MCS chain and waits for handoff. Absent
 // sufficient contention MCSCR behaves precisely like classic MCS.
-func (l *MCSCR) Lock() {
+func (l *MCSCR) Lock() { l.lockChain(nil) }
+
+// LockContext is Lock with cancellation. A cancelled waiter abandons its
+// node in place — whether it sits on the MCS chain or has been culled to
+// the passive list — and the unlock paths excise it: the chain walk skips
+// abandoned successors, and the passive-list pops filter abandoned
+// entries before granting. See ContextMutex and DESIGN.md.
+func (l *MCSCR) LockContext(ctx context.Context) error {
+	if ctx.Done() == nil {
+		return l.lockChain(nil)
+	}
+	if err := ctx.Err(); err != nil {
+		l.stats.Inc(core.EvCancels)
+		return err
+	}
+	return l.lockChain(ctx)
+}
+
+// lockChain is the acquisition body shared by Lock and LockContext; a
+// nil ctx waits indefinitely and cannot fail.
+func (l *MCSCR) lockChain(ctx context.Context) error {
 	n := newMCSNode()
 	pred := l.tail.Swap(n)
 	if pred == nil {
 		l.owner = n
 		l.stats.Inc2(core.EvFastPath, core.EvAcquires)
-		return
+		return nil
 	}
 	pred.next.Store(n)
-	parked := n.await(l.cfg.wait, l.cfg.policy.SpinBudget)
-	l.owner = n
-	if parked {
-		l.stats.Inc3(core.EvParks, core.EvSlowPath, core.EvAcquires)
+	var parked bool
+	var err error
+	if ctx == nil {
+		parked = n.await(l.cfg.wait, l.cfg.policy.SpinBudget)
 	} else {
-		l.stats.Inc2(core.EvSlowPath, core.EvAcquires)
+		parked, err = n.awaitCtx(ctx, l.cfg.wait, l.cfg.policy.SpinBudget)
 	}
+	if err != nil {
+		// The node is now stateAbandoned; an unlock path owns it.
+		cancelStats(l.stats, parked)
+		return err
+	}
+	l.owner = n
+	slowAcquireStats(l.stats, parked)
+	return nil
 }
+
+// TryLockFor is TryLock with a patience bound, built on LockContext.
+func (l *MCSCR) TryLockFor(d time.Duration) bool { return tryLockFor(l, d) }
 
 // TryLock acquires the lock only if the chain is empty. The failure path
 // is allocation-free: a node is drawn from the pool only after the chain
@@ -113,62 +160,103 @@ func (l *MCSCR) Unlock() {
 	l.owner = nil
 
 	// Long-term fairness graft: cede ownership to the eldest passive
-	// thread on a successful Bernoulli trial.
+	// thread on a successful Bernoulli trial. Abandoned entries at the
+	// tail of the PS are reclaimed on the way; if the whole PS turns out
+	// to be abandoned, fall through to the ordinary release.
 	if l.psSize.Load() > 0 && l.trial.Promote() {
-		t := l.psPopTail()
-		l.graftAndGrant(n, t)
-		l.stats.Inc(core.EvPromotions)
-		return
+		if t := l.psPopLiveTail(); t != nil {
+			l.graftAndGrant(n, t)
+			l.stats.Inc(core.EvPromotions)
+			return
+		}
 	}
+	l.releaseChain(n)
+}
 
-	succ := n.next.Load()
-	if succ == nil {
-		// No waiter visible on the chain. Work conservation: pull the
-		// most recently arrived passive thread back into the ACS.
-		if l.psSize.Load() > 0 {
-			t := l.psPopHead()
-			if l.tail.CompareAndSwap(n, t) {
-				l.finishGrant(t)
-				l.stats.Inc(core.EvReprovisions)
+// releaseChain hands the lock from the departing head n to the first live
+// successor: the ordinary MCS handoff plus the CR edits (culling,
+// reprovisioning) and the cancellation edits (excising abandoned nodes).
+// Each iteration either completes the release or excises one node.
+func (l *MCSCR) releaseChain(n *mcsNode) {
+	for {
+		succ := n.next.Load()
+		if succ == nil {
+			// No waiter visible on the chain. Work conservation: pull the
+			// most recently arrived live passive thread back into the ACS.
+			if l.psSize.Load() > 0 {
+				if t := l.psPopLiveHead(); t != nil {
+					if l.tail.CompareAndSwap(n, t) {
+						freeMCSNode(n)
+						if ok, unparked := t.tryGrant(); ok {
+							l.stats.Inc(core.EvReprovisions)
+							grantStats(l.stats, unparked)
+							return
+						}
+						// t abandoned in the handoff window; it is now the
+						// departing head of a (possibly growing) chain.
+						l.stats.Inc(core.EvAbandons)
+						n = t
+						continue
+					}
+					// An arrival raced with us; restore t and hand off to
+					// the arriving thread below.
+					l.psPushHead(t)
+				}
+			}
+			if l.tail.CompareAndSwap(n, nil) {
 				freeMCSNode(n)
 				return
 			}
-			// An arrival raced with us; restore t and hand off to the
-			// arriving thread below.
-			l.psPushHead(t)
+			// An arrival swapped the tail but has not linked yet; wait for
+			// the link to appear.
+			for succ = n.next.Load(); succ == nil; succ = n.next.Load() {
+				politePause(1)
+			}
 		}
-		if l.tail.CompareAndSwap(n, nil) {
+
+		// Culling: if succ is not the tail there are surplus waiters;
+		// excise succ — the oldest waiter — into the passive set (or
+		// reclaim it outright if it has already abandoned) and hand off to
+		// the next in line. One cull per unlock suffices to converge.
+		if nn := succ.next.Load(); nn != nil {
+			succ.next.Store(nil)
+			if succ.state.Load() == stateAbandoned {
+				freeMCSNode(succ)
+				l.stats.Inc(core.EvAbandons)
+			} else {
+				l.psPushHead(succ)
+				l.stats.Inc(core.EvCulls)
+			}
+			succ = nn
+		}
+		if ok, unparked := succ.tryGrant(); ok {
+			grantStats(l.stats, unparked)
 			freeMCSNode(n)
 			return
 		}
-		// An arrival swapped the tail but has not linked yet; wait for
-		// the link to appear.
-		for succ = n.next.Load(); succ == nil; succ = n.next.Load() {
-			politePause(1)
-		}
+		// succ abandoned: it becomes the departing head and the walk
+		// continues behind it.
+		l.stats.Inc(core.EvAbandons)
+		freeMCSNode(n)
+		n = succ
 	}
-
-	// Culling: if succ is not the tail there are surplus waiters; excise
-	// succ — the oldest waiter — into the passive set and hand off to the
-	// next in line. One cull per unlock suffices to converge.
-	if nn := succ.next.Load(); nn != nil {
-		succ.next.Store(nil)
-		l.psPushHead(succ)
-		l.stats.Inc(core.EvCulls)
-		succ = nn
-	}
-	l.finishGrant(succ)
-	freeMCSNode(n)
 }
 
 // graftAndGrant inserts t immediately after the departing owner's node n
-// and grants it ownership, preserving the rest of the chain.
+// and grants it ownership, preserving the rest of the chain. If t
+// abandons in the window between the passive-list pop and the grant, the
+// release falls back to the ordinary chain walk with t as departing head.
 func (l *MCSCR) graftAndGrant(n, t *mcsNode) {
 	succ := n.next.Load()
 	if succ == nil {
 		if l.tail.CompareAndSwap(n, t) {
-			l.finishGrant(t)
 			freeMCSNode(n)
+			if ok, unparked := t.tryGrant(); ok {
+				grantStats(l.stats, unparked)
+				return
+			}
+			l.stats.Inc(core.EvAbandons)
+			l.releaseChain(t)
 			return
 		}
 		for succ = n.next.Load(); succ == nil; succ = n.next.Load() {
@@ -176,20 +264,41 @@ func (l *MCSCR) graftAndGrant(n, t *mcsNode) {
 		}
 	}
 	t.next.Store(succ)
-	l.finishGrant(t)
 	freeMCSNode(n)
-}
-
-func (l *MCSCR) finishGrant(succ *mcsNode) {
-	if succ.grant() {
-		l.stats.Inc2(core.EvUnparks, core.EvHandoffs)
-	} else {
-		l.stats.Inc(core.EvHandoffs)
+	if ok, unparked := t.tryGrant(); ok {
+		grantStats(l.stats, unparked)
+		return
 	}
+	l.stats.Inc(core.EvAbandons)
+	l.releaseChain(t)
 }
 
 // Passive-list operations. All run in the unlock path while the lock is
-// held; the MCS lock protects the list (§4).
+// held; the MCS lock protects the list (§4). A waiter parked on the PS
+// may abandon (cancelled LockContext) at any moment — only its state word
+// changes; the list links stay lock-protected — so the pop paths filter:
+// psPopLiveHead/psPopLiveTail reclaim abandoned entries until they find a
+// live one.
+
+func (l *MCSCR) psPopLiveHead() *mcsNode { return l.psPopLive(false) }
+func (l *MCSCR) psPopLiveTail() *mcsNode { return l.psPopLive(true) }
+
+func (l *MCSCR) psPopLive(fromTail bool) *mcsNode {
+	for l.psSize.Load() > 0 {
+		var t *mcsNode
+		if fromTail {
+			t = l.psPopTail()
+		} else {
+			t = l.psPopHead()
+		}
+		if t.state.Load() != stateAbandoned {
+			return t
+		}
+		freeMCSNode(t)
+		l.stats.Inc(core.EvAbandons)
+	}
+	return nil
+}
 
 func (l *MCSCR) psPushHead(n *mcsNode) {
 	n.prev = nil
@@ -241,4 +350,4 @@ func (l *MCSCR) PassiveSize() int { return int(l.psSize.Load()) }
 // Stats returns a snapshot of the lock's event counters.
 func (l *MCSCR) Stats() core.Snapshot { return l.stats.Read() }
 
-var _ Mutex = (*MCSCR)(nil)
+var _ ContextMutex = (*MCSCR)(nil)

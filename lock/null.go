@@ -1,5 +1,10 @@
 package lock
 
+import (
+	"context"
+	"time"
+)
+
 // Null is the degenerate lock whose acquire and release operators return
 // immediately (§6.1). It provides no mutual exclusion and is suitable only
 // for calibrating harness overhead; "other more sophisticated applications
@@ -8,6 +13,14 @@ type Null struct{}
 
 // NewNull returns a Null lock.
 func NewNull() *Null { return &Null{} }
+
+func init() {
+	Register(Registration{
+		Name:    "null",
+		Summary: "degenerate no-op lock for harness calibration (no mutual exclusion)",
+		Build:   func(...Option) Mutex { return NewNull() },
+	})
+}
 
 // Lock is a no-op.
 func (*Null) Lock() {}
@@ -18,4 +31,12 @@ func (*Null) Unlock() {}
 // TryLock always succeeds.
 func (*Null) TryLock() bool { return true }
 
-var _ Mutex = (*Null)(nil)
+// LockContext succeeds immediately unless ctx is already done (the
+// fail-fast clause of the ContextMutex contract is kept so harness code
+// measuring cancellation overhead sees uniform behaviour).
+func (*Null) LockContext(ctx context.Context) error { return ctx.Err() }
+
+// TryLockFor always succeeds.
+func (*Null) TryLockFor(time.Duration) bool { return true }
+
+var _ ContextMutex = (*Null)(nil)

@@ -1,0 +1,209 @@
+package lock
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Instrumented is satisfied by every lock that maintains the CR event
+// counters; harness code uses it to read Stats from a Mutex built by New.
+type Instrumented interface {
+	Stats() core.Snapshot
+}
+
+// Builder constructs a lock from construction options.
+type Builder func(opts ...Option) Mutex
+
+// Registration describes one lock implementation to the registry. Each
+// lock file self-registers in its init, so the registry — not any
+// consumer — is the single enumeration of lock names in the module.
+type Registration struct {
+	// Name is the canonical spec name, lower-case (e.g. "mcscr-stp").
+	Name string
+	// Aliases resolve in New but are not listed by Names (e.g. "mcscr").
+	Aliases []string
+	// Summary is a one-line human description for -help style listings.
+	Summary string
+	// Build constructs the lock. For policy-suffixed names ("-s"/"-stp")
+	// the builder appends its wait policy after the caller's options, so
+	// the name always wins over a conflicting wait= parameter.
+	Build Builder
+}
+
+var registry = struct {
+	sync.RWMutex
+	byName    map[string]Registration // canonical names and aliases
+	canonical []string                // sorted canonical names
+}{byName: make(map[string]Registration)}
+
+// Register adds a lock implementation to the registry. It panics on an
+// empty name, a nil builder, or a name/alias collision — registration is
+// an init-time act and a collision is a programming error.
+func Register(r Registration) {
+	if r.Name == "" || r.Build == nil {
+		panic("lock: Register with empty name or nil builder")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	for _, name := range append([]string{r.Name}, r.Aliases...) {
+		name = strings.ToLower(name)
+		if _, dup := registry.byName[name]; dup {
+			panic(fmt.Sprintf("lock: duplicate registration of %q", name))
+		}
+		registry.byName[name] = r
+	}
+	registry.canonical = append(registry.canonical, strings.ToLower(r.Name))
+	sort.Strings(registry.canonical)
+}
+
+// Names returns the sorted canonical names of every registered lock.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, len(registry.canonical))
+	copy(out, registry.canonical)
+	return out
+}
+
+// Lookup resolves a name or alias to its Registration.
+func Lookup(name string) (Registration, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	r, ok := registry.byName[strings.ToLower(strings.TrimSpace(name))]
+	return r, ok
+}
+
+// New builds a lock from a spec string. A spec is a registered name,
+// optionally followed by URL-style parameters:
+//
+//	"mcscr-stp"
+//	"mcscr-stp?fairness=500&spin=4096&seed=42"
+//	"clh?wait=s"
+//	"loiter?patience=16&arrivals=8&stats=false"
+//
+// Parameters (each maps onto the corresponding Option):
+//
+//	fairness=N   Bernoulli promotion period (0 disables)     WithFairnessPeriod
+//	spin=N       spin-then-park poll budget                  WithSpinBudget
+//	seed=N       lock-local PRNG seed                        WithSeed
+//	wait=s|stp   waiting policy (spin / spin-then-park)      WithWaitPolicy
+//	patience=N   LOITER standby impatience threshold         WithPatience
+//	arrivals=N   LOITER bounded arrival attempts             WithArrivalSpins
+//	stats=BOOL   event-counter maintenance                   WithStats
+//
+// Spec parameters are applied after opts, so the spec overrides
+// programmatic defaults; a policy suffix in the name ("mcs-s") overrides
+// even a wait= parameter. Every lock New can build satisfies ContextMutex
+// (and Instrumented, though WithStats(false) makes snapshots zero).
+// Malformed specs — unknown name, unknown or duplicated parameter, bad
+// value — return a descriptive error and a nil Mutex.
+func New(spec string, opts ...Option) (Mutex, error) {
+	name, query, hasQuery := strings.Cut(spec, "?")
+	reg, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("lock: unknown lock %q in spec %q (known locks: %s)",
+			strings.TrimSpace(name), spec, strings.Join(Names(), ", "))
+	}
+	if hasQuery {
+		specOpts, err := parseParams(spec, query)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(append([]Option(nil), opts...), specOpts...)
+	}
+	return reg.Build(opts...), nil
+}
+
+// MustNew is New for tests, examples, and initialization paths where a
+// malformed spec is a programming error; it panics instead of returning
+// one.
+func MustNew(spec string, opts ...Option) Mutex {
+	m, err := New(spec, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// specParams enumerates the valid parameter keys, for error messages.
+const specParams = "fairness, spin, seed, wait, patience, arrivals, stats"
+
+func parseParams(spec, query string) ([]Option, error) {
+	values, err := url.ParseQuery(query)
+	if err != nil {
+		return nil, fmt.Errorf("lock: spec %q: malformed parameters: %v", spec, err)
+	}
+	keys := make([]string, 0, len(values))
+	for k := range values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic error selection
+	var opts []Option
+	for _, k := range keys {
+		vs := values[k]
+		if len(vs) > 1 {
+			return nil, fmt.Errorf("lock: spec %q: parameter %q given %d times", spec, k, len(vs))
+		}
+		v := vs[0]
+		bad := func(err error) error {
+			return fmt.Errorf("lock: spec %q: bad value %q for %q: %v", spec, v, k, err)
+		}
+		switch k {
+		case "fairness":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, bad(err)
+			}
+			opts = append(opts, WithFairnessPeriod(n))
+		case "spin":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return nil, bad(fmt.Errorf("want a non-negative integer"))
+			}
+			opts = append(opts, WithSpinBudget(n))
+		case "seed":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, bad(err)
+			}
+			opts = append(opts, WithSeed(n))
+		case "wait":
+			switch strings.ToLower(v) {
+			case "s", "spin":
+				opts = append(opts, WithWaitPolicy(WaitSpin))
+			case "stp", "spinpark", "spin-then-park":
+				opts = append(opts, WithWaitPolicy(WaitSpinThenPark))
+			default:
+				return nil, bad(fmt.Errorf("want s or stp"))
+			}
+		case "patience":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return nil, bad(fmt.Errorf("want a positive integer"))
+			}
+			opts = append(opts, WithPatience(n))
+		case "arrivals":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return nil, bad(fmt.Errorf("want a positive integer"))
+			}
+			opts = append(opts, WithArrivalSpins(n))
+		case "stats":
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				return nil, bad(err)
+			}
+			opts = append(opts, WithStats(b))
+		default:
+			return nil, fmt.Errorf("lock: spec %q: unknown parameter %q (valid: %s)",
+				spec, k, specParams)
+		}
+	}
+	return opts, nil
+}

@@ -1,9 +1,11 @@
 package lock
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/park"
 	"repro/internal/xrand"
 )
@@ -24,16 +26,28 @@ func politePause(i int) {
 
 // waiter states for queue-based locks. The grant protocol is:
 //
-//	granter:  old := state.Swap(granted); if old == parked { parker.Unpark() }
+//	granter:  tryGrant: CAS(waiting→granted) or CAS(parked→granted)
+//	          (unparking in the latter case); an abandoned cell is skipped.
 //	waiter:   spin while state != granted (budget polls);
-//	          then CAS(waiting→parked) and park until granted.
+//	          then CAS(waiting→parked) and park until granted;
+//	          on context cancellation, CAS(waiting|parked→abandoned).
 //
-// A waiter that loses the CAS has already been granted.
+// Exactly one of the racing transitions wins: a waiter whose abandon CAS
+// fails has been granted (and owns the lock); a granter whose grant CAS
+// loop lands on abandoned must excise the node and pick another successor.
+// Abandoned is terminal — the cancelled waiter never touches the cell
+// again, so whichever path observes it owns the node's reclamation.
 const (
 	stateWaiting uint32 = iota
 	stateGranted
 	stateParked
+	stateAbandoned
 )
+
+// ctxCheckEvery is how many poll iterations separate context checks in
+// cancellable spin loops: frequent enough for sub-millisecond reaction,
+// sparse enough that the Done-channel poll stays off the common path.
+const ctxCheckEvery = 64
 
 // waitCell is the per-waiter flag + parker shared by the queue-based
 // locks. It embeds everything a granter touches, so grant/await logic
@@ -51,12 +65,66 @@ type waitCell struct {
 
 // grant marks the cell granted and wakes its waiter if parked. It returns
 // true if the waiter had to be unparked (a voluntary-context-switch wake).
+// Only CLH may use the unconditional swap: a CLH waiter abandons its own
+// node, never its predecessor's, so the cell a CLH unlock grants cannot be
+// abandoned. Every other granter must use tryGrant.
 func (w *waitCell) grant() bool {
 	if w.state.Swap(stateGranted) == stateParked {
 		w.parker.Unpark()
 		return true
 	}
 	return false
+}
+
+// tryGrant attempts to pass ownership to the cell's waiter. ok reports
+// whether the waiter now owns the lock; unparked reports whether it had
+// parked and was woken. ok == false means the waiter abandoned the
+// acquisition: the caller must excise the node and pick another successor
+// (the node is the caller's to reclaim).
+func (w *waitCell) tryGrant() (ok, unparked bool) {
+	for {
+		switch s := w.state.Load(); s {
+		case stateWaiting:
+			if w.state.CompareAndSwap(stateWaiting, stateGranted) {
+				return true, false
+			}
+		case stateParked:
+			if w.state.CompareAndSwap(stateParked, stateGranted) {
+				w.parker.Unpark()
+				return true, true
+			}
+		case stateAbandoned:
+			return false, false
+		default:
+			panic("lock: grant of an already-granted waiter")
+		}
+	}
+}
+
+// abandon moves the cell to stateAbandoned on behalf of a cancelled
+// waiter, waking a parked inheritor (CLH: the successor parks on its
+// predecessor's cell, so the abandoning owner must unpark it). It reports
+// whether the abandon won; false means the cell was granted first and the
+// caller owns the lock. Used for cells other goroutines wait on; a waiter
+// abandoning the cell it itself parks on uses awaitCtx's inline CASes.
+func (w *waitCell) abandon() bool {
+	for {
+		switch s := w.state.Load(); s {
+		case stateWaiting:
+			if w.state.CompareAndSwap(stateWaiting, stateAbandoned) {
+				return true
+			}
+		case stateParked:
+			if w.state.CompareAndSwap(stateParked, stateAbandoned) {
+				w.parker.Unpark()
+				return true
+			}
+		case stateGranted:
+			return false
+		default:
+			panic("lock: abandon of an already-abandoned waiter")
+		}
+	}
 }
 
 // await blocks until grant, using the given policy and spin budget.
@@ -89,6 +157,97 @@ func (w *waitCell) await(policy WaitPolicy, budget int) (parked bool) {
 		w.parker.Park() // spurious returns re-check the flag
 	}
 	return true
+}
+
+// awaitCtx is await with cancellation; ctx must be cancellable (callers
+// route Done() == nil contexts to await). On err == nil the waiter was
+// granted and owns the lock. On err != nil the cell has been atomically
+// moved to stateAbandoned: the waiter must NOT free the node — ownership
+// of it passes to whichever unlock path excises it — and must not touch
+// the cell again. parked reports whether the waiter parked at least once.
+//
+// Grant-wins: when a grant races the cancellation, the CAS to abandoned
+// fails, the waiter keeps the lock, and awaitCtx returns nil even though
+// ctx is done. Callers surface that as a successful acquisition — the
+// lock must then be unlocked as usual.
+func (w *waitCell) awaitCtx(ctx context.Context, policy WaitPolicy, budget int) (parked bool, err error) {
+	done := ctx.Done()
+	spinOnly := policy == WaitSpin
+	for i := 0; spinOnly || i < budget; i++ {
+		if w.state.Load() == stateGranted {
+			return false, nil
+		}
+		if i%ctxCheckEvery == ctxCheckEvery-1 {
+			select {
+			case <-done:
+				if w.state.CompareAndSwap(stateWaiting, stateAbandoned) {
+					return false, ctx.Err()
+				}
+				// The CAS can only lose to a grant (we never parked):
+				// grant-wins, we own the lock.
+				return false, nil
+			default:
+			}
+		}
+		politePause(i)
+	}
+	// Budget exhausted: advertise that we are parking (see await for the
+	// parker-visibility argument; identical here).
+	if w.parker == nil {
+		w.parker = park.NewParker()
+	}
+	if !w.state.CompareAndSwap(stateWaiting, stateParked) {
+		return false, nil // grant already happened
+	}
+	for {
+		w.parker.ParkContext(ctx)
+		if w.state.Load() == stateGranted {
+			return true, nil
+		}
+		select {
+		case <-done:
+			if w.state.CompareAndSwap(stateParked, stateAbandoned) {
+				// Our own parker may hold a stale permit; it survives pool
+				// recycling as a spurious wakeup, which the park contract
+				// already admits.
+				return true, ctx.Err()
+			}
+			return true, nil // grant won the race
+		default:
+			// Spurious wakeup; park again.
+		}
+	}
+}
+
+// Shared stats accounting for the queue locks, so each event pattern has
+// a single point of change.
+
+// grantStats records a completed handoff: a handoff, plus an unpark when
+// the successor had parked (a voluntary-context-switch wake).
+func grantStats(s *core.Stats, unparked bool) {
+	if unparked {
+		s.Inc2(core.EvUnparks, core.EvHandoffs)
+	} else {
+		s.Inc(core.EvHandoffs)
+	}
+}
+
+// slowAcquireStats records a queued acquisition.
+func slowAcquireStats(s *core.Stats, parked bool) {
+	if parked {
+		s.Inc3(core.EvParks, core.EvSlowPath, core.EvAcquires)
+	} else {
+		s.Inc2(core.EvSlowPath, core.EvAcquires)
+	}
+}
+
+// cancelStats records a cancelled acquisition attempt.
+func cancelStats(s *core.Stats, parked bool) {
+	if parked {
+		s.Inc2(core.EvParks, core.EvCancels)
+	} else {
+		s.Inc(core.EvCancels)
+	}
 }
 
 // backoff implements randomized exponential backoff for global-spinning

@@ -1,7 +1,9 @@
 package lock
 
 import (
+	"context"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/pad"
@@ -37,26 +39,75 @@ func NewTAS(opts ...Option) *TAS {
 	return &TAS{stats: cfg.newStats()}
 }
 
+func init() {
+	Register(Registration{
+		Name:    "tas",
+		Aliases: []string{"ttas"},
+		Summary: "test-and-set baseline: barging, global spinning, randomized backoff",
+		Build:   func(opts ...Option) Mutex { return NewTAS(opts...) },
+	})
+}
+
 // Lock acquires the lock, spinning with randomized backoff.
 func (l *TAS) Lock() {
 	if l.word.CompareAndSwap(0, 1) {
 		l.stats.Inc2(core.EvFastPath, core.EvAcquires)
 		return
 	}
+	l.lockSlow(nil)
+}
+
+// LockContext is Lock with cancellation. TAS waiters hold no queue slot,
+// so abandoning is trivial: the polling loop simply stops.
+func (l *TAS) LockContext(ctx context.Context) error {
+	if ctx.Done() == nil {
+		l.Lock()
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		l.stats.Inc(core.EvCancels)
+		return err
+	}
+	if l.word.CompareAndSwap(0, 1) {
+		l.stats.Inc2(core.EvFastPath, core.EvAcquires)
+		return nil
+	}
+	return l.lockSlow(ctx)
+}
+
+// lockSlow is the contended path shared by Lock and LockContext; a nil
+// ctx waits indefinitely. Test-and-test-and-set: poll with plain loads
+// first so waiting threads share the line in read state instead of
+// ping-ponging it; the poll is bounded per round so the context is
+// observed between backoff rounds.
+func (l *TAS) lockSlow(ctx context.Context) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	b := newBackoff(nextSeed())
 	for {
-		// Test-and-test-and-set: poll with plain loads first so waiting
-		// threads share the line in read state instead of ping-ponging it.
-		for i := 0; l.word.Load() != 0; i++ {
+		for i := 0; l.word.Load() != 0 && i < maxBackoff; i++ {
 			politePause(i)
 		}
 		if l.word.CompareAndSwap(0, 1) {
 			l.stats.Inc2(core.EvSlowPath, core.EvAcquires)
-			return
+			return nil
+		}
+		if done != nil {
+			select {
+			case <-done:
+				l.stats.Inc(core.EvCancels)
+				return ctx.Err()
+			default:
+			}
 		}
 		b.pause()
 	}
 }
+
+// TryLockFor is TryLock with a patience bound, built on LockContext.
+func (l *TAS) TryLockFor(d time.Duration) bool { return tryLockFor(l, d) }
 
 // TryLock acquires the lock if it is free.
 func (l *TAS) TryLock() bool {
@@ -78,4 +129,4 @@ func (l *TAS) Unlock() {
 // Stats returns a snapshot of the lock's event counters.
 func (l *TAS) Stats() core.Snapshot { return l.stats.Read() }
 
-var _ Mutex = (*TAS)(nil)
+var _ ContextMutex = (*TAS)(nil)

@@ -1,7 +1,9 @@
 package lock
 
 import (
+	"context"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/pad"
@@ -30,6 +32,14 @@ func NewTicket(opts ...Option) *Ticket {
 	return &Ticket{stats: cfg.newStats()}
 }
 
+func init() {
+	Register(Registration{
+		Name:    "ticket",
+		Summary: "ticket lock baseline: strict FIFO, global spinning, proportional backoff",
+		Build:   func(opts ...Option) Mutex { return NewTicket(opts...) },
+	})
+}
+
 // Lock takes a ticket and waits for it to be served.
 func (l *Ticket) Lock() {
 	t := l.next.Add(1) - 1
@@ -46,6 +56,48 @@ func (l *Ticket) Lock() {
 	}
 	l.stats.Inc2(core.EvAcquires, core.EvHandoffs)
 }
+
+// LockContext is Lock with cancellation — with a deliberate semantic
+// trade: a ticket, once drawn, MUST eventually be served or every later
+// ticket stalls forever, so a cancellable acquirer cannot join the FIFO
+// line. Instead it polls and draws a ticket only at the moment the ticket
+// would be served immediately (serve == next, claimed by CAS). Cancellable
+// Ticket acquisition is therefore competitive succession, not FIFO: it can
+// be bypassed by plain Lock callers and does not inherit the ticket lock's
+// fairness guarantee. See DESIGN.md.
+func (l *Ticket) LockContext(ctx context.Context) error {
+	done := ctx.Done()
+	if done == nil {
+		l.Lock()
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		l.stats.Inc(core.EvCancels)
+		return err
+	}
+	if l.TryLock() {
+		return nil
+	}
+	for i := 0; ; i++ {
+		s := l.serve.Load()
+		if n := l.next.Load(); s == n && l.next.CompareAndSwap(n, n+1) {
+			l.stats.Inc2(core.EvAcquires, core.EvSlowPath)
+			return nil
+		}
+		if i%ctxCheckEvery == ctxCheckEvery-1 {
+			select {
+			case <-done:
+				l.stats.Inc(core.EvCancels)
+				return ctx.Err()
+			default:
+			}
+		}
+		politePause(i)
+	}
+}
+
+// TryLockFor is TryLock with a patience bound, built on LockContext.
+func (l *Ticket) TryLockFor(d time.Duration) bool { return tryLockFor(l, d) }
 
 // TryLock acquires the lock only if no other thread holds or awaits it.
 func (l *Ticket) TryLock() bool {
@@ -69,4 +121,4 @@ func (l *Ticket) Unlock() {
 // Stats returns a snapshot of the lock's event counters.
 func (l *Ticket) Stats() core.Snapshot { return l.stats.Read() }
 
-var _ Mutex = (*Ticket)(nil)
+var _ ContextMutex = (*Ticket)(nil)
