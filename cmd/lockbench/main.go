@@ -197,14 +197,19 @@ func run(name string, m lock.Mutex, threads int, d time.Duration, ncs, cs int,
 		Gini:      s.Gini,
 		RSTDDEV:   s.RSTDDEV,
 	}
+	// The rate is derived only from a nonzero attempt count: a 0/0 division
+	// here would put a NaN in the JSON record, which encoding/json rejects
+	// outright — the whole -json write would fail, not just one field.
+	cancelCol := "-" // no acquisition carried a deadline (e.g. -cancel-frac=0)
 	if n := attempts.Load(); n > 0 {
 		r.CancelAttempts = int(n)
 		r.Cancelled = int(cancelled.Load())
 		r.CancelRate = float64(cancelled.Load()) / float64(n)
+		cancelCol = fmt.Sprintf("%.2f", 100*r.CancelRate)
 	}
-	fmt.Printf("%-10s %10d %10.0f %8.1f %8.1f %8.3f %8.3f %8.2f\n",
+	fmt.Printf("%-10s %10d %10.0f %8.1f %8.1f %8.3f %8.3f %8s\n",
 		name, len(h), float64(len(h))/d.Seconds(), s.AvgLWSS, s.MTTR, s.Gini, s.RSTDDEV,
-		100*r.CancelRate)
+		cancelCol)
 	if sl, ok := m.(lock.Instrumented); ok {
 		snap := sl.Stats()
 		r.Stats = map[string]uint64{

@@ -1,0 +1,400 @@
+// Command shardbench benchmarks the sharded KV service (package shard)
+// under traffic shapes a served system actually sees: key skew (zipf vs
+// uniform), a read/write mix, open-loop request arrival, and per-request
+// deadlines. It sweeps stripe counts and per-stripe lock specs, so the
+// question the paper asks of a single lock — does admission policy keep a
+// heavily shared lock from collapsing? — is asked of every stripe of a
+// service at once:
+//
+//	shardbench -stripes 1,8,64 -lock tas,mcscr-stp -cancel-frac 0.2
+//	shardbench -stripes 1,16 -lock 'mcscr-stp?fairness=500' -dist zipf -rate 200000
+//
+// Workers issue Get/Put through the context forms, each request tagged
+// with its worker id (shard.WithClientID), so every admission lands in
+// the owning stripe's history and the JSON record can report fairness
+// (LWSS, Gini) per stripe — which is where collapse shows up: a skewed
+// keyspace collapses its hottest stripe long before the aggregate
+// throughput says anything.
+//
+// With -rate R the arrival process is open-loop: each worker follows a
+// Poisson schedule at R/threads requests/sec, and a request's deadline is
+// measured from its scheduled arrival, not from when a backlogged worker
+// got to it — so falling behind schedule burns deadline budget, exactly
+// like a queue in front of a real service. -rate 0 (default) is closed
+// loop. The fraction -cancel-frac of requests carries a deadline of
+// -deadline; the table and JSON report the deadline-miss rate ("-" when
+// no request carried a deadline, never NaN).
+//
+// The results are written to -json (default BENCH_shard.json; the copy at
+// the repository root tracks the service-path perf trajectory alongside
+// BENCH_locks.json).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/shard"
+)
+
+// result is one benchmark row: a (distribution, lock spec, stripe count)
+// cell of the sweep.
+type result struct {
+	Dist     string  `json:"dist"`
+	Lock     string  `json:"lock"`
+	Stripes  int     `json:"stripes"`
+	Threads  int     `json:"threads"`
+	Duration float64 `json:"duration_sec"`
+
+	Ops       int     `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+
+	// Deadline traffic: requests that carried one, how many missed (the
+	// stripe was not reached in time), and the miss rate. MissRate is 0 —
+	// and the table column "-" — when no request carried a deadline.
+	DeadlineAttempts int     `json:"deadline_attempts,omitempty"`
+	DeadlineMisses   int     `json:"deadline_misses,omitempty"`
+	MissRate         float64 `json:"miss_rate,omitempty"`
+
+	// Per-stripe fairness, aggregated: the mean/max of each stripe's
+	// AvgLWSS and Gini over its admission history. Max is the collapse
+	// detector — a single collapsed stripe vanishes from a mean.
+	MeanLWSS float64 `json:"mean_lwss"`
+	MaxLWSS  float64 `json:"max_lwss"`
+	MeanGini float64 `json:"mean_gini"`
+	MaxGini  float64 `json:"max_gini"`
+
+	// Rolled-up CR event counters across all stripe locks.
+	Stats map[string]uint64 `json:"stats,omitempty"`
+}
+
+// record is the top-level JSON document.
+type record struct {
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	GoVersion  string   `json:"go_version"`
+	Keys       int      `json:"keys"`
+	ReadFrac   float64  `json:"read_frac"`
+	ZipfS      float64  `json:"zipf_s"`
+	Rate       float64  `json:"rate,omitempty"`
+	CancelFrac float64  `json:"cancel_frac,omitempty"`
+	Deadline   string   `json:"deadline,omitempty"`
+	Results    []result `json:"results"`
+}
+
+func main() {
+	var (
+		stripesList = flag.String("stripes", "1,8,64", "comma-separated stripe counts to sweep")
+		lockList    = flag.String("lock", "tas,mcscr-stp", "comma-separated lock specs (see lock.New)")
+		distList    = flag.String("dist", "uniform,zipf", "comma-separated key distributions: uniform, zipf")
+		threads     = flag.Int("threads", 8, "client goroutines")
+		duration    = flag.Duration("duration", time.Second, "measurement interval per cell")
+		keys        = flag.Int("keys", 1<<16, "keyspace size")
+		readFrac    = flag.Float64("read-frac", 0.9, "fraction of requests that are Gets")
+		zipfS       = flag.Float64("zipf-s", 1.2, "zipf skew parameter (s > 1)")
+		rate        = flag.Float64("rate", 0, "open-loop arrival rate in requests/sec across all workers (0 = closed loop)")
+		cancelFrac  = flag.Float64("cancel-frac", 0, "fraction of requests carrying a deadline (0..1)")
+		deadline    = flag.Duration("deadline", time.Millisecond, "per-request deadline, measured from arrival")
+		seed        = flag.Uint64("seed", 1, "base PRNG seed for locks and workload")
+		jsonPath    = flag.String("json", "BENCH_shard.json", "write results to this file as JSON ('' disables)")
+	)
+	flag.Parse()
+
+	stripeCounts, err := parseInts(*stripesList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shardbench: -stripes: %v\n", err)
+		os.Exit(2)
+	}
+	specs := splitList(*lockList)
+	dists := splitList(*distList)
+	for _, d := range dists {
+		if d != "uniform" && d != "zipf" {
+			fmt.Fprintf(os.Stderr, "shardbench: -dist: unknown distribution %q (want uniform or zipf)\n", d)
+			os.Exit(2)
+		}
+		// rand.NewZipf returns nil for s <= 1, which would silently fall
+		// back to uniform keys under a "zipf" label in the record.
+		if d == "zipf" && *zipfS <= 1 {
+			fmt.Fprintf(os.Stderr, "shardbench: -zipf-s: %v is out of range (want s > 1)\n", *zipfS)
+			os.Exit(2)
+		}
+	}
+	// Resolve every (spec, stripes) cell before any measurement, so a typo
+	// fails fast instead of after minutes of sweeping.
+	for _, spec := range specs {
+		if _, err := shard.New(shard.Config{Stripes: 1, LockSpec: spec}); err != nil {
+			fmt.Fprintf(os.Stderr, "shardbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	rec := record{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Keys:       *keys,
+		ReadFrac:   *readFrac,
+		ZipfS:      *zipfS,
+		Rate:       *rate,
+		CancelFrac: *cancelFrac,
+	}
+	if *cancelFrac > 0 {
+		rec.Deadline = deadline.String()
+	}
+
+	fmt.Printf("%-8s %-12s %8s %10s %10s %8s %9s %9s %9s\n",
+		"dist", "lock", "stripes", "ops", "ops/sec", "miss%", "LWSS", "maxLWSS", "Gini")
+	for _, dist := range dists {
+		for _, spec := range specs {
+			for _, n := range stripeCounts {
+				r := runCell(cellConfig{
+					dist: dist, spec: spec, stripes: n,
+					threads: *threads, duration: *duration,
+					keys: *keys, readFrac: *readFrac, zipfS: *zipfS,
+					rate: *rate, cancelFrac: *cancelFrac, deadline: *deadline,
+					seed: *seed,
+				})
+				rec.Results = append(rec.Results, r)
+				missCol := "-"
+				if r.DeadlineAttempts > 0 {
+					missCol = fmt.Sprintf("%.2f", 100*r.MissRate)
+				}
+				fmt.Printf("%-8s %-12s %8d %10d %10.0f %8s %9.1f %9.1f %9.3f\n",
+					r.Dist, r.Lock, r.Stripes, r.Ops, r.OpsPerSec, missCol,
+					r.MeanLWSS, r.MaxLWSS, r.MeanGini)
+			}
+		}
+	}
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shardbench: marshal: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "shardbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+type cellConfig struct {
+	dist       string
+	spec       string
+	stripes    int
+	threads    int
+	duration   time.Duration
+	keys       int
+	readFrac   float64
+	zipfS      float64
+	rate       float64
+	cancelFrac float64
+	deadline   time.Duration
+	seed       uint64
+}
+
+func runCell(c cellConfig) result {
+	// Per-stripe history cap scaled inversely with stripe count: admissions
+	// spread across stripes, so this keeps total preallocated history
+	// storage (which shard.New allocates up front to keep recording
+	// allocation-free inside the critical section) at ~8 MB per cell while
+	// still far exceeding any LWSS window.
+	hcap := (1 << 20) / c.stripes
+	if hcap < 1<<14 {
+		hcap = 1 << 14
+	}
+	m := shard.MustNew(shard.Config{
+		Stripes:    c.stripes,
+		LockSpec:   c.spec,
+		Seed:       c.seed,
+		Capacity:   c.keys,
+		HistoryCap: hcap,
+	})
+	// Preload the keyspace so Gets hit and Puts update in place; the
+	// measured interval then exercises steady-state traffic, not growth.
+	for k := 0; k < c.keys; k++ {
+		m.Put(uint64(k), uint64(k))
+	}
+
+	var stop atomic.Bool
+	var ops, attempts, misses atomic.Int64
+	var wg sync.WaitGroup
+	perWorkerRate := c.rate / float64(c.threads)
+	for g := 0; g < c.threads; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c.seed)*1315423911 + int64(id)))
+			var zipf *rand.Zipf
+			if c.dist == "zipf" {
+				zipf = rand.NewZipf(rng, c.zipfS, 1, uint64(c.keys-1))
+			}
+			pick := func() uint64 {
+				if zipf != nil {
+					return zipf.Uint64()
+				}
+				return uint64(rng.Intn(c.keys))
+			}
+			base := shard.WithClientID(context.Background(), id)
+			// Open loop: a Poisson schedule this worker must keep up with.
+			next := time.Now()
+			interval := func() time.Duration {
+				if perWorkerRate <= 0 {
+					return 0
+				}
+				return time.Duration(rng.ExpFloat64() / perWorkerRate * float64(time.Second))
+			}
+			for !stop.Load() {
+				arrival := time.Now()
+				if perWorkerRate > 0 {
+					next = next.Add(interval())
+					arrival = next
+					if !sleepUntil(next, &stop) {
+						return
+					}
+				}
+				key := pick()
+				read := rng.Float64() < c.readFrac
+				var err error
+				if c.cancelFrac > 0 && rng.Float64() < c.cancelFrac {
+					// Deadline measured from scheduled arrival: a worker
+					// behind schedule starts with the budget already burnt.
+					ctx, cancel := context.WithDeadline(base, arrival.Add(c.deadline))
+					attempts.Add(1)
+					if read {
+						_, _, err = m.GetContext(ctx, key)
+					} else {
+						_, err = m.PutContext(ctx, key, uint64(id))
+					}
+					cancel()
+					if err != nil {
+						misses.Add(1)
+						continue
+					}
+				} else if read {
+					_, _, err = m.GetContext(base, key)
+				} else {
+					_, err = m.PutContext(base, key, uint64(id))
+				}
+				if err != nil {
+					panic(err) // uncancellable contexts cannot fail
+				}
+				ops.Add(1)
+			}
+		}(g)
+	}
+	time.Sleep(c.duration)
+	stop.Store(true)
+	wg.Wait()
+
+	snap := m.Snapshot()
+	r := result{
+		Dist:      c.dist,
+		Lock:      c.spec,
+		Stripes:   m.Stripes(),
+		Threads:   c.threads,
+		Duration:  c.duration.Seconds(),
+		Ops:       int(ops.Load()),
+		OpsPerSec: float64(ops.Load()) / c.duration.Seconds(),
+	}
+	if n := attempts.Load(); n > 0 {
+		// Guarded: the rate is computed only from a nonzero attempt count,
+		// so the JSON can never carry a NaN (encoding/json rejects them).
+		r.DeadlineAttempts = int(n)
+		r.DeadlineMisses = int(misses.Load())
+		r.MissRate = float64(misses.Load()) / float64(n)
+	}
+	active := 0
+	for _, s := range snap.Stripes {
+		if s.Fairness.Admissions == 0 {
+			continue
+		}
+		active++
+		r.MeanLWSS += s.Fairness.AvgLWSS
+		r.MeanGini += s.Fairness.Gini
+		if s.Fairness.AvgLWSS > r.MaxLWSS {
+			r.MaxLWSS = s.Fairness.AvgLWSS
+		}
+		if s.Fairness.Gini > r.MaxGini {
+			r.MaxGini = s.Fairness.Gini
+		}
+	}
+	if active > 0 {
+		r.MeanLWSS /= float64(active)
+		r.MeanGini /= float64(active)
+	}
+	r.Stats = map[string]uint64{
+		"acquires":     snap.Lock.Acquires,
+		"handoffs":     snap.Lock.Handoffs,
+		"culls":        snap.Lock.Culls,
+		"reprovisions": snap.Lock.Reprovisions,
+		"promotions":   snap.Lock.Promotions,
+		"parks":        snap.Lock.Parks,
+		"unparks":      snap.Lock.Unparks,
+		"fast_path":    snap.Lock.FastPath,
+		"slow_path":    snap.Lock.SlowPath,
+		"cancels":      snap.Lock.Cancels,
+		"abandons":     snap.Lock.Abandons,
+	}
+	return r
+}
+
+// sleepUntil sleeps toward t in short slices, abandoning the wait when
+// stop is set. It reports whether the caller should proceed (false =
+// stopped). Sliced sleeping keeps a low-rate worker from sleeping through
+// the end of the cell: an exponential-tail inter-arrival would otherwise
+// run one op past the measured window (inflating OpsPerSec exactly where
+// each op matters most) and stall cell teardown until the worker wakes.
+func sleepUntil(t time.Time, stop *atomic.Bool) bool {
+	const slice = 5 * time.Millisecond
+	for {
+		if stop.Load() {
+			return false
+		}
+		d := time.Until(t)
+		if d <= 0 {
+			return true
+		}
+		if d > slice {
+			d = slice
+		}
+		time.Sleep(d)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad stripe count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

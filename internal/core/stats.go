@@ -153,6 +153,25 @@ type Snapshot struct {
 	Abandons uint64
 }
 
+// Add returns the field-wise sum of s and o. Aggregators (the sharded
+// store's Snapshot, multi-lock reports) use it to roll per-lock snapshots
+// up into totals.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	return Snapshot{
+		Acquires:     s.Acquires + o.Acquires,
+		Handoffs:     s.Handoffs + o.Handoffs,
+		Culls:        s.Culls + o.Culls,
+		Reprovisions: s.Reprovisions + o.Reprovisions,
+		Promotions:   s.Promotions + o.Promotions,
+		Parks:        s.Parks + o.Parks,
+		Unparks:      s.Unparks + o.Unparks,
+		FastPath:     s.FastPath + o.FastPath,
+		SlowPath:     s.SlowPath + o.SlowPath,
+		Cancels:      s.Cancels + o.Cancels,
+		Abandons:     s.Abandons + o.Abandons,
+	}
+}
+
 // Read sums the stripes into a consistent-enough snapshot for reporting.
 // Individual counters are read atomically; cross-counter skew is
 // acceptable for the monitoring purposes they serve. Read of a nil *Stats

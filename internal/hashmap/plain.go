@@ -1,0 +1,185 @@
+package hashmap
+
+// Plain is the service-grade variant of Map: the same open-addressing
+// linear-probe table with backward-shift deletion, minus the simulator
+// instrumentation (no Touch callback, no virtual base address). Each probe
+// is therefore a bare array access, which matters when the table sits
+// inside a lock-guarded stripe on a real request path (package shard).
+//
+// Unlike Map, key 0 is held out-of-band rather than remapped: Map's
+// 0 → ^uint64(0) remap makes keys 0 and MaxUint64 collide, which its
+// workload generators never produce but a public KV API must tolerate.
+// Plain therefore supports the full uint64 key domain.
+//
+// Like Map, Plain is not safe for concurrent use: the caller's lock — in
+// the sharded store, the stripe's registry-built lock — provides mutual
+// exclusion.
+type Plain struct {
+	keys    []uint64 // 0 = empty slot; key 0 itself lives out-of-band
+	vals    []uint64
+	size    int
+	mask    uint64
+	hasZero bool // key 0 present
+	zeroVal uint64
+}
+
+// NewPlain returns a table pre-sized for capacity elements (rounded up to
+// a power of two with slack for the probe load factor).
+func NewPlain(capacity int) *Plain {
+	n := 16
+	for n < capacity*2 {
+		n *= 2
+	}
+	return &Plain{
+		keys: make([]uint64, n),
+		vals: make([]uint64, n),
+		mask: uint64(n - 1),
+	}
+}
+
+// Mix is the table's 64-bit finalizer hash (Murmur3 fmix64), exported so
+// that layered structures (the shard router) can derive their placement
+// from the same mixer: the shard index takes the high bits, the slot
+// index the low bits, so stripe routing never degrades in-stripe probing.
+func Mix(k uint64) uint64 { return mix(k) }
+
+// Len returns the number of keys present.
+func (m *Plain) Len() int {
+	n := m.size
+	if m.hasZero {
+		n++
+	}
+	return n
+}
+
+// Slots returns the table's slot count.
+func (m *Plain) Slots() int { return len(m.keys) }
+
+// Get returns the value for key and whether it was present.
+func (m *Plain) Get(key uint64) (uint64, bool) {
+	if key == 0 {
+		if m.hasZero {
+			return m.zeroVal, true
+		}
+		return 0, false
+	}
+	slot := mix(key) & m.mask
+	for {
+		switch m.keys[slot] {
+		case 0:
+			return 0, false
+		case key:
+			return m.vals[slot], true
+		}
+		slot = (slot + 1) & m.mask
+	}
+}
+
+// Put inserts or updates key. It reports whether the key was new.
+func (m *Plain) Put(key, val uint64) bool {
+	if key == 0 {
+		fresh := !m.hasZero
+		m.hasZero, m.zeroVal = true, val
+		return fresh
+	}
+	if m.size*4 >= len(m.keys)*3 {
+		m.grow()
+	}
+	slot := mix(key) & m.mask
+	for {
+		switch m.keys[slot] {
+		case 0:
+			m.keys[slot] = key
+			m.vals[slot] = val
+			m.size++
+			return true
+		case key:
+			m.vals[slot] = val
+			return false
+		}
+		slot = (slot + 1) & m.mask
+	}
+}
+
+// Delete removes key with backward-shift deletion; reports presence.
+func (m *Plain) Delete(key uint64) bool {
+	if key == 0 {
+		present := m.hasZero
+		m.hasZero, m.zeroVal = false, 0
+		return present
+	}
+	slot := mix(key) & m.mask
+	for {
+		switch m.keys[slot] {
+		case 0:
+			return false
+		case key:
+			m.backshift(slot)
+			m.size--
+			return true
+		}
+		slot = (slot + 1) & m.mask
+	}
+}
+
+// Range calls fn for every key/value pair until fn returns false. The
+// iteration order is key 0 first (if present), then the table's slot
+// order, i.e. unspecified. The table must not be mutated during the walk.
+func (m *Plain) Range(fn func(key, val uint64) bool) {
+	if m.hasZero && !fn(0, m.zeroVal) {
+		return
+	}
+	for slot, k := range m.keys {
+		if k == 0 {
+			continue
+		}
+		if !fn(k, m.vals[slot]) {
+			return
+		}
+	}
+}
+
+func (m *Plain) backshift(hole uint64) {
+	for {
+		m.keys[hole] = 0
+		next := (hole + 1) & m.mask
+		for {
+			k := m.keys[next]
+			if k == 0 {
+				return
+			}
+			home := mix(k) & m.mask
+			if inCycle(home, hole, next) {
+				m.keys[hole] = k
+				m.vals[hole] = m.vals[next]
+				hole = next
+				break
+			}
+			next = (next + 1) & m.mask
+		}
+	}
+}
+
+func (m *Plain) grow() {
+	oldKeys, oldVals := m.keys, m.vals
+	n := len(oldKeys) * 2
+	m.keys = make([]uint64, n)
+	m.vals = make([]uint64, n)
+	m.mask = uint64(n - 1)
+	m.size = 0
+	for i, k := range oldKeys {
+		if k != 0 {
+			m.putRaw(k, oldVals[i])
+		}
+	}
+}
+
+func (m *Plain) putRaw(k, val uint64) {
+	slot := mix(k) & m.mask
+	for m.keys[slot] != 0 {
+		slot = (slot + 1) & m.mask
+	}
+	m.keys[slot] = k
+	m.vals[slot] = val
+	m.size++
+}

@@ -1,0 +1,127 @@
+package hashmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPlainBasic(t *testing.T) {
+	m := NewPlain(8)
+	if m.Len() != 0 {
+		t.Fatalf("empty Len=%d", m.Len())
+	}
+	if !m.Put(1, 100) || !m.Put(2, 200) || !m.Put(0, 7) {
+		t.Fatal("fresh Put reported existing key")
+	}
+	if m.Put(1, 101) {
+		t.Fatal("update reported new key")
+	}
+	if v, ok := m.Get(1); !ok || v != 101 {
+		t.Fatalf("Get(1)=%d,%v want 101,true", v, ok)
+	}
+	if v, ok := m.Get(0); !ok || v != 7 {
+		t.Fatalf("Get(0)=%d,%v want 7,true", v, ok)
+	}
+	if _, ok := m.Get(3); ok {
+		t.Fatal("Get(3) found a missing key")
+	}
+	if !m.Delete(2) || m.Delete(2) {
+		t.Fatal("Delete(2) wrong presence report")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len=%d want 2", m.Len())
+	}
+}
+
+func TestPlainAgainstMapModel(t *testing.T) {
+	// Randomized differential test against Go's map, including growth and
+	// backward-shift deletion under clustered keys.
+	m := NewPlain(0)
+	ref := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		key := uint64(rng.Intn(512)) // dense keyspace to force probe clusters
+		switch rng.Intn(3) {
+		case 0, 1:
+			val := rng.Uint64()
+			wantNew := func() bool { _, ok := ref[key]; return !ok }()
+			if got := m.Put(key, val); got != wantNew {
+				t.Fatalf("Put(%d) new=%v want %v", key, got, wantNew)
+			}
+			ref[key] = val
+		case 2:
+			_, want := ref[key]
+			if got := m.Delete(key); got != want {
+				t.Fatalf("Delete(%d)=%v want %v", key, got, want)
+			}
+			delete(ref, key)
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("Len=%d want %d", m.Len(), len(ref))
+		}
+	}
+	for k, v := range ref {
+		if got, ok := m.Get(k); !ok || got != v {
+			t.Fatalf("Get(%d)=%d,%v want %d,true", k, got, ok, v)
+		}
+	}
+}
+
+func TestPlainZeroAndMaxKeysDistinct(t *testing.T) {
+	// Regression: Map's ikey remap makes keys 0 and MaxUint64 collide;
+	// Plain holds key 0 out-of-band so the full uint64 domain works.
+	m := NewPlain(4)
+	if !m.Put(0, 1) || !m.Put(^uint64(0), 2) {
+		t.Fatal("fresh Put reported existing key")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len=%d want 2", m.Len())
+	}
+	if v, ok := m.Get(0); !ok || v != 1 {
+		t.Fatalf("Get(0)=%d,%v want 1,true", v, ok)
+	}
+	if v, ok := m.Get(^uint64(0)); !ok || v != 2 {
+		t.Fatalf("Get(MaxUint64)=%d,%v want 2,true", v, ok)
+	}
+	seen := map[uint64]uint64{}
+	m.Range(func(k, v uint64) bool { seen[k] = v; return true })
+	if len(seen) != 2 || seen[0] != 1 || seen[^uint64(0)] != 2 {
+		t.Fatalf("Range saw %v", seen)
+	}
+	if !m.Delete(0) {
+		t.Fatal("Delete(0) missed")
+	}
+	if v, ok := m.Get(^uint64(0)); !ok || v != 2 {
+		t.Fatalf("Delete(0) disturbed MaxUint64: %d,%v", v, ok)
+	}
+	if _, ok := m.Get(0); ok {
+		t.Fatal("Get(0) found a deleted key")
+	}
+}
+
+func TestPlainRange(t *testing.T) {
+	m := NewPlain(4)
+	want := map[uint64]uint64{0: 5, 1: 10, 7: 70, 1 << 40: 99}
+	for k, v := range want {
+		m.Put(k, v)
+	}
+	got := make(map[uint64]uint64)
+	m.Range(func(k, v uint64) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d pairs want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range saw %d=%d want %d", k, got[k], v)
+		}
+	}
+	// Early stop.
+	n := 0
+	m.Range(func(_, _ uint64) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Range after false visited %d pairs", n)
+	}
+}

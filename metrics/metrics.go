@@ -49,14 +49,30 @@ func (r *Recorder) Record(id int) {
 	r.history = append(r.history, id)
 }
 
-// History returns the recorded admission history. The returned slice
-// aliases the recorder's storage.
+// History returns the recorded admission history.
+//
+// Ownership rule: the returned slice aliases the recorder's storage and is
+// valid only until the next Reset — Reset truncates the storage in place,
+// so a held History would silently fill with the admissions recorded
+// afterwards. Callers that keep a history across Reset (or hand it to
+// another goroutine) must use Snapshot instead.
 func (r *Recorder) History() History { return r.history }
+
+// Snapshot returns an independent copy of the admission history, safe to
+// hold across Reset and to read while the recorder keeps recording under
+// its owner's lock.
+func (r *Recorder) Snapshot() History {
+	h := make(History, len(r.history))
+	copy(h, r.history)
+	return h
+}
 
 // Len returns the number of recorded admissions.
 func (r *Recorder) Len() int { return len(r.history) }
 
-// Reset discards the recorded history but keeps the capacity.
+// Reset discards the recorded history but keeps the capacity. It
+// invalidates every slice previously returned by History (see the
+// ownership rule there); Snapshot copies are unaffected.
 func (r *Recorder) Reset() { r.history = r.history[:0] }
 
 // LWSS returns the lock working set size of h: the number of distinct

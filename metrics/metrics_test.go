@@ -245,6 +245,30 @@ func TestRecorder(t *testing.T) {
 	}
 }
 
+func TestRecorderSnapshotSurvivesReset(t *testing.T) {
+	r := NewRecorder(4)
+	for _, id := range []int{1, 2, 1} {
+		r.Record(id)
+	}
+	snap := r.Snapshot()
+	alias := r.History()
+	r.Reset()
+	for i := 0; i < 3; i++ {
+		r.Record(9) // refills the storage the alias points into
+	}
+	want := History{1, 2, 1}
+	for i, id := range want {
+		if snap[i] != id {
+			t.Fatalf("Snapshot[%d]=%d after Reset, want %d", i, snap[i], id)
+		}
+	}
+	// The documented hazard: the aliasing History was overwritten in place.
+	if len(alias) == 3 && alias[0] == 9 && snap[0] == 1 {
+		return
+	}
+	t.Fatalf("aliasing contract changed: alias=%v snap=%v", alias, snap)
+}
+
 func TestSummarizeFIFOVersusCR(t *testing.T) {
 	// A synthetic FIFO history over 32 threads vs a CR history where only
 	// 5 circulate with rare promotion. The summary must rank them the way

@@ -13,9 +13,17 @@
 // Release uses direct handoff: if a waiter exists the permit is conveyed
 // to it without ever becoming visible in the count, so a barging Acquire
 // cannot overtake a waiter that was just granted.
+//
+// Acquisition is context-aware, with the same contract as
+// lock.ContextMutex: AcquireContext abandons the wait when ctx is done,
+// an uncancellable context routes to the plain path, an already-done
+// context fails fast, and a grant that races the cancellation wins — the
+// waiter keeps the conveyed permit and AcquireContext returns nil, so the
+// permit is never leaked and never re-posted behind a live waiter's back.
 package semaphore
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/core"
@@ -47,6 +55,7 @@ type Semaphore struct {
 	size       int
 	appendProb float64
 	trial      *core.Trial
+	stats      *core.Stats
 }
 
 // New returns a semaphore holding n initial permits with the given append
@@ -55,7 +64,12 @@ func New(n int, appendProb float64, seed uint64) *Semaphore {
 	if n < 0 {
 		panic("semaphore: negative initial count")
 	}
-	return &Semaphore{count: n, appendProb: appendProb, trial: core.NewTrial(0, seed)}
+	return &Semaphore{
+		count:      n,
+		appendProb: appendProb,
+		trial:      core.NewTrial(0, seed),
+		stats:      core.NewStats(),
+	}
 }
 
 // NewFIFO returns a strict-FIFO semaphore with n permits.
@@ -67,23 +81,86 @@ func NewMostlyLIFO(n int) *Semaphore { return New(n, MostlyLIFO, 0) }
 
 // Acquire obtains one permit, blocking until available.
 func (s *Semaphore) Acquire() {
+	s.acquire(nil) // a nil ctx cannot fail
+}
+
+// AcquireContext obtains one permit, abandoning the wait when ctx is
+// cancelled or its deadline passes. It returns nil once a permit is held
+// and ctx.Err() after an abandoned attempt.
+//
+// The grant-vs-abandon race is arbitrated under the internal latch, the
+// same authority Release grants under: whichever of {grant, abandon}
+// commits first wins, and a waiter that finds itself granted while
+// cancelling keeps the permit and returns nil (grant-wins, exactly as
+// lock.ContextMutex). The conveyed permit therefore can never leak: it is
+// either consumed by the successful return or still queued on a live
+// waiter. Exactly one Cancels event is counted per error return.
+func (s *Semaphore) AcquireContext(ctx context.Context) error {
+	if ctx == nil || ctx.Done() == nil {
+		s.acquire(nil)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		// Fail-fast: an already-done context never joins the queue and
+		// never consumes a permit.
+		s.stats.Inc(core.EvCancels)
+		return err
+	}
+	return s.acquire(ctx)
+}
+
+// AcquireFor obtains a permit within d and reports whether it did.
+// d <= 0 degenerates to TryAcquire.
+func (s *Semaphore) AcquireFor(d time.Duration) bool {
+	if s.TryAcquire() {
+		return true
+	}
+	if d <= 0 {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return s.AcquireContext(ctx) == nil
+}
+
+// AcquireTimeout obtains a permit or gives up after d; it reports whether
+// a permit was obtained. It is AcquireFor under its historical name.
+func (s *Semaphore) AcquireTimeout(d time.Duration) bool { return s.AcquireFor(d) }
+
+// acquire is the shared acquisition body; a nil ctx waits indefinitely
+// and cannot fail, a non-nil ctx must be cancellable.
+func (s *Semaphore) acquire(ctx context.Context) error {
 	s.mu.Lock()
 	if s.count > 0 && s.head == nil {
 		s.count--
 		s.mu.Unlock()
-		return
+		s.stats.Inc2(core.EvFastPath, core.EvAcquires)
+		return nil
 	}
 	w := &waiter{parker: park.NewParker()}
 	s.enqueue(w)
 	s.mu.Unlock()
 	for {
-		w.parker.Park()
+		ok := w.parker.ParkContext(ctx)
 		s.mu.Lock()
-		done := w.granted
-		s.mu.Unlock()
-		if done {
-			return
+		if w.granted {
+			// Grant-wins: even when ctx raced us here, the permit was
+			// already conveyed to this waiter and we keep it.
+			s.mu.Unlock()
+			s.stats.Inc3(core.EvParks, core.EvSlowPath, core.EvAcquires)
+			return nil
 		}
+		if !ok {
+			// ctx is done and — under the same latch Release would need to
+			// grant us — we are not granted: the abandon wins. Unlink so no
+			// future Release can convey a permit to a departed waiter.
+			s.unlink(w)
+			s.mu.Unlock()
+			s.stats.Inc2(core.EvParks, core.EvCancels)
+			return ctx.Err()
+		}
+		s.mu.Unlock()
+		// Spurious wakeup; park again.
 	}
 }
 
@@ -96,40 +173,10 @@ func (s *Semaphore) TryAcquire() bool {
 		s.count--
 	}
 	s.mu.Unlock()
+	if ok {
+		s.stats.Inc2(core.EvFastPath, core.EvAcquires)
+	}
 	return ok
-}
-
-// AcquireTimeout obtains a permit or gives up after d; it reports whether
-// a permit was obtained.
-func (s *Semaphore) AcquireTimeout(d time.Duration) bool {
-	s.mu.Lock()
-	if s.count > 0 && s.head == nil {
-		s.count--
-		s.mu.Unlock()
-		return true
-	}
-	w := &waiter{parker: park.NewParker()}
-	s.enqueue(w)
-	s.mu.Unlock()
-	deadline := time.Now().Add(d)
-	for {
-		if !w.parker.ParkTimeout(time.Until(deadline)) {
-			s.mu.Lock()
-			if w.granted {
-				s.mu.Unlock()
-				return true
-			}
-			s.unlink(w)
-			s.mu.Unlock()
-			return false
-		}
-		s.mu.Lock()
-		done := w.granted
-		s.mu.Unlock()
-		if done {
-			return true
-		}
-	}
 }
 
 // Release returns one permit. If waiters exist, the permit is handed
@@ -145,8 +192,25 @@ func (s *Semaphore) Release() {
 	s.mu.Unlock()
 	if w != nil {
 		w.parker.Unpark()
+		s.stats.Inc2(core.EvHandoffs, core.EvUnparks)
 	}
 }
+
+// NoStats disables event-counter maintenance — the analogue of
+// lock.WithStats(false): the stats reference goes nil and every counter
+// site reduces to one predicted branch. Call it before the semaphore is
+// shared; it returns s for construction chaining
+// (semaphore.NewFIFO(8).NoStats()). Stats then reports zeros.
+func (s *Semaphore) NoStats() *Semaphore {
+	s.stats = nil
+	return s
+}
+
+// Stats returns a snapshot of the semaphore's event counters: Acquires
+// (fast path = immediate permits, slow path = queued waits), Handoffs and
+// Unparks from Release conveyances, Parks from queued waits, and Cancels —
+// exactly one per AcquireContext error return.
+func (s *Semaphore) Stats() core.Snapshot { return s.stats.Read() }
 
 // Count reports the number of unclaimed permits (racy; for monitoring).
 func (s *Semaphore) Count() int {

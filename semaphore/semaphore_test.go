@@ -1,6 +1,8 @@
 package semaphore
 
 import (
+	"context"
+	"math/rand"
 	"os"
 	"runtime"
 	"sync"
@@ -196,6 +198,158 @@ func TestFIFOWakeOrder(t *testing.T) {
 		if got := <-order; got != i {
 			t.Fatalf("FIFO release woke %d, want %d", got, i)
 		}
+	}
+}
+
+func TestAcquireContextFailFast(t *testing.T) {
+	s := NewFIFO(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.AcquireContext(ctx); err != context.Canceled {
+		t.Fatalf("AcquireContext(done)=%v want context.Canceled", err)
+	}
+	if s.Count() != 1 {
+		t.Fatalf("fail-fast consumed a permit: count=%d", s.Count())
+	}
+	if s.Waiters() != 0 {
+		t.Fatalf("fail-fast joined the queue: waiters=%d", s.Waiters())
+	}
+	if c := s.Stats().Cancels; c != 1 {
+		t.Fatalf("Cancels=%d want 1", c)
+	}
+}
+
+func TestAcquireContextUncancellable(t *testing.T) {
+	s := NewFIFO(1)
+	if err := s.AcquireContext(context.Background()); err != nil {
+		t.Fatalf("AcquireContext(Background)=%v", err)
+	}
+	s.Release()
+	if err := s.AcquireContext(nil); err != nil {
+		t.Fatalf("AcquireContext(nil)=%v", err)
+	}
+	s.Release()
+}
+
+func TestAcquireContextCancelWhileWaiting(t *testing.T) {
+	s := NewFIFO(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.AcquireContext(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("AcquireContext on empty semaphore=%v want DeadlineExceeded", err)
+	}
+	if s.Waiters() != 0 {
+		t.Fatalf("cancelled waiter left on queue: %d", s.Waiters())
+	}
+	// A Release after the abandonment must become a visible permit, not a
+	// conveyance to the departed waiter.
+	s.Release()
+	if s.Count() != 1 {
+		t.Fatalf("permit leaked to a cancelled waiter: count=%d", s.Count())
+	}
+	if !s.AcquireFor(time.Second) {
+		t.Fatal("AcquireFor missed the available permit")
+	}
+}
+
+func TestNoStats(t *testing.T) {
+	s := NewFIFO(1).NoStats()
+	s.Acquire()
+	s.Release()
+	if !s.AcquireFor(time.Second) {
+		t.Fatal("AcquireFor failed with a permit available")
+	}
+	s.Release()
+	if snap := s.Stats(); snap.Acquires != 0 {
+		t.Fatalf("NoStats semaphore counted %d acquires", snap.Acquires)
+	}
+}
+
+func TestAcquireForDegenerate(t *testing.T) {
+	s := NewFIFO(1)
+	if !s.AcquireFor(0) {
+		t.Fatal("AcquireFor(0) failed with a permit available")
+	}
+	if s.AcquireFor(0) {
+		t.Fatal("AcquireFor(0) acquired a permit that does not exist")
+	}
+	s.Release()
+}
+
+// TestCancelStormConservation is the grant-vs-abandon stress: goroutines
+// hammer a small semaphore with short and already-expired deadlines while
+// successful acquirers release. No permit may leak in either direction,
+// and the Cancels counter must reconcile exactly with the observed error
+// returns.
+func TestCancelStormConservation(t *testing.T) {
+	for name, p := range map[string]float64{"FIFO": FIFO, "MostlyLIFO": MostlyLIFO, "LIFO": LIFO} {
+		t.Run(name, func(t *testing.T) {
+			const permits, goroutines, iters = 2, 8, 400
+			s := New(permits, p, 11)
+			var succ, fail atomic.Int64
+			var inside, maxInside atomic.Int32
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(id)))
+					for i := 0; i < iters; i++ {
+						var ctx context.Context
+						cancel := context.CancelFunc(func() {})
+						switch rng.Intn(3) {
+						case 0: // already expired: deterministic fail-fast
+							c, cfn := context.WithCancel(context.Background())
+							cfn()
+							ctx, cancel = c, func() {}
+						case 1: // tight deadline: races the handoff
+							ctx, cancel = context.WithTimeout(context.Background(), time.Duration(rng.Intn(200))*time.Microsecond)
+						default: // generous deadline: normally succeeds
+							ctx, cancel = context.WithTimeout(context.Background(), time.Second)
+						}
+						err := s.AcquireContext(ctx)
+						cancel()
+						if err != nil {
+							fail.Add(1)
+							continue
+						}
+						succ.Add(1)
+						v := inside.Add(1)
+						for {
+							m := maxInside.Load()
+							if v <= m || maxInside.CompareAndSwap(m, v) {
+								break
+							}
+						}
+						inside.Add(-1)
+						s.Release()
+					}
+				}(g)
+			}
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(120 * time.Second):
+				t.Fatal("cancel storm stalled (lost permit?)")
+			}
+			if maxInside.Load() > permits {
+				t.Fatalf("%d goroutines inside a %d-permit semaphore", maxInside.Load(), permits)
+			}
+			if s.Count() != permits {
+				t.Fatalf("permits leaked: count=%d want %d", s.Count(), permits)
+			}
+			if s.Waiters() != 0 {
+				t.Fatalf("waiters left: %d", s.Waiters())
+			}
+			snap := s.Stats()
+			if snap.Cancels != uint64(fail.Load()) {
+				t.Fatalf("Cancels=%d but %d error returns", snap.Cancels, fail.Load())
+			}
+			if snap.Acquires != uint64(succ.Load()) {
+				t.Fatalf("Acquires=%d but %d successful returns", snap.Acquires, succ.Load())
+			}
+		})
 	}
 }
 

@@ -1,0 +1,452 @@
+// Package shard implements a concurrent, sharded key-value store whose
+// per-stripe admission policy is a Malthusian lock chosen by registry
+// spec. It is the first layer of this repository where real service
+// traffic shapes — key skew, request deadlines, per-shard admission
+// policy — are first-class.
+//
+// A Map is a power-of-two array of stripes. Each stripe is an independent
+// open-addressing hash table (internal/hashmap.Plain) guarded by its own
+// lock built from Config.LockSpec via lock.New, so the admission policy
+// that decides whether a hot stripe collapses or scales ("Malthusian
+// Locks", EuroSys 2017) is runtime configuration, not code:
+//
+//	m, err := shard.New(shard.Config{Stripes: 64, LockSpec: "mcscr-stp?fairness=500"})
+//
+// Keys are routed by the high bits of the same 64-bit mixer the in-stripe
+// table probes with its low bits, so stripe routing never degrades
+// in-stripe probing.
+//
+// # Deadlines
+//
+// Every operation has a plain and a context form (Get/GetContext, ...).
+// The context forms bound the time-to-stripe: acquisition of the stripe
+// lock goes through lock.ContextMutex.LockContext, so a request whose
+// deadline expires while queued abandons its slot and returns ctx.Err()
+// without touching the table. Once the stripe lock is held the operation
+// itself is bounded (a few probes), so time-to-stripe is the deadline
+// semantics that matters; a handoff that races the cancellation wins,
+// exactly as documented for ContextMutex.
+//
+// # Observability
+//
+// Each stripe's lock keeps the usual CR event counters, and optionally an
+// admission history: context operations that carry a client id (see
+// WithClientID) record it inside the critical section. Snapshot rolls
+// both up — aggregate core stats for the whole map, and per-stripe
+// fairness summaries (LWSS, MTTR, Gini, RSTDDEV via metrics.Summarize),
+// which is where collapse actually shows up: a uniformly loaded map can
+// hide one collapsed stripe in its averages, but not in its per-stripe
+// LWSS.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/core"
+	"repro/internal/hashmap"
+	"repro/lock"
+	"repro/metrics"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultStripes  = 16
+	DefaultLockSpec = "mcscr-stp"
+)
+
+// Config configures a Map. The zero value is usable: DefaultStripes
+// stripes of DefaultLockSpec locks, no history recording.
+type Config struct {
+	// Stripes is the number of stripes, rounded up to a power of two.
+	// 0 means DefaultStripes.
+	Stripes int
+
+	// LockSpec is the registry spec (see lock.New) each stripe's lock is
+	// built from. Empty means DefaultLockSpec. Specs with stats=false
+	// still work; Snapshot then reports zero lock counters.
+	LockSpec string
+
+	// Seed, when nonzero, seeds each stripe's lock PRNG with a distinct
+	// value derived from it (unless the spec pins seed= itself, which
+	// wins). Zero leaves the locks on their fixed default seeds.
+	Seed uint64
+
+	// Capacity pre-sizes the map for this many total keys, spread evenly
+	// across stripes. 0 uses the tables' minimum size.
+	Capacity int
+
+	// HistoryCap, when positive, makes each stripe record the admission
+	// history of client-identified context operations (see WithClientID),
+	// up to HistoryCap admissions per stripe; recording then stops so a
+	// long-lived service cannot grow the history without bound. The full
+	// capacity is preallocated per stripe (8 bytes per admission), so
+	// recording never reallocates inside the critical section — size it
+	// with Stripes in mind. 0 disables recording and Snapshot's fairness
+	// summaries come back empty.
+	HistoryCap int
+
+	// HistoryWindow is the LWSS window for Snapshot's per-stripe
+	// summaries. 0 means metrics.DefaultWindow.
+	HistoryWindow int
+}
+
+// stripe is one shard: a table and the lock that admits threads to it.
+// The mutated state lives behind the pointers (each its own allocation),
+// so adjacent stripe headers in the slice share lines harmlessly.
+type stripe struct {
+	mu    lock.ContextMutex
+	stats lock.Instrumented // mu, when it maintains counters; else nil
+	table *hashmap.Plain
+	rec   *metrics.Recorder // nil when history is disabled
+	hcap  int
+}
+
+// Map is the sharded store. All methods are safe for concurrent use.
+type Map struct {
+	stripes []stripe
+	shift   uint // stripe index = Mix(key) >> shift
+	window  int
+}
+
+// New builds a Map from cfg. It fails with a descriptive error when the
+// lock spec is malformed or names an unknown lock.
+func New(cfg Config) (*Map, error) {
+	n := cfg.Stripes
+	if n <= 0 {
+		n = DefaultStripes
+	}
+	if n&(n-1) != 0 {
+		n = 1 << bits.Len(uint(n)) // round up to a power of two
+	}
+	spec := cfg.LockSpec
+	if spec == "" {
+		spec = DefaultLockSpec
+	}
+	window := cfg.HistoryWindow
+	if window <= 0 {
+		window = metrics.DefaultWindow
+	}
+	perStripe := 0
+	if cfg.Capacity > 0 {
+		perStripe = (cfg.Capacity + n - 1) / n
+	}
+	m := &Map{
+		stripes: make([]stripe, n),
+		shift:   uint(64 - bits.TrailingZeros(uint(n))),
+		window:  window,
+	}
+	for i := range m.stripes {
+		var opts []lock.Option
+		if cfg.Seed != 0 {
+			// Distinct per-stripe seeds so fairness trials do not run in
+			// lockstep across stripes; the spec's seed= overrides.
+			opts = append(opts, lock.WithSeed(cfg.Seed+uint64(i)*0x9e3779b97f4a7c15))
+		}
+		mtx, err := lock.New(spec, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("shard: stripe lock: %w", err)
+		}
+		cm, ok := mtx.(lock.ContextMutex)
+		if !ok {
+			// Registry locks all satisfy ContextMutex; a custom Register
+			// that does not cannot serve deadline-bounded operations.
+			return nil, fmt.Errorf("shard: lock spec %q builds a %T, which is not a lock.ContextMutex", spec, mtx)
+		}
+		s := &m.stripes[i]
+		s.mu = cm
+		s.stats, _ = mtx.(lock.Instrumented)
+		s.table = hashmap.NewPlain(perStripe)
+		if cfg.HistoryCap > 0 {
+			// Preallocate the whole (bounded) cap: a growth-copy of a
+			// multi-MB history inside the critical section would charge an
+			// instrumentation stall to every queued request's deadline.
+			s.rec = metrics.NewRecorder(cfg.HistoryCap)
+			s.hcap = cfg.HistoryCap
+		}
+	}
+	return m, nil
+}
+
+// MustNew is New for initialization paths where a malformed config is a
+// programming error; it panics instead of returning one.
+func MustNew(cfg Config) *Map {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Stripes returns the stripe count (a power of two).
+func (m *Map) Stripes() int { return len(m.stripes) }
+
+// StripeFor returns the index of the stripe serving key.
+func (m *Map) StripeFor(key uint64) int { return int(hashmap.Mix(key) >> m.shift) }
+
+func (m *Map) stripe(key uint64) *stripe { return &m.stripes[m.StripeFor(key)] }
+
+// clientIDKey carries a client identity through a context (WithClientID).
+type clientIDKey struct{}
+
+// WithClientID returns a context carrying the caller's client id. Context
+// operations on a history-recording Map (Config.HistoryCap > 0) record
+// the id into the owning stripe's admission history, which is what feeds
+// Snapshot's per-stripe LWSS/Gini. Operations without an id (or any id on
+// a non-recording Map) are served identically but leave no history.
+func WithClientID(ctx context.Context, id int) context.Context {
+	return context.WithValue(ctx, clientIDKey{}, id)
+}
+
+// ClientID extracts the client id set by WithClientID.
+func ClientID(ctx context.Context) (int, bool) {
+	id, ok := ctx.Value(clientIDKey{}).(int)
+	return id, ok
+}
+
+// client resolves ctx's admission-history id before the stripe lock is
+// taken: the context.Value walk (arbitrarily deep in a real request's
+// context chain) must not lengthen the critical section the lock exists
+// to keep short. ok is false when recording is off or ctx carries no id.
+func (s *stripe) client(ctx context.Context) (int, bool) {
+	if s.rec == nil {
+		return 0, false
+	}
+	return ClientID(ctx)
+}
+
+// record appends one admission, inside the critical section (the stripe
+// lock serializes appends, the same protocol metrics.Recorder documents;
+// the cap check reads the recorder, so it too must run under the lock).
+func (s *stripe) record(id int) {
+	if s.rec.Len() < s.hcap {
+		s.rec.Record(id)
+	}
+}
+
+// Get returns the value for key and whether it was present.
+func (m *Map) Get(key uint64) (uint64, bool) {
+	s := m.stripe(key)
+	s.mu.Lock()
+	v, ok := s.table.Get(key)
+	s.mu.Unlock()
+	return v, ok
+}
+
+// Put inserts or updates key. It reports whether the key was new.
+func (m *Map) Put(key, val uint64) bool {
+	s := m.stripe(key)
+	s.mu.Lock()
+	fresh := s.table.Put(key, val)
+	s.mu.Unlock()
+	return fresh
+}
+
+// Delete removes key; it reports whether the key was present.
+func (m *Map) Delete(key uint64) bool {
+	s := m.stripe(key)
+	s.mu.Lock()
+	present := s.table.Delete(key)
+	s.mu.Unlock()
+	return present
+}
+
+// lockStripe takes s's lock, bounded by ctx when ctx is non-nil. The
+// multi-stripe reads thread their optional context through it.
+func lockStripe(s *stripe, ctx context.Context) error {
+	if ctx == nil {
+		s.mu.Lock()
+		return nil
+	}
+	return s.mu.LockContext(ctx)
+}
+
+// Len returns the number of keys present. Like every multi-stripe read it
+// is a per-stripe-consistent sum, not a point-in-time snapshot.
+func (m *Map) Len() int {
+	n, _ := m.lenStripes(nil)
+	return n
+}
+
+// LenContext is Len with every stripe acquisition bounded by ctx, so a
+// monitoring path never blocks uncancellably behind a collapsed stripe.
+func (m *Map) LenContext(ctx context.Context) (int, error) {
+	return m.lenStripes(ctx)
+}
+
+func (m *Map) lenStripes(ctx context.Context) (int, error) {
+	n := 0
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		if err := lockStripe(s, ctx); err != nil {
+			return 0, err
+		}
+		n += s.table.Len()
+		s.mu.Unlock()
+	}
+	return n, nil
+}
+
+// GetContext is Get with the stripe acquisition bounded by ctx.
+func (m *Map) GetContext(ctx context.Context, key uint64) (val uint64, ok bool, err error) {
+	s := m.stripe(key)
+	id, recording := s.client(ctx)
+	if err := s.mu.LockContext(ctx); err != nil {
+		return 0, false, err
+	}
+	if recording {
+		s.record(id)
+	}
+	v, ok := s.table.Get(key)
+	s.mu.Unlock()
+	return v, ok, nil
+}
+
+// PutContext is Put with the stripe acquisition bounded by ctx.
+func (m *Map) PutContext(ctx context.Context, key, val uint64) (fresh bool, err error) {
+	s := m.stripe(key)
+	id, recording := s.client(ctx)
+	if err := s.mu.LockContext(ctx); err != nil {
+		return false, err
+	}
+	if recording {
+		s.record(id)
+	}
+	fresh = s.table.Put(key, val)
+	s.mu.Unlock()
+	return fresh, nil
+}
+
+// DeleteContext is Delete with the stripe acquisition bounded by ctx.
+func (m *Map) DeleteContext(ctx context.Context, key uint64) (present bool, err error) {
+	s := m.stripe(key)
+	id, recording := s.client(ctx)
+	if err := s.mu.LockContext(ctx); err != nil {
+		return false, err
+	}
+	if recording {
+		s.record(id)
+	}
+	present = s.table.Delete(key)
+	s.mu.Unlock()
+	return present, nil
+}
+
+// Range calls fn for every key/value pair until fn returns false. It
+// visits stripes one at a time: each stripe's pairs are copied out under
+// that stripe's lock and fn runs on the copy with no lock held, so fn may
+// call back into the Map freely. The traversal is per-stripe consistent;
+// concurrent writers may be observed in some stripes and not others.
+func (m *Map) Range(fn func(key, val uint64) bool) {
+	m.rangeStripes(nil, fn)
+}
+
+// RangeContext is Range with every stripe acquisition bounded by ctx; it
+// returns ctx.Err() from the first stripe whose lock could not be taken
+// in time (pairs already yielded stay yielded).
+func (m *Map) RangeContext(ctx context.Context, fn func(key, val uint64) bool) error {
+	return m.rangeStripes(ctx, fn)
+}
+
+type kv struct{ key, val uint64 }
+
+func (m *Map) rangeStripes(ctx context.Context, fn func(key, val uint64) bool) error {
+	var pairs []kv
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		if err := lockStripe(s, ctx); err != nil {
+			return err
+		}
+		pairs = pairs[:0]
+		s.table.Range(func(k, v uint64) bool {
+			pairs = append(pairs, kv{k, v})
+			return true
+		})
+		s.mu.Unlock()
+		for _, p := range pairs {
+			if !fn(p.key, p.val) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// StripeSnapshot is the observable state of one stripe.
+type StripeSnapshot struct {
+	// Index is the stripe's position in the map.
+	Index int
+	// Len is the stripe's key count.
+	Len int
+	// Lock is the stripe lock's CR event counters (zero when the spec set
+	// stats=false).
+	Lock core.Snapshot
+	// Fairness summarizes the stripe's recorded admission history (zero
+	// Admissions when history recording is off or no identified client
+	// has been admitted).
+	Fairness metrics.Summary
+}
+
+// Snapshot is the observable state of the whole map: per-stripe detail
+// plus rolled-up totals.
+type Snapshot struct {
+	Stripes []StripeSnapshot
+	// Lock is the field-wise sum of every stripe's lock counters.
+	Lock core.Snapshot
+	// Len is the total key count.
+	Len int
+}
+
+// Snapshot collects per-stripe lengths, lock counters, and fairness
+// summaries. The stripe lock is held only to read the table length and
+// capture the history slice header — never for the O(HistoryCap) summary
+// work, which would stall every request queued behind a monitoring
+// scrape. Reading the captured history outside the lock is safe because
+// the recorder's storage is preallocated to the full cap (recording stops
+// rather than reallocate, see New), entries are immutable once written
+// (the lock release/acquire orders them before us), concurrent appends
+// touch only indices beyond our captured length, and this package never
+// calls Reset — the condition metrics.History's ownership rule sets for
+// holding an aliasing view. The cross-stripe view is per-stripe
+// consistent.
+func (m *Map) Snapshot() Snapshot {
+	out, _ := m.snapshotStripes(nil)
+	return out
+}
+
+// SnapshotContext is Snapshot with every stripe acquisition bounded by
+// ctx: observability stays deadline-bounded even when the stripe it wants
+// to observe is the one that collapsed.
+func (m *Map) SnapshotContext(ctx context.Context) (Snapshot, error) {
+	return m.snapshotStripes(ctx)
+}
+
+func (m *Map) snapshotStripes(ctx context.Context) (Snapshot, error) {
+	out := Snapshot{Stripes: make([]StripeSnapshot, len(m.stripes))}
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		if err := lockStripe(s, ctx); err != nil {
+			return Snapshot{}, err
+		}
+		ln := s.table.Len()
+		var h metrics.History
+		if s.rec != nil {
+			h = s.rec.History()
+		}
+		s.mu.Unlock()
+		var ls core.Snapshot
+		if s.stats != nil {
+			ls = s.stats.Stats()
+		}
+		out.Stripes[i] = StripeSnapshot{
+			Index:    i,
+			Len:      ln,
+			Lock:     ls,
+			Fairness: metrics.Summarize(h, m.window),
+		}
+		out.Len += ln
+		out.Lock = out.Lock.Add(ls)
+	}
+	return out, nil
+}
