@@ -1,29 +1,46 @@
 // Command shardbench benchmarks the sharded KV service (package shard)
 // under traffic shapes a served system actually sees: key skew (zipf vs
-// uniform), a read/write mix, open-loop request arrival, and per-request
-// deadlines. It sweeps stripe counts and per-stripe lock specs, so the
-// question the paper asks of a single lock — does admission policy keep a
-// heavily shared lock from collapsing? — is asked of every stripe of a
-// service at once:
+// uniform), a read/write mix, an optional scan mix, open-loop request
+// arrival, and per-request deadlines. It sweeps stripe counts, per-stripe
+// lock specs, and per-stripe backend specs, so the question the paper
+// asks of a single lock — does admission policy keep a heavily shared
+// lock from collapsing? — is asked of every stripe of a service at once,
+// across every data structure that could serve the stripe:
 //
 //	shardbench -stripes 1,8,64 -lock tas,mcscr-stp -cancel-frac 0.2
-//	shardbench -stripes 1,16 -lock 'mcscr-stp?fairness=500' -dist zipf -rate 200000
+//	shardbench -stripes 1,16 -lock 'mcscr-stp?fairness=500' -backend hashmap,skiplist,rbtree
+//	shardbench -stripes 8 -backend skiplist -scan-frac 0.1 -scan-span 256
+//	shardbench -list
 //
-// Workers issue Get/Put through the context forms, each request tagged
-// with its worker id (shard.WithClientID), so every admission lands in
-// the owning stripe's history and the JSON record can report fairness
-// (LWSS, Gini) per stripe — which is where collapse shows up: a skewed
-// keyspace collapses its hottest stripe long before the aggregate
-// throughput says anything.
+// Workers issue Get/Put (and, with -scan-frac, ordered range scans)
+// through the context forms, each request tagged with its worker id
+// (shard.WithClientID), so every admission lands in the owning stripe's
+// history and the JSON record can report fairness (LWSS, Gini) per
+// stripe — which is where collapse shows up: a skewed keyspace collapses
+// its hottest stripe long before the aggregate throughput says anything.
+//
+// Scans require an ordered backend ("skiplist", "rbtree"); a -scan-frac
+// sweep that includes an unordered backend is rejected up front. Each
+// scan covers -scan-span consecutive keys from a point drawn from the
+// key distribution and goes through ScanContext, so a scan visits every
+// stripe and prices the cross-stripe merge against hashmap's cheaper
+// point ops.
+//
+// Every completed request's latency — scheduled arrival (open loop) or
+// issue time (closed loop) to completion, i.e. the time-to-stripe the
+// deadline machinery bounds plus the bounded table work — is recorded,
+// and the table and JSON report p50/p99 per cell alongside the
+// deadline-miss rate ("-" when no request carried a deadline, never
+// NaN). Deadline-missed requests are not in the percentile pool (their
+// latency is clipped at -deadline by construction); they are accounted
+// by the miss rate, so read the two columns together.
 //
 // With -rate R the arrival process is open-loop: each worker follows a
-// Poisson schedule at R/threads requests/sec, and a request's deadline is
-// measured from its scheduled arrival, not from when a backlogged worker
-// got to it — so falling behind schedule burns deadline budget, exactly
-// like a queue in front of a real service. -rate 0 (default) is closed
-// loop. The fraction -cancel-frac of requests carries a deadline of
-// -deadline; the table and JSON report the deadline-miss rate ("-" when
-// no request carried a deadline, never NaN).
+// Poisson schedule at R/threads requests/sec, and a request's deadline
+// (and latency) is measured from its scheduled arrival, not from when a
+// backlogged worker got to it — so falling behind schedule burns
+// deadline budget, exactly like a queue in front of a real service.
+// -rate 0 (default) is closed loop.
 //
 // The results are written to -json (default BENCH_shard.json; the copy at
 // the repository root tracks the service-path perf trajectory alongside
@@ -38,26 +55,36 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/lock"
 	"repro/shard"
+	"repro/store"
 )
 
-// result is one benchmark row: a (distribution, lock spec, stripe count)
-// cell of the sweep.
+// result is one benchmark row: a (distribution, lock spec, backend spec,
+// stripe count) cell of the sweep.
 type result struct {
 	Dist     string  `json:"dist"`
 	Lock     string  `json:"lock"`
+	Backend  string  `json:"backend"`
 	Stripes  int     `json:"stripes"`
 	Threads  int     `json:"threads"`
 	Duration float64 `json:"duration_sec"`
 
 	Ops       int     `json:"ops"`
 	OpsPerSec float64 `json:"ops_per_sec"`
+	Scans     int     `json:"scans,omitempty"`
+
+	// Latency percentiles over completed requests, in microseconds,
+	// measured from (scheduled) arrival to completion.
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
 
 	// Deadline traffic: requests that carried one, how many missed (the
 	// stripe was not reached in time), and the miss rate. MissRate is 0 —
@@ -85,6 +112,8 @@ type record struct {
 	GoVersion  string   `json:"go_version"`
 	Keys       int      `json:"keys"`
 	ReadFrac   float64  `json:"read_frac"`
+	ScanFrac   float64  `json:"scan_frac,omitempty"`
+	ScanSpan   int      `json:"scan_span,omitempty"`
 	ZipfS      float64  `json:"zipf_s"`
 	Rate       float64  `json:"rate,omitempty"`
 	CancelFrac float64  `json:"cancel_frac,omitempty"`
@@ -96,19 +125,28 @@ func main() {
 	var (
 		stripesList = flag.String("stripes", "1,8,64", "comma-separated stripe counts to sweep")
 		lockList    = flag.String("lock", "tas,mcscr-stp", "comma-separated lock specs (see lock.New)")
+		backendList = flag.String("backend", "hashmap", "comma-separated backend specs (see store.New)")
 		distList    = flag.String("dist", "uniform,zipf", "comma-separated key distributions: uniform, zipf")
 		threads     = flag.Int("threads", 8, "client goroutines")
 		duration    = flag.Duration("duration", time.Second, "measurement interval per cell")
 		keys        = flag.Int("keys", 1<<16, "keyspace size")
-		readFrac    = flag.Float64("read-frac", 0.9, "fraction of requests that are Gets")
+		readFrac    = flag.Float64("read-frac", 0.9, "fraction of non-scan requests that are Gets")
+		scanFrac    = flag.Float64("scan-frac", 0, "fraction of requests that are ordered range scans (0..1; needs an ordered backend)")
+		scanSpan    = flag.Int("scan-span", 128, "consecutive keys covered by each scan")
 		zipfS       = flag.Float64("zipf-s", 1.2, "zipf skew parameter (s > 1)")
 		rate        = flag.Float64("rate", 0, "open-loop arrival rate in requests/sec across all workers (0 = closed loop)")
 		cancelFrac  = flag.Float64("cancel-frac", 0, "fraction of requests carrying a deadline (0..1)")
 		deadline    = flag.Duration("deadline", time.Millisecond, "per-request deadline, measured from arrival")
-		seed        = flag.Uint64("seed", 1, "base PRNG seed for locks and workload")
+		seed        = flag.Uint64("seed", 1, "base PRNG seed for locks, backends, and workload")
 		jsonPath    = flag.String("json", "BENCH_shard.json", "write results to this file as JSON ('' disables)")
+		list        = flag.Bool("list", false, "list registered lock and backend specs with their summaries, then exit")
 	)
 	flag.Parse()
+
+	if *list {
+		printRegistries(os.Stdout)
+		return
+	}
 
 	stripeCounts, err := parseInts(*stripesList)
 	if err != nil {
@@ -116,6 +154,7 @@ func main() {
 		os.Exit(2)
 	}
 	specs := splitList(*lockList)
+	backends := splitList(*backendList)
 	dists := splitList(*distList)
 	for _, d := range dists {
 		if d != "uniform" && d != "zipf" {
@@ -129,8 +168,24 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	// Resolve every (spec, stripes) cell before any measurement, so a typo
-	// fails fast instead of after minutes of sweeping.
+	if *scanFrac > 0 && *scanSpan < 1 {
+		fmt.Fprintf(os.Stderr, "shardbench: -scan-span: want a positive span\n")
+		os.Exit(2)
+	}
+	// Resolve every cell before any measurement, so a typo — or a scan
+	// mix over a backend that cannot serve scans — fails fast instead of
+	// after minutes of sweeping.
+	for _, bspec := range backends {
+		b, err := store.New(bspec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shardbench: %v\n", err)
+			os.Exit(2)
+		}
+		if _, ordered := b.(store.Ordered); *scanFrac > 0 && !ordered {
+			fmt.Fprintf(os.Stderr, "shardbench: -scan-frac needs ordered backends, but %q is not (ordered: skiplist, rbtree)\n", bspec)
+			os.Exit(2)
+		}
+	}
 	for _, spec := range specs {
 		if _, err := shard.New(shard.Config{Stripes: 1, LockSpec: spec}); err != nil {
 			fmt.Fprintf(os.Stderr, "shardbench: %v\n", err)
@@ -144,34 +199,41 @@ func main() {
 		GoVersion:  runtime.Version(),
 		Keys:       *keys,
 		ReadFrac:   *readFrac,
+		ScanFrac:   *scanFrac,
 		ZipfS:      *zipfS,
 		Rate:       *rate,
 		CancelFrac: *cancelFrac,
+	}
+	if *scanFrac > 0 {
+		rec.ScanSpan = *scanSpan
 	}
 	if *cancelFrac > 0 {
 		rec.Deadline = deadline.String()
 	}
 
-	fmt.Printf("%-8s %-12s %8s %10s %10s %8s %9s %9s %9s\n",
-		"dist", "lock", "stripes", "ops", "ops/sec", "miss%", "LWSS", "maxLWSS", "Gini")
+	fmt.Printf("%-8s %-12s %-10s %7s %10s %10s %7s %8s %8s %7s %7s\n",
+		"dist", "lock", "backend", "stripes", "ops", "ops/sec", "miss%", "p50(us)", "p99(us)", "LWSS", "Gini")
 	for _, dist := range dists {
 		for _, spec := range specs {
-			for _, n := range stripeCounts {
-				r := runCell(cellConfig{
-					dist: dist, spec: spec, stripes: n,
-					threads: *threads, duration: *duration,
-					keys: *keys, readFrac: *readFrac, zipfS: *zipfS,
-					rate: *rate, cancelFrac: *cancelFrac, deadline: *deadline,
-					seed: *seed,
-				})
-				rec.Results = append(rec.Results, r)
-				missCol := "-"
-				if r.DeadlineAttempts > 0 {
-					missCol = fmt.Sprintf("%.2f", 100*r.MissRate)
+			for _, bspec := range backends {
+				for _, n := range stripeCounts {
+					r := runCell(cellConfig{
+						dist: dist, spec: spec, backend: bspec, stripes: n,
+						threads: *threads, duration: *duration,
+						keys: *keys, readFrac: *readFrac, zipfS: *zipfS,
+						scanFrac: *scanFrac, scanSpan: *scanSpan,
+						rate: *rate, cancelFrac: *cancelFrac, deadline: *deadline,
+						seed: *seed,
+					})
+					rec.Results = append(rec.Results, r)
+					missCol := "-"
+					if r.DeadlineAttempts > 0 {
+						missCol = fmt.Sprintf("%.2f", 100*r.MissRate)
+					}
+					fmt.Printf("%-8s %-12s %-10s %7d %10d %10.0f %7s %8.1f %8.1f %7.1f %7.3f\n",
+						r.Dist, r.Lock, r.Backend, r.Stripes, r.Ops, r.OpsPerSec, missCol,
+						r.P50Micros, r.P99Micros, r.MeanLWSS, r.MeanGini)
 				}
-				fmt.Printf("%-8s %-12s %8d %10d %10.0f %8s %9.1f %9.1f %9.3f\n",
-					r.Dist, r.Lock, r.Stripes, r.Ops, r.OpsPerSec, missCol,
-					r.MeanLWSS, r.MaxLWSS, r.MeanGini)
 			}
 		}
 	}
@@ -190,15 +252,34 @@ func main() {
 	}
 }
 
+// printRegistries renders both registries' canonical names with their
+// Summary lines: the two-registry design on one screen — pick your lock,
+// pick your backend.
+func printRegistries(w *os.File) {
+	fmt.Fprintln(w, "locks (-lock; see lock.New for parameters):")
+	for _, name := range lock.Names() {
+		reg, _ := lock.Lookup(name)
+		fmt.Fprintf(w, "  %-11s %s\n", name, reg.Summary)
+	}
+	fmt.Fprintln(w, "backends (-backend; see store.New for parameters):")
+	for _, name := range store.Names() {
+		reg, _ := store.Lookup(name)
+		fmt.Fprintf(w, "  %-11s %s\n", name, reg.Summary)
+	}
+}
+
 type cellConfig struct {
 	dist       string
 	spec       string
+	backend    string
 	stripes    int
 	threads    int
 	duration   time.Duration
 	keys       int
 	readFrac   float64
 	zipfS      float64
+	scanFrac   float64
+	scanSpan   int
 	rate       float64
 	cancelFrac float64
 	deadline   time.Duration
@@ -216,11 +297,12 @@ func runCell(c cellConfig) result {
 		hcap = 1 << 14
 	}
 	m := shard.MustNew(shard.Config{
-		Stripes:    c.stripes,
-		LockSpec:   c.spec,
-		Seed:       c.seed,
-		Capacity:   c.keys,
-		HistoryCap: hcap,
+		Stripes:     c.stripes,
+		LockSpec:    c.spec,
+		BackendSpec: c.backend,
+		Seed:        c.seed,
+		Capacity:    c.keys,
+		HistoryCap:  hcap,
 	})
 	// Preload the keyspace so Gets hit and Puts update in place; the
 	// measured interval then exercises steady-state traffic, not growth.
@@ -229,7 +311,10 @@ func runCell(c cellConfig) result {
 	}
 
 	var stop atomic.Bool
-	var ops, attempts, misses atomic.Int64
+	var ops, scans, attempts, misses atomic.Int64
+	// Per-worker latency logs, merged after the run: no shared state on
+	// the measurement path.
+	lats := make([][]int64, c.threads)
 	var wg sync.WaitGroup
 	perWorkerRate := c.rate / float64(c.threads)
 	for g := 0; g < c.threads; g++ {
@@ -248,6 +333,8 @@ func runCell(c cellConfig) result {
 				return uint64(rng.Intn(c.keys))
 			}
 			base := shard.WithClientID(context.Background(), id)
+			log := make([]int64, 0, 1<<16)
+			defer func() { lats[id] = log }()
 			// Open loop: a Poisson schedule this worker must keep up with.
 			next := time.Now()
 			interval := func() time.Duration {
@@ -266,30 +353,39 @@ func runCell(c cellConfig) result {
 					}
 				}
 				key := pick()
+				scan := c.scanFrac > 0 && rng.Float64() < c.scanFrac
 				read := rng.Float64() < c.readFrac
+				issue := func(ctx context.Context) error {
+					switch {
+					case scan:
+						hi := key + uint64(c.scanSpan) - 1
+						return m.ScanContext(ctx, key, hi, func(_, _ uint64) bool { return true })
+					case read:
+						_, _, err := m.GetContext(ctx, key)
+						return err
+					default:
+						_, err := m.PutContext(ctx, key, uint64(id))
+						return err
+					}
+				}
 				var err error
 				if c.cancelFrac > 0 && rng.Float64() < c.cancelFrac {
 					// Deadline measured from scheduled arrival: a worker
 					// behind schedule starts with the budget already burnt.
 					ctx, cancel := context.WithDeadline(base, arrival.Add(c.deadline))
 					attempts.Add(1)
-					if read {
-						_, _, err = m.GetContext(ctx, key)
-					} else {
-						_, err = m.PutContext(ctx, key, uint64(id))
-					}
+					err = issue(ctx)
 					cancel()
 					if err != nil {
 						misses.Add(1)
 						continue
 					}
-				} else if read {
-					_, _, err = m.GetContext(base, key)
-				} else {
-					_, err = m.PutContext(base, key, uint64(id))
+				} else if err = issue(base); err != nil {
+					panic(err) // uncancellable contexts cannot fail (scans were validated ordered)
 				}
-				if err != nil {
-					panic(err) // uncancellable contexts cannot fail
+				log = append(log, int64(time.Since(arrival)))
+				if scan {
+					scans.Add(1)
 				}
 				ops.Add(1)
 			}
@@ -303,12 +399,20 @@ func runCell(c cellConfig) result {
 	r := result{
 		Dist:      c.dist,
 		Lock:      c.spec,
+		Backend:   c.backend,
 		Stripes:   m.Stripes(),
 		Threads:   c.threads,
 		Duration:  c.duration.Seconds(),
 		Ops:       int(ops.Load()),
 		OpsPerSec: float64(ops.Load()) / c.duration.Seconds(),
+		Scans:     int(scans.Load()),
 	}
+	var merged []int64
+	for _, log := range lats {
+		merged = append(merged, log...)
+	}
+	r.P50Micros = percentileMicros(merged, 0.50)
+	r.P99Micros = percentileMicros(merged, 0.99)
 	if n := attempts.Load(); n > 0 {
 		// Guarded: the rate is computed only from a nonzero attempt count,
 		// so the JSON can never carry a NaN (encoding/json rejects them).
@@ -349,6 +453,19 @@ func runCell(c cellConfig) result {
 		"abandons":     snap.Lock.Abandons,
 	}
 	return r
+}
+
+// percentileMicros returns the q-quantile of the nanosecond samples, in
+// microseconds, by nearest-rank over the sorted samples. 0 when there
+// are no samples — never NaN, for the same JSON-encode reason as the
+// miss rate.
+func percentileMicros(ns []int64, q float64) float64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	idx := int(q*float64(len(ns)-1) + 0.5)
+	return float64(ns[idx]) / 1e3
 }
 
 // sleepUntil sleeps toward t in short slices, abandoning the wait when

@@ -13,12 +13,18 @@
 //     drops by the stripe count on uniform traffic, and the per-stripe
 //     snapshot shows exactly which stripes still run hot under skew.
 //
-// The per-stripe admission policy is runtime configuration (a registry
-// spec), so the same service can serve a stripe with a Malthusian lock
-// where collapse threatens and a plain TAS where it does not.
+// Both per-stripe policies are runtime configuration — two registries,
+// one API: the *lock spec* picks the admission policy (a Malthusian lock
+// where collapse threatens, a plain TAS where it does not), and the
+// *backend spec* picks the data structure serving the stripe (the
+// hashmap for pure point traffic, an ordered skiplist/rbtree when the
+// service must answer range queries). With an ordered backend the demo
+// finishes with a cross-stripe Scan: the keys come back in global key
+// order even though they are hash-scattered over the stripes.
 //
 //	go run ./examples/shardsvc
 //	go run ./examples/shardsvc 'lifocr?fairness=100'
+//	go run ./examples/shardsvc 'mcscr-stp?fairness=1000' 'skiplist?seed=7'
 package main
 
 import (
@@ -43,24 +49,29 @@ const (
 
 func main() {
 	spec := "mcscr-stp?fairness=1000"
+	backend := "hashmap"
 	if len(os.Args) > 1 {
 		spec = os.Args[1]
 	}
+	if len(os.Args) > 2 {
+		backend = os.Args[2]
+	}
 	for _, stripes := range []int{1, 16} {
-		serve(spec, stripes)
+		serve(spec, backend, stripes)
 	}
 	fmt.Println("Same traffic, same admission policy — sharding moves the service")
 	fmt.Println("from one collapse-prone queue to many lightly loaded ones, and the")
 	fmt.Println("per-stripe snapshot is where a hot stripe would show itself.")
 }
 
-func serve(spec string, stripes int) {
+func serve(spec, backend string, stripes int) {
 	m, err := shard.New(shard.Config{
-		Stripes:    stripes,
-		LockSpec:   spec,
-		Capacity:   keyspace,
-		HistoryCap: 1 << 16,
-		Seed:       1,
+		Stripes:     stripes,
+		LockSpec:    spec,
+		BackendSpec: backend,
+		Capacity:    keyspace,
+		HistoryCap:  1 << 16,
+		Seed:        1,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -103,7 +114,7 @@ func serve(spec string, stripes int) {
 	wg.Wait()
 
 	snap := m.Snapshot()
-	fmt.Printf("stripes=%-3d lock=%s\n", m.Stripes(), spec)
+	fmt.Printf("stripes=%-3d lock=%s backend=%s\n", m.Stripes(), spec, backend)
 	fmt.Printf("  served=%d missed=%d (deadline %v)\n", ok.Load(), missed.Load(), deadline)
 	fmt.Printf("  lock events: acquires=%d parks=%d cancels=%d culls=%d promotions=%d\n",
 		snap.Lock.Acquires, snap.Lock.Parks, snap.Lock.Cancels, snap.Lock.Culls, snap.Lock.Promotions)
@@ -125,6 +136,23 @@ func serve(spec string, stripes int) {
 		}
 		fmt.Printf("  stripe %2d: admissions=%-8d LWSS=%.1f Gini=%.3f keys=%d\n",
 			s.Index, s.Fairness.Admissions, s.Fairness.AvgLWSS, s.Fairness.Gini, s.Len)
+	}
+	if m.Ordered() {
+		// Range queries are what an ordered backend buys: the smallest
+		// keys of the whole service, merged across stripes into global
+		// key order even though they are hash-scattered, and still under
+		// the same deadline machinery as every other op.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+		defer cancel()
+		var first []uint64
+		if err := m.ScanContext(ctx, 0, keyspace-1, func(k, _ uint64) bool {
+			first = append(first, k)
+			return len(first) < 5
+		}); err != nil {
+			fmt.Printf("  ordered scan: %v\n", err)
+		} else {
+			fmt.Printf("  ordered scan, smallest keys: %v\n", first)
+		}
 	}
 	fmt.Println()
 }

@@ -1,0 +1,282 @@
+package rbtree
+
+// Plain is the service-grade variant of Tree: the same left-leaning
+// red-black tree, minus the simulator instrumentation (no Touch callback,
+// no virtual addresses), following the hashmap.Plain precedent. Each
+// descent step is a bare pointer chase, which matters when the tree sits
+// inside a lock-guarded stripe on a real request path (package shard via
+// package store).
+//
+// Beyond the Tree operations it serves the ordered-read contract a store
+// backend needs: Put reports whether the key was new, and Min / Scan /
+// Range expose the key order the tree maintains anyway.
+//
+// Like Tree, Plain is not safe for concurrent use: the caller's lock —
+// in the sharded store, the stripe's registry-built lock — provides
+// mutual exclusion.
+type Plain struct {
+	root *pnode
+	size int
+}
+
+type pnode struct {
+	key, val    uint64
+	left, right *pnode
+	color       bool
+}
+
+// NewPlain returns an empty tree.
+func NewPlain() *Plain { return &Plain{} }
+
+// Len returns the number of keys.
+func (t *Plain) Len() int { return t.size }
+
+func pIsRed(n *pnode) bool { return n != nil && n.color == red }
+
+func pRotateLeft(h *pnode) *pnode {
+	x := h.right
+	h.right = x.left
+	x.left = h
+	x.color = h.color
+	h.color = red
+	return x
+}
+
+func pRotateRight(h *pnode) *pnode {
+	x := h.left
+	h.left = x.right
+	x.right = h
+	x.color = h.color
+	h.color = red
+	return x
+}
+
+func pFlipColors(h *pnode) {
+	h.color = !h.color
+	h.left.color = !h.left.color
+	h.right.color = !h.right.color
+}
+
+// Get returns the value for key and whether it was present.
+func (t *Plain) Get(key uint64) (uint64, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	return 0, false
+}
+
+// Put inserts or updates key. It reports whether the key was new.
+func (t *Plain) Put(key, val uint64) bool {
+	before := t.size
+	t.root = t.insert(t.root, key, val)
+	t.root.color = black
+	return t.size != before
+}
+
+func (t *Plain) insert(h *pnode, key, val uint64) *pnode {
+	if h == nil {
+		t.size++
+		return &pnode{key: key, val: val, color: red}
+	}
+	switch {
+	case key < h.key:
+		h.left = t.insert(h.left, key, val)
+	case key > h.key:
+		h.right = t.insert(h.right, key, val)
+	default:
+		h.val = val
+	}
+	if pIsRed(h.right) && !pIsRed(h.left) {
+		h = pRotateLeft(h)
+	}
+	if pIsRed(h.left) && pIsRed(h.left.left) {
+		h = pRotateRight(h)
+	}
+	if pIsRed(h.left) && pIsRed(h.right) {
+		pFlipColors(h)
+	}
+	return h
+}
+
+// Delete removes key; it reports whether the key was present.
+func (t *Plain) Delete(key uint64) bool {
+	if _, ok := t.Get(key); !ok {
+		return false
+	}
+	if !pIsRed(t.root.left) && !pIsRed(t.root.right) {
+		t.root.color = red
+	}
+	t.root = t.delete(t.root, key)
+	if t.root != nil {
+		t.root.color = black
+	}
+	t.size--
+	return true
+}
+
+func pMoveRedLeft(h *pnode) *pnode {
+	pFlipColors(h)
+	if pIsRed(h.right.left) {
+		h.right = pRotateRight(h.right)
+		h = pRotateLeft(h)
+		pFlipColors(h)
+	}
+	return h
+}
+
+func pMoveRedRight(h *pnode) *pnode {
+	pFlipColors(h)
+	if pIsRed(h.left.left) {
+		h = pRotateRight(h)
+		pFlipColors(h)
+	}
+	return h
+}
+
+func pFixUp(h *pnode) *pnode {
+	if pIsRed(h.right) {
+		h = pRotateLeft(h)
+	}
+	if pIsRed(h.left) && pIsRed(h.left.left) {
+		h = pRotateRight(h)
+	}
+	if pIsRed(h.left) && pIsRed(h.right) {
+		pFlipColors(h)
+	}
+	return h
+}
+
+func pMinNode(h *pnode) *pnode {
+	for h.left != nil {
+		h = h.left
+	}
+	return h
+}
+
+func (t *Plain) deleteMin(h *pnode) *pnode {
+	if h.left == nil {
+		return nil
+	}
+	if !pIsRed(h.left) && !pIsRed(h.left.left) {
+		h = pMoveRedLeft(h)
+	}
+	h.left = t.deleteMin(h.left)
+	return pFixUp(h)
+}
+
+func (t *Plain) delete(h *pnode, key uint64) *pnode {
+	if key < h.key {
+		if !pIsRed(h.left) && !pIsRed(h.left.left) {
+			h = pMoveRedLeft(h)
+		}
+		h.left = t.delete(h.left, key)
+	} else {
+		if pIsRed(h.left) {
+			h = pRotateRight(h)
+		}
+		if key == h.key && h.right == nil {
+			return nil
+		}
+		if !pIsRed(h.right) && !pIsRed(h.right.left) {
+			h = pMoveRedRight(h)
+		}
+		if key == h.key {
+			m := pMinNode(h.right)
+			h.key, h.val = m.key, m.val
+			h.right = t.deleteMin(h.right)
+		} else {
+			h.right = t.delete(h.right, key)
+		}
+	}
+	return pFixUp(h)
+}
+
+// Min returns the smallest key, or ok=false when empty.
+func (t *Plain) Min() (key uint64, ok bool) {
+	if t.root == nil {
+		return 0, false
+	}
+	return pMinNode(t.root).key, true
+}
+
+// Scan calls fn for every pair with lo <= key <= hi, in ascending key
+// order, until fn returns false. Bounds are inclusive, so the full
+// domain is Scan(0, ^uint64(0), fn). The tree must not be mutated during
+// the walk.
+func (t *Plain) Scan(lo, hi uint64, fn func(key, val uint64) bool) {
+	t.scan(t.root, lo, hi, fn)
+}
+
+// scan is a bounded in-order traversal; it reports whether to keep going
+// (fn has not returned false).
+func (t *Plain) scan(n *pnode, lo, hi uint64, fn func(key, val uint64) bool) bool {
+	if n == nil {
+		return true
+	}
+	if lo < n.key {
+		if !t.scan(n.left, lo, hi, fn) {
+			return false
+		}
+	}
+	if lo <= n.key && n.key <= hi {
+		if !fn(n.key, n.val) {
+			return false
+		}
+	}
+	if hi > n.key {
+		return t.scan(n.right, lo, hi, fn)
+	}
+	return true
+}
+
+// Range calls fn for every key/value pair until fn returns false. Unlike
+// a hash table's Range, the iteration order is ascending key order.
+func (t *Plain) Range(fn func(key, val uint64) bool) {
+	t.Scan(0, ^uint64(0), fn)
+}
+
+// CheckInvariants verifies BST order, no red right links, no double red
+// left links, uniform black height, and the size count. For tests.
+func (t *Plain) CheckInvariants() bool {
+	if pIsRed(t.root) {
+		return false
+	}
+	bh := -1
+	n := 0
+	var walk func(x *pnode, min, max uint64, blacks int) bool
+	walk = func(x *pnode, min, max uint64, blacks int) bool {
+		if x == nil {
+			if bh == -1 {
+				bh = blacks
+			}
+			return bh == blacks
+		}
+		n++
+		if x.key < min || x.key > max {
+			return false
+		}
+		if pIsRed(x.right) {
+			return false
+		}
+		if pIsRed(x) && pIsRed(x.left) {
+			return false
+		}
+		if !pIsRed(x) {
+			blacks++
+		}
+		lmax := x.key
+		if lmax > 0 {
+			lmax--
+		}
+		return walk(x.left, min, lmax, blacks) && walk(x.right, x.key+1, max, blacks)
+	}
+	return walk(t.root, 0, ^uint64(0), 0) && n == t.size
+}

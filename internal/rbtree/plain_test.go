@@ -1,0 +1,97 @@
+package rbtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPlainOrderedOps(t *testing.T) {
+	tr := NewPlain()
+	rng := rand.New(rand.NewSource(1))
+	present := map[uint64]uint64{}
+	for i := 0; i < 5000; i++ {
+		k := uint64(rng.Intn(2000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := rng.Uint64()
+			_, had := present[k]
+			if fresh := tr.Put(k, v); fresh == had {
+				t.Fatalf("Put(%d) fresh=%v, had=%v", k, fresh, had)
+			}
+			present[k] = v
+		case 2:
+			_, had := present[k]
+			if got := tr.Delete(k); got != had {
+				t.Fatalf("Delete(%d)=%v, had=%v", k, got, had)
+			}
+			delete(present, k)
+		}
+		if i%512 == 0 && !tr.CheckInvariants() {
+			t.Fatalf("invariants violated at op %d", i)
+		}
+	}
+	if tr.Len() != len(present) {
+		t.Fatalf("Len=%d want %d", tr.Len(), len(present))
+	}
+	if !tr.CheckInvariants() {
+		t.Fatal("final invariants violated")
+	}
+	var last uint64
+	first := true
+	n := 0
+	tr.Range(func(k, v uint64) bool {
+		if !first && k <= last {
+			t.Fatalf("Range not ascending: %d after %d", k, last)
+		}
+		if present[k] != v {
+			t.Fatalf("Range yielded %d=%d, want %d", k, v, present[k])
+		}
+		last, first = k, false
+		n++
+		return true
+	})
+	if n != len(present) {
+		t.Fatalf("Range yielded %d pairs want %d", n, len(present))
+	}
+}
+
+func TestPlainScanBounds(t *testing.T) {
+	tr := NewPlain()
+	for _, k := range []uint64{0, 5, 10, 15, ^uint64(0)} {
+		tr.Put(k, k*2)
+	}
+	collect := func(lo, hi uint64) []uint64 {
+		var out []uint64
+		tr.Scan(lo, hi, func(k, _ uint64) bool { out = append(out, k); return true })
+		return out
+	}
+	for _, tc := range []struct {
+		lo, hi uint64
+		want   []uint64
+	}{
+		{5, 10, []uint64{5, 10}},
+		{6, 9, nil},
+		{0, 0, []uint64{0}},
+		{16, ^uint64(0), []uint64{^uint64(0)}},
+		{0, ^uint64(0), []uint64{0, 5, 10, 15, ^uint64(0)}},
+	} {
+		got := collect(tc.lo, tc.hi)
+		if len(got) != len(tc.want) {
+			t.Fatalf("Scan[%d,%d] = %v want %v", tc.lo, tc.hi, got, tc.want)
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Fatalf("Scan[%d,%d] = %v want %v", tc.lo, tc.hi, got, tc.want)
+			}
+		}
+	}
+	// Early stop.
+	n := 0
+	tr.Scan(0, ^uint64(0), func(_, _ uint64) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Scan visited %d pairs after immediate stop", n)
+	}
+	if k, ok := tr.Min(); !ok || k != 0 {
+		t.Fatalf("Min=%d,%v want 0,true", k, ok)
+	}
+}

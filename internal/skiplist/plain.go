@@ -1,0 +1,169 @@
+package skiplist
+
+import "repro/internal/xrand"
+
+// Plain is the service-grade variant of List: the same probabilistic
+// tower structure, minus the simulator instrumentation (no Touch
+// callback, no virtual addresses), following the hashmap.Plain
+// precedent. Each traversal step is a bare pointer chase, which matters
+// when the list sits inside a lock-guarded stripe on a real request path
+// (package shard via package store).
+//
+// Beyond the List operations it serves the ordered-read contract a
+// store backend needs: Put reports whether the key was new, and Min /
+// Scan / Range expose the key order the tower structure maintains
+// anyway.
+//
+// Like List, Plain is not safe for concurrent use: the caller's lock —
+// in the sharded store, the stripe's registry-built lock — provides
+// mutual exclusion.
+type Plain struct {
+	head   plainNode
+	height int
+	size   int
+	rng    xrand.State
+}
+
+type plainNode struct {
+	key, val uint64
+	next     [maxHeight]*plainNode
+	height   int
+}
+
+// NewPlain returns an empty list whose tower heights are drawn from a
+// generator seeded with seed (deterministic structure for a given insert
+// sequence).
+func NewPlain(seed uint64) *Plain {
+	l := &Plain{height: 1}
+	l.head.height = maxHeight
+	l.rng.Seed(seed)
+	return l
+}
+
+// Len returns the number of keys present.
+func (l *Plain) Len() int { return l.size }
+
+// findGE locates the first node with key >= key and fills prev with the
+// predecessors at each level.
+func (l *Plain) findGE(key uint64, prev *[maxHeight]*plainNode) *plainNode {
+	x := &l.head
+	for lvl := l.height - 1; lvl >= 0; lvl-- {
+		for x.next[lvl] != nil && x.next[lvl].key < key {
+			x = x.next[lvl]
+		}
+		if prev != nil {
+			prev[lvl] = x
+		}
+	}
+	return x.next[0]
+}
+
+// Get returns the value for key and whether it was present.
+func (l *Plain) Get(key uint64) (uint64, bool) {
+	n := l.findGE(key, nil)
+	if n != nil && n.key == key {
+		return n.val, true
+	}
+	return 0, false
+}
+
+// Put inserts or updates key. It reports whether the key was new.
+func (l *Plain) Put(key, val uint64) bool {
+	var prev [maxHeight]*plainNode
+	n := l.findGE(key, &prev)
+	if n != nil && n.key == key {
+		n.val = val
+		return false
+	}
+	h := 1
+	for h < maxHeight && l.rng.Bernoulli(4) {
+		h++
+	}
+	if h > l.height {
+		for lvl := l.height; lvl < h; lvl++ {
+			prev[lvl] = &l.head
+		}
+		l.height = h
+	}
+	nn := &plainNode{key: key, val: val, height: h}
+	for lvl := 0; lvl < h; lvl++ {
+		nn.next[lvl] = prev[lvl].next[lvl]
+		prev[lvl].next[lvl] = nn
+	}
+	l.size++
+	return true
+}
+
+// Delete removes key; it reports whether the key was present.
+func (l *Plain) Delete(key uint64) bool {
+	var prev [maxHeight]*plainNode
+	n := l.findGE(key, &prev)
+	if n == nil || n.key != key {
+		return false
+	}
+	for lvl := 0; lvl < n.height; lvl++ {
+		if prev[lvl].next[lvl] == n {
+			prev[lvl].next[lvl] = n.next[lvl]
+		}
+	}
+	l.size--
+	return true
+}
+
+// Min returns the smallest key, or ok=false when empty.
+func (l *Plain) Min() (key uint64, ok bool) {
+	n := l.head.next[0]
+	if n == nil {
+		return 0, false
+	}
+	return n.key, true
+}
+
+// Scan calls fn for every pair with lo <= key <= hi, in ascending key
+// order, until fn returns false. Bounds are inclusive, so the full
+// domain is Scan(0, ^uint64(0), fn). The list must not be mutated during
+// the walk.
+func (l *Plain) Scan(lo, hi uint64, fn func(key, val uint64) bool) {
+	for n := l.findGE(lo, nil); n != nil && n.key <= hi; n = n.next[0] {
+		if !fn(n.key, n.val) {
+			return
+		}
+	}
+}
+
+// Range calls fn for every key/value pair until fn returns false. Unlike
+// a hash table's Range, the iteration order is ascending key order.
+func (l *Plain) Range(fn func(key, val uint64) bool) {
+	l.Scan(0, ^uint64(0), fn)
+}
+
+// CheckInvariants verifies level-0 strict ordering, the size count, and
+// that each higher level is a subsequence of level 0. For tests.
+func (l *Plain) CheckInvariants() bool {
+	seen := map[uint64]bool{}
+	n := 0
+	for x := l.head.next[0]; x != nil; x = x.next[0] {
+		if x.next[0] != nil && x.next[0].key <= x.key {
+			return false
+		}
+		seen[x.key] = true
+		n++
+	}
+	if n != l.size {
+		return false
+	}
+	for lvl := 1; lvl < l.height; lvl++ {
+		prev := uint64(0)
+		first := true
+		for x := l.head.next[lvl]; x != nil; x = x.next[lvl] {
+			if !seen[x.key] {
+				return false
+			}
+			if !first && x.key <= prev {
+				return false
+			}
+			prev, first = x.key, false
+		}
+	}
+	return true
+}

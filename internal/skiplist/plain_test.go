@@ -1,0 +1,120 @@
+package skiplist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPlainOrderedOps(t *testing.T) {
+	l := NewPlain(7)
+	rng := rand.New(rand.NewSource(1))
+	present := map[uint64]uint64{}
+	for i := 0; i < 5000; i++ {
+		k := uint64(rng.Intn(2000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := rng.Uint64()
+			_, had := present[k]
+			if fresh := l.Put(k, v); fresh == had {
+				t.Fatalf("Put(%d) fresh=%v, had=%v", k, fresh, had)
+			}
+			present[k] = v
+		case 2:
+			_, had := present[k]
+			if got := l.Delete(k); got != had {
+				t.Fatalf("Delete(%d)=%v, had=%v", k, got, had)
+			}
+			delete(present, k)
+		}
+	}
+	if l.Len() != len(present) {
+		t.Fatalf("Len=%d want %d", l.Len(), len(present))
+	}
+	if !l.CheckInvariants() {
+		t.Fatal("invariants violated")
+	}
+	// Scan yields ascending keys with the model's values.
+	var last uint64
+	first := true
+	n := 0
+	l.Scan(0, ^uint64(0), func(k, v uint64) bool {
+		if !first && k <= last {
+			t.Fatalf("Scan not ascending: %d after %d", k, last)
+		}
+		if present[k] != v {
+			t.Fatalf("Scan yielded %d=%d, want %d", k, v, present[k])
+		}
+		last, first = k, false
+		n++
+		return true
+	})
+	if n != len(present) {
+		t.Fatalf("Scan yielded %d pairs want %d", n, len(present))
+	}
+	// Min agrees with the first scanned key.
+	if k, ok := l.Min(); len(present) > 0 && (!ok || func() bool {
+		seen := false
+		l.Scan(0, ^uint64(0), func(sk, _ uint64) bool { seen = sk == k; return false })
+		return !seen
+	}()) {
+		t.Fatalf("Min=%d,%v disagrees with Scan head", k, ok)
+	}
+}
+
+// TestPlainDeterministicTowers: two lists with the same seed and insert
+// sequence are structurally identical — the property WithSeed exists for.
+func TestPlainDeterministicTowers(t *testing.T) {
+	a, b := NewPlain(42), NewPlain(42)
+	for i := uint64(0); i < 500; i++ {
+		k := (i * 2654435761) % 1000
+		a.Put(k, i)
+		b.Put(k, i)
+	}
+	if a.height != b.height {
+		t.Fatalf("heights diverge: %d vs %d", a.height, b.height)
+	}
+	for lvl := 0; lvl < a.height; lvl++ {
+		x, y := a.head.next[lvl], b.head.next[lvl]
+		for x != nil && y != nil {
+			if x.key != y.key {
+				t.Fatalf("level %d diverges: %d vs %d", lvl, x.key, y.key)
+			}
+			x, y = x.next[lvl], y.next[lvl]
+		}
+		if x != nil || y != nil {
+			t.Fatalf("level %d lengths diverge", lvl)
+		}
+	}
+}
+
+func TestPlainScanBounds(t *testing.T) {
+	l := NewPlain(1)
+	for _, k := range []uint64{0, 5, 10, 15, ^uint64(0)} {
+		l.Put(k, k)
+	}
+	collect := func(lo, hi uint64) []uint64 {
+		var out []uint64
+		l.Scan(lo, hi, func(k, _ uint64) bool { out = append(out, k); return true })
+		return out
+	}
+	for _, tc := range []struct {
+		lo, hi uint64
+		want   []uint64
+	}{
+		{5, 10, []uint64{5, 10}},               // inclusive both ends
+		{6, 9, nil},                            // empty interior
+		{0, 0, []uint64{0}},                    // key 0 reachable
+		{16, ^uint64(0), []uint64{^uint64(0)}}, // inclusive max key
+		{0, ^uint64(0), []uint64{0, 5, 10, 15, ^uint64(0)}},
+	} {
+		got := collect(tc.lo, tc.hi)
+		if len(got) != len(tc.want) {
+			t.Fatalf("Scan[%d,%d] = %v want %v", tc.lo, tc.hi, got, tc.want)
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Fatalf("Scan[%d,%d] = %v want %v", tc.lo, tc.hi, got, tc.want)
+			}
+		}
+	}
+}

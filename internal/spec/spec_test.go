@@ -1,0 +1,159 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// The families instantiate the machinery with func-typed builders and
+// options; a plain string builder and int option keep these tests about
+// the machinery itself.
+func newTestRegistry() *Registry[string] {
+	r := NewRegistry[string]("fam", "widget")
+	r.Register(Registration[string]{Name: "beta", Aliases: []string{"b"}, Summary: "second", Build: "B"})
+	r.Register(Registration[string]{Name: "alpha", Summary: "first", Build: "A"})
+	return r
+}
+
+func TestRegistryNamesSortedCanonical(t *testing.T) {
+	r := newTestRegistry()
+	got := r.Names()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("Names() = %v, want [alpha beta] (sorted, aliases excluded)", got)
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	r := newTestRegistry()
+	for in, want := range map[string]string{
+		"alpha": "A", "beta": "B", "b": "B", "BETA": "B", " alpha ": "A",
+	} {
+		reg, ok := r.Lookup(in)
+		if !ok || reg.Build != want {
+			t.Fatalf("Lookup(%q) = %+v,%v want Build=%q", in, reg, ok, want)
+		}
+	}
+	if _, ok := r.Lookup("gamma"); ok {
+		t.Fatal("Lookup of an unregistered name succeeded")
+	}
+}
+
+func TestRegistryResolve(t *testing.T) {
+	r := newTestRegistry()
+	reg, query, err := r.Resolve("beta?k=1&j=2")
+	if err != nil || reg.Name != "beta" || query != "k=1&j=2" {
+		t.Fatalf("Resolve = %+v,%q,%v", reg, query, err)
+	}
+	if _, _, err := r.Resolve("alpha"); err != nil {
+		t.Fatalf("Resolve without query: %v", err)
+	}
+	_, _, err = r.Resolve("gamma?k=1")
+	if err == nil {
+		t.Fatal("Resolve of an unknown name succeeded")
+	}
+	// The error names the family's package and noun and enumerates the
+	// known names — the message doubles as discovery.
+	for _, sub := range []string{"fam: unknown widget", `"gamma"`, "known widgets: alpha, beta"} {
+		if !strings.Contains(err.Error(), sub) {
+			t.Errorf("Resolve error %q does not mention %q", err, sub)
+		}
+	}
+}
+
+func TestRegistryCollisionPanics(t *testing.T) {
+	r := newTestRegistry()
+	for _, name := range []string{"alpha", "ALPHA", "b"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%q) did not panic on collision", name)
+				}
+			}()
+			r.Register(Registration[string]{Name: name, Build: "X"})
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Register with empty name did not panic")
+			}
+		}()
+		r.Register(Registration[string]{Build: "X"})
+	}()
+}
+
+func newTestGrammar() *Grammar[int] {
+	return NewGrammar[int]("fam", map[string]ParamFunc[int]{
+		"n": func(v string) (int, error) { return NonNegInt(v) },
+		"p": func(v string) (int, error) { return PosInt(v) },
+	})
+}
+
+func TestGrammarParse(t *testing.T) {
+	g := newTestGrammar()
+	opts, err := g.Parse("alpha?n=3&p=1", "n=3&p=1")
+	if err != nil || len(opts) != 2 {
+		t.Fatalf("Parse = %v,%v", opts, err)
+	}
+	// Keys are processed in sorted order, so option order is n then p.
+	if opts[0] != 3 || opts[1] != 1 {
+		t.Fatalf("Parse options = %v want [3 1]", opts)
+	}
+	if opts, err := g.Parse("alpha", ""); err != nil || opts != nil {
+		t.Fatalf("Parse of empty query = %v,%v", opts, err)
+	}
+	if g.Valid() != "n, p" {
+		t.Fatalf("Valid() = %q", g.Valid())
+	}
+}
+
+func TestGrammarErrors(t *testing.T) {
+	g := newTestGrammar()
+	for query, wantSub := range map[string]string{
+		"z=1":     `unknown parameter "z" (valid: n, p)`,
+		"n=x":     `bad value "x" for "n": want a non-negative integer`,
+		"n=-1":    "bad value",
+		"p=0":     "want a positive integer",
+		"n=1&n=2": `parameter "n" given 2 times`,
+		"n=%zz":   "malformed parameters",
+	} {
+		_, err := g.Parse("alpha?"+query, query)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted a malformed query", query)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("Parse(%q) error %q does not mention %q", query, err, wantSub)
+		}
+		// Every error quotes the full original spec.
+		if !strings.Contains(err.Error(), `"alpha?`+query+`"`) {
+			t.Errorf("Parse(%q) error %q does not quote the spec", query, err)
+		}
+	}
+	// With two bad keys the reported one is deterministic (sorted order).
+	_, err := g.Parse("alpha?z=1&a=1", "z=1&a=1")
+	if err == nil || !strings.Contains(err.Error(), `unknown parameter "a"`) {
+		t.Errorf("multi-error selection not deterministic: %v", err)
+	}
+}
+
+func TestValueParsers(t *testing.T) {
+	if n, err := Uint("42"); err != nil || n != 42 {
+		t.Fatalf("Uint = %d,%v", n, err)
+	}
+	if _, err := Uint("-1"); err == nil {
+		t.Fatal("Uint accepted a negative")
+	}
+	if b, err := Bool("true"); err != nil || !b {
+		t.Fatalf("Bool = %v,%v", b, err)
+	}
+	if _, err := Bool("perhaps"); err == nil {
+		t.Fatal("Bool accepted garbage")
+	}
+	if n, err := NonNegInt("0"); err != nil || n != 0 {
+		t.Fatalf("NonNegInt(0) = %d,%v", n, err)
+	}
+	if n, err := PosInt("1"); err != nil || n != 1 {
+		t.Fatalf("PosInt(1) = %d,%v", n, err)
+	}
+}

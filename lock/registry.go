@@ -2,13 +2,10 @@ package lock
 
 import (
 	"fmt"
-	"net/url"
-	"sort"
-	"strconv"
 	"strings"
-	"sync"
 
 	"repro/internal/core"
+	"repro/internal/spec"
 )
 
 // Instrumented is satisfied by every lock that maintains the CR event
@@ -17,30 +14,20 @@ type Instrumented interface {
 	Stats() core.Snapshot
 }
 
-// Builder constructs a lock from construction options.
+// Builder constructs a lock from construction options. For
+// policy-suffixed names ("-s"/"-stp") the builder appends its wait policy
+// after the caller's options, so the name always wins over a conflicting
+// wait= parameter.
 type Builder func(opts ...Option) Mutex
 
 // Registration describes one lock implementation to the registry. Each
 // lock file self-registers in its init, so the registry — not any
 // consumer — is the single enumeration of lock names in the module.
-type Registration struct {
-	// Name is the canonical spec name, lower-case (e.g. "mcscr-stp").
-	Name string
-	// Aliases resolve in New but are not listed by Names (e.g. "mcscr").
-	Aliases []string
-	// Summary is a one-line human description for -help style listings.
-	Summary string
-	// Build constructs the lock. For policy-suffixed names ("-s"/"-stp")
-	// the builder appends its wait policy after the caller's options, so
-	// the name always wins over a conflicting wait= parameter.
-	Build Builder
-}
+// The machinery (aliases, sorted Names, spec resolution) is the generic
+// internal/spec registry; only the Builder shape is lock-specific.
+type Registration = spec.Registration[Builder]
 
-var registry = struct {
-	sync.RWMutex
-	byName    map[string]Registration // canonical names and aliases
-	canonical []string                // sorted canonical names
-}{byName: make(map[string]Registration)}
+var registry = spec.NewRegistry[Builder]("lock", "lock")
 
 // Register adds a lock implementation to the registry. It panics on an
 // empty name, a nil builder, or a name/alias collision — registration is
@@ -49,35 +36,14 @@ func Register(r Registration) {
 	if r.Name == "" || r.Build == nil {
 		panic("lock: Register with empty name or nil builder")
 	}
-	registry.Lock()
-	defer registry.Unlock()
-	for _, name := range append([]string{r.Name}, r.Aliases...) {
-		name = strings.ToLower(name)
-		if _, dup := registry.byName[name]; dup {
-			panic(fmt.Sprintf("lock: duplicate registration of %q", name))
-		}
-		registry.byName[name] = r
-	}
-	registry.canonical = append(registry.canonical, strings.ToLower(r.Name))
-	sort.Strings(registry.canonical)
+	registry.Register(r)
 }
 
 // Names returns the sorted canonical names of every registered lock.
-func Names() []string {
-	registry.RLock()
-	defer registry.RUnlock()
-	out := make([]string, len(registry.canonical))
-	copy(out, registry.canonical)
-	return out
-}
+func Names() []string { return registry.Names() }
 
 // Lookup resolves a name or alias to its Registration.
-func Lookup(name string) (Registration, bool) {
-	registry.RLock()
-	defer registry.RUnlock()
-	r, ok := registry.byName[strings.ToLower(strings.TrimSpace(name))]
-	return r, ok
-}
+func Lookup(name string) (Registration, bool) { return registry.Lookup(name) }
 
 // New builds a lock from a spec string. A spec is a registered name,
 // optionally followed by URL-style parameters:
@@ -104,17 +70,15 @@ func Lookup(name string) (Registration, bool) {
 // Malformed specs — unknown name, unknown or duplicated parameter, bad
 // value — return a descriptive error and a nil Mutex.
 func New(spec string, opts ...Option) (Mutex, error) {
-	name, query, hasQuery := strings.Cut(spec, "?")
-	reg, ok := Lookup(name)
-	if !ok {
-		return nil, fmt.Errorf("lock: unknown lock %q in spec %q (known locks: %s)",
-			strings.TrimSpace(name), spec, strings.Join(Names(), ", "))
+	reg, query, err := registry.Resolve(spec)
+	if err != nil {
+		return nil, err
 	}
-	if hasQuery {
-		specOpts, err := parseParams(spec, query)
-		if err != nil {
-			return nil, err
-		}
+	specOpts, err := grammar.Parse(spec, query)
+	if err != nil {
+		return nil, err
+	}
+	if len(specOpts) > 0 {
 		opts = append(append([]Option(nil), opts...), specOpts...)
 	}
 	return reg.Build(opts...), nil
@@ -131,79 +95,62 @@ func MustNew(spec string, opts ...Option) Mutex {
 	return m
 }
 
-// specParams enumerates the valid parameter keys, for error messages.
-const specParams = "fairness, spin, seed, wait, patience, arrivals, stats"
+// grammar is the lock parameter table (see New's doc comment for the
+// key-by-key meaning). The generic machinery rejects unknown and
+// duplicated parameters and wraps each parser's error with the spec, key,
+// and offending value.
+var grammar = spec.NewGrammar[Option]("lock", map[string]spec.ParamFunc[Option]{
+	"fairness": func(v string) (Option, error) {
+		n, err := spec.Uint(v)
+		if err != nil {
+			return nil, err
+		}
+		return WithFairnessPeriod(n), nil
+	},
+	"spin": func(v string) (Option, error) {
+		n, err := spec.NonNegInt(v)
+		if err != nil {
+			return nil, err
+		}
+		return WithSpinBudget(n), nil
+	},
+	"seed": func(v string) (Option, error) {
+		n, err := spec.Uint(v)
+		if err != nil {
+			return nil, err
+		}
+		return WithSeed(n), nil
+	},
+	"wait": parseWait,
+	"patience": func(v string) (Option, error) {
+		n, err := spec.PosInt(v)
+		if err != nil {
+			return nil, err
+		}
+		return WithPatience(n), nil
+	},
+	"arrivals": func(v string) (Option, error) {
+		n, err := spec.PosInt(v)
+		if err != nil {
+			return nil, err
+		}
+		return WithArrivalSpins(n), nil
+	},
+	"stats": func(v string) (Option, error) {
+		b, err := spec.Bool(v)
+		if err != nil {
+			return nil, err
+		}
+		return WithStats(b), nil
+	},
+})
 
-func parseParams(spec, query string) ([]Option, error) {
-	values, err := url.ParseQuery(query)
-	if err != nil {
-		return nil, fmt.Errorf("lock: spec %q: malformed parameters: %v", spec, err)
+func parseWait(v string) (Option, error) {
+	switch strings.ToLower(v) {
+	case "s", "spin":
+		return WithWaitPolicy(WaitSpin), nil
+	case "stp", "spinpark", "spin-then-park":
+		return WithWaitPolicy(WaitSpinThenPark), nil
 	}
-	keys := make([]string, 0, len(values))
-	for k := range values {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys) // deterministic error selection
-	var opts []Option
-	for _, k := range keys {
-		vs := values[k]
-		if len(vs) > 1 {
-			return nil, fmt.Errorf("lock: spec %q: parameter %q given %d times", spec, k, len(vs))
-		}
-		v := vs[0]
-		bad := func(err error) error {
-			return fmt.Errorf("lock: spec %q: bad value %q for %q: %v", spec, v, k, err)
-		}
-		switch k {
-		case "fairness":
-			n, err := strconv.ParseUint(v, 10, 64)
-			if err != nil {
-				return nil, bad(err)
-			}
-			opts = append(opts, WithFairnessPeriod(n))
-		case "spin":
-			n, err := strconv.Atoi(v)
-			if err != nil || n < 0 {
-				return nil, bad(fmt.Errorf("want a non-negative integer"))
-			}
-			opts = append(opts, WithSpinBudget(n))
-		case "seed":
-			n, err := strconv.ParseUint(v, 10, 64)
-			if err != nil {
-				return nil, bad(err)
-			}
-			opts = append(opts, WithSeed(n))
-		case "wait":
-			switch strings.ToLower(v) {
-			case "s", "spin":
-				opts = append(opts, WithWaitPolicy(WaitSpin))
-			case "stp", "spinpark", "spin-then-park":
-				opts = append(opts, WithWaitPolicy(WaitSpinThenPark))
-			default:
-				return nil, bad(fmt.Errorf("want s or stp"))
-			}
-		case "patience":
-			n, err := strconv.Atoi(v)
-			if err != nil || n < 1 {
-				return nil, bad(fmt.Errorf("want a positive integer"))
-			}
-			opts = append(opts, WithPatience(n))
-		case "arrivals":
-			n, err := strconv.Atoi(v)
-			if err != nil || n < 1 {
-				return nil, bad(fmt.Errorf("want a positive integer"))
-			}
-			opts = append(opts, WithArrivalSpins(n))
-		case "stats":
-			b, err := strconv.ParseBool(v)
-			if err != nil {
-				return nil, bad(err)
-			}
-			opts = append(opts, WithStats(b))
-		default:
-			return nil, fmt.Errorf("lock: spec %q: unknown parameter %q (valid: %s)",
-				spec, k, specParams)
-		}
-	}
-	return opts, nil
+	return nil, fmt.Errorf("want s or stp")
 }

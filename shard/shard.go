@@ -5,16 +5,24 @@
 // policy — are first-class.
 //
 // A Map is a power-of-two array of stripes. Each stripe is an independent
-// open-addressing hash table (internal/hashmap.Plain) guarded by its own
-// lock built from Config.LockSpec via lock.New, so the admission policy
-// that decides whether a hot stripe collapses or scales ("Malthusian
-// Locks", EuroSys 2017) is runtime configuration, not code:
+// single-threaded table built from Config.BackendSpec via store.New,
+// guarded by its own lock built from Config.LockSpec via lock.New. Both
+// policies — the admission policy that decides whether a hot stripe
+// collapses or scales ("Malthusian Locks", EuroSys 2017), and the data
+// structure that serves it — are runtime configuration, not code:
 //
-//	m, err := shard.New(shard.Config{Stripes: 64, LockSpec: "mcscr-stp?fairness=500"})
+//	m, err := shard.New(shard.Config{
+//		Stripes:     64,
+//		LockSpec:    "mcscr-stp?fairness=500",
+//		BackendSpec: "skiplist",
+//	})
 //
-// Keys are routed by the high bits of the same 64-bit mixer the in-stripe
-// table probes with its low bits, so stripe routing never degrades
-// in-stripe probing.
+// Keys are routed by the high bits of the same 64-bit mixer the hashmap
+// backend probes with its low bits, so stripe routing never degrades
+// in-stripe probing. An ordered backend (store.Ordered: "skiplist",
+// "rbtree") additionally enables Scan/ScanContext — cross-stripe range
+// queries in global key order; with the default "hashmap" backend those
+// return ErrUnordered.
 //
 // # Deadlines
 //
@@ -41,6 +49,7 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/bits"
 
@@ -48,13 +57,21 @@ import (
 	"repro/internal/hashmap"
 	"repro/lock"
 	"repro/metrics"
+	"repro/store"
 )
 
 // Defaults for Config zero values.
 const (
-	DefaultStripes  = 16
-	DefaultLockSpec = "mcscr-stp"
+	DefaultStripes     = 16
+	DefaultLockSpec    = "mcscr-stp"
+	DefaultBackendSpec = "hashmap"
 )
+
+// ErrUnordered is returned by Scan and ScanContext when the configured
+// backend does not maintain key order (it does not satisfy
+// store.Ordered). Pick an ordered backend ("skiplist", "rbtree") to
+// serve range queries.
+var ErrUnordered = errors.New("shard: backend is not ordered")
 
 // Config configures a Map. The zero value is usable: DefaultStripes
 // stripes of DefaultLockSpec locks, no history recording.
@@ -68,13 +85,22 @@ type Config struct {
 	// still work; Snapshot then reports zero lock counters.
 	LockSpec string
 
-	// Seed, when nonzero, seeds each stripe's lock PRNG with a distinct
-	// value derived from it (unless the spec pins seed= itself, which
-	// wins). Zero leaves the locks on their fixed default seeds.
+	// BackendSpec is the registry spec (see store.New) each stripe's
+	// table is built from. Empty means DefaultBackendSpec ("hashmap").
+	// An ordered backend ("skiplist", "rbtree") additionally enables
+	// Scan/ScanContext.
+	BackendSpec string
+
+	// Seed, when nonzero, seeds each stripe's lock and backend PRNGs
+	// with distinct values derived from it (unless a spec pins seed=
+	// itself, which wins). Zero leaves both on their fixed default
+	// seeds.
 	Seed uint64
 
 	// Capacity pre-sizes the map for this many total keys, spread evenly
-	// across stripes. 0 uses the tables' minimum size.
+	// across stripes, where the backend can pre-size at all (the hashmap
+	// backend's slot arrays; the tree and skip-list backends allocate
+	// per key and ignore it). 0 uses the tables' minimum size.
 	Capacity int
 
 	// HistoryCap, when positive, makes each stripe record the admission
@@ -96,11 +122,12 @@ type Config struct {
 // The mutated state lives behind the pointers (each its own allocation),
 // so adjacent stripe headers in the slice share lines harmlessly.
 type stripe struct {
-	mu    lock.ContextMutex
-	stats lock.Instrumented // mu, when it maintains counters; else nil
-	table *hashmap.Plain
-	rec   *metrics.Recorder // nil when history is disabled
-	hcap  int
+	mu      lock.ContextMutex
+	stats   lock.Instrumented // mu, when it maintains counters; else nil
+	table   store.Backend
+	ordered store.Ordered     // table, when it maintains key order; else nil
+	rec     *metrics.Recorder // nil when history is disabled
+	hcap    int
 }
 
 // Map is the sharded store. All methods are safe for concurrent use.
@@ -108,6 +135,7 @@ type Map struct {
 	stripes []stripe
 	shift   uint // stripe index = Mix(key) >> shift
 	window  int
+	backend string // the resolved backend spec, for Scan's error
 }
 
 // New builds a Map from cfg. It fails with a descriptive error when the
@@ -124,6 +152,10 @@ func New(cfg Config) (*Map, error) {
 	if spec == "" {
 		spec = DefaultLockSpec
 	}
+	bspec := cfg.BackendSpec
+	if bspec == "" {
+		bspec = DefaultBackendSpec
+	}
 	window := cfg.HistoryWindow
 	if window <= 0 {
 		window = metrics.DefaultWindow
@@ -136,13 +168,21 @@ func New(cfg Config) (*Map, error) {
 		stripes: make([]stripe, n),
 		shift:   uint(64 - bits.TrailingZeros(uint(n))),
 		window:  window,
+		backend: bspec,
 	}
 	for i := range m.stripes {
 		var opts []lock.Option
+		var bopts []store.Option
+		if perStripe > 0 {
+			bopts = append(bopts, store.WithCapacity(perStripe))
+		}
 		if cfg.Seed != 0 {
-			// Distinct per-stripe seeds so fairness trials do not run in
-			// lockstep across stripes; the spec's seed= overrides.
-			opts = append(opts, lock.WithSeed(cfg.Seed+uint64(i)*0x9e3779b97f4a7c15))
+			// Distinct per-stripe seeds so fairness trials (and skip-list
+			// towers) do not run in lockstep across stripes; a spec's
+			// seed= overrides.
+			derived := cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
+			opts = append(opts, lock.WithSeed(derived))
+			bopts = append(bopts, store.WithSeed(derived))
 		}
 		mtx, err := lock.New(spec, opts...)
 		if err != nil {
@@ -154,10 +194,15 @@ func New(cfg Config) (*Map, error) {
 			// that does not cannot serve deadline-bounded operations.
 			return nil, fmt.Errorf("shard: lock spec %q builds a %T, which is not a lock.ContextMutex", spec, mtx)
 		}
+		table, err := store.New(bspec, bopts...)
+		if err != nil {
+			return nil, fmt.Errorf("shard: stripe table: %w", err)
+		}
 		s := &m.stripes[i]
 		s.mu = cm
 		s.stats, _ = mtx.(lock.Instrumented)
-		s.table = hashmap.NewPlain(perStripe)
+		s.table = table
+		s.ordered, _ = table.(store.Ordered)
 		if cfg.HistoryCap > 0 {
 			// Preallocate the whole (bounded) cap: a growth-copy of a
 			// multi-MB history inside the critical section would charge an
@@ -368,6 +413,113 @@ func (m *Map) rangeStripes(ctx context.Context, fn func(key, val uint64) bool) e
 			if !fn(p.key, p.val) {
 				return nil
 			}
+		}
+	}
+	return nil
+}
+
+// Scan calls fn for every key/value pair with lo <= key <= hi, in
+// ascending global key order, until fn returns false. Bounds are
+// inclusive, so the full domain is Scan(0, ^uint64(0), fn).
+//
+// Scan requires an ordered backend (Config.BackendSpec naming a
+// store.Ordered implementation: "skiplist", "rbtree"); with an unordered
+// backend it returns ErrUnordered without visiting anything. Keys are
+// hash-routed, so every stripe holds an arbitrary subset of [lo, hi]:
+// each stripe's matches are copied out under that stripe's lock (one
+// stripe at a time, like Range), then merged across stripes into global
+// key order before fn sees the first pair. fn therefore runs with no
+// lock held and may call back into the Map, but a Scan buffers all
+// matching pairs — size ranges accordingly. Like every multi-stripe
+// read the result is per-stripe consistent, not a point-in-time
+// snapshot.
+func (m *Map) Scan(lo, hi uint64, fn func(key, val uint64) bool) error {
+	return m.scanStripes(nil, lo, hi, fn)
+}
+
+// ScanContext is Scan with every stripe acquisition bounded by ctx; it
+// returns ctx.Err() from the first stripe whose lock could not be taken
+// in time (fn then sees no pairs at all — the merge happens after every
+// stripe has been visited).
+func (m *Map) ScanContext(ctx context.Context, lo, hi uint64, fn func(key, val uint64) bool) error {
+	return m.scanStripes(ctx, lo, hi, fn)
+}
+
+// Ordered reports whether the configured backend maintains key order,
+// i.e. whether Scan and ScanContext can serve range queries.
+func (m *Map) Ordered() bool { return m.stripes[0].ordered != nil }
+
+// BackendSpec returns the resolved backend spec the stripes were built
+// from.
+func (m *Map) BackendSpec() string { return m.backend }
+
+func (m *Map) scanStripes(ctx context.Context, lo, hi uint64, fn func(key, val uint64) bool) error {
+	if !m.Ordered() {
+		return fmt.Errorf("%w: backend spec %q has no Scan (known ordered backends implement store.Ordered)",
+			ErrUnordered, m.backend)
+	}
+	// Phase 1: per-stripe collection. Each stripe's Scan yields its
+	// matches already in ascending order; they are copied out under the
+	// stripe lock so the merge (and fn) run with no lock held.
+	runs := make([][]kv, 0, len(m.stripes))
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		if err := lockStripe(s, ctx); err != nil {
+			return err
+		}
+		var run []kv
+		s.ordered.Scan(lo, hi, func(k, v uint64) bool {
+			run = append(run, kv{k, v})
+			return true
+		})
+		s.mu.Unlock()
+		if len(run) > 0 {
+			runs = append(runs, run)
+		}
+	}
+	// Phase 2: k-way merge of the sorted runs. Every key lives in exactly
+	// one stripe, so no tie-breaking is needed. A binary heap over the
+	// run heads keeps the merge O(N log S) for S stripes.
+	h := make([]int, len(runs)) // heap of run indices, keyed by head key
+	pos := make([]int, len(runs))
+	for i := range runs {
+		h[i] = i
+	}
+	headKey := func(i int) uint64 { return runs[h[i]][pos[h[i]]].key }
+	less := func(i, j int) bool { return headKey(i) < headKey(j) }
+	var siftDown func(i int)
+	siftDown = func(i int) {
+		for {
+			l, r, min := 2*i+1, 2*i+2, i
+			if l < len(h) && less(l, min) {
+				min = l
+			}
+			if r < len(h) && less(r, min) {
+				min = r
+			}
+			if min == i {
+				return
+			}
+			h[i], h[min] = h[min], h[i]
+			i = min
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for len(h) > 0 {
+		run := h[0]
+		p := runs[run][pos[run]]
+		if !fn(p.key, p.val) {
+			return nil
+		}
+		pos[run]++
+		if pos[run] == len(runs[run]) {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		if len(h) > 0 {
+			siftDown(0)
 		}
 	}
 	return nil

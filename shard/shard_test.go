@@ -2,13 +2,17 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/store"
 )
 
 func TestMain(m *testing.M) {
@@ -339,6 +343,236 @@ func TestDeadlineStormCancels(t *testing.T) {
 			if snap.Lock.Abandons > snap.Lock.Cancels {
 				t.Fatalf("Abandons=%d > Cancels=%d", snap.Lock.Abandons, snap.Lock.Cancels)
 			}
+		})
+	}
+}
+
+func TestBadBackendSpec(t *testing.T) {
+	if _, err := New(Config{BackendSpec: "no-such-backend"}); err == nil {
+		t.Fatal("New with unknown backend spec succeeded")
+	}
+	if _, err := New(Config{BackendSpec: "skiplist?bogus=1"}); err == nil {
+		t.Fatal("New with unknown backend parameter succeeded")
+	}
+}
+
+// TestBackendSweepBasicOps runs the basic operation battery over every
+// registered backend: the Map contract must not depend on which table
+// serves the stripes.
+func TestBackendSweepBasicOps(t *testing.T) {
+	for _, backend := range store.Names() {
+		t.Run(backend, func(t *testing.T) {
+			m := MustNew(Config{Stripes: 8, LockSpec: "tas", BackendSpec: backend, Capacity: 512, Seed: 3})
+			const n = 512
+			for i := uint64(0); i < n; i++ {
+				if !m.Put(i, i*10) {
+					t.Fatalf("Put(%d) reported existing key", i)
+				}
+			}
+			if m.Len() != n {
+				t.Fatalf("Len=%d want %d", m.Len(), n)
+			}
+			for i := uint64(0); i < n; i++ {
+				if v, ok := m.Get(i); !ok || v != i*10 {
+					t.Fatalf("Get(%d)=%d,%v", i, v, ok)
+				}
+			}
+			seen := 0
+			m.Range(func(k, v uint64) bool { seen++; return true })
+			if seen != n {
+				t.Fatalf("Range visited %d pairs want %d", seen, n)
+			}
+			for i := uint64(0); i < n; i += 2 {
+				if !m.Delete(i) {
+					t.Fatalf("Delete(%d) missed", i)
+				}
+			}
+			if m.Len() != n/2 {
+				t.Fatalf("Len=%d want %d", m.Len(), n/2)
+			}
+		})
+	}
+}
+
+// TestScanUnordered pins the clean failure mode: the default hashmap
+// backend cannot serve range queries, and says so without visiting
+// anything.
+func TestScanUnordered(t *testing.T) {
+	m := MustNew(Config{Stripes: 4, LockSpec: "tas"}) // default backend: hashmap
+	if m.Ordered() {
+		t.Fatal("hashmap-backed map claims Ordered")
+	}
+	visited := false
+	err := m.Scan(0, ^uint64(0), func(_, _ uint64) bool { visited = true; return true })
+	if !errors.Is(err, ErrUnordered) {
+		t.Fatalf("Scan on unordered backend: err=%v want ErrUnordered", err)
+	}
+	if visited {
+		t.Fatal("Scan on unordered backend visited pairs")
+	}
+	if err := m.ScanContext(context.Background(), 0, 1, nil); !errors.Is(err, ErrUnordered) {
+		t.Fatalf("ScanContext on unordered backend: err=%v", err)
+	}
+}
+
+// TestScanOrdered checks cross-stripe merged scans against a model for
+// both ordered backends: global ascending order, inclusive bounds, and
+// early stop.
+func TestScanOrdered(t *testing.T) {
+	for _, backend := range []string{"skiplist", "rbtree"} {
+		t.Run(backend, func(t *testing.T) {
+			m := MustNew(Config{Stripes: 8, LockSpec: "tas", BackendSpec: backend, Seed: 5})
+			if !m.Ordered() {
+				t.Fatalf("%s-backed map does not claim Ordered", backend)
+			}
+			rng := rand.New(rand.NewSource(11))
+			model := map[uint64]uint64{}
+			for i := 0; i < 4000; i++ {
+				k := rng.Uint64() >> uint(rng.Intn(64)) // all magnitudes
+				model[k] = k * 3
+				m.Put(k, k*3)
+			}
+			m.Put(0, 1)
+			model[0] = 1
+			m.Put(^uint64(0), 2)
+			model[^uint64(0)] = 2
+
+			keys := make([]uint64, 0, len(model))
+			for k := range model {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+			check := func(lo, hi uint64) {
+				var want []uint64
+				for _, k := range keys {
+					if lo <= k && k <= hi {
+						want = append(want, k)
+					}
+				}
+				var got []uint64
+				err := m.Scan(lo, hi, func(k, v uint64) bool {
+					if v != model[k] {
+						t.Fatalf("Scan yielded %d=%d want %d", k, v, model[k])
+					}
+					got = append(got, k)
+					return true
+				})
+				if err != nil {
+					t.Fatalf("Scan[%d,%d]: %v", lo, hi, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("Scan[%d,%d] yielded %d keys want %d", lo, hi, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("Scan[%d,%d] diverges at %d: got %d want %d", lo, hi, i, got[i], want[i])
+					}
+				}
+			}
+			check(0, ^uint64(0))
+			for i := 0; i < 20; i++ {
+				lo, hi := rng.Uint64(), rng.Uint64()
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				check(lo, hi)
+			}
+			// Early stop after 5 pairs, still in global order.
+			var got []uint64
+			if err := m.Scan(0, ^uint64(0), func(k, _ uint64) bool {
+				got = append(got, k)
+				return len(got) < 5
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 5 {
+				t.Fatalf("early-stopped Scan yielded %d pairs", len(got))
+			}
+			for i := range got {
+				if got[i] != keys[i] {
+					t.Fatalf("early Scan diverges at %d: got %d want %d", i, got[i], keys[i])
+				}
+			}
+			// ScanContext: done context fails fast; live context serves.
+			done, cancel := context.WithCancel(context.Background())
+			cancel()
+			if err := m.ScanContext(done, 0, 1, func(_, _ uint64) bool { return true }); err != context.Canceled {
+				t.Fatalf("ScanContext(done)=%v want context.Canceled", err)
+			}
+			n := 0
+			if err := m.ScanContext(context.Background(), 0, ^uint64(0), func(_, _ uint64) bool { n++; return true }); err != nil || n != len(keys) {
+				t.Fatalf("ScanContext yielded %d,%v want %d,nil", n, err, len(keys))
+			}
+		})
+	}
+}
+
+// TestScanStress hammers ordered backends with concurrent writers,
+// deleters, and scanners under the race detector. Each scanned slice
+// must be strictly ascending (global order), and keys outside the
+// mutated band — written once before the storm and never touched again —
+// must all appear in every full scan: per-stripe consistency cannot lose
+// an untouched key.
+func TestScanStress(t *testing.T) {
+	for _, backend := range []string{"skiplist", "rbtree"} {
+		t.Run(backend, func(t *testing.T) {
+			m := MustNew(Config{Stripes: 8, LockSpec: "mcscr-stp", BackendSpec: backend, Seed: 17})
+			const stableKeys, hotKeys = 256, 64
+			// Stable band: keys [1e6, 1e6+stableKeys) written once.
+			for i := uint64(0); i < stableKeys; i++ {
+				m.Put(1_000_000+i, i)
+			}
+			var wg sync.WaitGroup
+			var stop atomic.Bool
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(id)))
+					for !stop.Load() {
+						k := uint64(rng.Intn(hotKeys))
+						if rng.Intn(4) == 0 {
+							m.Delete(k)
+						} else {
+							m.Put(k, rng.Uint64())
+						}
+					}
+				}(w)
+			}
+			for s := 0; s < 3; s++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for iter := 0; iter < 60; iter++ {
+						var last uint64
+						first := true
+						stable := 0
+						err := m.Scan(0, ^uint64(0), func(k, _ uint64) bool {
+							if !first && k <= last {
+								t.Errorf("scan not ascending: %d after %d", k, last)
+								return false
+							}
+							last, first = k, false
+							if k >= 1_000_000 && k < 1_000_000+stableKeys {
+								stable++
+							}
+							return true
+						})
+						if err != nil {
+							t.Errorf("Scan: %v", err)
+							return
+						}
+						if stable != stableKeys {
+							t.Errorf("scan saw %d stable keys want %d", stable, stableKeys)
+							return
+						}
+					}
+				}()
+			}
+			time.Sleep(50 * time.Millisecond)
+			stop.Store(true)
+			wg.Wait()
 		})
 	}
 }

@@ -1,0 +1,21 @@
+package store
+
+import "repro/internal/hashmap"
+
+// The hashmap backend is internal/hashmap.Plain unchanged: open
+// addressing, linear probing, backward-shift deletion, full uint64 key
+// domain. It already satisfies Backend directly — it was written as the
+// serving-path table — so the registration is the whole adapter. It is
+// the unordered baseline every ordered backend is priced against: O(1)
+// point operations, no Scan.
+func init() {
+	Register(Registration{
+		Name:    "hashmap",
+		Aliases: []string{"hash"},
+		Summary: "open-addressing hash table (linear probe, backward-shift delete); fastest point ops, unordered",
+		Build: func(opts ...Option) Backend {
+			cfg := resolve(opts)
+			return hashmap.NewPlain(cfg.capacity)
+		},
+	})
+}

@@ -1,0 +1,21 @@
+package store
+
+import "repro/internal/rbtree"
+
+// The rbtree backend is internal/rbtree.Plain: the lean (no Touch, no
+// virtual addresses) variant of the left-leaning red-black tree the
+// LRUCache workload models. It satisfies Ordered: Scan is a bounded
+// in-order traversal. Balanced-tree worst cases are deterministic where
+// the skip list's are probabilistic — the trade the two ordered backends
+// exist to measure.
+func init() {
+	Register(Registration{
+		Name:    "rbtree",
+		Aliases: []string{"rb", "tree"},
+		Summary: "left-leaning red-black tree; ordered (Min/Scan), deterministic O(log n) bounds",
+		Build: func(opts ...Option) Backend {
+			_ = resolve(opts) // capacity/seed mean nothing to a tree
+			return rbtree.NewPlain()
+		},
+	})
+}
