@@ -10,7 +10,17 @@
 //	shardbench -stripes 1,8,64 -lock tas,mcscr-stp -cancel-frac 0.2
 //	shardbench -stripes 1,16 -lock 'mcscr-stp?fairness=500' -backend hashmap,skiplist,rbtree
 //	shardbench -stripes 8 -backend skiplist -scan-frac 0.1 -scan-span 256
+//	shardbench -stripes 8 -lock mcs-stp -dist zipf -policy static,malthusian
 //	shardbench -list
+//
+// With -policy, each cell additionally runs a shard.Controller driving
+// the named adaptation policy (see policy.New) at -adapt-interval: the
+// controller snapshots the map, diffs, and live-reconfigures stripes the
+// policy says are mis-specced — a zipf-hot stripe demoted to a culling
+// lock by "malthusian", a scan-swamped stripe flipped to an ordered
+// backend by "scanaware". The swaps column (and "swaps" JSON field)
+// counts applied reconfigurations per cell; sweep "static,malthusian" to
+// price adaptation against a frozen baseline on identical traffic.
 //
 // Workers issue Get/Put (and, with -scan-frac, ordered range scans)
 // through the context forms, each request tagged with its worker id
@@ -20,11 +30,18 @@
 // its hottest stripe long before the aggregate throughput says anything.
 //
 // Scans require an ordered backend ("skiplist", "rbtree"); a -scan-frac
-// sweep that includes an unordered backend is rejected up front. Each
-// scan covers -scan-span consecutive keys from a point drawn from the
-// key distribution and goes through ScanContext, so a scan visits every
-// stripe and prices the cross-stripe merge against hashmap's cheaper
-// point ops.
+// sweep that includes an unordered backend is rejected up front — unless
+// a -policy runs, because a policy can install (or remove) an ordered
+// backend mid-cell; scans refused with ErrUnordered are then counted in
+// scans_rejected rather than failing the cell, so
+//
+//	shardbench -backend hashmap -scan-frac 0.3 -policy scanaware
+//
+// starts with every scan rejected and ends with the flipped stripes
+// serving them. Each scan covers -scan-span consecutive keys from a
+// point drawn from the key distribution and goes through ScanContext,
+// so a scan visits every stripe and prices the cross-stripe merge
+// against hashmap's cheaper point ops.
 //
 // Every completed request's latency — scheduled arrival (open loop) or
 // issue time (closed loop) to completion, i.e. the time-to-stripe the
@@ -50,6 +67,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -63,6 +81,7 @@ import (
 	"time"
 
 	"repro/lock"
+	"repro/policy"
 	"repro/shard"
 	"repro/store"
 )
@@ -73,6 +92,7 @@ type result struct {
 	Dist     string  `json:"dist"`
 	Lock     string  `json:"lock"`
 	Backend  string  `json:"backend"`
+	Policy   string  `json:"policy,omitempty"`
 	Stripes  int     `json:"stripes"`
 	Threads  int     `json:"threads"`
 	Duration float64 `json:"duration_sec"`
@@ -80,6 +100,16 @@ type result struct {
 	Ops       int     `json:"ops"`
 	OpsPerSec float64 `json:"ops_per_sec"`
 	Scans     int     `json:"scans,omitempty"`
+
+	// ScansRejected counts scan requests refused with ErrUnordered —
+	// possible only under -policy, where a stripe's backend can be (or
+	// become) unordered mid-cell; the rejected demand is exactly what
+	// the scanaware policy feeds on.
+	ScansRejected int `json:"scans_rejected,omitempty"`
+
+	// Live reconfigurations applied by the adaptation controller during
+	// the cell (0 without -policy, and for policies that saw no reason).
+	Swaps int `json:"swaps"`
 
 	// Latency percentiles over completed requests, in microseconds,
 	// measured from (scheduled) arrival to completion.
@@ -118,6 +148,7 @@ type record struct {
 	Rate       float64  `json:"rate,omitempty"`
 	CancelFrac float64  `json:"cancel_frac,omitempty"`
 	Deadline   string   `json:"deadline,omitempty"`
+	Adapt      string   `json:"adapt_interval,omitempty"`
 	Results    []result `json:"results"`
 }
 
@@ -137,9 +168,11 @@ func main() {
 		rate        = flag.Float64("rate", 0, "open-loop arrival rate in requests/sec across all workers (0 = closed loop)")
 		cancelFrac  = flag.Float64("cancel-frac", 0, "fraction of requests carrying a deadline (0..1)")
 		deadline    = flag.Duration("deadline", time.Millisecond, "per-request deadline, measured from arrival")
+		policyList  = flag.String("policy", "", "comma-separated adaptation policy specs to sweep (see policy.New; empty = no controller)")
+		adaptEvery  = flag.Duration("adapt-interval", shard.DefaultControllerInterval, "controller snapshot cadence when -policy is set")
 		seed        = flag.Uint64("seed", 1, "base PRNG seed for locks, backends, and workload")
 		jsonPath    = flag.String("json", "BENCH_shard.json", "write results to this file as JSON ('' disables)")
-		list        = flag.Bool("list", false, "list registered lock and backend specs with their summaries, then exit")
+		list        = flag.Bool("list", false, "list registered lock, backend, and policy specs with their summaries, then exit")
 	)
 	flag.Parse()
 
@@ -174,20 +207,38 @@ func main() {
 	}
 	// Resolve every cell before any measurement, so a typo — or a scan
 	// mix over a backend that cannot serve scans — fails fast instead of
-	// after minutes of sweeping.
+	// after minutes of sweeping. With a -policy the ordered requirement
+	// is lifted: a policy can install (or remove) an ordered backend
+	// mid-cell — that is scanaware's whole demo — so rejected scans
+	// become a counted outcome instead of a config error.
 	for _, bspec := range backends {
 		b, err := store.New(bspec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "shardbench: %v\n", err)
 			os.Exit(2)
 		}
-		if _, ordered := b.(store.Ordered); *scanFrac > 0 && !ordered {
-			fmt.Fprintf(os.Stderr, "shardbench: -scan-frac needs ordered backends, but %q is not (ordered: skiplist, rbtree)\n", bspec)
+		if _, ordered := b.(store.Ordered); *scanFrac > 0 && !ordered && *policyList == "" {
+			fmt.Fprintf(os.Stderr, "shardbench: -scan-frac needs ordered backends (or a -policy that can install one, e.g. scanaware), but %q is not (ordered: skiplist, rbtree)\n", bspec)
 			os.Exit(2)
 		}
 	}
 	for _, spec := range specs {
 		if _, err := shard.New(shard.Config{Stripes: 1, LockSpec: spec}); err != nil {
+			fmt.Fprintf(os.Stderr, "shardbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	// "" is the no-controller cell; named policies are resolved up front
+	// like locks and backends, so a typo fails before any measurement.
+	policies := splitList(*policyList)
+	if len(policies) == 0 {
+		policies = []string{""}
+	}
+	for _, pspec := range policies {
+		if pspec == "" {
+			continue
+		}
+		if _, err := policy.New(pspec); err != nil {
 			fmt.Fprintf(os.Stderr, "shardbench: %v\n", err)
 			os.Exit(2)
 		}
@@ -210,29 +261,47 @@ func main() {
 	if *cancelFrac > 0 {
 		rec.Deadline = deadline.String()
 	}
+	if *policyList != "" {
+		rec.Adapt = adaptEvery.String()
+	}
 
-	fmt.Printf("%-8s %-12s %-10s %7s %10s %10s %7s %8s %8s %7s %7s\n",
-		"dist", "lock", "backend", "stripes", "ops", "ops/sec", "miss%", "p50(us)", "p99(us)", "LWSS", "Gini")
+	fmt.Printf("%-8s %-12s %-10s %-12s %7s %10s %10s %7s %8s %8s %7s %7s %6s\n",
+		"dist", "lock", "backend", "policy", "stripes", "ops", "ops/sec", "miss%", "p50(us)", "p99(us)", "LWSS", "Gini", "swaps")
 	for _, dist := range dists {
 		for _, spec := range specs {
 			for _, bspec := range backends {
-				for _, n := range stripeCounts {
-					r := runCell(cellConfig{
-						dist: dist, spec: spec, backend: bspec, stripes: n,
-						threads: *threads, duration: *duration,
-						keys: *keys, readFrac: *readFrac, zipfS: *zipfS,
-						scanFrac: *scanFrac, scanSpan: *scanSpan,
-						rate: *rate, cancelFrac: *cancelFrac, deadline: *deadline,
-						seed: *seed,
-					})
-					rec.Results = append(rec.Results, r)
-					missCol := "-"
-					if r.DeadlineAttempts > 0 {
-						missCol = fmt.Sprintf("%.2f", 100*r.MissRate)
+				for _, pspec := range policies {
+					for _, n := range stripeCounts {
+						r := runCell(cellConfig{
+							dist: dist, spec: spec, backend: bspec, stripes: n,
+							threads: *threads, duration: *duration,
+							keys: *keys, readFrac: *readFrac, zipfS: *zipfS,
+							scanFrac: *scanFrac, scanSpan: *scanSpan,
+							rate: *rate, cancelFrac: *cancelFrac, deadline: *deadline,
+							policy: pspec, adaptEvery: *adaptEvery,
+							seed: *seed,
+						})
+						rec.Results = append(rec.Results, r)
+						if r.ScansRejected > 0 && r.Scans == 0 {
+							// The relaxed -scan-frac validation (any
+							// -policy) admitted a cell whose policy never
+							// installed an ordered backend: keep the old
+							// fail-fast's intent audible.
+							fmt.Fprintf(os.Stderr, "shardbench: warning: %s/%s/%s/%s stripes=%d: all %d scans rejected — the policy never installed an ordered backend\n",
+								r.Dist, r.Lock, r.Backend, r.Policy, r.Stripes, r.ScansRejected)
+						}
+						missCol := "-"
+						if r.DeadlineAttempts > 0 {
+							missCol = fmt.Sprintf("%.2f", 100*r.MissRate)
+						}
+						policyCol := r.Policy
+						if policyCol == "" {
+							policyCol = "-"
+						}
+						fmt.Printf("%-8s %-12s %-10s %-12s %7d %10d %10.0f %7s %8.1f %8.1f %7.1f %7.3f %6d\n",
+							r.Dist, r.Lock, r.Backend, policyCol, r.Stripes, r.Ops, r.OpsPerSec, missCol,
+							r.P50Micros, r.P99Micros, r.MeanLWSS, r.MeanGini, r.Swaps)
 					}
-					fmt.Printf("%-8s %-12s %-10s %7d %10d %10.0f %7s %8.1f %8.1f %7.1f %7.3f\n",
-						r.Dist, r.Lock, r.Backend, r.Stripes, r.Ops, r.OpsPerSec, missCol,
-						r.P50Micros, r.P99Micros, r.MeanLWSS, r.MeanGini)
 				}
 			}
 		}
@@ -252,26 +321,37 @@ func main() {
 	}
 }
 
-// printRegistries renders both registries' canonical names with their
-// Summary lines: the two-registry design on one screen — pick your lock,
-// pick your backend.
+// printRegistries renders all three registries' canonical names with
+// their Registration.Summary lines, uniformly: the three-registry design
+// on one screen — pick your lock, pick your backend, pick the policy
+// that re-picks both at runtime.
 func printRegistries(w *os.File) {
-	fmt.Fprintln(w, "locks (-lock; see lock.New for parameters):")
-	for _, name := range lock.Names() {
-		reg, _ := lock.Lookup(name)
-		fmt.Fprintf(w, "  %-11s %s\n", name, reg.Summary)
+	section := func(title string, names []string, summary func(string) string) {
+		fmt.Fprintln(w, title)
+		for _, name := range names {
+			fmt.Fprintf(w, "  %-11s %s\n", name, summary(name))
+		}
 	}
-	fmt.Fprintln(w, "backends (-backend; see store.New for parameters):")
-	for _, name := range store.Names() {
-		reg, _ := store.Lookup(name)
-		fmt.Fprintf(w, "  %-11s %s\n", name, reg.Summary)
-	}
+	section("locks (-lock; see lock.New for parameters):", lock.Names(), func(n string) string {
+		reg, _ := lock.Lookup(n)
+		return reg.Summary
+	})
+	section("backends (-backend; see store.New for parameters):", store.Names(), func(n string) string {
+		reg, _ := store.Lookup(n)
+		return reg.Summary
+	})
+	section("policies (-policy; see policy.New for parameters):", policy.Names(), func(n string) string {
+		reg, _ := policy.Lookup(n)
+		return reg.Summary
+	})
 }
 
 type cellConfig struct {
 	dist       string
 	spec       string
 	backend    string
+	policy     string // adaptation policy spec; "" = no controller
+	adaptEvery time.Duration
 	stripes    int
 	threads    int
 	duration   time.Duration
@@ -309,9 +389,21 @@ func runCell(c cellConfig) result {
 	for k := 0; k < c.keys; k++ {
 		m.Put(uint64(k), uint64(k))
 	}
+	// Baseline snapshot after the preload: the cell's reported counters
+	// are the measured interval's delta (Snapshot.Sub), so the preload's
+	// million-odd Puts no longer pollute the acquires/fast-path numbers.
+	baseline := m.Snapshot()
+
+	// With a policy, an adaptation controller runs for the whole
+	// measured interval, live-reconfiguring stripes as its policy
+	// directs; its swaps land in the swaps column.
+	var ctrl *shard.Controller
+	if c.policy != "" {
+		ctrl = shard.StartController(context.Background(), m, policy.MustNew(c.policy), c.adaptEvery)
+	}
 
 	var stop atomic.Bool
-	var ops, scans, attempts, misses atomic.Int64
+	var ops, scans, rejected, attempts, misses atomic.Int64
 	// Per-worker latency logs, merged after the run: no shared state on
 	// the measurement path.
 	lats := make([][]int64, c.threads)
@@ -369,19 +461,35 @@ func runCell(c cellConfig) result {
 					}
 				}
 				var err error
-				if c.cancelFrac > 0 && rng.Float64() < c.cancelFrac {
+				deadlined := c.cancelFrac > 0 && rng.Float64() < c.cancelFrac
+				if deadlined {
 					// Deadline measured from scheduled arrival: a worker
 					// behind schedule starts with the budget already burnt.
 					ctx, cancel := context.WithDeadline(base, arrival.Add(c.deadline))
 					attempts.Add(1)
 					err = issue(ctx)
 					cancel()
-					if err != nil {
+				} else {
+					err = issue(base)
+				}
+				if err != nil {
+					if scan && errors.Is(err, shard.ErrUnordered) {
+						// Under a -policy, a scan can race a stripe whose
+						// backend is (still, or again) unordered; the
+						// rejected demand is the scanaware policy's input
+						// signal, not a failure — count it separately and
+						// do not charge the deadline-miss column.
+						rejected.Add(1)
+						if deadlined {
+							attempts.Add(-1)
+						}
+						continue
+					}
+					if deadlined {
 						misses.Add(1)
 						continue
 					}
-				} else if err = issue(base); err != nil {
-					panic(err) // uncancellable contexts cannot fail (scans were validated ordered)
+					panic(err) // uncancellable point ops cannot fail
 				}
 				log = append(log, int64(time.Since(arrival)))
 				if scan {
@@ -394,18 +502,25 @@ func runCell(c cellConfig) result {
 	time.Sleep(c.duration)
 	stop.Store(true)
 	wg.Wait()
+	if ctrl != nil {
+		ctrl.Stop()
+	}
 
 	snap := m.Snapshot()
+	delta := snap.Sub(baseline)
 	r := result{
-		Dist:      c.dist,
-		Lock:      c.spec,
-		Backend:   c.backend,
-		Stripes:   m.Stripes(),
-		Threads:   c.threads,
-		Duration:  c.duration.Seconds(),
-		Ops:       int(ops.Load()),
-		OpsPerSec: float64(ops.Load()) / c.duration.Seconds(),
-		Scans:     int(scans.Load()),
+		Dist:          c.dist,
+		Lock:          c.spec,
+		Backend:       c.backend,
+		Policy:        c.policy,
+		Stripes:       m.Stripes(),
+		Threads:       c.threads,
+		Duration:      c.duration.Seconds(),
+		Ops:           int(ops.Load()),
+		OpsPerSec:     float64(ops.Load()) / c.duration.Seconds(),
+		Scans:         int(scans.Load()),
+		ScansRejected: int(rejected.Load()),
+		Swaps:         int(delta.Swaps),
 	}
 	var merged []int64
 	for _, log := range lats {
@@ -439,18 +554,20 @@ func runCell(c cellConfig) result {
 		r.MeanLWSS /= float64(active)
 		r.MeanGini /= float64(active)
 	}
+	// CR event counters for the measured interval only (the delta over
+	// the post-preload baseline).
 	r.Stats = map[string]uint64{
-		"acquires":     snap.Lock.Acquires,
-		"handoffs":     snap.Lock.Handoffs,
-		"culls":        snap.Lock.Culls,
-		"reprovisions": snap.Lock.Reprovisions,
-		"promotions":   snap.Lock.Promotions,
-		"parks":        snap.Lock.Parks,
-		"unparks":      snap.Lock.Unparks,
-		"fast_path":    snap.Lock.FastPath,
-		"slow_path":    snap.Lock.SlowPath,
-		"cancels":      snap.Lock.Cancels,
-		"abandons":     snap.Lock.Abandons,
+		"acquires":     delta.Lock.Acquires,
+		"handoffs":     delta.Lock.Handoffs,
+		"culls":        delta.Lock.Culls,
+		"reprovisions": delta.Lock.Reprovisions,
+		"promotions":   delta.Lock.Promotions,
+		"parks":        delta.Lock.Parks,
+		"unparks":      delta.Lock.Unparks,
+		"fast_path":    delta.Lock.FastPath,
+		"slow_path":    delta.Lock.SlowPath,
+		"cancels":      delta.Lock.Cancels,
+		"abandons":     delta.Lock.Abandons,
 	}
 	return r
 }

@@ -172,6 +172,38 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 	}
 }
 
+// SatSub returns a - b saturating at zero: the module-wide rule for
+// differencing monotonic counters, so a mis-paired snapshot pair reads
+// as idle instead of wrapping to 2^64.
+func SatSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// Sub returns the field-wise difference s - o, saturating at zero per
+// field. Controllers and benches use it to turn two successive snapshots
+// of a monotonic counter set into per-interval rates; saturation (rather
+// than wraparound) keeps a rate readable even if the caller pairs
+// snapshots from different sources by mistake.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	sub := SatSub
+	return Snapshot{
+		Acquires:     sub(s.Acquires, o.Acquires),
+		Handoffs:     sub(s.Handoffs, o.Handoffs),
+		Culls:        sub(s.Culls, o.Culls),
+		Reprovisions: sub(s.Reprovisions, o.Reprovisions),
+		Promotions:   sub(s.Promotions, o.Promotions),
+		Parks:        sub(s.Parks, o.Parks),
+		Unparks:      sub(s.Unparks, o.Unparks),
+		FastPath:     sub(s.FastPath, o.FastPath),
+		SlowPath:     sub(s.SlowPath, o.SlowPath),
+		Cancels:      sub(s.Cancels, o.Cancels),
+		Abandons:     sub(s.Abandons, o.Abandons),
+	}
+}
+
 // Read sums the stripes into a consistent-enough snapshot for reporting.
 // Individual counters are read atomically; cross-counter skew is
 // acceptable for the monitoring purposes they serve. Read of a nil *Stats

@@ -130,3 +130,23 @@ func TestStripeSpread(t *testing.T) {
 		t.Fatalf("sum %d want %d", got, goroutines)
 	}
 }
+
+func TestSnapshotSub(t *testing.T) {
+	a := Snapshot{Acquires: 10, Parks: 7, Cancels: 3, Abandons: 2, FastPath: 6, SlowPath: 4}
+	b := Snapshot{Acquires: 4, Parks: 2, Cancels: 1, Abandons: 5, FastPath: 1, SlowPath: 1}
+	d := a.Sub(b)
+	if d.Acquires != 6 || d.Parks != 5 || d.Cancels != 2 || d.FastPath != 5 || d.SlowPath != 3 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	// Saturating, never wrapping: a field that went "backwards" reads 0.
+	if d.Abandons != 0 {
+		t.Fatalf("Sub saturated Abandons = %d want 0", d.Abandons)
+	}
+	if z := a.Sub(a); z != (Snapshot{}) {
+		t.Fatalf("x.Sub(x) = %+v want zero", z)
+	}
+	// Sub inverts Add for monotonic pairs.
+	if got := a.Add(b).Sub(b); got != a {
+		t.Fatalf("Add then Sub = %+v want %+v", got, a)
+	}
+}

@@ -1,6 +1,7 @@
 // Package spec implements the registry-and-spec-grammar machinery shared
-// by the module's pluggable families: the lock registry (package lock)
-// and the stripe-backend registry (package store). A family exposes its
+// by the module's pluggable families: the lock registry (package lock),
+// the stripe-backend registry (package store), and the adaptation-policy
+// registry (package policy). A family exposes its
 // implementations as self-registering names, and consumers select one
 // with a spec string — a registered name optionally followed by URL-style
 // parameters:
@@ -22,6 +23,7 @@ package spec
 
 import (
 	"fmt"
+	"math"
 	"net/url"
 	"sort"
 	"strconv"
@@ -106,10 +108,19 @@ func (r *Registry[B]) Resolve(spec string) (reg Registration[B], query string, e
 	name, query, _ := strings.Cut(spec, "?")
 	reg, ok := r.Lookup(name)
 	if !ok {
-		return reg, "", fmt.Errorf("%s: unknown %s %q in spec %q (known %ss: %s)",
-			r.pkg, r.noun, strings.TrimSpace(name), spec, r.noun, strings.Join(r.Names(), ", "))
+		return reg, "", fmt.Errorf("%s: unknown %s %q in spec %q (known %s: %s)",
+			r.pkg, r.noun, strings.TrimSpace(name), spec, plural(r.noun), strings.Join(r.Names(), ", "))
 	}
 	return reg, query, nil
+}
+
+// plural renders a family noun's plural for error messages: "lock" →
+// "locks", "backend" → "backends", "policy" → "policies".
+func plural(noun string) string {
+	if strings.HasSuffix(noun, "y") {
+		return noun[:len(noun)-1] + "ies"
+	}
+	return noun + "s"
 }
 
 // ParamFunc parses one parameter's value into a family option. The error
@@ -204,3 +215,14 @@ func PosInt(v string) (int, error) {
 
 // Bool parses a strconv-style boolean.
 func Bool(v string) (bool, error) { return strconv.ParseBool(v) }
+
+// Frac parses a float in [0, 1] (a fraction of traffic, a probability).
+// NaN and out-of-range values are rejected with the same error, so a
+// family's "bad value" message stays self-explanatory.
+func Frac(v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || math.IsNaN(f) || f < 0 || f > 1 {
+		return 0, fmt.Errorf("want a fraction in [0, 1]")
+	}
+	return f, nil
+}

@@ -157,3 +157,32 @@ func TestValueParsers(t *testing.T) {
 		t.Fatalf("PosInt(1) = %d,%v", n, err)
 	}
 }
+
+func TestFrac(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+	}{
+		{"0", 0}, {"1", 1}, {"0.5", 0.5}, {"0.25", 0.25},
+	} {
+		got, err := Frac(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("Frac(%q) = %v, %v want %v", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-0.1", "1.5", "NaN", "+Inf", "-Inf"} {
+		if _, err := Frac(bad); err == nil {
+			t.Fatalf("Frac(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPlural(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"lock", "locks"}, {"backend", "backends"}, {"policy", "policies"},
+	} {
+		if got := plural(tc.in); got != tc.want {
+			t.Fatalf("plural(%q) = %q want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -113,6 +113,23 @@ func AvgLWSS(h History, window int) float64 {
 	return sum / float64(n)
 }
 
+// RecentLWSS returns the LWSS of the trailing window of h: the working
+// set of the most recent min(window, len(h)) admissions. Where AvgLWSS
+// averages over the whole history (a long-lived lock's past dilutes its
+// present), RecentLWSS is the live demand signal an adaptive controller
+// wants: how many distinct threads are circulating *now*. It is 0 for an
+// empty history, and — like every history-derived instrument — frozen
+// once a capped recorder stops recording.
+func RecentLWSS(h History, window int) int {
+	if window <= 0 {
+		panic(fmt.Sprintf("metrics: RecentLWSS window %d <= 0", window))
+	}
+	if len(h) > window {
+		h = h[len(h)-window:]
+	}
+	return LWSS(h)
+}
+
 // TTRs returns the time-to-reacquire sequence of h: for every admission by
 // a thread that has acquired before, the number of admissions since its
 // previous acquisition. First-time acquisitions contribute nothing.
@@ -231,6 +248,9 @@ func RSTDDEVHistory(h History) float64 {
 type Summary struct {
 	Admissions int
 	AvgLWSS    float64
+	// RecentLWSS is the working set of the trailing window only — the
+	// live demand signal adaptive controllers key on (see RecentLWSS).
+	RecentLWSS float64
 	MTTR       float64
 	Gini       float64
 	RSTDDEV    float64
@@ -242,6 +262,7 @@ func Summarize(h History, window int) Summary {
 	return Summary{
 		Admissions: len(h),
 		AvgLWSS:    AvgLWSS(h, window),
+		RecentLWSS: float64(RecentLWSS(h, window)),
 		MTTR:       MTTR(h),
 		Gini:       GiniHistory(h),
 		RSTDDEV:    RSTDDEVHistory(h),

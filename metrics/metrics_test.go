@@ -326,3 +326,31 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+func TestRecentLWSS(t *testing.T) {
+	if got := RecentLWSS(nil, 4); got != 0 {
+		t.Fatalf("RecentLWSS(empty) = %d", got)
+	}
+	// Old diversity, recent collapse: 4 distinct ids early, then a long
+	// run of one id. The trailing window sees only the collapsed set.
+	h := History{1, 2, 3, 4, 9, 9, 9, 9, 9, 9}
+	if got := RecentLWSS(h, 4); got != 1 {
+		t.Fatalf("RecentLWSS(window 4) = %d want 1", got)
+	}
+	if got := RecentLWSS(h, 100); got != 5 {
+		t.Fatalf("RecentLWSS(window > len) = %d want 5", got)
+	}
+	if got := LWSS(h); got != 5 {
+		t.Fatalf("LWSS = %d want 5", got)
+	}
+	s := Summarize(h, 4)
+	if s.RecentLWSS != 1 {
+		t.Fatalf("Summarize.RecentLWSS = %v want 1", s.RecentLWSS)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RecentLWSS(window 0) did not panic")
+		}
+	}()
+	RecentLWSS(h, 0)
+}

@@ -1,0 +1,283 @@
+// Package policy defines the adaptation policies behind shard.Map's
+// control plane, mirroring the lock and backend registries' design: each
+// policy self-registers from its own file's init, and consumers select
+// one with a spec string resolved by New — so the *adaptation* policy of
+// a sharded service is runtime configuration, exactly like the admission
+// and storage policies it adapts:
+//
+//	p, err := policy.New("static")
+//	p, err := policy.New("malthusian?lwss=6&parks=64&hold=2")
+//	p := policy.MustNew("scanaware?scanfrac=0.3&to=skiplist")
+//
+// A policy implements shard.Policy: a Decide function the controller
+// (shard.StartController) calls once per stripe per interval with the
+// stripe's previous and current snapshots. Policies may be stateful —
+// Decide runs on a single goroutine, so hysteresis counters and
+// remembered original specs need no synchronization — and they fail
+// safe: a target spec the map rejects leaves the stripe untouched
+// (Map.Reconfigure validates before quiescing).
+//
+// This registry is the third consumer of the internal/spec machinery,
+// after locks and backends: same grammar, same error contract, same
+// self-registration rule. Target-spec parameters whose values themselves
+// contain spec syntax ("hot=mcscr-stp?fairness=500") must be URL-escaped
+// ("hot=mcscr-stp%3Ffairness%3D500"), since the policy spec is itself a
+// URL query.
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+	"repro/lock"
+	"repro/shard"
+	"repro/store"
+)
+
+// Policy is the decision contract a controller drives; it is exactly
+// shard.Policy (aliased so this package's registry speaks the interface
+// the shard controller consumes without an import cycle).
+type Policy = shard.Policy
+
+// Defaults for the built-in policies' parameters.
+const (
+	// DefaultLWSS is the recent working-set size at or above which
+	// "malthusian" considers a stripe collapsing.
+	DefaultLWSS = 8.0
+	// DefaultParks is the per-interval park count at or above which
+	// "malthusian" considers a stripe collapsing.
+	DefaultParks = 64
+	// DefaultHold is how many consecutive intervals a signal must
+	// persist before a policy acts on it — the hysteresis that keeps a
+	// borderline stripe from flapping between specs.
+	DefaultHold = 2
+	// DefaultScanFrac is the scan share of traffic at or above which
+	// "scanaware" flips a stripe to an ordered backend.
+	DefaultScanFrac = 0.5
+	// DefaultHotLockSpec is the culling/passivating lock spec
+	// "malthusian" demotes a collapsing stripe to.
+	DefaultHotLockSpec = "mcscr-stp"
+	// DefaultOrderedSpec is the ordered backend spec "scanaware" flips a
+	// scan-dominated stripe to.
+	DefaultOrderedSpec = "skiplist"
+)
+
+// config carries the construction parameters the built-in policies
+// understand. A policy reads what applies to it and ignores the rest —
+// the same contract the lock and backend options follow.
+type config struct {
+	lwss     float64
+	parks    uint64
+	hold     int
+	scanFrac float64
+	hotLock  string
+	ordered  string
+}
+
+// Option configures policy construction.
+type Option func(*config)
+
+// WithLWSS sets the recent-LWSS collapse threshold ("malthusian"). 0
+// disables the LWSS trigger.
+func WithLWSS(n float64) Option {
+	return func(c *config) { c.lwss = n }
+}
+
+// WithParks sets the per-interval parks collapse threshold
+// ("malthusian"). 0 disables the parks trigger.
+func WithParks(n uint64) Option {
+	return func(c *config) { c.parks = n }
+}
+
+// WithHold sets how many consecutive intervals a signal must persist
+// before the policy swaps (hysteresis depth, both directions). Values
+// below 1 are raised to 1.
+func WithHold(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = 1
+		}
+		c.hold = n
+	}
+}
+
+// WithScanFrac sets the scan share of traffic at or above which
+// "scanaware" flips to an ordered backend. The value is clamped to
+// [0, 1]; 0 disables the policy (a zero threshold would otherwise make
+// every interval read as both hot and calm).
+func WithScanFrac(f float64) Option {
+	return func(c *config) {
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		c.scanFrac = f
+	}
+}
+
+// WithHotLockSpec sets the lock spec "malthusian" demotes a collapsing
+// stripe to. The spec is validated when the swap is applied
+// (Map.Reconfigure), not here.
+func WithHotLockSpec(s string) Option {
+	return func(c *config) {
+		if s != "" {
+			c.hotLock = s
+		}
+	}
+}
+
+// WithOrderedSpec sets the backend spec "scanaware" flips a
+// scan-dominated stripe to; it should name a store.Ordered backend.
+func WithOrderedSpec(s string) Option {
+	return func(c *config) {
+		if s != "" {
+			c.ordered = s
+		}
+	}
+}
+
+func resolve(opts []Option) config {
+	cfg := config{
+		lwss:     DefaultLWSS,
+		parks:    DefaultParks,
+		hold:     DefaultHold,
+		scanFrac: DefaultScanFrac,
+		hotLock:  DefaultHotLockSpec,
+		ordered:  DefaultOrderedSpec,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// Builder constructs a policy from construction options.
+type Builder func(opts ...Option) Policy
+
+// Registration describes one policy implementation to the registry; the
+// machinery is the same generic internal/spec registry the lock and
+// backend families use.
+type Registration = spec.Registration[Builder]
+
+var registry = spec.NewRegistry[Builder]("policy", "policy")
+
+// Register adds a policy implementation to the registry. It panics on an
+// empty name, a nil builder, or a name/alias collision — registration is
+// an init-time act and a collision is a programming error.
+func Register(r Registration) {
+	if r.Name == "" || r.Build == nil {
+		panic("policy: Register with empty name or nil builder")
+	}
+	registry.Register(r)
+}
+
+// Names returns the sorted canonical names of every registered policy.
+func Names() []string { return registry.Names() }
+
+// Lookup resolves a name or alias to its Registration.
+func Lookup(name string) (Registration, bool) { return registry.Lookup(name) }
+
+// New builds a policy from a spec string: a registered name, optionally
+// followed by URL-style parameters:
+//
+//	"static"
+//	"malthusian?lwss=6&parks=64&hold=2"
+//	"scanaware?scanfrac=0.3&to=rbtree"
+//
+// Parameters (each maps onto the corresponding Option):
+//
+//	lwss=N        recent-LWSS collapse threshold (0 disables)   WithLWSS
+//	parks=N       per-interval parks threshold (0 disables)     WithParks
+//	hold=N        hysteresis depth in intervals                 WithHold
+//	scanfrac=F    scan-share flip threshold, 0..1 (0 disables)  WithScanFrac
+//	hot=SPEC      demotion lock spec (URL-escaped)              WithHotLockSpec
+//	to=SPEC       ordered backend spec (URL-escaped)            WithOrderedSpec
+//
+// hot= and to= are validated against their registries at parse time, so
+// a typo fails here rather than silently never swapping. Spec parameters
+// are applied after opts, so the spec overrides programmatic defaults.
+// Malformed specs — unknown name, unknown or duplicated parameter, bad
+// value — return a descriptive error and a nil Policy.
+func New(spec string, opts ...Option) (Policy, error) {
+	reg, query, err := registry.Resolve(spec)
+	if err != nil {
+		return nil, err
+	}
+	specOpts, err := grammar.Parse(spec, query)
+	if err != nil {
+		return nil, err
+	}
+	if len(specOpts) > 0 {
+		opts = append(append([]Option(nil), opts...), specOpts...)
+	}
+	return reg.Build(opts...), nil
+}
+
+// MustNew is New for tests, examples, and initialization paths where a
+// malformed spec is a programming error; it panics instead of returning
+// one.
+func MustNew(spec string, opts ...Option) Policy {
+	p, err := New(spec, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+var grammar = spec.NewGrammar[Option]("policy", map[string]spec.ParamFunc[Option]{
+	"lwss": func(v string) (Option, error) {
+		n, err := spec.Uint(v)
+		if err != nil {
+			return nil, err
+		}
+		return WithLWSS(float64(n)), nil
+	},
+	"parks": func(v string) (Option, error) {
+		n, err := spec.Uint(v)
+		if err != nil {
+			return nil, err
+		}
+		return WithParks(n), nil
+	},
+	"hold": func(v string) (Option, error) {
+		n, err := spec.PosInt(v)
+		if err != nil {
+			return nil, err
+		}
+		return WithHold(n), nil
+	},
+	"scanfrac": func(v string) (Option, error) {
+		f, err := spec.Frac(v)
+		if err != nil {
+			return nil, err
+		}
+		return WithScanFrac(f), nil
+	},
+	"hot": func(v string) (Option, error) {
+		// Build (and discard) a lock to validate the target spec now;
+		// registry locks are cheap to construct. The ContextMutex
+		// assertion mirrors shard.Map's own buildLock requirement, so a
+		// custom-registered plain lock fails here instead of silently
+		// never swapping at Reconfigure time.
+		mtx, err := lock.New(v)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := mtx.(lock.ContextMutex); !ok {
+			return nil, fmt.Errorf("lock spec %q builds a %T, which is not a lock.ContextMutex (required for shard stripes)", v, mtx)
+		}
+		return WithHotLockSpec(v), nil
+	},
+	"to": func(v string) (Option, error) {
+		b, err := store.New(v)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := b.(store.Ordered); !ok {
+			return nil, fmt.Errorf("backend spec %q is not ordered (scans need store.Ordered)", v)
+		}
+		return WithOrderedSpec(v), nil
+	},
+})

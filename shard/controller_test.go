@@ -1,0 +1,164 @@
+package shard
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// scriptedPolicy demotes stripe target once a given acquisition delta is
+// seen, then restores once, then goes quiet — a minimal stateful policy
+// for exercising the controller loop end to end.
+type scriptedPolicy struct {
+	target  int
+	to      string
+	restore string
+	phase   int
+}
+
+func (p *scriptedPolicy) Decide(prev, cur StripeSnapshot) (string, string, bool) {
+	if cur.Index != p.target {
+		return "", "", false
+	}
+	switch p.phase {
+	case 0:
+		if cur.Lock.Acquires > prev.Lock.Acquires {
+			p.phase = 1
+			return p.to, "", true
+		}
+	case 1:
+		p.phase = 2
+		p.restore = "" // nothing to do; pinned demoted
+	}
+	return "", "", false
+}
+
+func TestControllerAppliesDecisions(t *testing.T) {
+	m := MustNew(Config{Stripes: 2, LockSpec: "tas"})
+	pol := &scriptedPolicy{target: 1, to: "mcscr-stp"}
+	c := StartController(context.Background(), m, pol, 2*time.Millisecond)
+	defer c.Stop()
+
+	// Drive traffic at stripe 1 until the controller swaps it.
+	var key uint64
+	for k := uint64(0); k < 1024; k++ {
+		if m.StripeFor(k) == 1 {
+			key = k
+			break
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Swaps() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("controller never applied the swap")
+		}
+		m.Put(key, 1)
+	}
+	c.Stop()
+	if ls, _ := m.StripeSpecs(1); ls != "mcscr-stp" {
+		t.Fatalf("stripe 1 lock spec = %q want mcscr-stp", ls)
+	}
+	if ls, _ := m.StripeSpecs(0); ls != "tas" {
+		t.Fatalf("stripe 0 disturbed: %q", ls)
+	}
+	if c.Swaps() != 1 {
+		t.Fatalf("Swaps=%d want 1", c.Swaps())
+	}
+	if got := m.Snapshot().Swaps; got != 1 {
+		t.Fatalf("map Swaps=%d want 1", got)
+	}
+	// The controller computed per-interval deltas along the way.
+	d := c.LastDelta()
+	if len(d.Stripes) != m.Stripes() {
+		t.Fatalf("LastDelta has %d stripes want %d", len(d.Stripes), m.Stripes())
+	}
+}
+
+// rejectingPolicy always asks for an unbuildable spec: the controller
+// must count the rejection and leave the stripe untouched.
+type rejectingPolicy struct{}
+
+func (rejectingPolicy) Decide(prev, cur StripeSnapshot) (string, string, bool) {
+	return "no-such-lock", "", true
+}
+
+func TestControllerRejectsBadSpecs(t *testing.T) {
+	m := MustNew(Config{Stripes: 2, LockSpec: "tas"})
+	c := StartController(context.Background(), m, rejectingPolicy{}, time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Rejected() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("controller never saw a rejection")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Stop()
+	if c.Swaps() != 0 {
+		t.Fatalf("Swaps=%d want 0", c.Swaps())
+	}
+	if ls, bs := m.StripeSpecs(0); ls != "tas" || bs != "hashmap" {
+		t.Fatalf("rejected policy disturbed specs: %q, %q", ls, bs)
+	}
+}
+
+func TestControllerStopIdempotent(t *testing.T) {
+	m := MustNew(Config{Stripes: 1, LockSpec: "tas"})
+	ctx, cancel := context.WithCancel(context.Background())
+	c := StartController(ctx, m, rejectingPolicy{}, time.Hour) // never ticks
+	cancel()                                                   // ctx cancellation alone stops the loop
+	c.Stop()
+	c.Stop() // idempotent
+}
+
+func TestSnapshotSub(t *testing.T) {
+	m := MustNew(Config{Stripes: 2, LockSpec: "tas", BackendSpec: "skiplist", HistoryCap: 128})
+	ctx := WithClientID(context.Background(), 1)
+	prev := m.Snapshot()
+	for k := uint64(0); k < 64; k++ {
+		if _, err := m.PutContext(ctx, k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Scan(0, ^uint64(0), func(_, _ uint64) bool { return true })
+	if err := m.Reconfigure(0, "mcs-stp", ""); err != nil {
+		t.Fatal(err)
+	}
+	cur := m.Snapshot()
+	d := cur.Sub(prev)
+	if d.Len != 64 {
+		t.Fatalf("delta Len=%d want 64", d.Len)
+	}
+	if d.Lock.Acquires == 0 {
+		t.Fatal("delta Acquires=0 after 64 puts")
+	}
+	if d.Scans != 1 {
+		t.Fatalf("delta Scans=%d want 1 (map-level attempt count, not a per-stripe sum)", d.Scans)
+	}
+	for _, sd := range d.Stripes {
+		if sd.Scans != 1 {
+			t.Fatalf("stripe %d delta Scans=%d want 1", sd.Index, sd.Scans)
+		}
+	}
+	if d.Swaps != 1 {
+		t.Fatalf("delta Swaps=%d want 1", d.Swaps)
+	}
+	admissions := 0
+	for _, sd := range d.Stripes {
+		admissions += sd.Admissions
+		if sd.Len < 0 {
+			t.Fatalf("stripe %d delta Len=%d", sd.Index, sd.Len)
+		}
+	}
+	if admissions != 64 {
+		t.Fatalf("delta admissions=%d want 64", admissions)
+	}
+	// Self-subtraction is zero; zero prev is the snapshot itself.
+	z := cur.Sub(cur)
+	if z.Len != 0 || z.Swaps != 0 || z.Scans != 0 || z.Lock.Acquires != 0 {
+		t.Fatalf("x.Sub(x) = %+v", z)
+	}
+	full := cur.Sub(Snapshot{})
+	if full.Len != cur.Len || full.Lock.Acquires != cur.Lock.Acquires {
+		t.Fatalf("x.Sub(zero) lost data: %+v", full)
+	}
+}

@@ -1,0 +1,72 @@
+package shard
+
+import "repro/internal/core"
+
+// StripeDelta is the per-interval change of one stripe between two
+// snapshots: the derivative a controller or bench decides on, where the
+// snapshots themselves are cumulative.
+type StripeDelta struct {
+	// Index is the stripe's position in the map.
+	Index int
+	// Len is the key-count change (can be negative: deletions).
+	Len int
+	// Admissions is how many identified admissions the interval recorded
+	// (0 once a capped history stops recording).
+	Admissions int
+	// Scans is how many scan attempts the interval made (map-level, like
+	// StripeSnapshot.Scans: every scan visits every stripe).
+	Scans uint64
+	// Swaps is how many times the stripe was reconfigured in the
+	// interval.
+	Swaps uint64
+	// Lock is the field-wise difference of the lock counters — parks,
+	// cancels, acquires per interval.
+	Lock core.Snapshot
+}
+
+// SnapshotDelta is the change of the whole map between two snapshots.
+type SnapshotDelta struct {
+	Stripes []StripeDelta
+	// Lock is the field-wise difference of the rolled-up lock counters.
+	Lock core.Snapshot
+	// Len is the total key-count change.
+	Len int
+	// Scans is the map-level scan-attempt change (not a per-stripe sum).
+	Scans uint64
+	// Swaps is the total reconfiguration change across stripes.
+	Swaps uint64
+}
+
+// Sub returns the change from prev to s — per-stripe and rolled-up
+// per-interval rates (acquires, parks, cancels, admissions, scans,
+// swaps) without hand-rolled per-stripe loops. Counter fields subtract
+// saturating at zero (core.Snapshot.Sub), so pairing snapshots from
+// different maps by mistake cannot produce wrapped rates. prev should be
+// the earlier snapshot of the same map; a zero prev yields s itself as
+// the delta.
+func (s Snapshot) Sub(prev Snapshot) SnapshotDelta {
+	sub := core.SatSub
+	d := SnapshotDelta{
+		Stripes: make([]StripeDelta, len(s.Stripes)),
+		Lock:    s.Lock.Sub(prev.Lock),
+		Len:     s.Len - prev.Len,
+		Scans:   sub(s.Scans, prev.Scans),
+	}
+	for i, cur := range s.Stripes {
+		var p StripeSnapshot
+		if i < len(prev.Stripes) {
+			p = prev.Stripes[i]
+		}
+		sd := StripeDelta{
+			Index:      cur.Index,
+			Len:        cur.Len - p.Len,
+			Admissions: cur.Fairness.Admissions - p.Fairness.Admissions,
+			Scans:      sub(cur.Scans, p.Scans),
+			Swaps:      sub(cur.Swaps, p.Swaps),
+			Lock:       cur.Lock.Sub(p.Lock),
+		}
+		d.Stripes[i] = sd
+		d.Swaps += sd.Swaps
+	}
+	return d
+}

@@ -1,0 +1,158 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// ScanChunked is Scan with bounded buffering: instead of copying every
+// matching pair out of every stripe before the merge, it collects at
+// most chunk pairs per stripe per round, merges and yields the globally
+// safe prefix, and repeats from where each stripe left off. Memory is
+// O(chunk × stripes) regardless of how many pairs [lo, hi] holds, so a
+// full-domain scan of a huge map no longer materializes the whole map.
+//
+// fn still sees pairs in ascending global key order with no lock held
+// (it may call back into the Map), and a false return still stops the
+// scan. The trade is consistency: where Scan reads each stripe once,
+// ScanChunked re-locks each stripe once per round, so the view of a
+// stripe is consistent per chunk, not per scan — a pair deleted after
+// its chunk was copied may still be yielded, a pair inserted behind a
+// stripe's cursor is missed, and two chunks of the same stripe may
+// bracket a writer. Keys never yielded out of order and never yielded
+// twice: rounds emit disjoint, ascending key intervals. Pairs that are
+// never touched during the scan are yielded exactly once, as in Scan.
+//
+// Like Scan, every stripe's current backend must be ordered; otherwise
+// ErrUnordered. chunk must be >= 1. A concurrent Reconfigure to an
+// unordered backend can fail the scan mid-way (after some pairs were
+// yielded) — the one failure mode Scan's collect-then-merge cannot have.
+func (m *Map) ScanChunked(lo, hi uint64, chunk int, fn func(key, val uint64) bool) error {
+	return m.scanChunkedStripes(nil, lo, hi, chunk, fn)
+}
+
+// ScanChunkedContext is ScanChunked with every stripe acquisition
+// bounded by ctx; it returns ctx.Err() from the first refill whose
+// stripe lock could not be taken in time (pairs already yielded stay
+// yielded).
+func (m *Map) ScanChunkedContext(ctx context.Context, lo, hi uint64, chunk int, fn func(key, val uint64) bool) error {
+	return m.scanChunkedStripes(ctx, lo, hi, chunk, fn)
+}
+
+// chunkCursor is one stripe's progress through a chunked scan.
+type chunkCursor struct {
+	buf []kv // collected, not yet yielded; ascending, keys <= bound
+	// arr is the stripe's reusable chunk-capacity backing array. A
+	// refill only happens once buf has fully drained (and the previous
+	// round's merge — the only other reader of slices into arr — has
+	// completed), so arr can be re-filled in place without reallocating.
+	arr []kv
+	// bound is the key up to which this stripe is known complete: every
+	// key the stripe held in [lo, bound] at collection time is in (or
+	// has passed through) buf.
+	bound uint64
+	// next is where the stripe's next refill resumes.
+	next uint64
+	// exhausted: the last refill reached hi; nothing left to collect.
+	exhausted bool
+}
+
+func (m *Map) scanChunkedStripes(ctx context.Context, lo, hi uint64, chunk int, fn func(key, val uint64) bool) error {
+	if chunk < 1 {
+		return fmt.Errorf("shard: ScanChunked chunk %d, want >= 1", chunk)
+	}
+	m.countScan()
+	if err := m.requireOrdered(); err != nil {
+		return err
+	}
+	cursors := make([]chunkCursor, len(m.stripes))
+	for i := range cursors {
+		cursors[i].next = lo
+	}
+	emit := make([][]kv, 0, len(m.stripes))
+	for round := 0; ; round++ {
+		// Refill every drained, unexhausted stripe: up to chunk pairs
+		// from its cursor, each under its own (current) stripe lock.
+		refilled := 0
+		for i := range cursors {
+			c := &cursors[i]
+			if len(c.buf) > 0 || c.exhausted {
+				continue
+			}
+			refilled++
+			d, err := m.stripes[i].lockCurrentContext(ctx)
+			if err != nil {
+				return err
+			}
+			if d.ordered == nil {
+				d.mu.Unlock()
+				return unorderedErr(i, d.backendSpec)
+			}
+			truncated := false
+			if c.arr == nil {
+				c.arr = make([]kv, 0, chunk)
+			}
+			run := c.arr[:0] // refill the reusable backing array in place
+			d.ordered.Scan(c.next, hi, func(k, v uint64) bool {
+				if len(run) == chunk {
+					truncated = true
+					return false
+				}
+				run = append(run, kv{k, v})
+				return true
+			})
+			d.mu.Unlock()
+			c.buf = run
+			if truncated {
+				// More keys remain in (run[chunk-1].key, hi] — so that
+				// last key is < hi and the cursor bump cannot overflow.
+				c.bound = run[chunk-1].key
+				c.next = c.bound + 1
+			} else {
+				c.bound = hi
+				c.exhausted = true
+			}
+		}
+		if round > 0 && refilled > 0 {
+			// Each refilling round past the first re-acquires stripe
+			// locks like an additional Scan would: count it, so the scan
+			// share a controller computes from Scans vs lock
+			// acquisitions means the same thing for chunked and
+			// unchunked scans.
+			m.countScan()
+		}
+		// The globally safe prefix ends at the smallest per-stripe
+		// bound: beyond it, some truncated stripe may still hold keys
+		// we have not collected.
+		bound := hi
+		for i := range cursors {
+			if cursors[i].bound < bound {
+				bound = cursors[i].bound
+			}
+		}
+		// Merge and yield every buffered pair with key <= bound; keep
+		// the rest for later rounds. The stripe(s) that set the bound
+		// drain completely and refill next round, so the bound strictly
+		// advances — termination is guaranteed.
+		emit = emit[:0]
+		done := true
+		for i := range cursors {
+			c := &cursors[i]
+			cut := sort.Search(len(c.buf), func(j int) bool { return c.buf[j].key > bound })
+			if cut > 0 {
+				emit = append(emit, c.buf[:cut])
+			}
+			c.buf = c.buf[cut:]
+			if len(c.buf) > 0 || !c.exhausted {
+				done = false
+			}
+		}
+		if !mergeRuns(emit, fn) {
+			return nil
+		}
+		if done {
+			return nil
+		}
+	}
+}

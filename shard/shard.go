@@ -24,6 +24,18 @@
 // queries in global key order; with the default "hashmap" backend those
 // return ErrUnordered.
 //
+// # Live reconfiguration
+//
+// Stripe policy is not frozen at New: each stripe holds an atomically
+// published descriptor (lock + backend + the specs they were built from),
+// and Reconfigure swaps a stripe's descriptor while traffic is in flight —
+// quiescing under the old lock, migrating entries into the new backend,
+// then routing new arrivals through the new lock. StripeSpecs reports the
+// live specs. A Controller (see Policy) closes the loop the paper opens:
+// it watches per-stripe Snapshots and reconfigures stripes whose observed
+// contention says the current policy is wrong — the system-level analog of
+// MCSCR's culling, lifted from one lock to the whole stripe array.
+//
 // # Deadlines
 //
 // Every operation has a plain and a context form (Get/GetContext, ...).
@@ -44,7 +56,8 @@
 // fairness summaries (LWSS, MTTR, Gini, RSTDDEV via metrics.Summarize),
 // which is where collapse actually shows up: a uniformly loaded map can
 // hide one collapsed stripe in its averages, but not in its per-stripe
-// LWSS.
+// LWSS. Snapshot.Sub turns two successive snapshots into per-interval
+// rates — the derivative an adaptive controller decides on.
 package shard
 
 import (
@@ -52,6 +65,8 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/hashmap"
@@ -67,10 +82,11 @@ const (
 	DefaultBackendSpec = "hashmap"
 )
 
-// ErrUnordered is returned by Scan and ScanContext when the configured
-// backend does not maintain key order (it does not satisfy
-// store.Ordered). Pick an ordered backend ("skiplist", "rbtree") to
-// serve range queries.
+// ErrUnordered is returned by Scan, ScanChunked, and their context forms
+// when some stripe's current backend does not maintain key order (it does
+// not satisfy store.Ordered). Pick an ordered backend ("skiplist",
+// "rbtree") — at construction or via Reconfigure — to serve range
+// queries.
 var ErrUnordered = errors.New("shard: backend is not ordered")
 
 // Config configures a Map. The zero value is usable: DefaultStripes
@@ -94,7 +110,8 @@ type Config struct {
 	// Seed, when nonzero, seeds each stripe's lock and backend PRNGs
 	// with distinct values derived from it (unless a spec pins seed=
 	// itself, which wins). Zero leaves both on their fixed default
-	// seeds.
+	// seeds. Locks and backends built later by Reconfigure derive their
+	// seeds the same way.
 	Seed uint64
 
 	// Capacity pre-sizes the map for this many total keys, spread evenly
@@ -118,16 +135,86 @@ type Config struct {
 	HistoryWindow int
 }
 
-// stripe is one shard: a table and the lock that admits threads to it.
-// The mutated state lives behind the pointers (each its own allocation),
-// so adjacent stripe headers in the slice share lines harmlessly.
-type stripe struct {
+// descriptor is one stripe's swappable policy pair: the lock that admits
+// threads and the table they operate on, plus the specs both were built
+// from. A descriptor is immutable once published — Reconfigure builds a
+// new one and atomically replaces the old — so every field may be read
+// without synchronization after an atomic load of the pointer.
+type descriptor struct {
 	mu      lock.ContextMutex
 	stats   lock.Instrumented // mu, when it maintains counters; else nil
 	table   store.Backend
-	ordered store.Ordered     // table, when it maintains key order; else nil
-	rec     *metrics.Recorder // nil when history is disabled
-	hcap    int
+	ordered store.Ordered // table, when it maintains key order; else nil
+
+	lockSpec    string
+	backendSpec string
+
+	// base accumulates the counters of this stripe's retired locks, so
+	// Snapshot totals stay monotonic across reconfigurations. swaps is
+	// how many times this stripe has been reconfigured.
+	base  core.Snapshot
+	swaps uint64
+}
+
+// snapshot reads the descriptor's visible lock counters: the retired
+// base plus the live lock's stats.
+func (d *descriptor) snapshot() core.Snapshot {
+	if d.stats == nil {
+		return d.base
+	}
+	return d.base.Add(d.stats.Stats())
+}
+
+// stripe is one shard: the atomically published descriptor (lock +
+// table), plus per-stripe state that survives reconfiguration. The
+// mutated heavy state lives behind pointers (each its own allocation),
+// so adjacent stripe headers in the slice share lines harmlessly: the
+// descriptor pointer is only read on the op paths, and scans — the one
+// counter written here — are orders of magnitude rarer than point ops.
+type stripe struct {
+	desc atomic.Pointer[descriptor]
+
+	// swapMu serializes Reconfigure calls on this stripe. Operation
+	// paths never touch it.
+	swapMu sync.Mutex
+
+	rec  *metrics.Recorder // nil when history is disabled
+	hcap int
+}
+
+// lockCurrent acquires the stripe's current descriptor's lock and
+// returns the descriptor. The descriptor is re-validated after the
+// acquisition: a waiter that slept through a Reconfigure wakes holding
+// the retired lock, whose table has been migrated away — it releases and
+// retries on the published descriptor. The caller must d.mu.Unlock().
+func (s *stripe) lockCurrent() *descriptor {
+	for {
+		d := s.desc.Load()
+		d.mu.Lock()
+		if s.desc.Load() == d {
+			return d
+		}
+		d.mu.Unlock()
+	}
+}
+
+// lockCurrentContext is lockCurrent bounded by ctx; a nil ctx means the
+// plain (uncancellable) path. Exactly one lock Cancels event is counted
+// per error return — retries only happen after successful acquisitions.
+func (s *stripe) lockCurrentContext(ctx context.Context) (*descriptor, error) {
+	if ctx == nil {
+		return s.lockCurrent(), nil
+	}
+	for {
+		d := s.desc.Load()
+		if err := d.mu.LockContext(ctx); err != nil {
+			return nil, err
+		}
+		if s.desc.Load() == d {
+			return d, nil
+		}
+		d.mu.Unlock()
+	}
 }
 
 // Map is the sharded store. All methods are safe for concurrent use.
@@ -135,7 +222,24 @@ type Map struct {
 	stripes []stripe
 	shift   uint // stripe index = Mix(key) >> shift
 	window  int
-	backend string // the resolved backend spec, for Scan's error
+
+	// scans counts scan work (one per Scan/ScanContext; a ScanChunked
+	// counts one per refilling round, since each round re-acquires
+	// stripe locks like a fresh Scan) — including attempts rejected
+	// with ErrUnordered, deliberately: an adaptive controller needs to
+	// see scan demand on a map whose current backends cannot serve it.
+	// One map-level counter, because every scan visits every stripe — a
+	// per-stripe count would be the same number stored Stripes times
+	// (and an O(stripes) atomic storm per scan).
+	scans atomic.Uint64
+
+	// Construction parameters reused when Reconfigure builds a stripe's
+	// replacement lock or backend.
+	seed      uint64
+	perStripe int
+
+	cfgLock    string // the resolved construction-time lock spec
+	cfgBackend string // the resolved construction-time backend spec
 }
 
 // New builds a Map from cfg. It fails with a descriptive error when the
@@ -165,44 +269,33 @@ func New(cfg Config) (*Map, error) {
 		perStripe = (cfg.Capacity + n - 1) / n
 	}
 	m := &Map{
-		stripes: make([]stripe, n),
-		shift:   uint(64 - bits.TrailingZeros(uint(n))),
-		window:  window,
-		backend: bspec,
+		stripes:    make([]stripe, n),
+		shift:      uint(64 - bits.TrailingZeros(uint(n))),
+		window:     window,
+		seed:       cfg.Seed,
+		perStripe:  perStripe,
+		cfgLock:    spec,
+		cfgBackend: bspec,
 	}
 	for i := range m.stripes {
-		var opts []lock.Option
-		var bopts []store.Option
-		if perStripe > 0 {
-			bopts = append(bopts, store.WithCapacity(perStripe))
-		}
-		if cfg.Seed != 0 {
-			// Distinct per-stripe seeds so fairness trials (and skip-list
-			// towers) do not run in lockstep across stripes; a spec's
-			// seed= overrides.
-			derived := cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
-			opts = append(opts, lock.WithSeed(derived))
-			bopts = append(bopts, store.WithSeed(derived))
-		}
-		mtx, err := lock.New(spec, opts...)
+		mu, stats, err := m.buildLock(spec, i)
 		if err != nil {
-			return nil, fmt.Errorf("shard: stripe lock: %w", err)
+			return nil, err
 		}
-		cm, ok := mtx.(lock.ContextMutex)
-		if !ok {
-			// Registry locks all satisfy ContextMutex; a custom Register
-			// that does not cannot serve deadline-bounded operations.
-			return nil, fmt.Errorf("shard: lock spec %q builds a %T, which is not a lock.ContextMutex", spec, mtx)
-		}
-		table, err := store.New(bspec, bopts...)
+		table, err := m.buildBackend(bspec, i)
 		if err != nil {
-			return nil, fmt.Errorf("shard: stripe table: %w", err)
+			return nil, err
 		}
+		d := &descriptor{
+			mu:          mu,
+			stats:       stats,
+			table:       table,
+			lockSpec:    spec,
+			backendSpec: bspec,
+		}
+		d.ordered, _ = table.(store.Ordered)
 		s := &m.stripes[i]
-		s.mu = cm
-		s.stats, _ = mtx.(lock.Instrumented)
-		s.table = table
-		s.ordered, _ = table.(store.Ordered)
+		s.desc.Store(d)
 		if cfg.HistoryCap > 0 {
 			// Preallocate the whole (bounded) cap: a growth-copy of a
 			// multi-MB history inside the critical section would charge an
@@ -212,6 +305,52 @@ func New(cfg Config) (*Map, error) {
 		}
 	}
 	return m, nil
+}
+
+// buildLock builds stripe i's lock from spec, with the per-stripe derived
+// seed (see Config.Seed). Reconfigure uses the same path, so a swapped-in
+// lock is seeded exactly as a constructed one.
+func (m *Map) buildLock(spec string, i int) (lock.ContextMutex, lock.Instrumented, error) {
+	var opts []lock.Option
+	if m.seed != 0 {
+		opts = append(opts, lock.WithSeed(m.derivedSeed(i)))
+	}
+	mtx, err := lock.New(spec, opts...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("shard: stripe lock: %w", err)
+	}
+	cm, ok := mtx.(lock.ContextMutex)
+	if !ok {
+		// Registry locks all satisfy ContextMutex; a custom Register
+		// that does not cannot serve deadline-bounded operations.
+		return nil, nil, fmt.Errorf("shard: lock spec %q builds a %T, which is not a lock.ContextMutex", spec, mtx)
+	}
+	stats, _ := mtx.(lock.Instrumented)
+	return cm, stats, nil
+}
+
+// buildBackend builds stripe i's table from spec, with the per-stripe
+// capacity share and derived seed.
+func (m *Map) buildBackend(spec string, i int) (store.Backend, error) {
+	var opts []store.Option
+	if m.perStripe > 0 {
+		opts = append(opts, store.WithCapacity(m.perStripe))
+	}
+	if m.seed != 0 {
+		opts = append(opts, store.WithSeed(m.derivedSeed(i)))
+	}
+	table, err := store.New(spec, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("shard: stripe table: %w", err)
+	}
+	return table, nil
+}
+
+// derivedSeed gives stripe i a distinct seed so fairness trials (and
+// skip-list towers) do not run in lockstep across stripes; a spec's
+// seed= overrides.
+func (m *Map) derivedSeed(i int) uint64 {
+	return m.seed + uint64(i)*0x9e3779b97f4a7c15
 }
 
 // MustNew is New for initialization paths where a malformed config is a
@@ -264,6 +403,10 @@ func (s *stripe) client(ctx context.Context) (int, bool) {
 // record appends one admission, inside the critical section (the stripe
 // lock serializes appends, the same protocol metrics.Recorder documents;
 // the cap check reads the recorder, so it too must run under the lock).
+// Appends before and after a reconfiguration are still totally ordered:
+// the swap acquires the old lock and publishes the new descriptor with a
+// release store, so a pre-swap append happens-before the swap, which
+// happens-before any append under the new lock.
 func (s *stripe) record(id int) {
 	if s.rec.Len() < s.hcap {
 		s.rec.Record(id)
@@ -273,38 +416,28 @@ func (s *stripe) record(id int) {
 // Get returns the value for key and whether it was present.
 func (m *Map) Get(key uint64) (uint64, bool) {
 	s := m.stripe(key)
-	s.mu.Lock()
-	v, ok := s.table.Get(key)
-	s.mu.Unlock()
+	d := s.lockCurrent()
+	v, ok := d.table.Get(key)
+	d.mu.Unlock()
 	return v, ok
 }
 
 // Put inserts or updates key. It reports whether the key was new.
 func (m *Map) Put(key, val uint64) bool {
 	s := m.stripe(key)
-	s.mu.Lock()
-	fresh := s.table.Put(key, val)
-	s.mu.Unlock()
+	d := s.lockCurrent()
+	fresh := d.table.Put(key, val)
+	d.mu.Unlock()
 	return fresh
 }
 
 // Delete removes key; it reports whether the key was present.
 func (m *Map) Delete(key uint64) bool {
 	s := m.stripe(key)
-	s.mu.Lock()
-	present := s.table.Delete(key)
-	s.mu.Unlock()
+	d := s.lockCurrent()
+	present := d.table.Delete(key)
+	d.mu.Unlock()
 	return present
-}
-
-// lockStripe takes s's lock, bounded by ctx when ctx is non-nil. The
-// multi-stripe reads thread their optional context through it.
-func lockStripe(s *stripe, ctx context.Context) error {
-	if ctx == nil {
-		s.mu.Lock()
-		return nil
-	}
-	return s.mu.LockContext(ctx)
 }
 
 // Len returns the number of keys present. Like every multi-stripe read it
@@ -323,12 +456,12 @@ func (m *Map) LenContext(ctx context.Context) (int, error) {
 func (m *Map) lenStripes(ctx context.Context) (int, error) {
 	n := 0
 	for i := range m.stripes {
-		s := &m.stripes[i]
-		if err := lockStripe(s, ctx); err != nil {
+		d, err := m.stripes[i].lockCurrentContext(ctx)
+		if err != nil {
 			return 0, err
 		}
-		n += s.table.Len()
-		s.mu.Unlock()
+		n += d.table.Len()
+		d.mu.Unlock()
 	}
 	return n, nil
 }
@@ -337,14 +470,15 @@ func (m *Map) lenStripes(ctx context.Context) (int, error) {
 func (m *Map) GetContext(ctx context.Context, key uint64) (val uint64, ok bool, err error) {
 	s := m.stripe(key)
 	id, recording := s.client(ctx)
-	if err := s.mu.LockContext(ctx); err != nil {
+	d, err := s.lockCurrentContext(ctx)
+	if err != nil {
 		return 0, false, err
 	}
 	if recording {
 		s.record(id)
 	}
-	v, ok := s.table.Get(key)
-	s.mu.Unlock()
+	v, ok := d.table.Get(key)
+	d.mu.Unlock()
 	return v, ok, nil
 }
 
@@ -352,14 +486,15 @@ func (m *Map) GetContext(ctx context.Context, key uint64) (val uint64, ok bool, 
 func (m *Map) PutContext(ctx context.Context, key, val uint64) (fresh bool, err error) {
 	s := m.stripe(key)
 	id, recording := s.client(ctx)
-	if err := s.mu.LockContext(ctx); err != nil {
+	d, err := s.lockCurrentContext(ctx)
+	if err != nil {
 		return false, err
 	}
 	if recording {
 		s.record(id)
 	}
-	fresh = s.table.Put(key, val)
-	s.mu.Unlock()
+	fresh = d.table.Put(key, val)
+	d.mu.Unlock()
 	return fresh, nil
 }
 
@@ -367,14 +502,15 @@ func (m *Map) PutContext(ctx context.Context, key, val uint64) (fresh bool, err 
 func (m *Map) DeleteContext(ctx context.Context, key uint64) (present bool, err error) {
 	s := m.stripe(key)
 	id, recording := s.client(ctx)
-	if err := s.mu.LockContext(ctx); err != nil {
+	d, err := s.lockCurrentContext(ctx)
+	if err != nil {
 		return false, err
 	}
 	if recording {
 		s.record(id)
 	}
-	present = s.table.Delete(key)
-	s.mu.Unlock()
+	present = d.table.Delete(key)
+	d.mu.Unlock()
 	return present, nil
 }
 
@@ -399,16 +535,16 @@ type kv struct{ key, val uint64 }
 func (m *Map) rangeStripes(ctx context.Context, fn func(key, val uint64) bool) error {
 	var pairs []kv
 	for i := range m.stripes {
-		s := &m.stripes[i]
-		if err := lockStripe(s, ctx); err != nil {
+		d, err := m.stripes[i].lockCurrentContext(ctx)
+		if err != nil {
 			return err
 		}
 		pairs = pairs[:0]
-		s.table.Range(func(k, v uint64) bool {
+		d.table.Range(func(k, v uint64) bool {
 			pairs = append(pairs, kv{k, v})
 			return true
 		})
-		s.mu.Unlock()
+		d.mu.Unlock()
 		for _, p := range pairs {
 			if !fn(p.key, p.val) {
 				return nil
@@ -422,17 +558,17 @@ func (m *Map) rangeStripes(ctx context.Context, fn func(key, val uint64) bool) e
 // ascending global key order, until fn returns false. Bounds are
 // inclusive, so the full domain is Scan(0, ^uint64(0), fn).
 //
-// Scan requires an ordered backend (Config.BackendSpec naming a
-// store.Ordered implementation: "skiplist", "rbtree"); with an unordered
-// backend it returns ErrUnordered without visiting anything. Keys are
-// hash-routed, so every stripe holds an arbitrary subset of [lo, hi]:
-// each stripe's matches are copied out under that stripe's lock (one
-// stripe at a time, like Range), then merged across stripes into global
-// key order before fn sees the first pair. fn therefore runs with no
-// lock held and may call back into the Map, but a Scan buffers all
-// matching pairs — size ranges accordingly. Like every multi-stripe
-// read the result is per-stripe consistent, not a point-in-time
-// snapshot.
+// Scan requires every stripe's current backend to be ordered (a
+// store.Ordered implementation: "skiplist", "rbtree"); otherwise it
+// returns ErrUnordered without visiting anything. Keys are hash-routed,
+// so every stripe holds an arbitrary subset of [lo, hi]: each stripe's
+// matches are copied out under that stripe's lock (one stripe at a time,
+// like Range), then merged across stripes into global key order before
+// fn sees the first pair. fn therefore runs with no lock held and may
+// call back into the Map, but a Scan buffers all matching pairs — size
+// ranges accordingly, or use ScanChunked to bound the buffering. Like
+// every multi-stripe read the result is per-stripe consistent, not a
+// point-in-time snapshot.
 func (m *Map) Scan(lo, hi uint64, fn func(key, val uint64) bool) error {
 	return m.scanStripes(nil, lo, hi, fn)
 }
@@ -445,45 +581,87 @@ func (m *Map) ScanContext(ctx context.Context, lo, hi uint64, fn func(key, val u
 	return m.scanStripes(ctx, lo, hi, fn)
 }
 
-// Ordered reports whether the configured backend maintains key order,
-// i.e. whether Scan and ScanContext can serve range queries.
-func (m *Map) Ordered() bool { return m.stripes[0].ordered != nil }
+// Ordered reports whether every stripe's current backend maintains key
+// order, i.e. whether Scan and ScanChunked can serve range queries right
+// now. After a partial reconfiguration (some stripes ordered, some not)
+// it reports false — a merged range query needs every stripe.
+func (m *Map) Ordered() bool { return m.requireOrdered() == nil }
 
-// BackendSpec returns the resolved backend spec the stripes were built
-// from.
-func (m *Map) BackendSpec() string { return m.backend }
+// BackendSpec returns the construction-time backend spec the stripes
+// were originally built from (Config.BackendSpec, resolved). Live specs
+// may differ per stripe after Reconfigure — see StripeSpecs.
+func (m *Map) BackendSpec() string { return m.cfgBackend }
+
+// countScan counts one scan attempt — before the ordered check, so scan
+// demand is visible even when the current backends cannot serve it (that
+// visibility is what lets a controller decide to swap a backend in).
+func (m *Map) countScan() {
+	m.scans.Add(1)
+}
+
+// requireOrdered rejects a scan up front when some stripe's current
+// backend is unordered. It is advisory (a concurrent Reconfigure can
+// invalidate it); the per-stripe check at lock time is authoritative.
+func (m *Map) requireOrdered() error {
+	for i := range m.stripes {
+		if d := m.stripes[i].desc.Load(); d.ordered == nil {
+			return unorderedErr(i, d.backendSpec)
+		}
+	}
+	return nil
+}
+
+func unorderedErr(i int, backendSpec string) error {
+	return fmt.Errorf("%w: stripe %d backend spec %q has no Scan (known ordered backends implement store.Ordered)",
+		ErrUnordered, i, backendSpec)
+}
 
 func (m *Map) scanStripes(ctx context.Context, lo, hi uint64, fn func(key, val uint64) bool) error {
-	if !m.Ordered() {
-		return fmt.Errorf("%w: backend spec %q has no Scan (known ordered backends implement store.Ordered)",
-			ErrUnordered, m.backend)
+	m.countScan()
+	if err := m.requireOrdered(); err != nil {
+		return err
 	}
 	// Phase 1: per-stripe collection. Each stripe's Scan yields its
 	// matches already in ascending order; they are copied out under the
 	// stripe lock so the merge (and fn) run with no lock held.
 	runs := make([][]kv, 0, len(m.stripes))
 	for i := range m.stripes {
-		s := &m.stripes[i]
-		if err := lockStripe(s, ctx); err != nil {
+		d, err := m.stripes[i].lockCurrentContext(ctx)
+		if err != nil {
 			return err
 		}
+		if d.ordered == nil {
+			// Reconfigured to an unordered backend after requireOrdered.
+			d.mu.Unlock()
+			return unorderedErr(i, d.backendSpec)
+		}
 		var run []kv
-		s.ordered.Scan(lo, hi, func(k, v uint64) bool {
+		d.ordered.Scan(lo, hi, func(k, v uint64) bool {
 			run = append(run, kv{k, v})
 			return true
 		})
-		s.mu.Unlock()
+		d.mu.Unlock()
 		if len(run) > 0 {
 			runs = append(runs, run)
 		}
 	}
-	// Phase 2: k-way merge of the sorted runs. Every key lives in exactly
-	// one stripe, so no tie-breaking is needed. A binary heap over the
-	// run heads keeps the merge O(N log S) for S stripes.
-	h := make([]int, len(runs)) // heap of run indices, keyed by head key
+	// Phase 2: k-way merge of the sorted runs into global key order.
+	mergeRuns(runs, fn)
+	return nil
+}
+
+// mergeRuns k-way merges the sorted, key-disjoint runs and feeds the
+// pairs to fn in ascending key order; it reports whether the merge ran
+// to completion (false: fn stopped it early). Every key lives in exactly
+// one stripe, so no tie-breaking is needed. A binary heap over the run
+// heads keeps the merge O(N log S) for S runs.
+func mergeRuns(runs [][]kv, fn func(key, val uint64) bool) bool {
+	h := make([]int, 0, len(runs)) // heap of run indices, keyed by head key
 	pos := make([]int, len(runs))
 	for i := range runs {
-		h[i] = i
+		if len(runs[i]) > 0 {
+			h = append(h, i)
+		}
 	}
 	headKey := func(i int) uint64 { return runs[h[i]][pos[h[i]]].key }
 	less := func(i, j int) bool { return headKey(i) < headKey(j) }
@@ -511,7 +689,7 @@ func (m *Map) scanStripes(ctx context.Context, lo, hi uint64, fn func(key, val u
 		run := h[0]
 		p := runs[run][pos[run]]
 		if !fn(p.key, p.val) {
-			return nil
+			return false
 		}
 		pos[run]++
 		if pos[run] == len(runs[run]) {
@@ -522,7 +700,7 @@ func (m *Map) scanStripes(ctx context.Context, lo, hi uint64, fn func(key, val u
 			siftDown(0)
 		}
 	}
-	return nil
+	return true
 }
 
 // StripeSnapshot is the observable state of one stripe.
@@ -531,8 +709,28 @@ type StripeSnapshot struct {
 	Index int
 	// Len is the stripe's key count.
 	Len int
-	// Lock is the stripe lock's CR event counters (zero when the spec set
-	// stats=false).
+	// LockSpec and BackendSpec are the specs the stripe's current lock
+	// and backend were built from (live values — they change under
+	// Reconfigure).
+	LockSpec    string
+	BackendSpec string
+	// Ordered reports whether the stripe's current backend maintains key
+	// order (satisfies store.Ordered).
+	Ordered bool
+	// Swaps is how many times this stripe has been reconfigured.
+	Swaps uint64
+	// Scans counts scan work — one per Scan attempt (including attempts
+	// rejected with ErrUnordered: demand is a signal even when the
+	// backend cannot serve it), one per refilling ScanChunked round (a
+	// round re-acquires stripe locks like a fresh Scan, keeping the
+	// scan-vs-acquisitions ratio meaningful). Every scan visits every
+	// stripe, so this is the map-level count, identical across a
+	// snapshot's stripes — it rides here because per-stripe policies
+	// (shard.Policy) see only stripe snapshots.
+	Scans uint64
+	// Lock is the stripe lock's CR event counters, including those of
+	// retired locks from before any reconfiguration (zero when the spec
+	// set stats=false).
 	Lock core.Snapshot
 	// Fairness summarizes the stripe's recorded admission history (zero
 	// Admissions when history recording is off or no identified client
@@ -548,6 +746,11 @@ type Snapshot struct {
 	Lock core.Snapshot
 	// Len is the total key count.
 	Len int
+	// Swaps is the total reconfiguration count across stripes.
+	Swaps uint64
+	// Scans is the map-level scan-attempt count (not a per-stripe sum:
+	// every scan visits every stripe).
+	Scans uint64
 }
 
 // Snapshot collects per-stripe lengths, lock counters, and fairness
@@ -575,30 +778,62 @@ func (m *Map) SnapshotContext(ctx context.Context) (Snapshot, error) {
 }
 
 func (m *Map) snapshotStripes(ctx context.Context) (Snapshot, error) {
-	out := Snapshot{Stripes: make([]StripeSnapshot, len(m.stripes))}
+	return m.snapshotImpl(ctx, false)
+}
+
+// snapshotLite is Snapshot minus the expensive fairness instruments: the
+// per-stripe Fairness carries only Admissions and RecentLWSS (an O(window)
+// trailing-set count); AvgLWSS, MTTR, Gini, and RSTDDEV — each O(history)
+// or O(history log history) over up to HistoryCap records per stripe —
+// come back zero. The controller polls on an interval; recomputing a
+// full-history Gini per stripe per tick would starve the data plane the
+// control loop exists to help. Acquisition is bounded by ctx, so a
+// stopped controller is not held hostage by a stripe mid-migration.
+func (m *Map) snapshotLite(ctx context.Context) (Snapshot, error) {
+	return m.snapshotImpl(ctx, true)
+}
+
+func (m *Map) snapshotImpl(ctx context.Context, lite bool) (Snapshot, error) {
+	out := Snapshot{
+		Stripes: make([]StripeSnapshot, len(m.stripes)),
+		Scans:   m.scans.Load(),
+	}
 	for i := range m.stripes {
 		s := &m.stripes[i]
-		if err := lockStripe(s, ctx); err != nil {
+		d, err := s.lockCurrentContext(ctx)
+		if err != nil {
 			return Snapshot{}, err
 		}
-		ln := s.table.Len()
+		ln := d.table.Len()
 		var h metrics.History
 		if s.rec != nil {
 			h = s.rec.History()
 		}
-		s.mu.Unlock()
-		var ls core.Snapshot
-		if s.stats != nil {
-			ls = s.stats.Stats()
+		d.mu.Unlock()
+		ls := d.snapshot()
+		var fairness metrics.Summary
+		if lite {
+			fairness = metrics.Summary{
+				Admissions: len(h),
+				RecentLWSS: float64(metrics.RecentLWSS(h, m.window)),
+			}
+		} else {
+			fairness = metrics.Summarize(h, m.window)
 		}
 		out.Stripes[i] = StripeSnapshot{
-			Index:    i,
-			Len:      ln,
-			Lock:     ls,
-			Fairness: metrics.Summarize(h, m.window),
+			Index:       i,
+			Len:         ln,
+			LockSpec:    d.lockSpec,
+			BackendSpec: d.backendSpec,
+			Ordered:     d.ordered != nil,
+			Swaps:       d.swaps,
+			Scans:       out.Scans,
+			Lock:        ls,
+			Fairness:    fairness,
 		}
 		out.Len += ln
 		out.Lock = out.Lock.Add(ls)
+		out.Swaps += d.swaps
 	}
 	return out, nil
 }
