@@ -59,12 +59,39 @@
 // deadline budget, exactly like a queue in front of a real service.
 // -rate 0 (default) is closed loop.
 //
+// With -fault, every cell runs a scripted chaos timeline (see fault.New
+// for the spec grammar): the cell warms up healthy, the fault set is
+// armed at -fault-after, disarmed -fault-for later, and the tail of the
+// cell is the recovery window. Stall faults are injected inside the
+// stripe critical section (Map.SetInjector), hotkey faults rewrite the
+// workers' keys, and surge faults grow the worker pool with patient
+// (deadline-free) extra hammerers while active. A sampler splits the
+// deadline traffic into pre/fault/post phases and measures
+// time-to-recovery: how long after fault onset the trailing miss rate
+// (sampled every -fault-sample) stays at or below -fault-target for
+// three consecutive samples. Sweeping -policy 'static,slo?...' over the
+// same timeline prices the SLO-native controller against a frozen
+// baseline on identical chaos:
+//
+//	shardbench -stripes 4 -lock mcs-stp -dist zipf -cancel-frac 0.2 -deadline 8ms \
+//	  -duration 4s -fault 'stall?p=1&hold=1ms' -policy 'static,slo?hot=mcscr-stp'
+//
+// A static cell only "recovers" when the fault is lifted; an slo cell
+// demotes the burning stripes to the culling lock and recovers while the
+// stall is still being injected — the paper's claim, measured at the
+// objective. The per-phase rates, recovery time, and injected-fault
+// counters land in a "chaos" JSON object per cell and an indented detail
+// line under the table row.
+//
 // The results are written to -json (default BENCH_shard.json; the copy at
 // the repository root tracks the service-path perf trajectory alongside
-// BENCH_locks.json).
+// BENCH_locks.json). With -append, an existing -json file is extended to
+// a JSON array of records instead of overwritten — so a chaos run can
+// ride alongside the steady-state record.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -80,6 +107,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/fault"
 	"repro/lock"
 	"repro/policy"
 	"repro/shard"
@@ -133,6 +161,44 @@ type result struct {
 
 	// Rolled-up CR event counters across all stripe locks.
 	Stats map[string]uint64 `json:"stats,omitempty"`
+
+	// Chaos carries the scripted-fault phases when the cell ran under
+	// -fault; nil otherwise.
+	Chaos *chaosResult `json:"chaos,omitempty"`
+}
+
+// chaosResult is one cell's scripted-fault accounting: the deadline
+// traffic split at the Arm/Disarm boundaries, time-to-recovery measured
+// from fault onset, and the injected-fault evidence (a chaos run whose
+// faults never fired proves nothing).
+type chaosResult struct {
+	Fault string `json:"fault"`
+
+	// Deadline traffic per phase: before Arm, between Arm and Disarm,
+	// and after Disarm. Rates are 0 when the phase saw no deadline
+	// traffic (never NaN).
+	PreAttempts   int     `json:"pre_attempts"`
+	PreMisses     int     `json:"pre_misses"`
+	PreMissRate   float64 `json:"pre_miss_rate"`
+	FaultAttempts int     `json:"fault_attempts"`
+	FaultMisses   int     `json:"fault_misses"`
+	FaultMissRate float64 `json:"fault_miss_rate"`
+	PostAttempts  int     `json:"post_attempts"`
+	PostMisses    int     `json:"post_misses"`
+	PostMissRate  float64 `json:"post_miss_rate"`
+
+	// RecoveryMillis is the time from fault onset (Arm) until the
+	// trailing per-sample miss rate first held at or below -fault-target
+	// for three consecutive samples; -1 if the cell never recovered. A
+	// frozen (static) cell can only recover after Disarm; an adaptive one
+	// can recover mid-fault — this column is the difference, in ms.
+	RecoveryMillis float64 `json:"recovery_ms"`
+
+	// What the fault set actually injected during the cell.
+	Stalls      uint64  `json:"stalls,omitempty"`
+	StallMillis float64 `json:"stall_ms,omitempty"`
+	Reroutes    uint64  `json:"reroutes,omitempty"`
+	SurgePeak   int     `json:"surge_peak,omitempty"`
 }
 
 // record is the top-level JSON document.
@@ -149,7 +215,15 @@ type record struct {
 	CancelFrac float64  `json:"cancel_frac,omitempty"`
 	Deadline   string   `json:"deadline,omitempty"`
 	Adapt      string   `json:"adapt_interval,omitempty"`
-	Results    []result `json:"results"`
+
+	// Chaos timeline parameters, present when -fault is set.
+	Fault       string  `json:"fault,omitempty"`
+	FaultAfter  string  `json:"fault_after,omitempty"`
+	FaultFor    string  `json:"fault_for,omitempty"`
+	FaultSample string  `json:"fault_sample,omitempty"`
+	FaultTarget float64 `json:"fault_target,omitempty"`
+
+	Results []result `json:"results"`
 }
 
 func main() {
@@ -170,9 +244,15 @@ func main() {
 		deadline    = flag.Duration("deadline", time.Millisecond, "per-request deadline, measured from arrival")
 		policyList  = flag.String("policy", "", "comma-separated adaptation policy specs to sweep (see policy.New; empty = no controller)")
 		adaptEvery  = flag.Duration("adapt-interval", shard.DefaultControllerInterval, "controller snapshot cadence when -policy is set")
+		faultSpec   = flag.String("fault", "", "fault set spec for a scripted chaos timeline in every cell (see fault.New; empty = no chaos)")
+		faultAfter  = flag.Duration("fault-after", 0, "arm the fault set this long into each cell (0 = duration/4)")
+		faultFor    = flag.Duration("fault-for", 0, "keep the fault set armed this long (0 = duration/2)")
+		faultSample = flag.Duration("fault-sample", 25*time.Millisecond, "chaos sampler cadence for phase accounting and recovery detection")
+		faultTarget = flag.Float64("fault-target", 0.05, "trailing miss rate at or below which the SLO counts as recovered")
 		seed        = flag.Uint64("seed", 1, "base PRNG seed for locks, backends, and workload")
 		jsonPath    = flag.String("json", "BENCH_shard.json", "write results to this file as JSON ('' disables)")
-		list        = flag.Bool("list", false, "list registered lock, backend, and policy specs with their summaries, then exit")
+		appendJSON  = flag.Bool("append", false, "append the record to -json as a JSON array instead of overwriting")
+		list        = flag.Bool("list", false, "list registered lock, backend, policy, and fault specs with their summaries, then exit")
 	)
 	flag.Parse()
 
@@ -243,6 +323,34 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	// The chaos timeline is validated like everything else: spec up
+	// front, and the Arm..Disarm window must leave a recovery tail inside
+	// the cell — a fault that outlives the measurement proves nothing
+	// about recovery.
+	fAfter, fFor := *faultAfter, *faultFor
+	if *faultSpec != "" {
+		if _, err := fault.New(*faultSpec); err != nil {
+			fmt.Fprintf(os.Stderr, "shardbench: %v\n", err)
+			os.Exit(2)
+		}
+		if fAfter <= 0 {
+			fAfter = *duration / 4
+		}
+		if fFor <= 0 {
+			fFor = *duration / 2
+		}
+		if fAfter+fFor >= *duration {
+			fmt.Fprintf(os.Stderr, "shardbench: -fault timeline (-fault-after %v + -fault-for %v) leaves no recovery tail inside -duration %v\n", fAfter, fFor, *duration)
+			os.Exit(2)
+		}
+		if *faultSample <= 0 {
+			fmt.Fprintf(os.Stderr, "shardbench: -fault-sample: want a positive cadence\n")
+			os.Exit(2)
+		}
+		if *cancelFrac <= 0 {
+			fmt.Fprintf(os.Stderr, "shardbench: warning: -fault without -cancel-frac: no request carries a deadline, so the chaos miss rates and recovery time will read empty\n")
+		}
+	}
 
 	rec := record{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -264,6 +372,13 @@ func main() {
 	if *policyList != "" {
 		rec.Adapt = adaptEvery.String()
 	}
+	if *faultSpec != "" {
+		rec.Fault = *faultSpec
+		rec.FaultAfter = fAfter.String()
+		rec.FaultFor = fFor.String()
+		rec.FaultSample = faultSample.String()
+		rec.FaultTarget = *faultTarget
+	}
 
 	fmt.Printf("%-8s %-12s %-10s %-12s %7s %10s %10s %7s %8s %8s %7s %7s %6s\n",
 		"dist", "lock", "backend", "policy", "stripes", "ops", "ops/sec", "miss%", "p50(us)", "p99(us)", "LWSS", "Gini", "swaps")
@@ -279,6 +394,8 @@ func main() {
 							scanFrac: *scanFrac, scanSpan: *scanSpan,
 							rate: *rate, cancelFrac: *cancelFrac, deadline: *deadline,
 							policy: pspec, adaptEvery: *adaptEvery,
+							fault: *faultSpec, faultAfter: fAfter, faultFor: fFor,
+							faultSample: *faultSample, faultTarget: *faultTarget,
 							seed: *seed,
 						})
 						rec.Results = append(rec.Results, r)
@@ -301,6 +418,15 @@ func main() {
 						fmt.Printf("%-8s %-12s %-10s %-12s %7d %10d %10.0f %7s %8.1f %8.1f %7.1f %7.3f %6d\n",
 							r.Dist, r.Lock, r.Backend, policyCol, r.Stripes, r.Ops, r.OpsPerSec, missCol,
 							r.P50Micros, r.P99Micros, r.MeanLWSS, r.MeanGini, r.Swaps)
+						if ch := r.Chaos; ch != nil {
+							recov := "never"
+							if ch.RecoveryMillis >= 0 {
+								recov = fmt.Sprintf("%.0fms", ch.RecoveryMillis)
+							}
+							fmt.Printf("  chaos: miss%% pre=%.2f fault=%.2f post=%.2f  recovery=%s  stalls=%d stall-time=%.0fms reroutes=%d surge-peak=%d\n",
+								100*ch.PreMissRate, 100*ch.FaultMissRate, 100*ch.PostMissRate,
+								recov, ch.Stalls, ch.StallMillis, ch.Reroutes, ch.SurgePeak)
+						}
 					}
 				}
 			}
@@ -308,23 +434,47 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		buf, err := json.MarshalIndent(rec, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "shardbench: marshal: %v\n", err)
-			os.Exit(1)
-		}
-		buf = append(buf, '\n')
-		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+		if err := writeJSON(*jsonPath, rec, *appendJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "shardbench: %v\n", err)
 			os.Exit(1)
 		}
 	}
 }
 
-// printRegistries renders all three registries' canonical names with
-// their Registration.Summary lines, uniformly: the three-registry design
+// writeJSON writes the record to path. In append mode an existing file
+// is promoted to (or extended as) a JSON array of records, so a chaos
+// record can ride alongside a steady-state one without clobbering it; a
+// missing or empty file degrades to a plain write.
+func writeJSON(path string, rec record, appendMode bool) error {
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal: %w", err)
+	}
+	if appendMode {
+		if old, err := os.ReadFile(path); err == nil && len(bytes.TrimSpace(old)) > 0 {
+			prior := bytes.TrimSpace(old)
+			var arr []json.RawMessage
+			if prior[0] == '[' {
+				if err := json.Unmarshal(prior, &arr); err != nil {
+					return fmt.Errorf("-append: existing %s is not valid JSON: %w", path, err)
+				}
+			} else {
+				arr = []json.RawMessage{prior}
+			}
+			arr = append(arr, buf)
+			if buf, err = json.MarshalIndent(arr, "", "  "); err != nil {
+				return fmt.Errorf("marshal: %w", err)
+			}
+		}
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// printRegistries renders all four registries' canonical names with
+// their Registration.Summary lines, uniformly: the four-registry design
 // on one screen — pick your lock, pick your backend, pick the policy
-// that re-picks both at runtime.
+// that re-picks both at runtime, pick the fault that tries to break all
+// three.
 func printRegistries(w *os.File) {
 	section := func(title string, names []string, summary func(string) string) {
 		fmt.Fprintln(w, title)
@@ -342,6 +492,10 @@ func printRegistries(w *os.File) {
 	})
 	section("policies (-policy; see policy.New for parameters):", policy.Names(), func(n string) string {
 		reg, _ := policy.Lookup(n)
+		return reg.Summary
+	})
+	section("faults (-fault; see fault.New for parameters):", fault.Names(), func(n string) string {
+		reg, _ := fault.Lookup(n)
 		return reg.Summary
 	})
 }
@@ -364,6 +518,13 @@ type cellConfig struct {
 	cancelFrac float64
 	deadline   time.Duration
 	seed       uint64
+
+	// Chaos timeline; fault == "" disables it.
+	fault       string
+	faultAfter  time.Duration // Arm this long into the cell
+	faultFor    time.Duration // Disarm this long after Arm
+	faultSample time.Duration
+	faultTarget float64
 }
 
 func runCell(c cellConfig) result {
@@ -404,6 +565,18 @@ func runCell(c cellConfig) result {
 
 	var stop atomic.Bool
 	var ops, scans, rejected, attempts, misses atomic.Int64
+
+	// With a fault spec, a fresh Set (fresh injection counters) is built
+	// per cell and installed as the map's injector; the chaos supervisor
+	// arms/disarms it on the timeline and does the phase accounting.
+	var set *fault.Set
+	var chaosCh chan *chaosResult
+	if c.fault != "" {
+		set = fault.MustNew(c.fault)
+		m.SetInjector(set)
+		chaosCh = make(chan *chaosResult, 1)
+		go func() { chaosCh <- runChaos(c, m, set, &attempts, &misses, &stop) }()
+	}
 	// Per-worker latency logs, merged after the run: no shared state on
 	// the measurement path.
 	lats := make([][]int64, c.threads)
@@ -445,6 +618,11 @@ func runCell(c cellConfig) result {
 					}
 				}
 				key := pick()
+				if set != nil {
+					// Skew storm: an active hotkey fault funnels this
+					// request to its key (identity while inactive).
+					key = set.Key(key)
+				}
 				scan := c.scanFrac > 0 && rng.Float64() < c.scanFrac
 				read := rng.Float64() < c.readFrac
 				issue := func(ctx context.Context) error {
@@ -506,6 +684,12 @@ func runCell(c cellConfig) result {
 		ctrl.Stop()
 	}
 
+	// Collect the chaos report first: the supervisor drains its surge
+	// workers on exit, so the closing snapshot sees a quiesced map.
+	var chaos *chaosResult
+	if chaosCh != nil {
+		chaos = <-chaosCh
+	}
 	snap := m.Snapshot()
 	delta := snap.Sub(baseline)
 	r := result{
@@ -521,6 +705,7 @@ func runCell(c cellConfig) result {
 		Scans:         int(scans.Load()),
 		ScansRejected: int(rejected.Load()),
 		Swaps:         int(delta.Swaps),
+		Chaos:         chaos,
 	}
 	var merged []int64
 	for _, log := range lats {
@@ -570,6 +755,137 @@ func runCell(c cellConfig) result {
 		"abandons":     delta.Lock.Abandons,
 	}
 	return r
+}
+
+// runChaos drives one cell's scripted fault timeline and does its
+// accounting. It arms the set c.faultAfter into the cell and disarms it
+// c.faultFor later; samples the workers' deadline counters every
+// c.faultSample to split the traffic into pre/fault/post phases and to
+// detect recovery (the first three consecutive samples whose trailing
+// miss rate held at or below c.faultTarget, clocked from Arm); and runs
+// the surge pool — while a surge fault is active, ExtraThreads() patient
+// (deadline-free) hammerers run on top of the measured workers, which is
+// the paper's overthreading collapse injected on demand. The sampler
+// reads the workers' own atomic counters, never a map snapshot: a
+// monitor acquiring a stormed stripe's lock is exactly the kind of
+// patient arrival a culling lock passivates, and the measurement must
+// not stall behind the convoy it is measuring. Returns when the cell
+// stops, with every surge worker drained.
+func runChaos(c cellConfig, m *shard.Map, set *fault.Set, attempts, misses *atomic.Int64, stop *atomic.Bool) *chaosResult {
+	cr := &chaosResult{Fault: set.String(), RecoveryMillis: -1}
+	var surge []chan struct{}
+	var surgeWg sync.WaitGroup
+	spawn := func(id int) {
+		quit := make(chan struct{})
+		surge = append(surge, quit)
+		surgeWg.Add(1)
+		go func() {
+			defer surgeWg.Done()
+			rng := rand.New(rand.NewSource(int64(c.seed)*2654435761 + int64(id) + 1))
+			for !stop.Load() {
+				select {
+				case <-quit:
+					return
+				default:
+				}
+				m.Put(set.Key(uint64(rng.Intn(c.keys))), uint64(id))
+			}
+		}()
+	}
+	resize := func(want int) {
+		for len(surge) < want {
+			spawn(len(surge))
+		}
+		for len(surge) > want {
+			close(surge[len(surge)-1])
+			surge = surge[:len(surge)-1]
+		}
+	}
+	defer surgeWg.Wait()
+	defer func() { resize(0) }()
+
+	start := time.Now()
+	tick := time.NewTicker(c.faultSample)
+	defer tick.Stop()
+
+	const pre, storming, post = 0, 1, 2
+	phase := pre
+	var phaseA, phaseM int64
+	endPhase := func() (int, int) {
+		a, mi := attempts.Load(), misses.Load()
+		dA, dM := int(a-phaseA), int(mi-phaseM)
+		phaseA, phaseM = a, mi
+		return dA, dM
+	}
+	var armedAt, runStart time.Time
+	var lastA, lastM int64
+	consec := 0
+	for !stop.Load() {
+		<-tick.C
+		now := time.Now()
+		if phase == pre && now.Sub(start) >= c.faultAfter {
+			cr.PreAttempts, cr.PreMisses = endPhase()
+			set.Arm()
+			armedAt = now
+			phase = storming
+			lastA, lastM = attempts.Load(), misses.Load()
+			continue
+		}
+		if phase == storming && now.Sub(armedAt) >= c.faultFor {
+			cr.FaultAttempts, cr.FaultMisses = endPhase()
+			set.Disarm()
+			resize(0)
+			phase = post
+		}
+		if phase == pre {
+			continue
+		}
+		if phase == storming {
+			resize(set.ExtraThreads())
+		}
+		a, mi := attempts.Load(), misses.Load()
+		dA, dM := a-lastA, mi-lastM
+		lastA, lastM = a, mi
+		if cr.RecoveryMillis >= 0 || dA == 0 {
+			continue // recovered already, or no deadline evidence this sample
+		}
+		if float64(dM)/float64(dA) <= c.faultTarget {
+			if consec == 0 {
+				runStart = now
+			}
+			if consec++; consec >= 3 {
+				cr.RecoveryMillis = float64(runStart.Sub(armedAt).Milliseconds())
+			}
+		} else {
+			consec = 0
+		}
+	}
+	// Close out whatever phase the cell ended in (a timeline validated in
+	// main always reaches post, but the accounting holds regardless).
+	switch phase {
+	case pre:
+		cr.PreAttempts, cr.PreMisses = endPhase()
+	case storming:
+		cr.FaultAttempts, cr.FaultMisses = endPhase()
+		set.Disarm()
+	case post:
+		cr.PostAttempts, cr.PostMisses = endPhase()
+	}
+	rate := func(misses, attempts int) float64 {
+		if attempts == 0 {
+			return 0
+		}
+		return float64(misses) / float64(attempts)
+	}
+	cr.PreMissRate = rate(cr.PreMisses, cr.PreAttempts)
+	cr.FaultMissRate = rate(cr.FaultMisses, cr.FaultAttempts)
+	cr.PostMissRate = rate(cr.PostMisses, cr.PostAttempts)
+	st := set.Stats()
+	cr.Stalls = st.Stalls
+	cr.StallMillis = float64(st.StallTime) / float64(time.Millisecond)
+	cr.Reroutes = st.Reroutes
+	cr.SurgePeak = st.SurgePeak
+	return cr
 }
 
 // percentileMicros returns the q-quantile of the nanosecond samples, in

@@ -22,7 +22,7 @@
 // finishes with a cross-stripe Scan: the keys come back in global key
 // order even though they are hash-scattered over the stripes.
 //
-// The final act closes the loop: the same zipf traffic against a map
+// The adaptive act closes the loop: the same zipf traffic against a map
 // built entirely from plain FIFO mcs-stp stripes, with an adaptation
 // controller (shard.StartController driving the "malthusian" registry
 // policy) watching per-stripe park rates. Stripes that collapse under
@@ -30,6 +30,15 @@
 // while requests are in flight — and the per-stripe spec report shows
 // exactly which stripes the controller decided were worth a Malthusian
 // lock.
+//
+// The chaos act injects the failure instead of waiting for one: a fault
+// set (fault.New, the fourth registry) storms the hot stripe with
+// critical-section stalls while a crowd of patient clients convoys
+// behind them and a paced probe client measures the deadline SLO. The
+// "slo" policy watches the per-stripe deadline-miss counters burn,
+// demotes the stripe's lock to a culling mcscr-stp while the stall is
+// still being injected — recovering the SLO without fixing the fault —
+// and restores the FIFO spec on sustained calm after the fault lifts.
 //
 //	go run ./examples/shardsvc
 //	go run ./examples/shardsvc 'lifocr?fairness=100'
@@ -46,6 +55,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/fault"
 	"repro/policy"
 	"repro/shard"
 )
@@ -74,6 +84,122 @@ func main() {
 	fmt.Println("per-stripe snapshot is where a hot stripe would show itself.")
 	fmt.Println()
 	serveAdaptive(backend)
+	fmt.Println()
+	serveChaos(backend)
+}
+
+// serveChaos injects the paper's failure mode on demand: a stall storm
+// lengthens every critical section on the hot stripe while patient
+// clients convoy behind it, and the slo policy defends the probe
+// client's deadline budget by demoting the stripe's lock mid-fault.
+func serveChaos(backend string) {
+	const (
+		hammerers = 10
+		hold      = time.Millisecond
+		probeSLO  = 8 * time.Millisecond
+		interval  = 20 * time.Millisecond
+	)
+	m, err := shard.New(shard.Config{
+		Stripes:     2,
+		LockSpec:    "mcs-stp",
+		BackendSpec: backend,
+		Capacity:    keyspace,
+		Seed:        1,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	hotKey := uint64(1)
+	idx := m.StripeFor(hotKey)
+	m.Put(hotKey, 0)
+
+	set := fault.MustNew(fmt.Sprintf("stall?p=1&hold=%s&stripe=%d", hold, idx))
+	m.SetInjector(set)
+	pol := policy.MustNew("slo?target=0.25&fast=3&slow=30&min=4&hot=mcscr-stp")
+	ctrl := shard.StartController(context.Background(), m, pol, interval)
+	defer ctrl.Stop()
+
+	// Patient hammerers (no deadline — they can afford to wait out the
+	// stall) plus one paced probe client carrying the SLO.
+	var probeOK, probeMiss atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for c := 0; c < hammerers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				m.Put(hotKey, 1)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for !stop.Load() {
+			<-tick.C
+			ctx, cancel := context.WithTimeout(context.Background(), probeSLO)
+			_, _, err := m.GetContext(ctx, hotKey)
+			cancel()
+			if err != nil {
+				probeMiss.Add(1)
+			} else {
+				probeOK.Add(1)
+			}
+		}
+	}()
+
+	lockSpec := func() string { ls, _ := m.StripeSpecs(idx); return ls }
+	until := func(desc string, cond func() bool) bool {
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				fmt.Printf("  gave up waiting for %s\n", desc)
+				return false
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return true
+	}
+	rate := func(window time.Duration) float64 {
+		o0, m0 := probeOK.Load(), probeMiss.Load()
+		time.Sleep(window)
+		dOK, dMiss := probeOK.Load()-o0, probeMiss.Load()-m0
+		if dOK+dMiss == 0 {
+			return 0
+		}
+		return float64(dMiss) / float64(dOK+dMiss)
+	}
+
+	fmt.Printf("chaos: stripes=2 lock=mcs-stp policy=slo fault=%q\n", set.String())
+	time.Sleep(6 * interval)
+	fmt.Printf("  healthy: probe miss rate %.0f%%, stripe %d runs %q\n", 100*rate(5*interval), idx, lockSpec())
+
+	set.Arm()
+	start := time.Now()
+	fmt.Printf("  fault armed: every critical section on stripe %d now stalls %v\n", idx, hold)
+	if until("demotion", func() bool { return lockSpec() == "mcscr-stp" }) {
+		fmt.Printf("  +%-6s slo demoted stripe %d to %q — fault still active\n",
+			time.Since(start).Round(time.Millisecond), idx, lockSpec())
+	}
+	midFault := rate(5 * interval)
+	fmt.Printf("  +%-6s probe miss rate %.0f%% with the stall still injected (stalls so far: %d)\n",
+		time.Since(start).Round(time.Millisecond), 100*midFault, set.Stats().Stalls)
+
+	set.Disarm()
+	fmt.Printf("  fault lifted after %v\n", time.Since(start).Round(time.Millisecond))
+	if until("restore", func() bool { return lockSpec() == "mcs-stp" }) {
+		fmt.Printf("  +%-6s sustained calm restored %q (swaps total: %d)\n",
+			time.Since(start).Round(time.Millisecond), lockSpec(), ctrl.Swaps())
+	}
+
+	stop.Store(true)
+	wg.Wait()
+	fmt.Println("The SLO is defended at the objective: the lock was demoted while the")
+	fmt.Println("fault was still firing, and the budget recovered before the fault did.")
 }
 
 // serveAdaptive runs the same skewed deadline traffic against plain FIFO

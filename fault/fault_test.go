@@ -1,0 +1,229 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"hotkey", "stall", "surge"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Names() = %v, missing %q", names, want)
+		}
+	}
+	if _, ok := Lookup("stall"); !ok {
+		t.Fatal("stall did not resolve")
+	}
+	for _, good := range []string{
+		"stall",
+		"stall?p=0.5&hold=2ms&stripe=3",
+		"surge?threads=32&after=1s&for=2s",
+		"hotkey?frac=0.8&key=42",
+		"stall?p=1&hold=1ms+hotkey?frac=0.5",
+		" stall + surge ", // segments are trimmed
+	} {
+		if _, err := New(good); err != nil {
+			t.Fatalf("New(%q): %v", good, err)
+		}
+	}
+	for _, bad := range []struct{ spec, frag string }{
+		{"no-such-fault", "unknown fault"},
+		{"stall?bogus=1", "unknown parameter"},
+		{"stall?p=1.5", "bad value"},
+		{"stall?hold=-1ms", "bad value"},
+		{"stall?hold=fast", "bad value"},
+		{"surge?threads=0", "bad value"},
+		{"hotkey?frac=x", "bad value"},
+		{"stall?p=0.5&p=0.6", "given 2 times"},
+		{"stall++surge", "empty fault"},
+		{"", "empty fault"},
+	} {
+		_, err := New(bad.spec)
+		if err == nil {
+			t.Fatalf("New(%q) accepted", bad.spec)
+		}
+		if !strings.Contains(err.Error(), bad.frag) {
+			t.Fatalf("New(%q) error %q missing %q", bad.spec, err, bad.frag)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	spec := "stall?p=1&hold=1ms+hotkey?frac=0.5"
+	if got := MustNew(spec).String(); got != spec {
+		t.Fatalf("String() = %q want %q", got, spec)
+	}
+}
+
+// TestArmGate: an unarmed set injects nothing, an armed one does, and
+// Disarm stops injection immediately.
+func TestArmGate(t *testing.T) {
+	s := MustNew("stall?p=1&hold=0s+hotkey?frac=1&key=7+surge?threads=4")
+	if s.Active() {
+		t.Fatal("active before Arm")
+	}
+	if got := s.Key(100); got != 100 {
+		t.Fatalf("unarmed Key(100) = %d", got)
+	}
+	if got := s.ExtraThreads(); got != 0 {
+		t.Fatalf("unarmed ExtraThreads = %d", got)
+	}
+	s.InCS(0)
+	if st := s.Stats(); st.Total() != 0 {
+		t.Fatalf("unarmed set injected: %+v", st)
+	}
+
+	s.Arm()
+	if !s.Active() {
+		t.Fatal("not active after Arm")
+	}
+	if got := s.Key(100); got != 7 {
+		t.Fatalf("armed Key(100) = %d want 7", got)
+	}
+	if got := s.ExtraThreads(); got != 4 {
+		t.Fatalf("armed ExtraThreads = %d want 4", got)
+	}
+	s.InCS(0)
+	st := s.Stats()
+	if st.Stalls != 1 || st.Reroutes != 1 || st.SurgePeak != 4 {
+		t.Fatalf("armed stats = %+v", st)
+	}
+
+	s.Disarm()
+	if s.Active() {
+		t.Fatal("active after Disarm")
+	}
+	s.InCS(0)
+	if got := s.Key(100); got != 100 {
+		t.Fatalf("disarmed Key(100) = %d", got)
+	}
+	if got := s.Stats(); got.Stalls != 1 {
+		t.Fatalf("disarmed set kept stalling: %+v", got)
+	}
+}
+
+// TestWindow: after= delays onset and for= bounds duration, both
+// measured from Arm.
+func TestWindow(t *testing.T) {
+	s := MustNew("surge?threads=8&after=50ms&for=50ms")
+	s.Arm()
+	if s.ExtraThreads() != 0 {
+		t.Fatal("active before after= elapsed")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.ExtraThreads() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("never entered the window")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for s.ExtraThreads() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("never left the window")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s.Stats().SurgePeak != 8 {
+		t.Fatalf("surge never recorded firing: %+v", s.Stats())
+	}
+}
+
+// TestStallTargetsStripe: stripe= confines the stall to one stripe.
+func TestStallTargetsStripe(t *testing.T) {
+	s := MustNew("stall?p=1&hold=0s&stripe=3")
+	s.Arm()
+	s.InCS(0)
+	s.InCS(2)
+	if got := s.Stats().Stalls; got != 0 {
+		t.Fatalf("stalled %d times on untargeted stripes", got)
+	}
+	s.InCS(3)
+	if got := s.Stats().Stalls; got != 1 {
+		t.Fatalf("Stalls = %d want 1", got)
+	}
+}
+
+// TestStallHoldLengthensCS: the injected sleep is observable wall time.
+func TestStallHoldLengthensCS(t *testing.T) {
+	s := MustNew("stall?p=1&hold=20ms")
+	s.Arm()
+	start := time.Now()
+	s.InCS(0)
+	if el := time.Since(start); el < 15*time.Millisecond {
+		t.Fatalf("InCS returned after %v, want >= ~20ms", el)
+	}
+	st := s.Stats()
+	if st.Stalls != 1 || st.StallTime != 20*time.Millisecond {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCoinRate: the shared Bernoulli source hits near p over many trials.
+func TestCoinRate(t *testing.T) {
+	var c coin
+	c.set(0.3)
+	const trials = 100000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if c.hit() {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if rate < 0.27 || rate > 0.33 {
+		t.Fatalf("coin rate %.3f want ~0.30", rate)
+	}
+	c.set(0)
+	if c.hit() {
+		t.Fatal("p=0 coin hit")
+	}
+	c.set(1)
+	if !c.hit() {
+		t.Fatal("p=1 coin missed")
+	}
+}
+
+// TestHotkeyFrac: frac=F reroutes about that share of keys.
+func TestHotkeyFrac(t *testing.T) {
+	s := MustNew("hotkey?frac=0.5&key=9")
+	s.Arm()
+	const trials = 100000
+	rerouted := 0
+	for i := 0; i < trials; i++ {
+		if s.Key(uint64(i + 1000)) == 9 {
+			rerouted++
+		}
+	}
+	rate := float64(rerouted) / trials
+	if rate < 0.45 || rate > 0.55 {
+		t.Fatalf("reroute rate %.3f want ~0.50", rate)
+	}
+	if got := s.Stats().Reroutes; got != uint64(rerouted) {
+		t.Fatalf("Reroutes = %d want %d", got, rerouted)
+	}
+}
+
+// TestRearm: a disarmed set can be armed again and its windows restart.
+func TestRearm(t *testing.T) {
+	s := MustNew("surge?threads=2")
+	s.Arm()
+	if s.ExtraThreads() != 2 {
+		t.Fatal("not active after first Arm")
+	}
+	s.Disarm()
+	if s.ExtraThreads() != 0 {
+		t.Fatal("active after Disarm")
+	}
+	s.Arm()
+	if s.ExtraThreads() != 2 {
+		t.Fatal("not active after re-Arm")
+	}
+}

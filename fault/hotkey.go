@@ -1,0 +1,92 @@
+package fault
+
+import (
+	"sync/atomic"
+
+	"repro/internal/spec"
+)
+
+func init() {
+	Register(Registration{
+		Name:    "hotkey",
+		Summary: "skew storm: reroutes frac of requests to one key (key=); window after=/for=",
+		Build:   buildHotkey,
+	})
+}
+
+// hotkey injects a skew storm: while active, each request's key is
+// rewritten to the hot key with probability frac, collapsing the
+// keyspace onto one stripe no matter what distribution the workload was
+// built with. Where zipf skew is a property of the traffic, a hotkey
+// storm is an *event* — a viral object, a retry stampede — and the
+// interesting question is whether the owning stripe's admission policy
+// absorbs it. The harness applies the rewrite before routing
+// (Set.Key), so the storm lands on whichever stripe owns key=.
+type hotkey struct {
+	window
+	frac float64
+	key  uint64
+
+	coin     coin
+	reroutes atomic.Uint64
+}
+
+func (f *hotkey) InCS(int) {}
+
+func (f *hotkey) Key(key uint64) uint64 {
+	if !f.active() || !f.coin.hit() {
+		return key
+	}
+	f.reroutes.Add(1)
+	return f.key
+}
+
+func (f *hotkey) ExtraThreads() int { return 0 }
+
+func (f *hotkey) stats(s *Stats) { s.Reroutes += f.reroutes.Load() }
+
+type hotkeyOpt func(*hotkey)
+
+var hotkeyGrammar = spec.NewGrammar[hotkeyOpt]("fault", map[string]spec.ParamFunc[hotkeyOpt]{
+	"frac": func(v string) (hotkeyOpt, error) {
+		p, err := spec.Frac(v)
+		if err != nil {
+			return nil, err
+		}
+		return func(f *hotkey) { f.frac = p }, nil
+	},
+	"key": func(v string) (hotkeyOpt, error) {
+		k, err := spec.Uint(v)
+		if err != nil {
+			return nil, err
+		}
+		return func(f *hotkey) { f.key = k }, nil
+	},
+	"after": func(v string) (hotkeyOpt, error) {
+		d, err := spec.Dur(v)
+		if err != nil {
+			return nil, err
+		}
+		return func(f *hotkey) { f.after = d }, nil
+	},
+	"for": func(v string) (hotkeyOpt, error) {
+		d, err := spec.Dur(v)
+		if err != nil {
+			return nil, err
+		}
+		return func(f *hotkey) { f.dur = d }, nil
+	},
+})
+
+func buildHotkey(fullSpec, query string) (Fault, error) {
+	f := &hotkey{frac: 1, key: DefaultHotKey}
+	opts, err := hotkeyGrammar.Parse(fullSpec, query)
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	f.coin.set(f.frac)
+	return f, nil
+}

@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/spec"
+)
+
+func init() {
+	Register(Registration{
+		Name:    "stall",
+		Summary: "stalls inside the stripe critical section: p=/hold=/stripe=; window after=/for=",
+		Build:   buildStall,
+	})
+}
+
+// stall lengthens a stripe's critical section: with probability p, an
+// operation that holds the stripe lock sleeps hold before releasing.
+// This is the paper's convoy scenario made injectable — a long critical
+// section is cheap for the holder and ruinous for the queue, and how
+// ruinous depends entirely on the admission policy: a FIFO queue charges
+// every waiter the full convoy, a culling policy charges a small active
+// set. stripe= targets one stripe (the hot-stripe storm); by default
+// every stripe stalls.
+type stall struct {
+	window
+	p      float64
+	hold   time.Duration
+	stripe int // -1 = every stripe
+
+	coin   coin
+	stalls atomic.Uint64
+}
+
+func (f *stall) InCS(stripe int) {
+	if !f.active() {
+		return
+	}
+	if f.stripe >= 0 && stripe != f.stripe {
+		return
+	}
+	if !f.coin.hit() {
+		return
+	}
+	f.stalls.Add(1)
+	time.Sleep(f.hold)
+}
+
+func (f *stall) Key(key uint64) uint64 { return key }
+func (f *stall) ExtraThreads() int     { return 0 }
+
+func (f *stall) stats(s *Stats) {
+	n := f.stalls.Load()
+	s.Stalls += n
+	s.StallTime += time.Duration(n) * f.hold
+}
+
+type stallOpt func(*stall)
+
+var stallGrammar = spec.NewGrammar[stallOpt]("fault", map[string]spec.ParamFunc[stallOpt]{
+	"p": func(v string) (stallOpt, error) {
+		p, err := spec.Frac(v)
+		if err != nil {
+			return nil, err
+		}
+		return func(f *stall) { f.p = p }, nil
+	},
+	"hold": func(v string) (stallOpt, error) {
+		d, err := spec.Dur(v)
+		if err != nil {
+			return nil, err
+		}
+		return func(f *stall) { f.hold = d }, nil
+	},
+	"stripe": func(v string) (stallOpt, error) {
+		n, err := spec.NonNegInt(v)
+		if err != nil {
+			return nil, err
+		}
+		return func(f *stall) { f.stripe = n }, nil
+	},
+	"after": func(v string) (stallOpt, error) {
+		d, err := spec.Dur(v)
+		if err != nil {
+			return nil, err
+		}
+		return func(f *stall) { f.after = d }, nil
+	},
+	"for": func(v string) (stallOpt, error) {
+		d, err := spec.Dur(v)
+		if err != nil {
+			return nil, err
+		}
+		return func(f *stall) { f.dur = d }, nil
+	},
+})
+
+func buildStall(fullSpec, query string) (Fault, error) {
+	f := &stall{p: 1, hold: DefaultStallHold, stripe: -1}
+	opts, err := stallGrammar.Parse(fullSpec, query)
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	f.coin.set(f.p)
+	return f, nil
+}
+
+// coin is a lock-free Bernoulli source shared by faults that inject
+// probabilistically from many goroutines at once: an atomic counter run
+// through a 64-bit finalizer, compared against p scaled to the uint64
+// domain. It is deliberately not a per-goroutine PRNG — fault injection
+// needs the right *rate*, not statistical independence per caller, and
+// one contended counter is the cheapest thing that survives arbitrary
+// concurrency.
+type coin struct {
+	n         atomic.Uint64
+	threshold uint64
+	always    bool
+}
+
+func (c *coin) set(p float64) {
+	c.always = p >= 1
+	c.threshold = uint64(p * math.MaxUint64)
+}
+
+func (c *coin) hit() bool {
+	if c.always {
+		return true
+	}
+	if c.threshold == 0 {
+		return false
+	}
+	// SplitMix64 finalizer over the counter: uniform enough for a rate.
+	x := c.n.Add(1) * 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x < c.threshold
+}

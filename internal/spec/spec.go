@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Registration describes one implementation to a Registry. Each
@@ -215,6 +216,22 @@ func PosInt(v string) (int, error) {
 
 // Bool parses a strconv-style boolean.
 func Bool(v string) (bool, error) { return strconv.ParseBool(v) }
+
+// Dur parses a non-negative time.Duration ("1ms", "2s", "500us").
+// Negative durations are rejected: every duration parameter in the
+// module's families (fault windows, stall holds) is a length of time,
+// and a negative length silently disabling a fault would make a typo'd
+// chaos run read as a clean pass.
+func Dur(v string) (time.Duration, error) {
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("want a duration like 1ms or 2s")
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("want a non-negative duration")
+	}
+	return d, nil
+}
 
 // Frac parses a float in [0, 1] (a fraction of traffic, a probability).
 // NaN and out-of-range values are rejected with the same error, so a

@@ -60,6 +60,20 @@ const (
 	// DefaultOrderedSpec is the ordered backend spec "scanaware" flips a
 	// scan-dominated stripe to.
 	DefaultOrderedSpec = "skiplist"
+	// DefaultSLOTarget is the deadline-miss rate budget "slo" defends: the
+	// fraction of deadline-bounded operations allowed to expire.
+	DefaultSLOTarget = 0.05
+	// DefaultSLOFast and DefaultSLOSlow are the "slo" policy's burn-rate
+	// window lengths, in non-idle controller intervals. The fast window
+	// bounds reaction time; the slow window vetoes transient spikes and,
+	// after a demotion, holds the evidence that forces sustained calm
+	// before a restore.
+	DefaultSLOFast = 3
+	DefaultSLOSlow = 12
+	// DefaultSLOMinAttempts is the deadline-bounded traffic the "slo"
+	// fast window must contain before the policy acts either way — a
+	// near-idle stripe's one missed op is not a 100% burn rate.
+	DefaultSLOMinAttempts = 8
 )
 
 // config carries the construction parameters the built-in policies
@@ -72,6 +86,11 @@ type config struct {
 	scanFrac float64
 	hotLock  string
 	ordered  string
+
+	sloTarget float64
+	sloFast   int
+	sloSlow   int
+	sloMin    uint64
 }
 
 // Option configures policy construction.
@@ -138,17 +157,62 @@ func WithOrderedSpec(s string) Option {
 	}
 }
 
+// WithSLOTarget sets the deadline-miss rate budget "slo" defends,
+// clamped to [0, 1]. 0 disables the policy (no budget, nothing to burn).
+func WithSLOTarget(f float64) Option {
+	return func(c *config) {
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		c.sloTarget = f
+	}
+}
+
+// WithSLOWindows sets the "slo" policy's burn-rate windows in non-idle
+// controller intervals: fast bounds reaction time, slow vetoes transient
+// spikes. Values below 1 are raised to 1; a slow window shorter than the
+// fast is raised to it.
+func WithSLOWindows(fast, slow int) Option {
+	return func(c *config) {
+		if fast < 1 {
+			fast = 1
+		}
+		if slow < fast {
+			slow = fast
+		}
+		c.sloFast, c.sloSlow = fast, slow
+	}
+}
+
+// WithSLOMinAttempts sets the deadline-bounded traffic the "slo" fast
+// window must contain before the policy acts either way.
+func WithSLOMinAttempts(n uint64) Option {
+	return func(c *config) { c.sloMin = n }
+}
+
 func resolve(opts []Option) config {
 	cfg := config{
-		lwss:     DefaultLWSS,
-		parks:    DefaultParks,
-		hold:     DefaultHold,
-		scanFrac: DefaultScanFrac,
-		hotLock:  DefaultHotLockSpec,
-		ordered:  DefaultOrderedSpec,
+		lwss:      DefaultLWSS,
+		parks:     DefaultParks,
+		hold:      DefaultHold,
+		scanFrac:  DefaultScanFrac,
+		hotLock:   DefaultHotLockSpec,
+		ordered:   DefaultOrderedSpec,
+		sloTarget: DefaultSLOTarget,
+		sloFast:   DefaultSLOFast,
+		sloSlow:   DefaultSLOSlow,
+		sloMin:    DefaultSLOMinAttempts,
 	}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	// The slow window bounds the fast one whatever order the options (or
+	// spec parameters, applied last) arrived in.
+	if cfg.sloSlow < cfg.sloFast {
+		cfg.sloSlow = cfg.sloFast
 	}
 	return cfg
 }
@@ -194,6 +258,10 @@ func Lookup(name string) (Registration, bool) { return registry.Lookup(name) }
 //	scanfrac=F    scan-share flip threshold, 0..1 (0 disables)  WithScanFrac
 //	hot=SPEC      demotion lock spec (URL-escaped)              WithHotLockSpec
 //	to=SPEC       ordered backend spec (URL-escaped)            WithOrderedSpec
+//	target=F      deadline-miss budget, 0..1 (0 disables)       WithSLOTarget
+//	fast=N        fast burn window, non-idle intervals          WithSLOWindows
+//	slow=N        slow burn window (raised to fast if shorter)  WithSLOWindows
+//	min=N         fast-window attempts floor before acting      WithSLOMinAttempts
 //
 // hot= and to= are validated against their registries at parse time, so
 // a typo fails here rather than silently never swapping. Spec parameters
@@ -279,5 +347,35 @@ var grammar = spec.NewGrammar[Option]("policy", map[string]spec.ParamFunc[Option
 			return nil, fmt.Errorf("backend spec %q is not ordered (scans need store.Ordered)", v)
 		}
 		return WithOrderedSpec(v), nil
+	},
+	"target": func(v string) (Option, error) {
+		f, err := spec.Frac(v)
+		if err != nil {
+			return nil, err
+		}
+		return WithSLOTarget(f), nil
+	},
+	"fast": func(v string) (Option, error) {
+		n, err := spec.PosInt(v)
+		if err != nil {
+			return nil, err
+		}
+		// Sets only the fast window; resolve re-clamps slow >= fast after
+		// all options land, so fast=/slow= compose in either order.
+		return func(c *config) { c.sloFast = n }, nil
+	},
+	"slow": func(v string) (Option, error) {
+		n, err := spec.PosInt(v)
+		if err != nil {
+			return nil, err
+		}
+		return func(c *config) { c.sloSlow = n }, nil
+	},
+	"min": func(v string) (Option, error) {
+		n, err := spec.Uint(v)
+		if err != nil {
+			return nil, err
+		}
+		return WithSLOMinAttempts(n), nil
 	},
 })

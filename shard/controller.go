@@ -68,10 +68,10 @@ type Controller struct {
 // Snapshot protocol), and an applied swap quiesces the stripe it
 // reconfigures — the control plane shares the data plane's locks by
 // design, so pick an interval that amortizes that cost (the default is a
-// comfortable 50ms). The per-tick cost also scales with
-// Config.HistoryWindow: the lite snapshot's RecentLWSS walks the
-// trailing window per stripe, so a very wide window (hundreds of
-// thousands of admissions) wants a correspondingly wider interval.
+// comfortable 50ms). The lite snapshot's per-stripe cost is O(1)
+// regardless of Config.HistoryWindow: RecentLWSS comes from the
+// recorder's incrementally maintained trailing distinct count
+// (metrics.Recorder.RecentDistinct), not a window walk.
 func StartController(ctx context.Context, m *Map, pol Policy, interval time.Duration) *Controller {
 	if interval <= 0 {
 		interval = DefaultControllerInterval

@@ -19,6 +19,11 @@ type StripeDelta struct {
 	// Swaps is how many times the stripe was reconfigured in the
 	// interval.
 	Swaps uint64
+	// DeadlineAttempts and DeadlineMisses are the interval's deadline-
+	// bounded arrivals and expiries — the burn-rate numerator and
+	// denominator the slo policy windows over.
+	DeadlineAttempts uint64
+	DeadlineMisses   uint64
 	// Lock is the field-wise difference of the lock counters — parks,
 	// cancels, acquires per interval.
 	Lock core.Snapshot
@@ -35,6 +40,10 @@ type SnapshotDelta struct {
 	Scans uint64
 	// Swaps is the total reconfiguration change across stripes.
 	Swaps uint64
+	// DeadlineAttempts and DeadlineMisses are the interval's deadline
+	// totals across stripes.
+	DeadlineAttempts uint64
+	DeadlineMisses   uint64
 }
 
 // Sub returns the change from prev to s — per-stripe and rolled-up
@@ -47,23 +56,31 @@ type SnapshotDelta struct {
 func (s Snapshot) Sub(prev Snapshot) SnapshotDelta {
 	sub := core.SatSub
 	d := SnapshotDelta{
-		Stripes: make([]StripeDelta, len(s.Stripes)),
-		Lock:    s.Lock.Sub(prev.Lock),
-		Len:     s.Len - prev.Len,
-		Scans:   sub(s.Scans, prev.Scans),
+		Stripes:          make([]StripeDelta, len(s.Stripes)),
+		Lock:             s.Lock.Sub(prev.Lock),
+		Len:              s.Len - prev.Len,
+		Scans:            sub(s.Scans, prev.Scans),
+		DeadlineAttempts: sub(s.DeadlineAttempts, prev.DeadlineAttempts),
+		DeadlineMisses:   sub(s.DeadlineMisses, prev.DeadlineMisses),
 	}
 	for i, cur := range s.Stripes {
+		// Tolerate a prev taken from a differently-sized map (fewer
+		// stripes than s): missing stripes subtract a zero baseline, so
+		// the delta degrades to the cumulative value instead of panicking
+		// mid-interval.
 		var p StripeSnapshot
 		if i < len(prev.Stripes) {
 			p = prev.Stripes[i]
 		}
 		sd := StripeDelta{
-			Index:      cur.Index,
-			Len:        cur.Len - p.Len,
-			Admissions: cur.Fairness.Admissions - p.Fairness.Admissions,
-			Scans:      sub(cur.Scans, p.Scans),
-			Swaps:      sub(cur.Swaps, p.Swaps),
-			Lock:       cur.Lock.Sub(p.Lock),
+			Index:            cur.Index,
+			Len:              cur.Len - p.Len,
+			Admissions:       cur.Fairness.Admissions - p.Fairness.Admissions,
+			Scans:            sub(cur.Scans, p.Scans),
+			Swaps:            sub(cur.Swaps, p.Swaps),
+			DeadlineAttempts: sub(cur.DeadlineAttempts, p.DeadlineAttempts),
+			DeadlineMisses:   sub(cur.DeadlineMisses, p.DeadlineMisses),
+			Lock:             cur.Lock.Sub(p.Lock),
 		}
 		d.Stripes[i] = sd
 		d.Swaps += sd.Swaps

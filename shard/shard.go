@@ -180,6 +180,17 @@ type stripe struct {
 
 	rec  *metrics.Recorder // nil when history is disabled
 	hcap int
+
+	// Deadline accounting: budgeted point operations arriving at this
+	// stripe (attempts) and how many of them expired before reaching it
+	// (misses). A point context operation is budgeted when its context
+	// can end at all (ctx.Done() != nil) — that is the operation whose
+	// deadline semantics the lock machinery bounds, and the user-facing
+	// signal the slo policy decides on. The counters belong to the
+	// stripe, not the descriptor: a reconfiguration changes the
+	// mechanism, not the objective, so miss history survives swaps.
+	deadlineAttempts atomic.Uint64
+	deadlineMisses   atomic.Uint64
 }
 
 // lockCurrent acquires the stripe's current descriptor's lock and
@@ -217,11 +228,26 @@ func (s *stripe) lockCurrentContext(ctx context.Context) (*descriptor, error) {
 	}
 }
 
+// Injector is the data-plane fault hook (see the fault package). When
+// one is installed with SetInjector, every point operation calls InCS
+// with the owning stripe's index while holding that stripe's lock — so
+// an injected stall lengthens the critical section exactly where the
+// paper's convoy dynamics punish it. InCS must be safe for concurrent
+// use and should be cheap when no fault is active: it runs under the
+// lock the whole map is built to keep short.
+type Injector interface {
+	InCS(stripe int)
+}
+
 // Map is the sharded store. All methods are safe for concurrent use.
 type Map struct {
 	stripes []stripe
 	shift   uint // stripe index = Mix(key) >> shift
 	window  int
+
+	// inj is the installed fault injector; nil (the normal case) costs
+	// one atomic pointer load per point op.
+	inj atomic.Pointer[Injector]
 
 	// scans counts scan work (one per Scan/ScanContext; a ScanChunked
 	// counts one per refilling round, since each round re-acquires
@@ -300,7 +326,9 @@ func New(cfg Config) (*Map, error) {
 			// Preallocate the whole (bounded) cap: a growth-copy of a
 			// multi-MB history inside the critical section would charge an
 			// instrumentation stall to every queued request's deadline.
-			s.rec = metrics.NewRecorder(cfg.HistoryCap)
+			// The recorder's window matches the map's, so its incremental
+			// trailing distinct count is the lite snapshot's RecentLWSS.
+			s.rec = metrics.NewRecorderWindow(cfg.HistoryCap, window)
 			s.hcap = cfg.HistoryCap
 		}
 	}
@@ -363,13 +391,32 @@ func MustNew(cfg Config) *Map {
 	return m
 }
 
+// SetInjector installs (or, with nil, removes) the fault injector whose
+// InCS hook runs inside every point operation's critical section. The
+// swap is atomic with respect to in-flight operations: each op reads the
+// injector once. With none installed the hook costs a single atomic nil
+// check per operation.
+func (m *Map) SetInjector(inj Injector) {
+	if inj == nil {
+		m.inj.Store(nil)
+		return
+	}
+	m.inj.Store(&inj)
+}
+
+// inject runs the installed injector's critical-section hook for stripe
+// i; the caller holds stripe i's lock.
+func (m *Map) inject(i int) {
+	if p := m.inj.Load(); p != nil {
+		(*p).InCS(i)
+	}
+}
+
 // Stripes returns the stripe count (a power of two).
 func (m *Map) Stripes() int { return len(m.stripes) }
 
 // StripeFor returns the index of the stripe serving key.
 func (m *Map) StripeFor(key uint64) int { return int(hashmap.Mix(key) >> m.shift) }
-
-func (m *Map) stripe(key uint64) *stripe { return &m.stripes[m.StripeFor(key)] }
 
 // clientIDKey carries a client identity through a context (WithClientID).
 type clientIDKey struct{}
@@ -415,8 +462,10 @@ func (s *stripe) record(id int) {
 
 // Get returns the value for key and whether it was present.
 func (m *Map) Get(key uint64) (uint64, bool) {
-	s := m.stripe(key)
+	i := m.StripeFor(key)
+	s := &m.stripes[i]
 	d := s.lockCurrent()
+	m.inject(i)
 	v, ok := d.table.Get(key)
 	d.mu.Unlock()
 	return v, ok
@@ -424,8 +473,10 @@ func (m *Map) Get(key uint64) (uint64, bool) {
 
 // Put inserts or updates key. It reports whether the key was new.
 func (m *Map) Put(key, val uint64) bool {
-	s := m.stripe(key)
+	i := m.StripeFor(key)
+	s := &m.stripes[i]
 	d := s.lockCurrent()
+	m.inject(i)
 	fresh := d.table.Put(key, val)
 	d.mu.Unlock()
 	return fresh
@@ -433,8 +484,10 @@ func (m *Map) Put(key, val uint64) bool {
 
 // Delete removes key; it reports whether the key was present.
 func (m *Map) Delete(key uint64) bool {
-	s := m.stripe(key)
+	i := m.StripeFor(key)
+	s := &m.stripes[i]
 	d := s.lockCurrent()
+	m.inject(i)
 	present := d.table.Delete(key)
 	d.mu.Unlock()
 	return present
@@ -466,17 +519,37 @@ func (m *Map) lenStripes(ctx context.Context) (int, error) {
 	return n, nil
 }
 
+// budgeted counts one deadline-bounded point-op arrival at this stripe.
+// An operation is budgeted when its context can end at all (Done() !=
+// nil): only those can miss, and only those are the SLO traffic the slo
+// policy steers on. Monitoring paths (Snapshot, Len, Range, Scan) never
+// count — a controller polling a collapsed stripe must not dilute the
+// very miss rate it reacts to.
+func (s *stripe) budgeted(ctx context.Context) bool {
+	if ctx.Done() == nil {
+		return false
+	}
+	s.deadlineAttempts.Add(1)
+	return true
+}
+
 // GetContext is Get with the stripe acquisition bounded by ctx.
 func (m *Map) GetContext(ctx context.Context, key uint64) (val uint64, ok bool, err error) {
-	s := m.stripe(key)
+	i := m.StripeFor(key)
+	s := &m.stripes[i]
 	id, recording := s.client(ctx)
+	budgeted := s.budgeted(ctx)
 	d, err := s.lockCurrentContext(ctx)
 	if err != nil {
+		if budgeted {
+			s.deadlineMisses.Add(1)
+		}
 		return 0, false, err
 	}
 	if recording {
 		s.record(id)
 	}
+	m.inject(i)
 	v, ok := d.table.Get(key)
 	d.mu.Unlock()
 	return v, ok, nil
@@ -484,15 +557,21 @@ func (m *Map) GetContext(ctx context.Context, key uint64) (val uint64, ok bool, 
 
 // PutContext is Put with the stripe acquisition bounded by ctx.
 func (m *Map) PutContext(ctx context.Context, key, val uint64) (fresh bool, err error) {
-	s := m.stripe(key)
+	i := m.StripeFor(key)
+	s := &m.stripes[i]
 	id, recording := s.client(ctx)
+	budgeted := s.budgeted(ctx)
 	d, err := s.lockCurrentContext(ctx)
 	if err != nil {
+		if budgeted {
+			s.deadlineMisses.Add(1)
+		}
 		return false, err
 	}
 	if recording {
 		s.record(id)
 	}
+	m.inject(i)
 	fresh = d.table.Put(key, val)
 	d.mu.Unlock()
 	return fresh, nil
@@ -500,15 +579,21 @@ func (m *Map) PutContext(ctx context.Context, key, val uint64) (fresh bool, err 
 
 // DeleteContext is Delete with the stripe acquisition bounded by ctx.
 func (m *Map) DeleteContext(ctx context.Context, key uint64) (present bool, err error) {
-	s := m.stripe(key)
+	i := m.StripeFor(key)
+	s := &m.stripes[i]
 	id, recording := s.client(ctx)
+	budgeted := s.budgeted(ctx)
 	d, err := s.lockCurrentContext(ctx)
 	if err != nil {
+		if budgeted {
+			s.deadlineMisses.Add(1)
+		}
 		return false, err
 	}
 	if recording {
 		s.record(id)
 	}
+	m.inject(i)
 	present = d.table.Delete(key)
 	d.mu.Unlock()
 	return present, nil
@@ -728,6 +813,14 @@ type StripeSnapshot struct {
 	// snapshot's stripes — it rides here because per-stripe policies
 	// (shard.Policy) see only stripe snapshots.
 	Scans uint64
+	// DeadlineAttempts counts deadline-bounded point operations that
+	// arrived at this stripe: context operations whose context can end
+	// (Done() != nil). DeadlineMisses counts the subset that expired
+	// before reaching the table. Monotonic, and deliberately not reset by
+	// Reconfigure — a swap changes the mechanism, not the objective, so
+	// the slo policy can read one coherent series across its own swaps.
+	DeadlineAttempts uint64
+	DeadlineMisses   uint64
 	// Lock is the stripe lock's CR event counters, including those of
 	// retired locks from before any reconfiguration (zero when the spec
 	// set stats=false).
@@ -751,6 +844,10 @@ type Snapshot struct {
 	// Scans is the map-level scan-attempt count (not a per-stripe sum:
 	// every scan visits every stripe).
 	Scans uint64
+	// DeadlineAttempts and DeadlineMisses are the per-stripe deadline
+	// counters summed across stripes.
+	DeadlineAttempts uint64
+	DeadlineMisses   uint64
 }
 
 // Snapshot collects per-stripe lengths, lock counters, and fairness
@@ -806,8 +903,15 @@ func (m *Map) snapshotImpl(ctx context.Context, lite bool) (Snapshot, error) {
 		}
 		ln := d.table.Len()
 		var h metrics.History
+		recent := 0
 		if s.rec != nil {
 			h = s.rec.History()
+			// The incremental trailing distinct count is maintained under
+			// the stripe lock (Record runs in the critical section), so it
+			// must be read here, before the release — but it is O(1), which
+			// is the point: the lite path pays one integer read where the
+			// standalone metrics.RecentLWSS walk pays O(window).
+			recent = s.rec.RecentDistinct()
 		}
 		d.mu.Unlock()
 		ls := d.snapshot()
@@ -815,25 +919,31 @@ func (m *Map) snapshotImpl(ctx context.Context, lite bool) (Snapshot, error) {
 		if lite {
 			fairness = metrics.Summary{
 				Admissions: len(h),
-				RecentLWSS: float64(metrics.RecentLWSS(h, m.window)),
+				RecentLWSS: float64(recent),
 			}
 		} else {
 			fairness = metrics.Summarize(h, m.window)
 		}
+		attempts := s.deadlineAttempts.Load()
+		misses := s.deadlineMisses.Load()
 		out.Stripes[i] = StripeSnapshot{
-			Index:       i,
-			Len:         ln,
-			LockSpec:    d.lockSpec,
-			BackendSpec: d.backendSpec,
-			Ordered:     d.ordered != nil,
-			Swaps:       d.swaps,
-			Scans:       out.Scans,
-			Lock:        ls,
-			Fairness:    fairness,
+			Index:            i,
+			Len:              ln,
+			LockSpec:         d.lockSpec,
+			BackendSpec:      d.backendSpec,
+			Ordered:          d.ordered != nil,
+			Swaps:            d.swaps,
+			Scans:            out.Scans,
+			DeadlineAttempts: attempts,
+			DeadlineMisses:   misses,
+			Lock:             ls,
+			Fairness:         fairness,
 		}
 		out.Len += ln
 		out.Lock = out.Lock.Add(ls)
 		out.Swaps += d.swaps
+		out.DeadlineAttempts += attempts
+		out.DeadlineMisses += misses
 	}
 	return out, nil
 }
