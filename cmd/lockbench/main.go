@@ -148,14 +148,14 @@ func main() {
 	}
 }
 
-var sink uint64
+var sink atomic.Uint64
 
 func spin(n int) {
-	s := sink
+	s := sink.Load()
 	for i := 0; i < n; i++ {
 		s += uint64(i)
 	}
-	atomic.StoreUint64(&sink, s)
+	sink.Store(s)
 }
 
 func run(name string, m lock.Mutex, threads int, d time.Duration, ncs, cs int,

@@ -1,0 +1,36 @@
+// Command lockcheck is the module's static verification suite: four
+// analyzers over the concurrency invariants the code relies on but the
+// compiler cannot see.
+//
+//	atomicmix  mixed atomic/plain access to the same memory
+//	speclit    constant registry specs validated by the real parsers
+//	padalign   cache-line padding and size-class layout contracts
+//	hotpath    //lockcheck:cs and //lockcheck:nosnapshot call budgets
+//
+// Two ways to run it:
+//
+//	go run repro/cmd/lockcheck ./...                 # standalone, non-test files
+//	go build -o /tmp/lockcheck repro/cmd/lockcheck
+//	go vet -vettool=/tmp/lockcheck ./...             # full build, incl. tests
+//
+// Findings are suppressed by an adjacent "//lockcheck:ignore <reason>"
+// comment; the reason is mandatory and unused directives are themselves
+// findings. See DESIGN.md §10 and `lockcheck help`.
+package main
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicmix"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/padalign"
+	"repro/internal/analysis/speclit"
+)
+
+func main() {
+	analysis.Main(
+		atomicmix.Analyzer,
+		speclit.Analyzer,
+		padalign.Analyzer,
+		hotpath.Analyzer,
+	)
+}

@@ -203,18 +203,18 @@ type chaosResult struct {
 
 // record is the top-level JSON document.
 type record struct {
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	NumCPU     int      `json:"num_cpu"`
-	GoVersion  string   `json:"go_version"`
-	Keys       int      `json:"keys"`
-	ReadFrac   float64  `json:"read_frac"`
-	ScanFrac   float64  `json:"scan_frac,omitempty"`
-	ScanSpan   int      `json:"scan_span,omitempty"`
-	ZipfS      float64  `json:"zipf_s"`
-	Rate       float64  `json:"rate,omitempty"`
-	CancelFrac float64  `json:"cancel_frac,omitempty"`
-	Deadline   string   `json:"deadline,omitempty"`
-	Adapt      string   `json:"adapt_interval,omitempty"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	GoVersion  string  `json:"go_version"`
+	Keys       int     `json:"keys"`
+	ReadFrac   float64 `json:"read_frac"`
+	ScanFrac   float64 `json:"scan_frac,omitempty"`
+	ScanSpan   int     `json:"scan_span,omitempty"`
+	ZipfS      float64 `json:"zipf_s"`
+	Rate       float64 `json:"rate,omitempty"`
+	CancelFrac float64 `json:"cancel_frac,omitempty"`
+	Deadline   string  `json:"deadline,omitempty"`
+	Adapt      string  `json:"adapt_interval,omitempty"`
 
 	// Chaos timeline parameters, present when -fault is set.
 	Fault       string  `json:"fault,omitempty"`
@@ -771,6 +771,8 @@ func runCell(c cellConfig) result {
 // patient arrival a culling lock passivates, and the measurement must
 // not stall behind the convoy it is measuring. Returns when the cell
 // stops, with every surge worker drained.
+//
+//lockcheck:nosnapshot
 func runChaos(c cellConfig, m *shard.Map, set *fault.Set, attempts, misses *atomic.Int64, stop *atomic.Bool) *chaosResult {
 	cr := &chaosResult{Fault: set.String(), RecoveryMillis: -1}
 	var surge []chan struct{}

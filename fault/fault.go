@@ -210,6 +210,8 @@ func (s *Set) Active() bool {
 
 // InCS fans the critical-section hook to every fault. It satisfies the
 // shard.Injector contract; install with Map.SetInjector.
+//
+//lockcheck:cs
 func (s *Set) InCS(stripe int) {
 	for _, f := range s.faults {
 		f.InCS(stripe)

@@ -198,7 +198,7 @@ func TestHotkeyFrac(t *testing.T) {
 	const trials = 100000
 	rerouted := 0
 	for i := 0; i < trials; i++ {
-		if s.Key(uint64(i + 1000)) == 9 {
+		if s.Key(uint64(i+1000)) == 9 {
 			rerouted++
 		}
 	}

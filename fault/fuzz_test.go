@@ -1,0 +1,46 @@
+package fault
+
+import "testing"
+
+// New is run at vet time by the speclit analyzer over every constant
+// fault spec in the module, so it must be total (no panic on any input)
+// and deterministic, and a Set it accepts must round-trip through its
+// own String — the composed "+" grammar included.
+func FuzzNew(f *testing.F) {
+	f.Add("stall?p=1&hold=1ms")
+	f.Add("stall?p=1+surge?threads=4")
+	f.Add("stall+stall")
+	f.Add("+stall")
+	f.Add("stall+")
+	f.Add("++")
+	f.Add("hotkey?frac=0.5&key=9+surge?threads=2&after=1ms&for=1ms")
+	f.Add("stall?p=%31")
+	f.Add("stall?p=1&p=1")
+	f.Add("surge?threads=0")
+	f.Add(" stall ? p = 1 ")
+	f.Fuzz(func(t *testing.T, s string) {
+		set1, err1 := New(s)
+		set2, err2 := New(s)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("New(%q) is nondeterministic: %v vs %v", s, err1, err2)
+		}
+		if err1 != nil {
+			if set1 != nil {
+				t.Fatalf("New(%q) returned both a set and an error %v", s, err1)
+			}
+			return
+		}
+		if set1.String() != set2.String() {
+			t.Fatalf("New(%q): unstable String: %q vs %q", s, set1.String(), set2.String())
+		}
+		// Round-trip: the canonical rendering must itself be a valid spec
+		// describing the same composition.
+		rt, err := New(set1.String())
+		if err != nil {
+			t.Fatalf("New(%q).String() = %q does not re-parse: %v", s, set1.String(), err)
+		}
+		if rt.String() != set1.String() {
+			t.Fatalf("New(%q) round-trip drifted: %q vs %q", s, set1.String(), rt.String())
+		}
+	})
+}

@@ -31,6 +31,7 @@ type hotkey struct {
 	reroutes atomic.Uint64
 }
 
+//lockcheck:cs
 func (f *hotkey) InCS(int) {}
 
 func (f *hotkey) Key(key uint64) uint64 {

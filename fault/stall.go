@@ -34,6 +34,7 @@ type stall struct {
 	stalls atomic.Uint64
 }
 
+//lockcheck:cs
 func (f *stall) InCS(stripe int) {
 	if !f.active() {
 		return
@@ -45,6 +46,7 @@ func (f *stall) InCS(stripe int) {
 		return
 	}
 	f.stalls.Add(1)
+	//lockcheck:ignore the stall fault exists to lengthen the critical section
 	time.Sleep(f.hold)
 }
 

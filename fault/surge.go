@@ -29,6 +29,7 @@ type surge struct {
 	fired atomic.Bool // ever observed active by the harness
 }
 
+//lockcheck:cs
 func (f *surge) InCS(int) {}
 
 func (f *surge) Key(key uint64) uint64 { return key }

@@ -1,0 +1,195 @@
+// Package analysis is a self-contained, stdlib-only implementation of
+// the golang.org/x/tools/go/analysis model, sized to this module's
+// needs. It exists because the repo's concurrency invariants — which
+// struct fields are atomic, which spec strings parse, which structs are
+// cache-line padded, what a critical section may call — are stateable
+// but were enforced only by -race luck and reviewer memory. The four
+// analyzers under internal/analysis/... encode them; cmd/lockcheck is
+// the multichecker binary that runs them, either standalone
+// ("lockcheck ./...") or as a `go vet -vettool=` backend (unit.go
+// implements the vet driver protocol exactly as cmd/go speaks it).
+//
+// The API deliberately mirrors x/tools: an Analyzer has a Name, a Doc,
+// and a Run(*Pass); a Pass carries the type-checked package and a
+// Report callback. If the real dependency ever lands in the build
+// image, the analyzers port by swapping the import path. Only the fact
+// mechanism is simplified: facts are flat string key/value pairs scoped
+// per analyzer, merged transitively across package boundaries (see
+// check.go), which is all atomicmix needs.
+//
+// # Directives
+//
+// The suite shares one comment-directive grammar, scanned like //go:
+// pragmas (no space after //):
+//
+//	//lockcheck:ignore <reason>   suppress findings on this line (or,
+//	                              when the comment stands alone, the
+//	                              following line); the reason is required
+//	//lockcheck:cs                function body is a critical section /
+//	                              injector hook: hotpath denies blocking
+//	                              and allocating calls in it
+//	//lockcheck:nosnapshot        function is a sampler/monitor path:
+//	                              hotpath denies Map.Snapshot-class
+//	                              patient calls in it
+//	//lockcheck:line[=N]          struct must be exactly N cache lines
+//	                              (unadorned: any non-zero whole number
+//	                              of lines); checked by padalign
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and fact files.
+	Name string
+	// Doc is the one-paragraph description printed by `lockcheck help`.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package and the
+// channels to report findings and exchange facts.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	TypesSizes types.Sizes
+
+	// Report records a finding. The checker applies //lockcheck:ignore
+	// suppression after the analyzer returns, so Run need not know
+	// about directives.
+	Report func(Diagnostic)
+
+	// ExportFact publishes a key/value visible to passes over packages
+	// that (transitively) import this one. Keys are namespaced per
+	// analyzer by the checker.
+	ExportFact func(key, value string)
+
+	// ImportedFacts returns the merged facts exported by this
+	// analyzer's passes over the package's transitive dependencies.
+	ImportedFacts func() map[string]string
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf is a convenience wrapper over Report.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// directivePrefix is the comment prefix shared by every lockcheck
+// pragma. Like //go: directives there is no space after the slashes.
+const directivePrefix = "//lockcheck:"
+
+// Directive extracts a lockcheck pragma of the given name ("cs",
+// "nosnapshot", "line", "ignore") from a comment group. It returns the
+// directive's argument text (what follows the name, trimmed; for
+// "line=2" style the "=2") and whether the directive is present.
+func Directive(doc *ast.CommentGroup, name string) (arg string, ok bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		if a, found := directiveIn(c.Text, name); found {
+			return a, true
+		}
+	}
+	return "", false
+}
+
+// directiveIn matches one comment's text against one directive name.
+func directiveIn(text, name string) (arg string, ok bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", false
+	}
+	rest := text[len(directivePrefix):]
+	if !strings.HasPrefix(rest, name) {
+		return "", false
+	}
+	rest = rest[len(name):]
+	// The name must end here, at '=', or at whitespace — "cs" must not
+	// match "csx".
+	if rest != "" && rest[0] != '=' && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// FuncDirective reports whether a function declaration carries the
+// named directive in its doc comment.
+func FuncDirective(fd *ast.FuncDecl, name string) bool {
+	_, ok := Directive(fd.Doc, name)
+	return ok
+}
+
+// ignoreDirective is one //lockcheck:ignore occurrence.
+type ignoreDirective struct {
+	pos    token.Pos
+	line   int
+	reason string
+	used   bool
+}
+
+// suppressions indexes every //lockcheck:ignore directive in a package
+// by file and line, so the checker can drop findings the code has
+// explicitly — and with a stated reason — accepted.
+type suppressions struct {
+	byFileLine map[string]map[int]*ignoreDirective
+	all        []*ignoreDirective
+}
+
+// collectSuppressions scans all comments of the package's files.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byFileLine: make(map[string]map[int]*ignoreDirective)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				reason, ok := directiveIn(c.Text, "ignore")
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				d := &ignoreDirective{pos: c.Pos(), line: p.Line, reason: reason}
+				m := s.byFileLine[p.Filename]
+				if m == nil {
+					m = make(map[int]*ignoreDirective)
+					s.byFileLine[p.Filename] = m
+				}
+				m[p.Line] = d
+				s.all = append(s.all, d)
+			}
+		}
+	}
+	return s
+}
+
+// suppressed reports whether a finding at pos is covered by an ignore
+// directive: one trailing the same line, or one standing alone on the
+// line above.
+func (s *suppressions) suppressed(fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	m := s.byFileLine[p.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		if d := m[line]; d != nil {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}

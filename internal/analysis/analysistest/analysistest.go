@@ -1,0 +1,291 @@
+// Package analysistest runs an analyzer over small fixture packages and
+// checks its findings against // want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest (stdlib-only, like the
+// framework it tests).
+//
+// Fixtures live under the analyzer's testdata/src/<pkg>/ directory. The
+// harness copies every package under src into a throwaway module named
+// "test" (fixtures import siblings as "test/<pkg>", which is how the
+// cross-package fact flow is exercised) that requires and replaces the
+// repro module itself, so fixtures may import repro/lock and friends —
+// speclit's validators need the real registries. `go list -export` in
+// the throwaway module supplies the type information; CheckPatterns
+// does the rest.
+//
+// Expectations are trailing comments:
+//
+//	psSize int // want `plain read of atomically accessed field`
+//	x = 1      // want "plain write" "second finding on this line"
+//
+// Each string is a regular expression (quoted or backquoted) matched
+// against the analyzer's message; every diagnostic must match a want on
+// its line and every want must be matched — the fixture corpus is exact
+// in both directions, so false positives fail the suite as loudly as
+// false negatives.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	p, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Run checks one analyzer against the fixture packages named pkgs
+// (paths under dir/src). Unused-ignore hygiene is off: a fixture
+// directive aimed at another analyzer must not misfire here.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	run(t, dir, []*analysis.Analyzer{a}, false, pkgs)
+}
+
+// RunSuite checks the full analyzer suite — with unused-//lockcheck:ignore
+// reporting on, as the drivers run it — against the fixture packages.
+// Suppression and directive-hygiene fixtures use this form.
+func RunSuite(t *testing.T, dir string, analyzers []*analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	run(t, dir, analyzers, true, pkgs)
+}
+
+func run(t *testing.T, dir string, analyzers []*analysis.Analyzer, reportUnused bool, pkgs []string) {
+	t.Helper()
+	if len(pkgs) == 0 {
+		t.Fatal("analysistest: no fixture packages named")
+	}
+
+	mod := t.TempDir()
+	writeTestModule(t, mod, dir)
+
+	var patterns []string
+	named := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		patterns = append(patterns, "./"+p)
+		named[p] = true
+	}
+	// Fixtures may import sibling packages that are not themselves under
+	// test; go list pulls those in as deps and CheckPatterns orders them
+	// first, so facts flow exactly as they do in the real drivers.
+	results, fset, err := analysis.CheckPatterns(mod, patterns, analyzers, reportUnused)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, mod, pkgs)
+
+	for _, pr := range results {
+		rel := strings.TrimPrefix(pr.Path, "test/")
+		for _, d := range pr.Diagnostics {
+			p := fset.Position(d.Pos)
+			if !named[rel] {
+				t.Errorf("%s: unexpected diagnostic in dependency package %s: %s", p, pr.Path, d.Message)
+				continue
+			}
+			if !wants.match(p.Filename, p.Line, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s (%s)", p, d.Message, d.Analyzer)
+			}
+		}
+	}
+	wants.reportUnmatched(t)
+}
+
+// writeTestModule copies dir/src/* into mod and writes a go.mod that
+// requires the enclosing repro module by a replace directive.
+func writeTestModule(t *testing.T, mod, dir string) {
+	t.Helper()
+	src := filepath.Join(dir, "src")
+	if err := copyTree(src, mod); err != nil {
+		t.Fatalf("copying fixtures: %v", err)
+	}
+	repoRoot, err := findRepoRoot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gomod := fmt.Sprintf("module test\n\ngo 1.24\n\nrequire repro v0.0.0\n\nreplace repro => %s\n", repoRoot)
+	if err := os.WriteFile(filepath.Join(mod, "go.mod"), []byte(gomod), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// findRepoRoot walks up from dir to the directory holding the repro
+// go.mod.
+func findRepoRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if data, err := os.ReadFile(filepath.Join(d, "go.mod")); err == nil &&
+			strings.HasPrefix(strings.TrimSpace(string(data)), "module repro") {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("analysistest: no repro go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+func copyTree(src, dst string) error {
+	return filepath.WalkDir(src, func(path string, e os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if e.IsDir() {
+			return os.MkdirAll(target, 0o777)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o666)
+	})
+}
+
+// wantSet indexes // want expectations by file and line.
+type wantSet struct {
+	byFileLine map[string]map[int][]*want
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantRE matches one trailing expectation comment; the strings after it
+// are parsed by wantPatterns.
+var (
+	wantRE        = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	wantAloneRE   = regexp.MustCompile(`^//\s*want\s`)
+	wantPatternRE = regexp.MustCompile("^\\s*(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+)
+
+// collectWants scans every fixture .go file of the named packages.
+func collectWants(t *testing.T, mod string, pkgs []string) *wantSet {
+	t.Helper()
+	ws := &wantSet{byFileLine: make(map[string]map[int][]*want)}
+	for _, pkg := range pkgs {
+		pkgDir := filepath.Join(mod, filepath.FromSlash(pkg))
+		entries, err := os.ReadDir(pkgDir)
+		if err != nil {
+			t.Fatalf("fixture package %s: %v", pkg, err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			file := filepath.Join(pkgDir, e.Name())
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, lineText := range strings.Split(string(data), "\n") {
+				m := wantRE.FindStringSubmatch(lineText)
+				if m == nil {
+					continue
+				}
+				// A want standing alone on its own line targets the line
+				// above — for diagnostics that land on comment lines
+				// (directive hygiene), which cannot carry a trailing want.
+				target := i + 1
+				if wantAloneRE.MatchString(strings.TrimSpace(lineText)) {
+					target = i
+				}
+				for _, raw := range wantPatterns(t, file, i+1, m[1]) {
+					w := &want{file: file, line: target, raw: raw}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", file, i+1, raw, err)
+					}
+					w.re = re
+					lines := ws.byFileLine[file]
+					if lines == nil {
+						lines = make(map[int][]*want)
+						ws.byFileLine[file] = lines
+					}
+					lines[target] = append(lines[target], w)
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// wantPatterns splits the text after "want" into its quoted patterns.
+func wantPatterns(t *testing.T, file string, line int, text string) []string {
+	t.Helper()
+	var out []string
+	for {
+		text = strings.TrimSpace(text)
+		if text == "" {
+			return out
+		}
+		m := wantPatternRE.FindStringSubmatch(text)
+		if m == nil {
+			t.Fatalf("%s:%d: malformed want expectation near %q (patterns must be quoted or backquoted)", file, line, text)
+		}
+		tok := m[1]
+		var pat string
+		if tok[0] == '`' {
+			pat = tok[1 : len(tok)-1]
+		} else {
+			var err error
+			pat, err = strconv.Unquote(tok)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want string %s: %v", file, line, tok, err)
+			}
+		}
+		out = append(out, pat)
+		text = text[len(m[0]):]
+	}
+}
+
+// match consumes the first unmatched want on the diagnostic's line whose
+// pattern matches the message.
+func (ws *wantSet) match(file string, line int, message string) bool {
+	for _, w := range ws.byFileLine[file][line] {
+		if !w.matched && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// reportUnmatched fails the test for every expectation no diagnostic
+// satisfied.
+func (ws *wantSet) reportUnmatched(t *testing.T) {
+	t.Helper()
+	for _, lines := range ws.byFileLine {
+		for _, ww := range lines {
+			for _, w := range ww {
+				if !w.matched {
+					t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+				}
+			}
+		}
+	}
+}

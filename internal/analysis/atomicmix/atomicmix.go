@@ -1,0 +1,326 @@
+// Package atomicmix reports mixed atomic and plain access to the same
+// memory — the bug class of the MCSCR.psSize data race this repo shipped
+// and fixed: a field updated through sync/atomic in one path and read
+// with a plain load in another compiles silently, usually survives
+// -race (the racy interleaving must actually run), and corrupts
+// counters or, worse, protocol state in production.
+//
+// A struct field or package-level variable whose address flows into a
+// sync/atomic call anywhere in the module is "atomic": every other
+// access to it must also go through sync/atomic. Plain reads, plain
+// writes, and escaping addresses are reported. Two accesses are exempt
+// by design:
+//
+//   - keyed composite-literal initialization (the object is not yet
+//     published, so a plain store is the idiom), and
+//   - the address-of expression inside a sync/atomic call itself.
+//
+// The preferred fix is not a suppression but a typed atomic
+// (atomic.Uint64 and friends), which makes plain access unrepresentable;
+// the analyzer exists for the addressed style the typed API cannot
+// always replace (striped arrays, C-layout-matching structs).
+//
+// Atomicity is exported as a fact keyed by the declaration site, so a
+// package that plainly accesses a field its dependency treats
+// atomically is caught too (the analysis is modular, importee before
+// importer — the direction spec-registry code actually shares state).
+package atomicmix
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer detects mixed atomic/plain access to fields and variables.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: `report plain access to memory that sync/atomic also touches
+
+A field or package-level variable accessed through sync/atomic anywhere
+in the module must be accessed through sync/atomic everywhere (keyed
+composite-literal initialization excepted). Prefer typed atomics
+(atomic.Uint64) where possible; suppress deliberate mixed access with
+//lockcheck:ignore <reason>.`,
+	Run: run,
+}
+
+// atomicAddrFuncs are the sync/atomic package functions whose first
+// argument is the address of the word they operate on.
+var atomicAddrFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"AndInt32": true, "AndInt64": true, "AndUint32": true, "AndUint64": true, "AndUintptr": true,
+	"OrInt32": true, "OrInt64": true, "OrUint32": true, "OrUint64": true, "OrUintptr": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true,
+	"LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true,
+	"StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true,
+	"SwapUintptr": true, "SwapPointer": true,
+}
+
+func run(pass *analysis.Pass) error {
+	// Phase A: find every var whose address feeds a sync/atomic call in
+	// this package, and index the imported facts for cross-package hits.
+	local := make(map[*types.Var]string) // object → position of one atomic use
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isAtomicAddrCall(pass, call) {
+				return true
+			}
+			if v := addrTarget(pass, call.Args[0]); v != nil {
+				if _, seen := local[v]; !seen {
+					local[v] = pass.Fset.Position(call.Pos()).String()
+				}
+			}
+			return true
+		})
+	}
+
+	imported := pass.ImportedFacts()
+
+	// Export the local discoveries so importers see them.
+	for v, where := range local {
+		pass.ExportFact(objKey(pass.Fset, v), where)
+	}
+
+	// atomicAt reports whether v is atomic and where that was
+	// established, checking local discoveries first, then facts.
+	atomicAt := func(v *types.Var) (string, bool) {
+		if where, ok := local[v]; ok {
+			return where, true
+		}
+		if !isField(v) && !isPkgVar(v) {
+			return "", false
+		}
+		where, ok := imported[objKey(pass.Fset, v)]
+		return where, ok
+	}
+
+	// Phase B: every other use of an atomic var is a finding unless it
+	// sits in an allowed context.
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if sel := pass.TypesInfo.Selections[e]; sel != nil {
+					if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+						if where, atomic := atomicAt(v); atomic {
+							checkUse(pass, stack, e, v, where)
+						}
+					}
+				} else if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok && isPkgVar(v) {
+					// Qualified identifier: otherpkg.Var.
+					if where, atomic := atomicAt(v); atomic {
+						checkUse(pass, stack, e, v, where)
+					}
+				}
+			case *ast.Ident:
+				// Skip the Sel half of a selector (handled above) and
+				// declaration sites.
+				if len(stack) > 0 {
+					if s, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && s.Sel == e {
+						break
+					}
+				}
+				v, ok := pass.TypesInfo.Uses[e].(*types.Var)
+				if !ok {
+					break
+				}
+				if where, atomic := atomicAt(v); atomic {
+					checkUse(pass, stack, e, v, where)
+				}
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkUse reports expr unless it appears in an allowed context: as the
+// &-operand of a sync/atomic call, or as a keyed composite-literal
+// field (initialization before publication).
+func checkUse(pass *analysis.Pass, stack []ast.Node, expr ast.Expr, v *types.Var, where string) {
+	// Climb out of enclosing parens.
+	i := len(stack) - 1
+	child := ast.Node(expr)
+	for i >= 0 {
+		if p, ok := stack[i].(*ast.ParenExpr); ok {
+			child = p
+			i--
+			continue
+		}
+		break
+	}
+	if i >= 0 {
+		switch parent := stack[i].(type) {
+		case *ast.UnaryExpr:
+			if parent.Op == token.AND && insideAtomicCall(pass, stack[:i], parent) {
+				return
+			}
+			pass.Reportf(expr.Pos(), "address of %s escapes a sync/atomic call (atomic access at %s)",
+				describe(v), where)
+			return
+		case *ast.KeyValueExpr:
+			if parent.Key == child {
+				// Keyed struct literal: T{field: v}. (Map literals
+				// cannot key on a field selector, so Key==expr implies
+				// a struct literal.)
+				return
+			}
+		case *ast.SelectorExpr:
+			if parent.Sel == child {
+				// expr is the package half of pkg.Var — not an access.
+				return
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range parent.Lhs {
+				if lhs == child {
+					pass.Reportf(expr.Pos(), "plain write to %s (atomic access at %s)", describe(v), where)
+					return
+				}
+			}
+		case *ast.IncDecStmt:
+			if parent.X == child {
+				pass.Reportf(expr.Pos(), "plain %s of %s (atomic access at %s)",
+					map[token.Token]string{token.INC: "increment", token.DEC: "decrement"}[parent.Tok],
+					describe(v), where)
+				return
+			}
+		}
+	}
+	pass.Reportf(expr.Pos(), "plain read of %s (atomic access at %s)", describe(v), where)
+}
+
+// insideAtomicCall reports whether addr (an &x expression) is an
+// argument of a sync/atomic address-taking call. Only parens may sit
+// between the two.
+func insideAtomicCall(pass *analysis.Pass, stack []ast.Node, addr ast.Expr) bool {
+	i := len(stack) - 1
+	child := ast.Node(addr)
+	for i >= 0 {
+		if p, ok := stack[i].(*ast.ParenExpr); ok {
+			child = p
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	call, ok := stack[i].(*ast.CallExpr)
+	if !ok || !isAtomicAddrCall(pass, call) {
+		return false
+	}
+	return len(call.Args) > 0 && call.Args[0] == child
+}
+
+// isAtomicAddrCall reports whether call invokes one of sync/atomic's
+// address-taking functions.
+func isAtomicAddrCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fun := call.Fun
+	for {
+		if p, ok := fun.(*ast.ParenExpr); ok {
+			fun = p.X
+			continue
+		}
+		break
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic" &&
+		fn.Type().(*types.Signature).Recv() == nil &&
+		atomicAddrFuncs[fn.Name()] && len(call.Args) > 0
+}
+
+// addrTarget resolves the &x argument of an atomic call to the tracked
+// variable: a struct field or a package-level var. Local variables are
+// out of scope (their sharing is function-local and better caught by
+// -race).
+func addrTarget(pass *analysis.Pass, arg ast.Expr) *types.Var {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	switch x := ast.Unparen(u.X).(type) {
+	case *ast.SelectorExpr:
+		if sel := pass.TypesInfo.Selections[x]; sel != nil {
+			if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+				return v
+			}
+			return nil
+		}
+		// Qualified identifier: otherpkg.Var.
+		if v, ok := pass.TypesInfo.Uses[x.Sel].(*types.Var); ok && isPkgVar(v) {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[x].(*types.Var); ok && isPkgVar(v) {
+			return v
+		}
+	case *ast.IndexExpr:
+		// &arr[i] — element atomicity is per-index; out of scope.
+	}
+	return nil
+}
+
+func isField(v *types.Var) bool { return v.IsField() }
+
+// isPkgVar reports whether v is declared at package scope.
+func isPkgVar(v *types.Var) bool {
+	return !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// objKey is the build-stable identity of a var used in fact files: the
+// declaring package, name, and declaration file:line (positions survive
+// the round trip through compiler export data, so the importing side
+// computes the same key).
+func objKey(fset *token.FileSet, v *types.Var) string {
+	pkg := ""
+	if v.Pkg() != nil {
+		pkg = v.Pkg().Path()
+	}
+	p := fset.Position(v.Pos())
+	return fmt.Sprintf("%s:%s@%s:%d", pkg, v.Name(), filepath.Base(p.Filename), p.Line)
+}
+
+// describe renders a var for diagnostics: "field psSize of lock.MCSCR"
+// or "package variable sink".
+func describe(v *types.Var) string {
+	if !v.IsField() {
+		return fmt.Sprintf("atomically accessed package variable %s", v.Name())
+	}
+	pkg := ""
+	if v.Pkg() != nil {
+		if i := strings.LastIndexByte(v.Pkg().Path(), '/'); i >= 0 {
+			pkg = v.Pkg().Path()[i+1:] + "."
+		} else {
+			pkg = v.Pkg().Path() + "."
+		}
+	}
+	return fmt.Sprintf("atomically accessed field %s%s", pkg, v.Name())
+}

@@ -1,0 +1,15 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicmix"
+)
+
+// Package b imports package a, so this exercises the exported-fact path:
+// a's atomic declarations are rediscovered in b through the fact store,
+// not the source.
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomicmix.Analyzer, "a", "b")
+}

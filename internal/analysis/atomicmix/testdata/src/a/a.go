@@ -1,0 +1,85 @@
+// Package a is the atomicmix fixture: a broken twin of the repo's
+// addressed-atomic style (core.Stats stripes, the old lockbench sink).
+package a
+
+import "sync/atomic"
+
+// T mixes an addressed atomic counter with plain fields.
+type T struct {
+	Counter uint64
+	Other   int
+}
+
+// Inc establishes Counter's atomicity.
+func (t *T) Inc() {
+	atomic.AddUint64(&t.Counter, 1)
+}
+
+func (t *T) BadRead() uint64 {
+	return t.Counter // want `plain read of atomically accessed field a\.Counter`
+}
+
+func (t *T) BadWrite() {
+	t.Counter = 0 // want `plain write to atomically accessed field a\.Counter`
+}
+
+func (t *T) BadInc() {
+	t.Counter++ // want `plain increment of atomically accessed field a\.Counter`
+}
+
+func (t *T) BadEscape() *uint64 {
+	return &t.Counter // want `address of atomically accessed field a\.Counter escapes`
+}
+
+func (t *T) GoodLoad() uint64 {
+	return atomic.LoadUint64(&t.Counter)
+}
+
+func (t *T) GoodCAS() bool {
+	return atomic.CompareAndSwapUint64((&t.Counter), 0, 1) // parens around the address are fine
+}
+
+// NewT uses keyed composite-literal initialization — the
+// pre-publication idiom, exempt by design.
+func NewT() *T {
+	return &T{Counter: 0, Other: 1}
+}
+
+// Other is never atomic: plain access everywhere, no findings.
+func (t *T) Untracked() int {
+	t.Other++
+	return t.Other
+}
+
+// Var is the package-level twin of the old lockbench sink.
+var Var uint64
+
+// Bump establishes Var's atomicity.
+func Bump() {
+	atomic.StoreUint64(&Var, 1)
+}
+
+func BadVar() uint64 {
+	return Var // want `plain read of atomically accessed package variable Var`
+}
+
+func BadVarWrite() {
+	Var = 7 // want `plain write to atomically accessed package variable Var`
+}
+
+// typed is the preferred fix: a typed atomic makes plain access
+// unrepresentable, so there is nothing for the analyzer to say.
+var typed atomic.Uint64
+
+func Typed() uint64 {
+	typed.Add(1)
+	return typed.Load()
+}
+
+// plainOnly never meets sync/atomic; plain access is fine.
+var plainOnly uint64
+
+func PlainOnly() uint64 {
+	plainOnly++
+	return plainOnly
+}

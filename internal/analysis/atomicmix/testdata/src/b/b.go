@@ -1,0 +1,28 @@
+// Package b exercises the cross-package fact flow: package a declared
+// Counter and Var atomic; plain access from an importer is the modular
+// case a per-package analysis would miss.
+package b
+
+import (
+	"sync/atomic"
+
+	"test/a"
+)
+
+func BadField(t *a.T) uint64 {
+	return t.Counter // want `plain read of atomically accessed field a\.Counter`
+}
+
+func BadVar() uint64 {
+	return a.Var // want `plain read of atomically accessed package variable Var`
+}
+
+func BadVarWrite() {
+	a.Var = 9 // want `plain write to atomically accessed package variable Var`
+}
+
+func Good(t *a.T) uint64 {
+	t.Inc()
+	a.Bump()
+	return atomic.LoadUint64(&a.Var)
+}

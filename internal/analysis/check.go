@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Facts is the serialized fact store: analyzer name → key → value.
+// Values are human-readable (a position string, typically); keys must be
+// stable across builds (the analyzers derive them from declaration
+// positions, which both source and export data preserve).
+type Facts map[string]map[string]string
+
+// Merge folds other into f (creating buckets as needed). Later values
+// win, which is irrelevant in practice: a key is derived from one
+// declaration site, so every writer stores an equivalent value.
+func (f Facts) Merge(other Facts) {
+	for an, kv := range other {
+		bucket := f[an]
+		if bucket == nil {
+			bucket = make(map[string]string, len(kv))
+			f[an] = bucket
+		}
+		for k, v := range kv {
+			bucket[k] = v
+		}
+	}
+}
+
+// Unit describes one package ready to be checked: parsed files plus
+// everything the type checker needs.
+type Unit struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Path      string // package path given to the type checker
+	Importer  types.Importer
+	Sizes     types.Sizes
+	GoVersion string // e.g. "go1.24"; empty means unconstrained
+
+	// FactsIn is the merged fact store of the unit's transitive
+	// dependencies (only module-internal packages export facts).
+	FactsIn Facts
+
+	// ReportUnusedIgnores adds a finding for every //lockcheck:ignore
+	// directive no diagnostic landed on. Only meaningful when the whole
+	// analyzer suite runs at once (the drivers); single-analyzer runs
+	// (analysistest) would misreport directives aimed at other
+	// analyzers.
+	ReportUnusedIgnores bool
+}
+
+// UnitDiagnostic is a Diagnostic tagged with the analyzer that found it.
+type UnitDiagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// UnitResult is the outcome of checking one package.
+type UnitResult struct {
+	Pkg         *types.Package
+	Diagnostics []UnitDiagnostic // suppression-filtered, position-sorted
+	FactsOut    Facts            // FactsIn plus everything exported here
+}
+
+// CheckUnit type-checks one package and runs the analyzers over it.
+// A type-check failure is returned as an error (the drivers decide
+// whether that is fatal; `go vet` asks for silence via
+// SucceedOnTypecheckFailure because the compiler will report it).
+func CheckUnit(u Unit, analyzers []*Analyzer) (UnitResult, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tc := &types.Config{
+		Importer:  u.Importer,
+		Sizes:     u.Sizes,
+		GoVersion: u.GoVersion,
+	}
+	pkg, err := tc.Check(u.Path, u.Fset, u.Files, info)
+	if err != nil {
+		return UnitResult{}, err
+	}
+
+	factsOut := make(Facts)
+	factsOut.Merge(u.FactsIn)
+
+	sup := collectSuppressions(u.Fset, u.Files)
+
+	var diags []UnitDiagnostic
+	for _, a := range analyzers {
+		a := a
+		imported := u.FactsIn[a.Name]
+		if imported == nil {
+			imported = map[string]string{}
+		}
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       u.Fset,
+			Files:      u.Files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: u.Sizes,
+			Report: func(d Diagnostic) {
+				if sup.suppressed(u.Fset, d.Pos) {
+					return
+				}
+				diags = append(diags, UnitDiagnostic{Analyzer: a.Name, Pos: d.Pos, Message: d.Message})
+			},
+			ExportFact: func(key, value string) {
+				bucket := factsOut[a.Name]
+				if bucket == nil {
+					bucket = make(map[string]string)
+					factsOut[a.Name] = bucket
+				}
+				bucket[key] = value
+			},
+			ImportedFacts: func() map[string]string { return imported },
+		}
+		if err := a.Run(pass); err != nil {
+			return UnitResult{}, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+
+	// Directive hygiene: an ignore without a reason is itself a
+	// finding (the reason is the audit trail the suppression policy
+	// demands), and — when the whole suite ran — so is an ignore that
+	// suppressed nothing: it documents a violation that no longer
+	// exists and must not linger to silence a future one.
+	for _, d := range sup.all {
+		if d.used && d.reason == "" {
+			diags = append(diags, UnitDiagnostic{
+				Analyzer: "lockcheck",
+				Pos:      d.pos,
+				Message:  "//lockcheck:ignore requires a reason (//lockcheck:ignore <why this is safe>)",
+			})
+		}
+		if u.ReportUnusedIgnores && !d.used {
+			diags = append(diags, UnitDiagnostic{
+				Analyzer: "lockcheck",
+				Pos:      d.pos,
+				Message:  "unused //lockcheck:ignore directive (nothing to suppress here; delete it)",
+			})
+		}
+	}
+
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := u.Fset.Position(diags[i].Pos), u.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+
+	return UnitResult{Pkg: pkg, Diagnostics: diags, FactsOut: factsOut}, nil
+}

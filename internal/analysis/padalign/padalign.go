@@ -1,0 +1,217 @@
+// Package padalign verifies the cache-line layout discipline that
+// internal/pad documents and lock/layout_test.go asserts for one
+// package — generalized to every package in the module, computed from
+// types.Sizes instead of unsafe.Offsetof in hand-written tests.
+//
+// Two invariants, two triggers:
+//
+//  1. Any struct that contains a padding field — a blank field of
+//     [N]byte type with N >= 8 (smaller blank arrays are word-alignment
+//     fillers, not line pads), or a field of a repro/internal/pad type —
+//     is under pad discipline automatically. Every such padding field must end
+//     exactly on a cache-line boundary: that is what makes the next
+//     field start a fresh line, which is the entire point of the pad.
+//     Padding that stops short (the classic failure: a field is added
+//     or resized and the N in "[CacheLineSize - N]byte" is not
+//     updated) silently re-introduces the false sharing the struct was
+//     shaped to avoid.
+//
+//  2. A struct annotated //lockcheck:line=N must be exactly N cache
+//     lines in total (unadorned //lockcheck:line: any non-zero whole
+//     number of lines). This is the pooled-node size-class contract:
+//     a 64-byte object lands in the 64-byte allocation class, whose
+//     slots are line-aligned, so a waiter's spin flag never shares a
+//     coherence granule with a neighbouring node. Growing past a line
+//     boundary is sometimes a deliberate trade (it doubles pool
+//     memory) — the annotation makes it a loud one.
+//
+// The line size is repro/internal/pad.CacheLineSize; the analyzer links
+// the real constant so the two cannot drift.
+package padalign
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/pad"
+)
+
+// Analyzer verifies cache-line padding and size-class layout contracts.
+var Analyzer = &analysis.Analyzer{
+	Name: "padalign",
+	Doc: `verify cache-line padding discipline with types.Sizes
+
+Structs containing padding fields (blank [N]byte fields with N >= 8, or
+repro/internal/pad types) must place each pad so it ends exactly on a
+cache-line boundary; structs annotated //lockcheck:line=N must be
+exactly N cache lines in total.`,
+	Run: run,
+}
+
+const line = int64(pad.CacheLineSize)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				// Generic struct layouts depend on the instantiation;
+				// out of scope.
+				if ts.TypeParams != nil {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				checkStruct(pass, ts, st, doc)
+			}
+		}
+	}
+	return nil
+}
+
+func checkStruct(pass *analysis.Pass, ts *ast.TypeSpec, st *ast.StructType, doc *ast.CommentGroup) {
+	obj := pass.TypesInfo.Defs[ts.Name]
+	if obj == nil {
+		return
+	}
+	styp, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+
+	lineArg, hasLineDirective := analysis.Directive(doc, "line")
+
+	// Locate padding fields in source order; the type checker's field
+	// order matches the AST's (flattened over multi-name field decls).
+	fields := make([]*types.Var, styp.NumFields())
+	for i := range fields {
+		fields[i] = styp.Field(i)
+	}
+	padded := padFieldIndexes(pass, st, fields)
+	if len(padded) == 0 && !hasLineDirective {
+		return
+	}
+
+	offsets := pass.TypesSizes.Offsetsof(fields)
+
+	for _, pi := range padded {
+		fieldSize := pass.TypesSizes.Sizeof(fields[pi.index].Type())
+		if fieldSize == 0 {
+			pass.Reportf(pi.pos, "zero-sized padding field in %s pads nothing", ts.Name.Name)
+			continue
+		}
+		end := offsets[pi.index] + fieldSize
+		if end%line != 0 {
+			pass.Reportf(pi.pos,
+				"padding field in %s ends at offset %d, not on a %d-byte cache-line boundary; the next field shares a line with the one this pad was meant to isolate",
+				ts.Name.Name, end, line)
+		}
+	}
+
+	if hasLineDirective {
+		want, err := parseLineArg(lineArg)
+		if err != "" {
+			pass.Reportf(ts.Pos(), "bad //lockcheck:line directive on %s: %s", ts.Name.Name, err)
+			return
+		}
+		total := pass.TypesSizes.Sizeof(obj.Type())
+		switch {
+		case want > 0 && total != want*line:
+			pass.Reportf(ts.Pos(),
+				"%s is %d bytes, want exactly %d (%d cache line(s)); a size-class drift silently doubles pool memory or re-introduces false sharing",
+				ts.Name.Name, total, want*line, want)
+		case want == 0 && (total == 0 || total%line != 0):
+			pass.Reportf(ts.Pos(),
+				"%s is %d bytes, want a non-zero multiple of the %d-byte cache line",
+				ts.Name.Name, total, line)
+		}
+	}
+}
+
+// padField pairs a flattened field index with its source position.
+type padField struct {
+	index int
+	pos   token.Pos
+}
+
+// padFieldIndexes returns the flattened indexes of padding fields: a
+// blank field of [N]byte type at least a word wide (smaller blank
+// arrays are alignment fillers, exempt — though a drifted pad that
+// shrinks below a word still trips the //lockcheck:line total-size
+// check), or any field of a pad-package type.
+func padFieldIndexes(pass *analysis.Pass, st *ast.StructType, fields []*types.Var) []padField {
+	var out []padField
+	i := 0
+	for _, f := range st.Fields.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1 // embedded field
+		}
+		for j := 0; j < n; j++ {
+			fv := fields[i]
+			blank := len(f.Names) > 0 && f.Names[j].Name == "_"
+			if (blank && isByteArray(fv.Type()) && pass.TypesSizes.Sizeof(fv.Type()) >= 8) ||
+				isPadType(fv.Type()) {
+				out = append(out, padField{index: i, pos: f.Pos()})
+			}
+			i++
+		}
+	}
+	return out
+}
+
+// isByteArray reports whether t is [N]byte (possibly via a named type).
+func isByteArray(t types.Type) bool {
+	arr, ok := t.Underlying().(*types.Array)
+	if !ok {
+		return false
+	}
+	b, ok := arr.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// isPadType reports whether t is declared in a package named "pad" —
+// repro/internal/pad in this module (the name, not the full path, so
+// fixture modules can supply their own pad package; nothing else in the
+// build is called pad).
+func isPadType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	p := named.Obj().Pkg()
+	return p != nil && p.Name() == "pad"
+}
+
+// parseLineArg parses the directive argument: "" (any multiple) or
+// "=N" (exactly N lines).
+func parseLineArg(arg string) (int64, string) {
+	if arg == "" {
+		return 0, ""
+	}
+	if !strings.HasPrefix(arg, "=") {
+		return 0, "want //lockcheck:line or //lockcheck:line=N"
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(arg[1:]), 10, 32)
+	if err != nil || n <= 0 {
+		return 0, "N must be a positive integer count of cache lines"
+	}
+	return n, ""
+}

@@ -1,0 +1,10 @@
+// Package pad is the fixture stand-in for repro/internal/pad (which,
+// being internal, is not importable from the fixture module). The
+// analyzer keys pad-typed fields on the package name.
+package pad
+
+// CacheLineSize mirrors repro/internal/pad.CacheLineSize.
+const CacheLineSize = 64
+
+// CacheLine is a full line of padding.
+type CacheLine [CacheLineSize]byte

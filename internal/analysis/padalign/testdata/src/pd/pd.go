@@ -1,0 +1,97 @@
+// Package pd is the padalign fixture: broken twins of lock/mcs.go's
+// pooled node and internal/core/stats.go's counter stripe, with the pad
+// arithmetic deliberately drifted — the exact failure the analyzer
+// exists to catch (a field added without updating the
+// "CacheLineSize - N" subtraction). Offsets assume the gc sizes model
+// on a 64-bit target, as the repo's layout tests already do.
+package pd
+
+import (
+	"sync/atomic"
+
+	"test/pad"
+)
+
+// GoodNode is the healthy shape: 24 bytes of payload, pad to the line.
+//
+//lockcheck:line=1
+type GoodNode struct {
+	state atomic.Uint32
+	_     [4]byte
+	next  *GoodNode
+	id    uint64
+	_     [pad.CacheLineSize - 24]byte
+}
+
+// DriftNode grew a field without updating the pad arithmetic.
+//
+//lockcheck:line=1
+type DriftNode struct { // want `DriftNode is 72 bytes, want exactly 64`
+	state atomic.Uint32
+	_     [4]byte
+	next  *DriftNode
+	id    uint64
+	extra uint64
+	_     [pad.CacheLineSize - 24]byte // want `ends at offset 72, not on a 64-byte cache-line boundary`
+}
+
+// ShortPad pads, but not to a boundary: the neighbour still shares the
+// line.
+type ShortPad struct {
+	hot uint64
+	_   [48]byte // want `ends at offset 56, not on a 64-byte cache-line boundary`
+}
+
+// GoodStripe is the two-line counter stripe shape.
+//
+//lockcheck:line=2
+type GoodStripe struct {
+	c [11]atomic.Uint64
+	_ [128 - 11*8]byte
+}
+
+// OddStripe claims two lines but is three.
+//
+//lockcheck:line=2
+type OddStripe struct { // want `OddStripe is 192 bytes, want exactly 128`
+	c [23]atomic.Uint64
+	_ [192 - 23*8]byte
+}
+
+// AnyLines only requires a whole number of lines.
+//
+//lockcheck:line
+type AnyLines struct {
+	buf [2 * pad.CacheLineSize]byte
+}
+
+// Ragged is annotated but not line-sized at all.
+//
+//lockcheck:line
+type Ragged struct { // want `Ragged is 24 bytes, want a non-zero multiple of the 64-byte cache line`
+	a, b, c uint64
+}
+
+// BadArg has a malformed directive argument.
+//
+//lockcheck:line=zero
+type BadArg struct { // want `bad //lockcheck:line directive on BadArg`
+	a uint64
+}
+
+// Unpadded structs without the directive are out of scope entirely, and
+// small blank arrays are word-alignment fillers, not line pads.
+type Unpadded struct {
+	a uint32
+	_ [4]byte
+	b byte
+}
+
+// padTyped uses a repro/internal/pad type as the padding field; it is
+// under pad discipline even without a blank [N]byte field. A CacheLine
+// that does not end on a boundary cannot be isolating anything.
+type padTyped struct {
+	hot uint32
+	pad pad.CacheLine // want `ends at offset 68, not on a 64-byte cache-line boundary`
+	n   uint64
+}

@@ -1,0 +1,12 @@
+package speclit_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/speclit"
+)
+
+func TestSpecLit(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), speclit.Analyzer, "sp")
+}

@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/build"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"sort"
+)
+
+// Standalone mode: `lockcheck ./...` (or any package patterns) without
+// the go vet harness. It shells out to `go list -export -deps -json` for
+// file lists and compiler export data — the same artifacts cmd/go would
+// hand a vet tool — then checks the matched module packages in
+// dependency order, threading facts in memory. Test files are only
+// analyzed under `go vet -vettool=` (which synthesizes test variants);
+// standalone mode covers the non-test build, which is what pre-commit
+// runs want to be fast.
+
+// listPackage is the subset of `go list -json` output the driver needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	Imports    []string
+	Module     *struct {
+		Path      string
+		GoVersion string
+	}
+}
+
+func runStandalone(patterns []string, analyzers []*Analyzer) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	results, fset, err := CheckPatterns(".", patterns, analyzers, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exitCode := 0
+	for _, pr := range results {
+		for _, d := range pr.Diagnostics {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+			exitCode = 1
+		}
+	}
+	os.Exit(exitCode)
+}
+
+// PackageResult is one checked package's findings, in check order
+// (dependencies before dependents).
+type PackageResult struct {
+	Path        string
+	Diagnostics []UnitDiagnostic
+}
+
+// CheckPatterns loads the packages matching patterns in dir (via
+// `go list -export`), checks the matched module packages in dependency
+// order with facts threaded in memory, and returns their findings. It is
+// the engine behind both standalone mode and the analysistest harness.
+func CheckPatterns(dir string, patterns []string, analyzers []*Analyzer, reportUnusedIgnores bool) ([]PackageResult, *token.FileSet, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	exports := make(map[string]string, len(pkgs))
+	byPath := make(map[string]*listPackage, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, "gc", nil, exports)
+	sizes := types.SizesFor("gc", build.Default.GOARCH)
+
+	// Check the matched (non-DepOnly) non-standard packages in
+	// dependency order so facts flow importee → importer.
+	var roots []*listPackage
+	for _, p := range pkgs {
+		if !p.DepOnly && !p.Standard {
+			roots = append(roots, p)
+		}
+	}
+	order := topoOrder(roots, byPath)
+
+	facts := make(map[string]Facts) // package path → exported facts
+	var results []PackageResult
+	for _, p := range order {
+		var fileNames []string
+		for _, f := range p.GoFiles {
+			fileNames = append(fileNames, join(p.Dir, f))
+		}
+		if len(fileNames) == 0 {
+			continue
+		}
+		files, err := parseFiles(fset, fileNames)
+		if err != nil {
+			return nil, nil, err
+		}
+		factsIn := make(Facts)
+		for _, dep := range p.Imports {
+			factsIn.Merge(facts[dep])
+		}
+		goVersion := ""
+		if p.Module != nil && p.Module.GoVersion != "" {
+			goVersion = "go" + p.Module.GoVersion
+		}
+		res, err := CheckUnit(Unit{
+			Fset:                fset,
+			Files:               files,
+			Path:                p.ImportPath,
+			Importer:            imp,
+			Sizes:               sizes,
+			GoVersion:           goVersion,
+			FactsIn:             factsIn,
+			ReportUnusedIgnores: reportUnusedIgnores,
+		}, analyzers)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		facts[p.ImportPath] = res.FactsOut
+		results = append(results, PackageResult{Path: p.ImportPath, Diagnostics: res.Diagnostics})
+	}
+	return results, fset, nil
+}
+
+// goList runs `go list -export -deps -json` over the patterns. -export
+// makes the build system produce the compiler export data the importer
+// reads; -deps pulls in the standard-library closure.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Standard,DepOnly,Export,Imports,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// topoOrder sorts the root packages so every root appears after any
+// root it (transitively) imports. Non-root dependencies contribute no
+// facts in standalone mode (they are either std or not matched), so
+// ordering only among roots is sufficient.
+func topoOrder(roots []*listPackage, byPath map[string]*listPackage) []*listPackage {
+	rootSet := make(map[string]bool, len(roots))
+	for _, p := range roots {
+		rootSet[p.ImportPath] = true
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	var order []*listPackage
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string)
+	visit = func(path string) {
+		if state[path] != 0 {
+			return
+		}
+		state[path] = 1
+		p := byPath[path]
+		if p != nil {
+			for _, dep := range p.Imports {
+				if rootSet[dep] {
+					visit(dep)
+				}
+			}
+			if rootSet[path] {
+				order = append(order, p)
+			}
+		}
+		state[path] = 2
+	}
+	for _, p := range roots {
+		visit(p.ImportPath)
+	}
+	return order
+}
+
+func join(dir, file string) string {
+	if len(file) > 0 && (file[0] == '/' || file[0] == '\\') {
+		return file
+	}
+	return dir + string(os.PathSeparator) + file
+}

@@ -1,0 +1,24 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicmix"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/padalign"
+	"repro/internal/analysis/speclit"
+)
+
+// TestSuppression runs the full suite the way the drivers do — with
+// unused-//lockcheck:ignore reporting on — over the suppression and
+// directive-hygiene fixture.
+func TestSuppression(t *testing.T) {
+	analysistest.RunSuite(t, analysistest.TestData(), []*analysis.Analyzer{
+		atomicmix.Analyzer,
+		speclit.Analyzer,
+		padalign.Analyzer,
+		hotpath.Analyzer,
+	}, "sup")
+}

@@ -1,0 +1,42 @@
+// Package sup is the suppression and directive-hygiene fixture, run
+// with the full analyzer suite (unused-ignore reporting on, as the
+// drivers run it).
+package sup
+
+import "sync/atomic"
+
+var word uint64
+
+func bump() {
+	atomic.AddUint64(&word, 1)
+}
+
+// justified: a trailing directive with a reason silences the finding on
+// its own line.
+func read() uint64 {
+	return word //lockcheck:ignore fixture demonstrates a justified suppression
+}
+
+// standalone: a directive alone on a line suppresses the line below.
+func standalone() uint64 {
+	//lockcheck:ignore fixture demonstrates the standalone-line form
+	return word
+}
+
+// a reasonless directive suppresses — and is itself a finding.
+func reasonless() {
+	word = 0 //lockcheck:ignore
+	// want `//lockcheck:ignore requires a reason`
+}
+
+// a directive with nothing to suppress is stale and must go.
+func stale() uint64 {
+	//lockcheck:ignore stale: the plain read this once excused is gone
+	// want `unused //lockcheck:ignore directive`
+	return atomic.LoadUint64(&word)
+}
+
+// an unsuppressed violation still fires with the suite running.
+func unsuppressed() uint64 {
+	return word // want `plain read of atomically accessed package variable word`
+}

@@ -1,0 +1,309 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file implements the driver protocol spoken by `go vet -vettool=`
+// (the same contract x/tools' unitchecker fulfils):
+//
+//	tool -V=full      print an identity line for build caching
+//	tool -flags       print the tool's flags as JSON
+//	tool [flags] x.cfg  analyze the single compilation unit described
+//	                    by the JSON config file, exit 1 on findings
+//
+// plus, as a convenience when the last argument is not a .cfg file, the
+// standalone whole-module mode in standalone.go.
+
+// vetConfig mirrors the JSON written by cmd/go for each vet action.
+// Field names are the protocol; do not rename.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string // import path → canonical package path
+	PackageFile               map[string]string // package path → export data file
+	Standard                  map[string]bool
+	PackageVetx               map[string]string // package path → fact file from a prior unit
+	VetxOnly                  bool              // only facts are wanted (dependency run)
+	VetxOutput                string            // where to write this unit's facts
+	SucceedOnTypecheckFailure bool
+}
+
+var jsonOut = flag.Bool("json", false, "emit findings as JSON (per the vet driver protocol)")
+
+// Main is the entry point shared by cmd/lockcheck: it dispatches between
+// the three protocol verbs and the standalone package-pattern mode.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON (vet driver protocol)")
+	flag.Var(versionFlag{}, "V", "print version and exit (vet driver protocol; only -V=full is supported)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, `%[1]s checks this module's concurrency invariants.
+
+Usage:
+	%[1]s [packages]      analyze packages (default ./...)
+	%[1]s help            list analyzers
+	go vet -vettool=$(command -v %[1]s) ./...   run under the go build system
+
+Analyzers:
+`, progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "\t%-10s %s\n", a.Name, firstLine(a.Doc))
+		}
+		os.Exit(2)
+	}
+	flag.Parse()
+
+	if *printflags {
+		// Tell cmd/go which flags this tool accepts.
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		out, _ := json.Marshal([]jsonFlag{
+			{Name: "json", Bool: true, Usage: "emit JSON output"},
+		})
+		fmt.Println(string(out))
+		os.Exit(0)
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && args[0] == "help" {
+		fmt.Printf("%s: static verification of this module's concurrency invariants\n\n", progname)
+		for _, a := range analyzers {
+			fmt.Printf("# %s\n\n%s\n\n", a.Name, strings.TrimSpace(a.Doc))
+		}
+		os.Exit(0)
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runVetUnit(args[0], analyzers)
+		return
+	}
+	runStandalone(args, analyzers)
+}
+
+// versionFlag implements the -V=full identity handshake cmd/go uses to
+// fingerprint the tool for its build cache: the line must read
+// "<path> version devel ... buildID=<contenthash>".
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	prog, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", prog, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}
+
+// runVetUnit analyzes the single unit described by a cmd/go vet config.
+func runVetUnit(configFile string, analyzers []*Analyzer) {
+	data, err := os.ReadFile(configFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", configFile, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		log.Fatalf("package has no files: %s", cfg.ImportPath)
+	}
+
+	fset := token.NewFileSet()
+	parsed, err := parseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0) // the compiler will report it
+		}
+		log.Fatal(err)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := newExportImporter(fset, compiler, cfg.ImportMap, cfg.PackageFile)
+
+	factsIn := make(Facts)
+	for _, vetx := range cfg.PackageVetx {
+		f, err := readFactsFile(vetx)
+		if err != nil {
+			log.Fatalf("reading facts: %v", err)
+		}
+		factsIn.Merge(f)
+	}
+
+	res, err := CheckUnit(Unit{
+		Fset:                fset,
+		Files:               parsed,
+		Path:                cfg.ImportPath,
+		Importer:            imp,
+		Sizes:               types.SizesFor(compiler, build.Default.GOARCH),
+		GoVersion:           cfg.GoVersion,
+		FactsIn:             factsIn,
+		ReportUnusedIgnores: true,
+	}, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+
+	if cfg.VetxOutput != "" {
+		if err := writeFactsFile(cfg.VetxOutput, res.FactsOut); err != nil {
+			log.Fatalf("failed to export analysis facts: %v", err)
+		}
+	}
+
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+	exitCode := 0
+	if *jsonOut {
+		printJSONDiagnostics(os.Stdout, fset, cfg.ID, res.Diagnostics)
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+			exitCode = 1
+		}
+	}
+	os.Exit(exitCode)
+}
+
+// printJSONDiagnostics emits the {pkgID: {analyzer: [{posn, message}]}}
+// tree `go vet -json` consumers expect.
+func printJSONDiagnostics(w io.Writer, fset *token.FileSet, id string, diags []UnitDiagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := make(map[string][]jsonDiag)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+			Posn:    fset.Position(d.Pos).String(),
+			Message: d.Message,
+		})
+	}
+	tree := map[string]map[string][]jsonDiag{id: byAnalyzer}
+	out, _ := json.MarshalIndent(tree, "", "\t")
+	fmt.Fprintf(w, "%s\n", out)
+}
+
+// parseFiles parses the unit's Go files with comments (the directives
+// live there).
+func parseFiles(fset *token.FileSet, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// newExportImporter builds the standard two-step vet importer: resolve
+// the source import path through ImportMap (vendoring, test variants),
+// then read the compiler's export data for the canonical path. The
+// underlying gc importer caches packages in fset-scoped state.
+func newExportImporter(fset *token.FileSet, compiler string, importMap, packageFile map[string]string) types.Importer {
+	compilerImporter := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := packageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := importMap[importPath]
+		if !ok {
+			path = importPath // identity outside the map
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Fact files are JSON — tiny, deterministic (encoding/json sorts map
+// keys), and content-cacheable by cmd/go.
+
+func readFactsFile(path string) (Facts, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return Facts{}, nil
+	}
+	var f Facts
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return f, nil
+}
+
+func writeFactsFile(path string, f Facts) error {
+	data, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
+}
+
+func firstLine(s string) string {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}

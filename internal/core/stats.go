@@ -32,6 +32,8 @@ const stripeBytes = 128
 
 // stripe holds one full set of event counters on its own pair of cache
 // lines. Writers hash to a stripe; Read sums across all of them.
+//
+//lockcheck:line=2
 type stripe struct {
 	c [numEvents]atomic.Uint64
 	_ [stripeBytes - (uintptr(numEvents) * 8)]byte

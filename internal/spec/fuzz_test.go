@@ -1,0 +1,128 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The spec grammar is the contract between the runtime registries and
+// the speclit analyzer (which links and runs these same parsers at vet
+// time): both must accept and reject exactly the same strings, so the
+// parsers must be total — any input, even adversarial, produces a value
+// or an error, never a panic — and deterministic, so vet's verdict on a
+// constant is production's verdict on the same string.
+
+func fuzzGrammar() *Grammar[string] {
+	return NewGrammar("fuzz", map[string]ParamFunc[string]{
+		"seed": func(v string) (string, error) { _, err := Uint(v); return "seed", err },
+		"spin": func(v string) (string, error) { _, err := PosInt(v); return "spin", err },
+		"wait": func(v string) (string, error) { _, err := Bool(v); return "wait", err },
+		"hold": func(v string) (string, error) { _, err := Dur(v); return "hold", err },
+		"p":    func(v string) (string, error) { _, err := Frac(v); return "p", err },
+	})
+}
+
+func FuzzGrammarParse(f *testing.F) {
+	// Duplicate keys, URL-escape edge cases, and plain typos.
+	f.Add("x?seed=1", "seed=1")
+	f.Add("x?seed=1&seed=2", "seed=1&seed=2")
+	f.Add("x", "seed=%31")
+	f.Add("x", "se%65d=1")
+	f.Add("x", "hold=1ms&p=0.5")
+	f.Add("x", "hold=%")
+	f.Add("x", "a=1;b=2")
+	f.Add("x", "=1&=2")
+	f.Add("x", "seed")
+	f.Add("x", "p=NaN")
+	f.Add("x", "spin=+1")
+	f.Add("x", "wait=TRUE&wait=false")
+	g := fuzzGrammar()
+	f.Fuzz(func(t *testing.T, spec, query string) {
+		opts1, err1 := g.Parse(spec, query)
+		opts2, err2 := g.Parse(spec, query)
+		if (err1 == nil) != (err2 == nil) || len(opts1) != len(opts2) {
+			t.Fatalf("Parse(%q, %q) is nondeterministic: (%v, %v) then (%v, %v)",
+				spec, query, opts1, err1, opts2, err2)
+		}
+		if err1 != nil {
+			if err2 == nil || err1.Error() != err2.Error() {
+				t.Fatalf("Parse(%q, %q) error is nondeterministic: %q vs %q", spec, query, err1, err2)
+			}
+			return
+		}
+		// A successful parse processed each given key at most once.
+		seen := make(map[string]bool, len(opts1))
+		for _, k := range opts1 {
+			if seen[k] {
+				t.Fatalf("Parse(%q, %q) applied parameter %q twice", spec, query, k)
+			}
+			seen[k] = true
+		}
+	})
+}
+
+func FuzzRegistryResolve(f *testing.F) {
+	f.Add("mcs")
+	f.Add("MCS ")
+	f.Add(" tas?spin=100")
+	f.Add("mcs?")
+	f.Add("?seed=1")
+	f.Add("mcs??a=1")
+	f.Add("a+b")
+	f.Add("%6dcs")
+	r := NewRegistry[int]("fuzz", "thing")
+	r.Register(Registration[int]{Name: "mcs", Aliases: []string{"mcs-default"}, Build: 1})
+	r.Register(Registration[int]{Name: "tas", Build: 2})
+	f.Fuzz(func(t *testing.T, spec string) {
+		reg, query, err := r.Resolve(spec)
+		if err != nil {
+			if !strings.Contains(err.Error(), "unknown thing") {
+				t.Fatalf("Resolve(%q): unexpected error shape: %v", spec, err)
+			}
+			return
+		}
+		if reg.Build == 0 {
+			t.Fatalf("Resolve(%q) succeeded with a zero registration", spec)
+		}
+		// The name half really resolved: strip the query and re-resolve.
+		if _, ok := r.Lookup(strings.TrimSuffix(spec, "?"+query)); !ok && query != "" {
+			name, _, _ := strings.Cut(spec, "?")
+			if _, ok := r.Lookup(name); !ok {
+				t.Fatalf("Resolve(%q) succeeded but Lookup of its name half failed", spec)
+			}
+		}
+	})
+}
+
+// FuzzValueParsers hammers the shared typed parsers directly: they back
+// every family's "bad value" errors and must never panic or accept
+// garbage silently.
+func FuzzValueParsers(f *testing.F) {
+	f.Add("1")
+	f.Add("-1")
+	f.Add("1e309")
+	f.Add("NaN")
+	f.Add("-0")
+	f.Add("1ms")
+	f.Add("-1ms")
+	f.Add("9223372036854775808")
+	f.Add("0x10")
+	f.Add("inf")
+	f.Fuzz(func(t *testing.T, v string) {
+		if n, err := NonNegInt(v); err == nil && n < 0 {
+			t.Fatalf("NonNegInt(%q) = %d", v, n)
+		}
+		if n, err := PosInt(v); err == nil && n < 1 {
+			t.Fatalf("PosInt(%q) = %d", v, n)
+		}
+		if d, err := Dur(v); err == nil && d < 0 {
+			t.Fatalf("Dur(%q) = %v", v, time.Duration(d))
+		}
+		if fr, err := Frac(v); err == nil && (fr < 0 || fr > 1) {
+			t.Fatalf("Frac(%q) = %v", v, fr)
+		}
+		Uint(v)
+		Bool(v)
+	})
+}

@@ -21,6 +21,8 @@ import (
 // unlock path. pred pointers are immutable once set and abandoned states
 // are terminal, so at most one live waiter ever walks to a given
 // predecessor.
+//
+//lockcheck:line=1
 type clhNode struct {
 	waitCell
 	pred *clhNode
@@ -261,6 +263,8 @@ func (l *CLH) TryLock() bool {
 // spinning on it (or marking the lock free if none arrives). The plain
 // grant is safe here: waiters abandon only their own nodes, never the
 // node they spin on, so the owner's cell cannot be abandoned.
+//
+//lockcheck:cs
 func (l *CLH) Unlock() {
 	n := l.ownerNode
 	if n == nil {

@@ -12,6 +12,8 @@ import (
 
 // lifoNode is a stack element for LIFOCR waiters, padded to a full cache
 // line so each waiter's spin flag owns its coherence granule.
+//
+//lockcheck:line=1
 type lifoNode struct {
 	waitCell
 	next *lifoNode // stack link; immutable after push until popped
@@ -162,6 +164,8 @@ func (l *LIFOCR) TryLock() bool {
 
 // Unlock releases the lock. If waiters exist, ownership passes by direct
 // handoff to the top of the stack — or, on a fairness trial, to the bottom.
+//
+//lockcheck:cs
 func (l *LIFOCR) Unlock() {
 	for {
 		top := l.top.Load()

@@ -272,6 +272,8 @@ func (l *LOITER) TryLock() bool {
 // (competitive succession); an impatient one receives the lock by direct
 // handoff without it ever becoming free — unless its cancellation won the
 // state race, in which case the release proceeds normally.
+//
+//lockcheck:cs
 func (l *LOITER) Unlock() {
 	if l.outer.Load() != 1 {
 		panic("lock: LOITER.Unlock of unlocked mutex")

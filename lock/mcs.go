@@ -21,6 +21,8 @@ import (
 // waiter spinning on its own wait flag never shares a coherence granule
 // with a neighbouring waiter's flag or link being written (local spinning
 // stays local). layout_test.go asserts the size.
+//
+//lockcheck:line=1
 type mcsNode struct {
 	waitCell // 16 bytes: state word + lazy parker
 	next     atomic.Pointer[mcsNode]
@@ -159,6 +161,8 @@ func (l *MCS) TryLock() bool {
 // successors (cancelled LockContext waiters) are excised and recycled as
 // the walk passes them: each loop iteration either hands off to a live
 // waiter, empties the chain, or skips one abandoned node.
+//
+//lockcheck:cs
 func (l *MCS) Unlock() {
 	n := l.owner
 	if n == nil {

@@ -152,6 +152,8 @@ func (l *MCSCR) TryLock() bool {
 
 // Unlock releases the lock, performing culling, reprovisioning, or a
 // fairness promotion as the chain and passive list dictate.
+//
+//lockcheck:cs
 func (l *MCSCR) Unlock() {
 	n := l.owner
 	if n == nil {
@@ -177,6 +179,8 @@ func (l *MCSCR) Unlock() {
 // successor: the ordinary MCS handoff plus the CR edits (culling,
 // reprovisioning) and the cancellation edits (excising abandoned nodes).
 // Each iteration either completes the release or excises one node.
+//
+//lockcheck:cs
 func (l *MCSCR) releaseChain(n *mcsNode) {
 	for {
 		succ := n.next.Load()

@@ -68,6 +68,8 @@ type waitCell struct {
 // Only CLH may use the unconditional swap: a CLH waiter abandons its own
 // node, never its predecessor's, so the cell a CLH unlock grants cannot be
 // abandoned. Every other granter must use tryGrant.
+//
+//lockcheck:cs
 func (w *waitCell) grant() bool {
 	if w.state.Swap(stateGranted) == stateParked {
 		w.parker.Unpark()
@@ -81,6 +83,8 @@ func (w *waitCell) grant() bool {
 // parked and was woken. ok == false means the waiter abandoned the
 // acquisition: the caller must excise the node and pick another successor
 // (the node is the caller's to reclaim).
+//
+//lockcheck:cs
 func (w *waitCell) tryGrant() (ok, unparked bool) {
 	for {
 		switch s := w.state.Load(); s {

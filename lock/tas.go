@@ -120,6 +120,8 @@ func (l *TAS) TryLock() bool {
 
 // Unlock releases the lock (competitive succession / renouncement: the
 // lock is simply made available and the waiters race to claim it).
+//
+//lockcheck:cs
 func (l *TAS) Unlock() {
 	if l.word.Swap(0) != 1 {
 		panic("lock: TAS.Unlock of unlocked mutex")

@@ -114,6 +114,8 @@ func (l *Ticket) TryLock() bool {
 }
 
 // Unlock serves the next ticket (direct handoff by counter increment).
+//
+//lockcheck:cs
 func (l *Ticket) Unlock() {
 	l.serve.Add(1)
 }

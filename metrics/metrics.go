@@ -73,6 +73,8 @@ func NewRecorderWindow(n, window int) *Recorder {
 }
 
 // Record appends one admission by thread id.
+//
+//lockcheck:cs
 func (r *Recorder) Record(id int) {
 	r.history = append(r.history, id)
 	if r.counts[id]++; r.counts[id] == 1 {

@@ -114,6 +114,7 @@ func (c *Controller) LastDelta() SnapshotDelta {
 	return SnapshotDelta{}
 }
 
+//lockcheck:nosnapshot
 func (c *Controller) run(ctx context.Context) {
 	defer close(c.done)
 	// Snapshots ride the controller's ctx so cancellation (Stop) is

@@ -406,6 +406,8 @@ func (m *Map) SetInjector(inj Injector) {
 
 // inject runs the installed injector's critical-section hook for stripe
 // i; the caller holds stripe i's lock.
+//
+//lockcheck:cs
 func (m *Map) inject(i int) {
 	if p := m.inj.Load(); p != nil {
 		(*p).InCS(i)
@@ -454,6 +456,8 @@ func (s *stripe) client(ctx context.Context) (int, bool) {
 // the swap acquires the old lock and publishes the new descriptor with a
 // release store, so a pre-swap append happens-before the swap, which
 // happens-before any append under the new lock.
+//
+//lockcheck:cs
 func (s *stripe) record(id int) {
 	if s.rec.Len() < s.hcap {
 		s.rec.Record(id)

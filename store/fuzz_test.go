@@ -1,0 +1,37 @@
+package store
+
+import "testing"
+
+// New is run at vet time by the speclit analyzer over every constant
+// backend spec in the module; it must be total and deterministic.
+func FuzzNew(f *testing.F) {
+	f.Add("hashmap")
+	f.Add("skiplist?seed=7&capacity=128")
+	f.Add("rbtree?capacity=0")
+	f.Add("skplist")
+	f.Add("skiplist?seed=7&seed=8")
+	f.Add("SKIPLIST")
+	f.Add("hashmap?capacity=%31")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		b1, err1 := New(s)
+		b2, err2 := New(s)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("New(%q) is nondeterministic: %v vs %v", s, err1, err2)
+		}
+		if err1 != nil {
+			if b1 != nil {
+				t.Fatalf("New(%q) returned both a backend and an error %v", s, err1)
+			}
+			return
+		}
+		if b1 == nil || b2 == nil {
+			t.Fatalf("New(%q) succeeded with a nil backend", s)
+		}
+		// An accepted backend must actually store.
+		b1.Put(1, 2)
+		if v, ok := b1.Get(1); !ok || v != 2 {
+			t.Fatalf("New(%q): Put/Get round-trip failed (%d, %v)", s, v, ok)
+		}
+	})
+}

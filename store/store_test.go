@@ -146,6 +146,7 @@ func TestMustNewPanics(t *testing.T) {
 			t.Fatal("MustNew of a malformed spec did not panic")
 		}
 	}()
+	//lockcheck:ignore exercising the MustNew panic path with a malformed spec
 	MustNew("definitely-not-a-backend")
 }
 
