@@ -91,16 +91,13 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"runtime"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -108,123 +105,12 @@ import (
 	"time"
 
 	"repro/fault"
+	"repro/internal/benchfmt"
 	"repro/lock"
 	"repro/policy"
 	"repro/shard"
 	"repro/store"
 )
-
-// result is one benchmark row: a (distribution, lock spec, backend spec,
-// stripe count) cell of the sweep.
-type result struct {
-	Dist     string  `json:"dist"`
-	Lock     string  `json:"lock"`
-	Backend  string  `json:"backend"`
-	Policy   string  `json:"policy,omitempty"`
-	Stripes  int     `json:"stripes"`
-	Threads  int     `json:"threads"`
-	Duration float64 `json:"duration_sec"`
-
-	Ops       int     `json:"ops"`
-	OpsPerSec float64 `json:"ops_per_sec"`
-	Scans     int     `json:"scans,omitempty"`
-
-	// ScansRejected counts scan requests refused with ErrUnordered —
-	// possible only under -policy, where a stripe's backend can be (or
-	// become) unordered mid-cell; the rejected demand is exactly what
-	// the scanaware policy feeds on.
-	ScansRejected int `json:"scans_rejected,omitempty"`
-
-	// Live reconfigurations applied by the adaptation controller during
-	// the cell (0 without -policy, and for policies that saw no reason).
-	Swaps int `json:"swaps"`
-
-	// Latency percentiles over completed requests, in microseconds,
-	// measured from (scheduled) arrival to completion.
-	P50Micros float64 `json:"p50_us"`
-	P99Micros float64 `json:"p99_us"`
-
-	// Deadline traffic: requests that carried one, how many missed (the
-	// stripe was not reached in time), and the miss rate. MissRate is 0 —
-	// and the table column "-" — when no request carried a deadline.
-	DeadlineAttempts int     `json:"deadline_attempts,omitempty"`
-	DeadlineMisses   int     `json:"deadline_misses,omitempty"`
-	MissRate         float64 `json:"miss_rate,omitempty"`
-
-	// Per-stripe fairness, aggregated: the mean/max of each stripe's
-	// AvgLWSS and Gini over its admission history. Max is the collapse
-	// detector — a single collapsed stripe vanishes from a mean.
-	MeanLWSS float64 `json:"mean_lwss"`
-	MaxLWSS  float64 `json:"max_lwss"`
-	MeanGini float64 `json:"mean_gini"`
-	MaxGini  float64 `json:"max_gini"`
-
-	// Rolled-up CR event counters across all stripe locks.
-	Stats map[string]uint64 `json:"stats,omitempty"`
-
-	// Chaos carries the scripted-fault phases when the cell ran under
-	// -fault; nil otherwise.
-	Chaos *chaosResult `json:"chaos,omitempty"`
-}
-
-// chaosResult is one cell's scripted-fault accounting: the deadline
-// traffic split at the Arm/Disarm boundaries, time-to-recovery measured
-// from fault onset, and the injected-fault evidence (a chaos run whose
-// faults never fired proves nothing).
-type chaosResult struct {
-	Fault string `json:"fault"`
-
-	// Deadline traffic per phase: before Arm, between Arm and Disarm,
-	// and after Disarm. Rates are 0 when the phase saw no deadline
-	// traffic (never NaN).
-	PreAttempts   int     `json:"pre_attempts"`
-	PreMisses     int     `json:"pre_misses"`
-	PreMissRate   float64 `json:"pre_miss_rate"`
-	FaultAttempts int     `json:"fault_attempts"`
-	FaultMisses   int     `json:"fault_misses"`
-	FaultMissRate float64 `json:"fault_miss_rate"`
-	PostAttempts  int     `json:"post_attempts"`
-	PostMisses    int     `json:"post_misses"`
-	PostMissRate  float64 `json:"post_miss_rate"`
-
-	// RecoveryMillis is the time from fault onset (Arm) until the
-	// trailing per-sample miss rate first held at or below -fault-target
-	// for three consecutive samples; -1 if the cell never recovered. A
-	// frozen (static) cell can only recover after Disarm; an adaptive one
-	// can recover mid-fault — this column is the difference, in ms.
-	RecoveryMillis float64 `json:"recovery_ms"`
-
-	// What the fault set actually injected during the cell.
-	Stalls      uint64  `json:"stalls,omitempty"`
-	StallMillis float64 `json:"stall_ms,omitempty"`
-	Reroutes    uint64  `json:"reroutes,omitempty"`
-	SurgePeak   int     `json:"surge_peak,omitempty"`
-}
-
-// record is the top-level JSON document.
-type record struct {
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	NumCPU     int     `json:"num_cpu"`
-	GoVersion  string  `json:"go_version"`
-	Keys       int     `json:"keys"`
-	ReadFrac   float64 `json:"read_frac"`
-	ScanFrac   float64 `json:"scan_frac,omitempty"`
-	ScanSpan   int     `json:"scan_span,omitempty"`
-	ZipfS      float64 `json:"zipf_s"`
-	Rate       float64 `json:"rate,omitempty"`
-	CancelFrac float64 `json:"cancel_frac,omitempty"`
-	Deadline   string  `json:"deadline,omitempty"`
-	Adapt      string  `json:"adapt_interval,omitempty"`
-
-	// Chaos timeline parameters, present when -fault is set.
-	Fault       string  `json:"fault,omitempty"`
-	FaultAfter  string  `json:"fault_after,omitempty"`
-	FaultFor    string  `json:"fault_for,omitempty"`
-	FaultSample string  `json:"fault_sample,omitempty"`
-	FaultTarget float64 `json:"fault_target,omitempty"`
-
-	Results []result `json:"results"`
-}
 
 func main() {
 	var (
@@ -352,7 +238,7 @@ func main() {
 		}
 	}
 
-	rec := record{
+	rec := benchfmt.Record{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		GoVersion:  runtime.Version(),
@@ -434,40 +320,11 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, rec, *appendJSON); err != nil {
+		if err := benchfmt.WriteJSON(*jsonPath, rec, *appendJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "shardbench: %v\n", err)
 			os.Exit(1)
 		}
 	}
-}
-
-// writeJSON writes the record to path. In append mode an existing file
-// is promoted to (or extended as) a JSON array of records, so a chaos
-// record can ride alongside a steady-state one without clobbering it; a
-// missing or empty file degrades to a plain write.
-func writeJSON(path string, rec record, appendMode bool) error {
-	buf, err := json.MarshalIndent(rec, "", "  ")
-	if err != nil {
-		return fmt.Errorf("marshal: %w", err)
-	}
-	if appendMode {
-		if old, err := os.ReadFile(path); err == nil && len(bytes.TrimSpace(old)) > 0 {
-			prior := bytes.TrimSpace(old)
-			var arr []json.RawMessage
-			if prior[0] == '[' {
-				if err := json.Unmarshal(prior, &arr); err != nil {
-					return fmt.Errorf("-append: existing %s is not valid JSON: %w", path, err)
-				}
-			} else {
-				arr = []json.RawMessage{prior}
-			}
-			arr = append(arr, buf)
-			if buf, err = json.MarshalIndent(arr, "", "  "); err != nil {
-				return fmt.Errorf("marshal: %w", err)
-			}
-		}
-	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 // printRegistries renders all four registries' canonical names with
@@ -527,7 +384,7 @@ type cellConfig struct {
 	faultTarget float64
 }
 
-func runCell(c cellConfig) result {
+func runCell(c cellConfig) benchfmt.Result {
 	// Per-stripe history cap scaled inversely with stripe count: admissions
 	// spread across stripes, so this keeps total preallocated history
 	// storage (which shard.New allocates up front to keep recording
@@ -570,11 +427,11 @@ func runCell(c cellConfig) result {
 	// per cell and installed as the map's injector; the chaos supervisor
 	// arms/disarms it on the timeline and does the phase accounting.
 	var set *fault.Set
-	var chaosCh chan *chaosResult
+	var chaosCh chan *benchfmt.ChaosResult
 	if c.fault != "" {
 		set = fault.MustNew(c.fault)
 		m.SetInjector(set)
-		chaosCh = make(chan *chaosResult, 1)
+		chaosCh = make(chan *benchfmt.ChaosResult, 1)
 		go func() { chaosCh <- runChaos(c, m, set, &attempts, &misses, &stop) }()
 	}
 	// Per-worker latency logs, merged after the run: no shared state on
@@ -686,13 +543,13 @@ func runCell(c cellConfig) result {
 
 	// Collect the chaos report first: the supervisor drains its surge
 	// workers on exit, so the closing snapshot sees a quiesced map.
-	var chaos *chaosResult
+	var chaos *benchfmt.ChaosResult
 	if chaosCh != nil {
 		chaos = <-chaosCh
 	}
 	snap := m.Snapshot()
 	delta := snap.Sub(baseline)
-	r := result{
+	r := benchfmt.Result{
 		Dist:          c.dist,
 		Lock:          c.spec,
 		Backend:       c.backend,
@@ -711,8 +568,8 @@ func runCell(c cellConfig) result {
 	for _, log := range lats {
 		merged = append(merged, log...)
 	}
-	r.P50Micros = percentileMicros(merged, 0.50)
-	r.P99Micros = percentileMicros(merged, 0.99)
+	r.P50Micros = benchfmt.PercentileMicros(merged, 0.50)
+	r.P99Micros = benchfmt.PercentileMicros(merged, 0.99)
 	if n := attempts.Load(); n > 0 {
 		// Guarded: the rate is computed only from a nonzero attempt count,
 		// so the JSON can never carry a NaN (encoding/json rejects them).
@@ -773,8 +630,8 @@ func runCell(c cellConfig) result {
 // stops, with every surge worker drained.
 //
 //lockcheck:nosnapshot
-func runChaos(c cellConfig, m *shard.Map, set *fault.Set, attempts, misses *atomic.Int64, stop *atomic.Bool) *chaosResult {
-	cr := &chaosResult{Fault: set.String(), RecoveryMillis: -1}
+func runChaos(c cellConfig, m *shard.Map, set *fault.Set, attempts, misses *atomic.Int64, stop *atomic.Bool) *benchfmt.ChaosResult {
+	cr := &benchfmt.ChaosResult{Fault: set.String(), RecoveryMillis: -1}
 	var surge []chan struct{}
 	var surgeWg sync.WaitGroup
 	spawn := func(id int) {
@@ -888,19 +745,6 @@ func runChaos(c cellConfig, m *shard.Map, set *fault.Set, attempts, misses *atom
 	cr.Reroutes = st.Reroutes
 	cr.SurgePeak = st.SurgePeak
 	return cr
-}
-
-// percentileMicros returns the q-quantile of the nanosecond samples, in
-// microseconds, by nearest-rank over the sorted samples. 0 when there
-// are no samples — never NaN, for the same JSON-encode reason as the
-// miss rate.
-func percentileMicros(ns []int64, q float64) float64 {
-	if len(ns) == 0 {
-		return 0
-	}
-	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
-	idx := int(q*float64(len(ns)-1) + 0.5)
-	return float64(ns[idx]) / 1e3
 }
 
 // sleepUntil sleeps toward t in short slices, abandoning the wait when

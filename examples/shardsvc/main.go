@@ -47,6 +47,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -57,7 +58,9 @@ import (
 
 	"repro/fault"
 	"repro/policy"
+	"repro/server"
 	"repro/shard"
+	"repro/wire"
 )
 
 const (
@@ -86,6 +89,8 @@ func main() {
 	serveAdaptive(backend)
 	fmt.Println()
 	serveChaos(backend)
+	fmt.Println()
+	serveRemote(backend)
 }
 
 // serveChaos injects the paper's failure mode on demand: a stall storm
@@ -372,4 +377,81 @@ func serve(spec, backend string, stripes int) {
 		}
 	}
 	fmt.Println()
+}
+
+// serveRemote is the served-layer act: the same deadline-aware traffic,
+// but across a socket. An in-process shardd (the server package) serves
+// the map over the wire protocol; clients attach their budgets at the
+// socket and the stripe lock enforces them on the other side — a
+// deadline miss here crossed a real network hop, a read loop, and a
+// connection's pipeline before the lock culled it. The act closes with
+// a graceful drain: the last pipelined responses flush before the
+// listener dies.
+func serveRemote(backend string) {
+	fmt.Println("=== Over the wire: remote deadlines against an in-process shardd ===")
+	srv, err := server.New(server.Config{
+		Addr:        "127.0.0.1:0",
+		Stripes:     8,
+		LockSpec:    "mcscr-stp?fairness=1000",
+		BackendSpec: backend,
+	})
+	if err != nil {
+		fmt.Println("  server:", err)
+		return
+	}
+	if err := srv.Start(); err != nil {
+		fmt.Println("  server:", err)
+		return
+	}
+	fmt.Printf("  shardd serving %d stripes of %q on %s\n", srv.Map().Stripes(), backend, srv.Addr())
+
+	const clients, opsEach = 6, 400
+	var ok, missed atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl, err := wire.Dial(srv.Addr())
+			if err != nil {
+				fmt.Println("  dial:", err)
+				return
+			}
+			defer cl.Close()
+			cl.Class = uint8(1 + id%2) // two request classes share the stripes
+			rng := rand.New(rand.NewSource(int64(id) + 1))
+			for i := 0; i < opsEach; i++ {
+				key := uint64(rng.Intn(1 << 12))
+				deadline := time.Now().Add(2 * time.Millisecond)
+				var err error
+				if rng.Float64() < 0.8 {
+					_, _, err = cl.Get(key, deadline)
+				} else {
+					_, err = cl.Put(key, uint64(id), deadline)
+				}
+				switch {
+				case err == nil:
+					ok.Add(1)
+				case errors.Is(err, wire.ErrDeadline):
+					missed.Add(1)
+				default:
+					fmt.Println("  client:", err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	snap := srv.Map().Snapshot()
+	fmt.Printf("  %d requests served, %d deadline misses (server ledger: %d attempts, %d misses)\n",
+		ok.Load(), missed.Load(), snap.DeadlineAttempts, snap.DeadlineMisses)
+	fmt.Printf("  per-class attempts: unclassified=%d class1=%d class2=%d — the wire's class\n",
+		snap.ClassDeadlineAttempts[0], snap.ClassDeadlineAttempts[1], snap.ClassDeadlineAttempts[2])
+	fmt.Println("  byte landed in the stripe counters the slo policy reads.")
+	if err := srv.Drain(); err != nil {
+		fmt.Println("  drain:", err)
+		return
+	}
+	fmt.Println("  drained: listener closed, in-flight responses flushed, nothing dropped.")
 }

@@ -27,7 +27,7 @@
 // ScanContext, ScanChunked, or ScanChunkedContext on repro/shard.Map,
 // nor repro/metrics.Summarize over a full history (it copies the
 // history under the recorder lock). The blessed alternative is the
-// snapshotLite/Sample read path.
+// Map.SnapshotLite sampling read path.
 //
 // Only direct calls are checked: an interface-typed call site resolves
 // to nothing at vet time, and pretending otherwise would make the

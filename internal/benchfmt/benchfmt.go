@@ -1,0 +1,199 @@
+// Package benchfmt is the BENCH_shard.json cell schema, shared by
+// cmd/shardbench (in-process cells) and cmd/shardload (remote cells
+// over the wire). The schema used to live as untyped literals inside
+// shardbench's main package; it is a contract — CI's python validators
+// and every cross-PR comparison parse it — so it lives here once, and
+// both emitters stay one comparable series.
+//
+// The zero-value rule throughout: rates are 0 (never NaN — encoding/json
+// rejects NaN), omitempty fields vanish when a cell did not exercise
+// that dimension, and RecoveryMillis is -1 for "never recovered".
+package benchfmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Result is one benchmark cell: a (dist, lock, backend, policy,
+// stripes, threads) point with its throughput, latency, deadline, and
+// fairness columns.
+type Result struct {
+	Dist     string  `json:"dist"`
+	Lock     string  `json:"lock"`
+	Backend  string  `json:"backend"`
+	Policy   string  `json:"policy,omitempty"`
+	Stripes  int     `json:"stripes"`
+	Threads  int     `json:"threads"`
+	Duration float64 `json:"duration_sec"`
+
+	Ops       int     `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Scans     int     `json:"scans,omitempty"`
+
+	// ScansRejected counts scan requests refused with ErrUnordered —
+	// possible only under a policy, where a stripe's backend can be (or
+	// become) unordered mid-cell; the rejected demand is exactly what
+	// the scanaware policy feeds on.
+	ScansRejected int `json:"scans_rejected,omitempty"`
+
+	// Swaps is the live reconfigurations applied by the adaptation
+	// controller during the cell (0 without a policy, and for policies
+	// that saw no reason).
+	Swaps int `json:"swaps"`
+
+	// Latency percentiles over completed requests, in microseconds,
+	// measured from (scheduled) arrival to completion.
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+
+	// Deadline traffic: requests that carried one, how many missed (the
+	// stripe was not reached in time), and the miss rate. MissRate is 0
+	// when no request carried a deadline.
+	DeadlineAttempts int     `json:"deadline_attempts,omitempty"`
+	DeadlineMisses   int     `json:"deadline_misses,omitempty"`
+	MissRate         float64 `json:"miss_rate,omitempty"`
+
+	// Per-stripe fairness, aggregated: the mean/max of each stripe's
+	// AvgLWSS and Gini over its admission history. Max is the collapse
+	// detector — a single collapsed stripe vanishes from a mean.
+	MeanLWSS float64 `json:"mean_lwss"`
+	MaxLWSS  float64 `json:"max_lwss"`
+	MeanGini float64 `json:"mean_gini"`
+	MaxGini  float64 `json:"max_gini"`
+
+	// Stats is the rolled-up CR event counters across all stripe locks.
+	Stats map[string]uint64 `json:"stats,omitempty"`
+
+	// Chaos carries the scripted-fault phases when the cell ran under a
+	// fault; nil otherwise.
+	Chaos *ChaosResult `json:"chaos,omitempty"`
+}
+
+// ChaosResult is one cell's scripted-fault accounting: the deadline
+// traffic split at the Arm/Disarm boundaries, time-to-recovery measured
+// from fault onset, and the injected-fault evidence (a chaos run whose
+// faults never fired proves nothing).
+type ChaosResult struct {
+	Fault string `json:"fault"`
+
+	// Deadline traffic per phase: before Arm, between Arm and Disarm,
+	// and after Disarm. Rates are 0 when the phase saw no deadline
+	// traffic (never NaN).
+	PreAttempts   int     `json:"pre_attempts"`
+	PreMisses     int     `json:"pre_misses"`
+	PreMissRate   float64 `json:"pre_miss_rate"`
+	FaultAttempts int     `json:"fault_attempts"`
+	FaultMisses   int     `json:"fault_misses"`
+	FaultMissRate float64 `json:"fault_miss_rate"`
+	PostAttempts  int     `json:"post_attempts"`
+	PostMisses    int     `json:"post_misses"`
+	PostMissRate  float64 `json:"post_miss_rate"`
+
+	// RecoveryMillis is the time from fault onset (Arm) until the
+	// trailing per-sample miss rate first held at or below the target
+	// for three consecutive samples; -1 if the cell never recovered. A
+	// frozen (static) cell can only recover after Disarm; an adaptive
+	// one can recover mid-fault — this column is the difference, in ms.
+	RecoveryMillis float64 `json:"recovery_ms"`
+
+	// What the fault set actually injected during the cell.
+	Stalls      uint64  `json:"stalls,omitempty"`
+	StallMillis float64 `json:"stall_ms,omitempty"`
+	Reroutes    uint64  `json:"reroutes,omitempty"`
+	SurgePeak   int     `json:"surge_peak,omitempty"`
+}
+
+// Record is the top-level JSON document: the workload parameters shared
+// by every cell in the run, plus the cells.
+type Record struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	GoVersion  string  `json:"go_version"`
+	Keys       int     `json:"keys"`
+	ReadFrac   float64 `json:"read_frac"`
+	ScanFrac   float64 `json:"scan_frac,omitempty"`
+	ScanSpan   int     `json:"scan_span,omitempty"`
+	ZipfS      float64 `json:"zipf_s"`
+	Rate       float64 `json:"rate,omitempty"`
+	CancelFrac float64 `json:"cancel_frac,omitempty"`
+	Deadline   string  `json:"deadline,omitempty"`
+	Adapt      string  `json:"adapt_interval,omitempty"`
+
+	// Chaos timeline parameters, present when a fault is configured.
+	Fault       string  `json:"fault,omitempty"`
+	FaultAfter  string  `json:"fault_after,omitempty"`
+	FaultFor    string  `json:"fault_for,omitempty"`
+	FaultSample string  `json:"fault_sample,omitempty"`
+	FaultTarget float64 `json:"fault_target,omitempty"`
+
+	// Remote describes the serving side when the cells were driven over
+	// the wire (cmd/shardload); nil for in-process cells.
+	Remote *Remote `json:"remote,omitempty"`
+
+	Results []Result `json:"results"`
+}
+
+// Remote describes the server side of a wire-driven run: where the
+// requests went and how the server was handling connections — the
+// dimensions an in-process cell does not have.
+type Remote struct {
+	Addr      string `json:"addr"`
+	ConnModel string `json:"conn_model,omitempty"`
+	Conns     int    `json:"conns"`
+	// Churn is the connection churn cadence ("0s" = stable connections).
+	Churn string `json:"churn,omitempty"`
+}
+
+// WriteJSON writes rec to path. In append mode an existing document is
+// promoted to an array ([old, new]) or extended if it already is one —
+// the mechanism that lets one BENCH file accumulate a comparable series
+// across runs and PRs.
+func WriteJSON(path string, rec Record, appendMode bool) error {
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal: %w", err)
+	}
+	if appendMode {
+		if old, err := os.ReadFile(path); err == nil && len(bytes.TrimSpace(old)) > 0 {
+			prior := bytes.TrimSpace(old)
+			var arr []json.RawMessage
+			if prior[0] == '[' {
+				if err := json.Unmarshal(prior, &arr); err != nil {
+					return fmt.Errorf("-append: existing %s is not valid JSON: %w", path, err)
+				}
+			} else {
+				arr = []json.RawMessage{prior}
+			}
+			arr = append(arr, buf)
+			if buf, err = json.MarshalIndent(arr, "", "  "); err != nil {
+				return fmt.Errorf("marshal: %w", err)
+			}
+		}
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// PercentileMicros returns the q-quantile of ns (nanosecond samples) in
+// microseconds, using the nearest-rank estimate both emitters have
+// always used. It sorts ns in place.
+func PercentileMicros(ns []int64, q float64) float64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	idx := int(q*float64(len(ns)-1) + 0.5)
+	return float64(ns[idx]) / 1e3
+}
+
+// Rate returns misses/attempts, 0 when attempts is 0 — the everywhere
+// rule that keeps NaN out of the JSON.
+func Rate(misses, attempts int) float64 {
+	if attempts == 0 {
+		return 0
+	}
+	return float64(misses) / float64(attempts)
+}

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"time"
+
+	"repro/shard"
+	"repro/wire"
+)
+
+const (
+	connReadBuf  = 64 << 10
+	connWriteBuf = 64 << 10
+)
+
+// serveConn is the per-connection pipelining loop: read one frame,
+// serve it, append the response to a buffered writer, and flush only
+// when the readable buffer is empty — a client that pipelines k
+// requests gets k responses in one write, in request order.
+//
+// Deadline propagation happens here: the frame's remaining-budget field
+// is converted to an absolute context deadline measured at frame
+// receipt, so time a request spends queued inside the server burns the
+// same budget time queued at a stripe lock does. The loop owns the time
+// arithmetic and the admin verbs; the data-plane dispatch lives in
+// handleOp, which is lockcheck-annotated as critical-section-grade
+// code.
+func (s *Server) serveConn(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, connReadBuf)
+	bw := bufio.NewWriterSize(conn, connWriteBuf)
+	defer bw.Flush() // drain: responses already built always reach the socket
+
+	var hdr [wire.ReqHeaderSize]byte
+	payload := make([]byte, 0, 4096)
+	resp := make([]byte, 0, 4096)
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return // EOF, peer reset, or the drain read-deadline
+		}
+		h, err := wire.ParseReqHeader(hdr[:])
+		if err != nil {
+			// Malformed framing: answer, flush, and close — the byte
+			// stream cannot be trusted to frame anything after this.
+			s.badFrames.Add(1)
+			resp = wire.AppendErrorResp(resp[:0], h.Op, badFrameStatus(err), err.Error())
+			bw.Write(resp) //nolint:errcheck
+			return
+		}
+		if cap(payload) < int(h.Len) {
+			payload = make([]byte, h.Len)
+		}
+		p := payload[:h.Len]
+		if _, err := io.ReadFull(br, p); err != nil {
+			return
+		}
+		s.ops.Add(1)
+
+		resp = resp[:0]
+		switch h.Op {
+		case wire.OpGet, wire.OpPut, wire.OpDel, wire.OpScan:
+			if int(h.Class) >= shard.NumClasses {
+				resp = wire.AppendErrorResp(resp, h.Op, wire.StatusBadClass, "class out of range")
+				break
+			}
+			ctx := s.classCtx[h.Class]
+			var cancel context.CancelFunc
+			switch {
+			case h.DeadlineMicros == wire.ExpiredBudget:
+				// The client's budget was gone before the frame was
+				// written: expire the context at construction (a deadline
+				// in the past cancels synchronously) instead of arming a
+				// timer the uncontended fast path could outrun. The map
+				// still counts the attempt and the miss; the stripe lock
+				// still records the Cancel.
+				ctx, cancel = context.WithDeadline(ctx, time.Now().Add(-time.Microsecond))
+			case h.DeadlineMicros > 0:
+				ctx, cancel = context.WithDeadline(ctx,
+					time.Now().Add(time.Duration(h.DeadlineMicros)*time.Microsecond))
+			}
+			resp = s.handleOp(ctx, h.Op, p, resp)
+			if cancel != nil {
+				cancel()
+			}
+		case wire.OpPing:
+			resp = wire.AppendEmptyResp(resp, wire.OpPing)
+		case wire.OpInfo:
+			resp = wire.AppendTextResp(resp, wire.OpInfo, s.info())
+		case wire.OpFault:
+			resp = s.handleFault(p, resp)
+		default:
+			resp = wire.AppendErrorResp(resp, h.Op, wire.StatusUnknownOp, "unknown opcode")
+		}
+
+		if _, err := bw.Write(resp); err != nil {
+			return
+		}
+		// Readable-buffer-empty flush: the client has nothing else in
+		// flight that we know of, so ship the batch. While the reader
+		// still holds frames, keep batching.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// handleOp dispatches one data-plane frame against the map and appends
+// the response. It runs once per point op on every served connection —
+// the server's hot path — so it is held to critical-section discipline:
+// no clocks, no formatting, no channels, no goroutines. The caller owns
+// the deadline arithmetic and the admin verbs.
+//
+//lockcheck:cs
+func (s *Server) handleOp(ctx context.Context, op wire.Op, p, resp []byte) []byte {
+	switch op {
+	case wire.OpGet:
+		key, err := wire.ParseKey(p)
+		if err != nil {
+			return wire.AppendErrorResp(resp, op, wire.StatusBadFrame, err.Error())
+		}
+		val, ok, err := s.m.GetContext(ctx, key)
+		if err != nil {
+			return wire.AppendErrorResp(resp, op, errStatus(err), err.Error())
+		}
+		return wire.AppendGetResp(resp, ok, val)
+	case wire.OpPut:
+		key, val, err := wire.ParseKeyVal(p)
+		if err != nil {
+			return wire.AppendErrorResp(resp, op, wire.StatusBadFrame, err.Error())
+		}
+		fresh, err := s.m.PutContext(ctx, key, val)
+		if err != nil {
+			return wire.AppendErrorResp(resp, op, errStatus(err), err.Error())
+		}
+		return wire.AppendPutResp(resp, fresh)
+	case wire.OpDel:
+		key, err := wire.ParseKey(p)
+		if err != nil {
+			return wire.AppendErrorResp(resp, op, wire.StatusBadFrame, err.Error())
+		}
+		present, err := s.m.DeleteContext(ctx, key)
+		if err != nil {
+			return wire.AppendErrorResp(resp, op, errStatus(err), err.Error())
+		}
+		return wire.AppendDelResp(resp, present)
+	case wire.OpScan:
+		lo, hi, max, err := wire.ParseScan(p)
+		if err != nil {
+			return wire.AppendErrorResp(resp, op, wire.StatusBadFrame, err.Error())
+		}
+		out, start := wire.BeginScanResp(resp)
+		n := uint32(0)
+		err = s.m.ScanContext(ctx, lo, hi, func(k, v uint64) bool {
+			out = wire.AppendScanPair(out, k, v)
+			n++
+			return n < max
+		})
+		if err != nil {
+			// Partial pairs are abandoned with the truncation: the reply
+			// is the error, not a half-scan posing as a result.
+			return wire.AppendErrorResp(resp[:start], op, errStatus(err), err.Error())
+		}
+		return wire.EndScanResp(out, start)
+	}
+	return wire.AppendErrorResp(resp, op, wire.StatusUnknownOp, "unknown opcode")
+}
+
+// handleFault serves the FAULT admin verb (arm/disarm/stats).
+func (s *Server) handleFault(p, resp []byte) []byte {
+	sub, spec, err := wire.ParseFault(p)
+	if err != nil {
+		return wire.AppendErrorResp(resp, wire.OpFault, wire.StatusBadFrame, err.Error())
+	}
+	switch sub {
+	case wire.FaultArm:
+		if err := s.armFault(string(spec)); err != nil {
+			return wire.AppendErrorResp(resp, wire.OpFault, wire.StatusBadFault, err.Error())
+		}
+		return wire.AppendEmptyResp(resp, wire.OpFault)
+	case wire.FaultDisarm:
+		s.disarmFault()
+		return wire.AppendEmptyResp(resp, wire.OpFault)
+	default: // wire.FaultStats — ParseFault admits nothing else
+		return wire.AppendTextResp(resp, wire.OpFault, s.faultStats())
+	}
+}
+
+// errStatus maps a map-layer error to its wire status.
+//
+//lockcheck:cs
+func errStatus(err error) wire.Status {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return wire.StatusDeadline
+	case errors.Is(err, shard.ErrUnordered):
+		return wire.StatusUnordered
+	}
+	return wire.StatusInternal
+}
+
+// badFrameStatus distinguishes the oversized-payload reject from the
+// generic malformed-header reject.
+func badFrameStatus(err error) wire.Status {
+	if errors.Is(err, wire.ErrPayloadSize) {
+		return wire.StatusTooLarge
+	}
+	return wire.StatusBadFrame
+}

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/shard"
+)
+
+// metricsSample is what the background sampler publishes and the
+// /metrics handler renders: one lite snapshot plus the delta against
+// the previous sample. The handler itself never snapshots — a scrape
+// landing during a stripe collapse must read the cache, not queue
+// behind the collapsed lock it is trying to observe (the controller's
+// delta-cache pattern, reused).
+type metricsSample struct {
+	snap     shard.Snapshot
+	delta    shard.SnapshotDelta
+	interval time.Duration
+}
+
+// sampleLoop drives Sample on the configured cadence until drain.
+func (s *Server) sampleLoop() {
+	defer s.mwg.Done()
+	t := time.NewTicker(s.cfg.MetricsInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.acceptCtx.Done():
+			return
+		case <-t.C:
+			s.Sample()
+		}
+	}
+}
+
+// Sample takes one lite snapshot and publishes it (with its delta
+// against the previous sample) for the /metrics handler. Exported as a
+// deterministic test hook: tests call it instead of waiting out the
+// sampler cadence.
+func (s *Server) Sample() {
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	snap, err := s.m.SnapshotLite(ctx)
+	if err != nil {
+		return // keep the previous sample; a collapsed stripe outlasts one tick
+	}
+	cur := &metricsSample{snap: snap, interval: s.cfg.MetricsInterval}
+	if prev := s.metricsCache.Load(); prev != nil {
+		cur.delta = snap.Sub(prev.snap)
+	}
+	s.metricsCache.Store(cur)
+}
+
+// handleMetrics renders the text exposition format. It reads the
+// sampler's cache and the server/fault atomics only; the patient
+// snapshot family is off-limits on this path by construction and by
+// the analyzer.
+//
+//lockcheck:nosnapshot
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	b.Grow(4096)
+
+	// Server-plane counters.
+	fmt.Fprintf(&b, "# TYPE shardd_connections_accepted_total counter\n")
+	fmt.Fprintf(&b, "shardd_connections_accepted_total %d\n", s.accepted.Load())
+	fmt.Fprintf(&b, "shardd_connections_active %d\n", s.active.Load())
+	fmt.Fprintf(&b, "shardd_pool_waiting %d\n", s.poolWaiting.Load())
+	fmt.Fprintf(&b, "shardd_pool_culled_total %d\n", s.poolCulled.Load())
+	fmt.Fprintf(&b, "shardd_ops_total %d\n", s.ops.Load())
+	fmt.Fprintf(&b, "shardd_bad_frames_total %d\n", s.badFrames.Load())
+	if s.ctrl != nil {
+		fmt.Fprintf(&b, "shardd_ctrl_swaps_total %d\n", s.ctrl.Swaps())
+		fmt.Fprintf(&b, "shardd_ctrl_rejected_total %d\n", s.ctrl.Rejected())
+	}
+
+	// Injector evidence (chaos over the wire).
+	s.faultMu.Lock()
+	set := s.faultSet
+	s.faultMu.Unlock()
+	if set != nil {
+		st := set.Stats()
+		fmt.Fprintf(&b, "shardd_fault_armed %d\n", boolMetric(set.Active()))
+		fmt.Fprintf(&b, "shardd_fault_stalls_total %d\n", st.Stalls)
+		fmt.Fprintf(&b, "shardd_fault_stall_ms_total %d\n", st.StallTime.Milliseconds())
+		fmt.Fprintf(&b, "shardd_fault_reroutes_total %d\n", st.Reroutes)
+		fmt.Fprintf(&b, "shardd_fault_surge_peak %d\n", st.SurgePeak)
+	}
+
+	sample := s.metricsCache.Load()
+	if sample == nil {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		w.Write([]byte(b.String())) //nolint:errcheck
+		return
+	}
+	snap, delta := sample.snap, sample.delta
+
+	// Map rollups.
+	fmt.Fprintf(&b, "shardd_len %d\n", snap.Len)
+	fmt.Fprintf(&b, "shardd_swaps_total %d\n", snap.Swaps)
+	fmt.Fprintf(&b, "shardd_scans_total %d\n", snap.Scans)
+	fmt.Fprintf(&b, "shardd_deadline_attempts_total %d\n", snap.DeadlineAttempts)
+	fmt.Fprintf(&b, "shardd_deadline_misses_total %d\n", snap.DeadlineMisses)
+	for c := 0; c < shard.NumClasses; c++ {
+		fmt.Fprintf(&b, "shardd_class_deadline_attempts_total{class=\"%d\"} %d\n", c, snap.ClassDeadlineAttempts[c])
+		fmt.Fprintf(&b, "shardd_class_deadline_misses_total{class=\"%d\"} %d\n", c, snap.ClassDeadlineMisses[c])
+	}
+	fmt.Fprintf(&b, "shardd_lock_acquires_total %d\n", snap.Lock.Acquires)
+	fmt.Fprintf(&b, "shardd_lock_parks_total %d\n", snap.Lock.Parks)
+	fmt.Fprintf(&b, "shardd_lock_culls_total %d\n", snap.Lock.Culls)
+	fmt.Fprintf(&b, "shardd_lock_cancels_total %d\n", snap.Lock.Cancels)
+	fmt.Fprintf(&b, "shardd_lock_handoffs_total %d\n", snap.Lock.Handoffs)
+
+	// Interval rates from the cached delta (zero until two samples).
+	if sec := sample.interval.Seconds(); sec > 0 {
+		fmt.Fprintf(&b, "shardd_interval_deadline_attempts %d\n", delta.DeadlineAttempts)
+		fmt.Fprintf(&b, "shardd_interval_deadline_misses %d\n", delta.DeadlineMisses)
+		if delta.DeadlineAttempts > 0 {
+			fmt.Fprintf(&b, "shardd_interval_miss_rate %.6f\n",
+				float64(delta.DeadlineMisses)/float64(delta.DeadlineAttempts))
+		}
+	}
+
+	// Per-stripe detail: the counters an operator greps when one stripe
+	// is the problem.
+	for _, st := range snap.Stripes {
+		i := st.Index
+		fmt.Fprintf(&b, "shardd_stripe_len{stripe=\"%d\"} %d\n", i, st.Len)
+		fmt.Fprintf(&b, "shardd_stripe_swaps_total{stripe=\"%d\"} %d\n", i, st.Swaps)
+		fmt.Fprintf(&b, "shardd_stripe_deadline_attempts_total{stripe=\"%d\"} %d\n", i, st.DeadlineAttempts)
+		fmt.Fprintf(&b, "shardd_stripe_deadline_misses_total{stripe=\"%d\"} %d\n", i, st.DeadlineMisses)
+		for c := 0; c < shard.NumClasses; c++ {
+			if st.ClassDeadlineAttempts[c] == 0 && st.ClassDeadlineMisses[c] == 0 {
+				continue // suppress all-zero class series: stripes × classes lines add up
+			}
+			fmt.Fprintf(&b, "shardd_stripe_class_deadline_attempts_total{stripe=\"%d\",class=\"%d\"} %d\n", i, c, st.ClassDeadlineAttempts[c])
+			fmt.Fprintf(&b, "shardd_stripe_class_deadline_misses_total{stripe=\"%d\",class=\"%d\"} %d\n", i, c, st.ClassDeadlineMisses[c])
+		}
+		fmt.Fprintf(&b, "shardd_stripe_lock_parks_total{stripe=\"%d\"} %d\n", i, st.Lock.Parks)
+		fmt.Fprintf(&b, "shardd_stripe_lock_cancels_total{stripe=\"%d\"} %d\n", i, st.Lock.Cancels)
+		if st.Fairness.RecentLWSS > 0 {
+			fmt.Fprintf(&b, "shardd_stripe_recent_lwss{stripe=\"%d\"} %.1f\n", i, st.Fairness.RecentLWSS)
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Write([]byte(b.String())) //nolint:errcheck
+}
+
+func boolMetric(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

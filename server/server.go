@@ -1,0 +1,412 @@
+// Package server implements shardd's serving core: it binds a
+// shard.Map behind the wire protocol, carries each request's class and
+// deadline from the socket to the stripe lock, and exposes the map's
+// snapshot/delta/chaos counters on a text-exposition /metrics endpoint.
+// cmd/shardd is a thin flag-and-signal wrapper; the package exists so
+// the race end-to-end tests and examples/shardsvc can run a real server
+// in-process on a loopback listener.
+//
+// Connection handling is a benched dimension. Both models serve each
+// connection on its own goroutine with a pipelining read loop
+// (responses in request order, batched through a buffered writer that
+// flushes when the readable buffer drains):
+//
+//   - "goroutine": every accepted connection is served immediately —
+//     the unbounded-admission baseline, one goroutine per connection no
+//     matter how many arrive.
+//   - "pool": accepted connections must acquire a slot from a bounded
+//     LIFO semaphore (the repo's Malthusian semaphore) before the read
+//     loop starts. Excess connections wait in the semaphore — admission
+//     culling applied one layer up, at the connection grain instead of
+//     the stripe grain.
+//
+// Graceful drain (SIGTERM in cmd/shardd, Drain here) closes the
+// listeners, lets every in-flight and already-buffered request finish
+// within a grace window, flushes each connection's write buffer, and
+// only then stops the controller — no response a client was owed is
+// dropped.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/fault"
+	"repro/policy"
+	"repro/semaphore"
+	"repro/shard"
+	"repro/wire"
+)
+
+// Conn models.
+const (
+	// ConnGoroutine serves every accepted connection immediately.
+	ConnGoroutine = "goroutine"
+	// ConnPool gates the serve loop behind a bounded semaphore.
+	ConnPool = "pool"
+)
+
+// Config configures a Server. Zero values pick the shard.Map defaults,
+// the goroutine conn model, and no policy controller.
+type Config struct {
+	// Addr is the wire listen address ("127.0.0.1:0" for an ephemeral
+	// test port). Empty means ":7070".
+	Addr string
+	// MetricsAddr is the /metrics HTTP listen address. Empty disables
+	// the endpoint.
+	MetricsAddr string
+
+	// Stripes, LockSpec, BackendSpec, Seed, HistoryCap configure the
+	// served shard.Map (see shard.Config).
+	Stripes     int
+	LockSpec    string
+	BackendSpec string
+	Seed        uint64
+	HistoryCap  int
+
+	// Policy names an adaptation policy (see policy.New); empty runs no
+	// controller. AdaptInterval is the controller cadence (nonpositive
+	// means shard.DefaultControllerInterval).
+	Policy        string
+	AdaptInterval time.Duration
+
+	// ConnModel is ConnGoroutine (default) or ConnPool; PoolSize bounds
+	// concurrently served connections under ConnPool (default 64).
+	ConnModel string
+	PoolSize  int
+
+	// DrainGrace bounds how long Drain waits for in-flight requests
+	// (default 2s).
+	DrainGrace time.Duration
+
+	// MetricsInterval is the /metrics sampler cadence (default 1s). The
+	// handler serves the sampler's cache; it never snapshots inline.
+	MetricsInterval time.Duration
+}
+
+// Server serves one shard.Map over the wire protocol.
+type Server struct {
+	cfg  Config
+	m    *shard.Map
+	ln   net.Listener
+	mln  net.Listener
+	hsrv *http.Server
+	ctrl *shard.Controller
+	pool *semaphore.Semaphore
+
+	// acceptCtx ends when Drain begins: the pool stops admitting and
+	// the accept loop stops accepting. Op contexts do NOT derive from
+	// it — in-flight requests drain, they are not cancelled.
+	acceptCtx    context.Context
+	acceptCancel context.CancelFunc
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	wg  sync.WaitGroup // accept loop + per-connection serve loops
+	mwg sync.WaitGroup // metrics sampler + http server
+
+	// classCtx caches one context per request class so the per-request
+	// path does not allocate a WithClass context for every frame; a
+	// deadlined request derives its deadline context from its class's
+	// entry.
+	classCtx [shard.NumClasses]context.Context
+
+	// faultMu orders fault arm/disarm verbs; faultSet is the currently
+	// installed set (nil until the first arm).
+	faultMu  sync.Mutex
+	faultSet *fault.Set
+
+	// metricsCache is the sampler-maintained snapshot+delta the
+	// /metrics handler renders (nil until the first sample).
+	metricsCache atomic.Pointer[metricsSample]
+
+	// Server-level counters, exposed on /metrics.
+	accepted    atomic.Uint64 // connections accepted
+	active      atomic.Int64  // connections currently served
+	poolWaiting atomic.Int64  // connections parked waiting for a pool slot
+	poolCulled  atomic.Uint64 // connections dropped waiting (drain or conn close)
+	ops         atomic.Uint64 // frames served (all opcodes)
+	badFrames   atomic.Uint64 // connections dropped for malformed framing
+}
+
+// New builds a Server and its map; nothing listens yet — call Start.
+func New(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = ":7070"
+	}
+	switch cfg.ConnModel {
+	case "":
+		cfg.ConnModel = ConnGoroutine
+	case ConnGoroutine, ConnPool:
+	default:
+		return nil, fmt.Errorf("server: unknown conn model %q (want %s or %s)", cfg.ConnModel, ConnGoroutine, ConnPool)
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 64
+	}
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = 2 * time.Second
+	}
+	if cfg.MetricsInterval <= 0 {
+		cfg.MetricsInterval = time.Second
+	}
+	if cfg.Policy != "" {
+		if _, err := policy.New(cfg.Policy); err != nil {
+			return nil, fmt.Errorf("server: -policy: %w", err)
+		}
+	}
+	m, err := shard.New(shard.Config{
+		Stripes:     cfg.Stripes,
+		LockSpec:    cfg.LockSpec,
+		BackendSpec: cfg.BackendSpec,
+		Seed:        cfg.Seed,
+		HistoryCap:  cfg.HistoryCap,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s := &Server{
+		cfg:   cfg,
+		m:     m,
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.acceptCtx, s.acceptCancel = context.WithCancel(context.Background())
+	for c := range s.classCtx {
+		s.classCtx[c] = shard.WithClass(context.Background(), c)
+	}
+	if cfg.ConnModel == ConnPool {
+		// The Malthusian shape on purpose: mostly-LIFO admission keeps a
+		// small hot set of connections running while the surplus parks —
+		// the same culling story the stripe locks tell, one layer up.
+		s.pool = semaphore.New(cfg.PoolSize, semaphore.MostlyLIFO, cfg.Seed)
+	}
+	return s, nil
+}
+
+// Map returns the served map (tests seed and assert through it).
+func (s *Server) Map() *shard.Map { return s.m }
+
+// Start binds the listeners, starts the accept loop, the policy
+// controller (if configured), and the metrics sampler/endpoint (if
+// configured). It returns once the listeners are bound, so Addr is
+// valid immediately after.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	if s.cfg.MetricsAddr != "" {
+		mln, err := net.Listen("tcp", s.cfg.MetricsAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		s.mln = mln
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", s.handleMetrics)
+		s.hsrv = &http.Server{Handler: mux}
+		s.mwg.Add(2)
+		go func() {
+			defer s.mwg.Done()
+			s.hsrv.Serve(mln) //nolint:errcheck // ErrServerClosed on Drain
+		}()
+		go s.sampleLoop()
+	}
+	if s.cfg.Policy != "" {
+		s.ctrl = shard.StartController(context.Background(), s.m, policy.MustNew(s.cfg.Policy), s.cfg.AdaptInterval)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound wire address (valid after Start).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// MetricsAddr returns the bound /metrics address ("" when disabled).
+func (s *Server) MetricsAddr() string {
+	if s.mln == nil {
+		return ""
+	}
+	return s.mln.Addr().String()
+}
+
+// Controller returns the running policy controller (nil without
+// -policy).
+func (s *Server) Controller() *shard.Controller { return s.ctrl }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed by Drain
+		}
+		s.accepted.Add(1)
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true) //nolint:errcheck
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go s.serveEntry(conn)
+	}
+}
+
+// serveEntry applies the conn model, then runs the serve loop.
+func (s *Server) serveEntry(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.untrack(conn)
+	defer conn.Close()
+	if s.pool != nil {
+		s.poolWaiting.Add(1)
+		err := s.pool.AcquireContext(s.acceptCtx)
+		s.poolWaiting.Add(-1)
+		if err != nil {
+			// Drain began while this connection was parked: it is culled,
+			// never served. Its socket closes without a response — the
+			// same answer an over-capacity Malthusian lock gives.
+			s.poolCulled.Add(1)
+			return
+		}
+		defer s.pool.Release()
+	}
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	s.serveConn(conn)
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// Drain shuts the server down gracefully: stop accepting, give every
+// served connection DrainGrace to finish the frames it has already
+// received (responses are flushed, nothing owed is dropped), then stop
+// the controller and metrics endpoint. Safe to call once.
+func (s *Server) Drain() error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("server: already draining")
+	}
+	s.draining = true
+	deadline := time.Now().Add(s.cfg.DrainGrace)
+	for conn := range s.conns {
+		// The serve loop's next blocking read fails at the deadline; any
+		// frame that arrives (or was buffered) before then is served.
+		conn.SetReadDeadline(deadline) //nolint:errcheck
+	}
+	s.mu.Unlock()
+
+	s.ln.Close()
+	s.acceptCancel() // release pool waiters → culled, and stop admission
+	s.wg.Wait()      // every serve loop flushed and exited
+
+	if s.ctrl != nil {
+		s.ctrl.Stop()
+	}
+	if s.hsrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		s.hsrv.Shutdown(ctx) //nolint:errcheck
+		s.mwg.Wait()
+	}
+	return nil
+}
+
+// Info renders the "key=value" lines the INFO verb returns. Specs are
+// live values: a controller swap shows up here.
+func (s *Server) info() []byte {
+	// The timeout bounds stripe acquisition inside SnapshotLite, so an
+	// INFO verb is never held hostage by a collapsed stripe.
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	snap, err := s.m.SnapshotLite(ctx)
+	var b strings.Builder
+	fmt.Fprintf(&b, "server=shardd\nwire_version=%d\n", wire.Version)
+	fmt.Fprintf(&b, "conn_model=%s\n", s.cfg.ConnModel)
+	fmt.Fprintf(&b, "stripes=%d\n", s.m.Stripes())
+	fmt.Fprintf(&b, "ordered=%t\n", s.m.Ordered())
+	fmt.Fprintf(&b, "policy=%s\n", s.cfg.Policy)
+	if err == nil {
+		// One representative stripe: the specs are per-stripe live state,
+		// and stripe 0's is what the cell reports.
+		if len(snap.Stripes) > 0 {
+			fmt.Fprintf(&b, "lock=%s\nbackend=%s\n", snap.Stripes[0].LockSpec, snap.Stripes[0].BackendSpec)
+		}
+		fmt.Fprintf(&b, "swaps=%d\n", snap.Swaps)
+	}
+	if s.ctrl != nil {
+		fmt.Fprintf(&b, "ctrl_swaps=%d\nctrl_rejected=%d\n", s.ctrl.Swaps(), s.ctrl.Rejected())
+	}
+	return []byte(b.String())
+}
+
+// armFault installs and arms a fault set from spec, replacing (and
+// disarming) any previous set.
+func (s *Server) armFault(spec string) error {
+	set, err := fault.New(spec)
+	if err != nil {
+		return err
+	}
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	if s.faultSet != nil {
+		s.faultSet.Disarm()
+	}
+	s.faultSet = set
+	s.m.SetInjector(set)
+	set.Arm()
+	return nil
+}
+
+// disarmFault stops all injection (no-op when nothing is armed).
+func (s *Server) disarmFault() {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	if s.faultSet != nil {
+		s.faultSet.Disarm()
+	}
+}
+
+// faultStats renders the armed set's evidence counters.
+func (s *Server) faultStats() []byte {
+	s.faultMu.Lock()
+	set := s.faultSet
+	s.faultMu.Unlock()
+	var b strings.Builder
+	if set == nil {
+		b.WriteString("armed=false\n")
+		return []byte(b.String())
+	}
+	st := set.Stats()
+	fmt.Fprintf(&b, "armed=%t\nspec=%s\n", set.Active(), set)
+	fmt.Fprintf(&b, "stalls=%d\nstall_ms=%d\nreroutes=%d\nsurge_peak=%d\n",
+		st.Stalls, st.StallTime.Milliseconds(), st.Reroutes, st.SurgePeak)
+	return []byte(b.String())
+}

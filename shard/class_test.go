@@ -1,0 +1,119 @@
+package shard
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestClassAccounting pins the per-class deadline counters: budgeted
+// operations land under their context's class, unclassified traffic
+// lands in class 0, and the pooled totals are the class sums — the
+// contract that keeps pre-class callers (and the slo policy) unchanged.
+func TestClassAccounting(t *testing.T) {
+	m := MustNew(Config{Stripes: 1, LockSpec: "tas"})
+	m.Put(1, 1)
+
+	issue := func(ctx context.Context, n int) {
+		for i := 0; i < n; i++ {
+			if _, _, err := m.GetContext(ctx, 1); err != nil {
+				t.Fatalf("GetContext: %v", err)
+			}
+		}
+	}
+
+	// Plain (uncancellable) context ops are not budgeted at all.
+	issue(context.Background(), 5)
+	// Budgeted, no class: class 0.
+	ctx0, cancel0 := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel0()
+	issue(ctx0, 3)
+	// Budgeted, class 2.
+	ctx2, cancel2 := context.WithTimeout(WithClass(context.Background(), 2), time.Minute)
+	defer cancel2()
+	issue(ctx2, 4)
+	// Out-of-range classes clamp to 0.
+	ctxHi, cancelHi := context.WithTimeout(WithClass(context.Background(), NumClasses+7), time.Minute)
+	defer cancelHi()
+	issue(ctxHi, 2)
+
+	snap := m.Snapshot()
+	s := snap.Stripes[0]
+	wantA := [NumClasses]uint64{0: 5, 2: 4}
+	if s.ClassDeadlineAttempts != wantA {
+		t.Fatalf("ClassDeadlineAttempts = %v, want %v", s.ClassDeadlineAttempts, wantA)
+	}
+	if s.DeadlineAttempts != 9 || snap.DeadlineAttempts != 9 {
+		t.Fatalf("pooled attempts = %d/%d, want 9/9", s.DeadlineAttempts, snap.DeadlineAttempts)
+	}
+	if s.DeadlineMisses != 0 || s.ClassDeadlineMisses != ([NumClasses]uint64{}) {
+		t.Fatalf("unexpected misses: %d %v", s.DeadlineMisses, s.ClassDeadlineMisses)
+	}
+}
+
+// TestClassMisses drives an already-expired context through each class
+// and checks the miss lands in the right bucket, with exactly one lock
+// Cancels event per miss (the wire layer's reconciliation invariant).
+func TestClassMisses(t *testing.T) {
+	m := MustNew(Config{Stripes: 1, LockSpec: "mcs-stp"})
+	m.Put(1, 1)
+
+	missed := 0
+	for cls := 0; cls < NumClasses; cls++ {
+		ctx, cancel := context.WithCancel(WithClass(context.Background(), cls))
+		cancel() // expired before the stripe is reached
+		for i := 0; i <= cls; i++ {
+			if _, _, err := m.GetContext(ctx, 1); err == nil {
+				t.Fatalf("class %d: expired context served", cls)
+			}
+			missed++
+		}
+	}
+
+	snap := m.Snapshot()
+	s := snap.Stripes[0]
+	for cls := 0; cls < NumClasses; cls++ {
+		want := uint64(cls + 1)
+		if s.ClassDeadlineAttempts[cls] != want || s.ClassDeadlineMisses[cls] != want {
+			t.Fatalf("class %d: attempts/misses = %d/%d, want %d/%d",
+				cls, s.ClassDeadlineAttempts[cls], s.ClassDeadlineMisses[cls], want, want)
+		}
+	}
+	if snap.DeadlineMisses != uint64(missed) {
+		t.Fatalf("pooled misses = %d, want %d", snap.DeadlineMisses, missed)
+	}
+	if snap.Lock.Cancels != uint64(missed) {
+		t.Fatalf("Cancels = %d, want exactly one per miss (%d)", snap.Lock.Cancels, missed)
+	}
+}
+
+// TestClassDelta pins the per-class saturating subtraction in
+// Snapshot.Sub.
+func TestClassDelta(t *testing.T) {
+	m := MustNew(Config{Stripes: 2, LockSpec: "tas"})
+	m.Put(1, 1)
+	ctx1, cancel1 := context.WithTimeout(WithClass(context.Background(), 1), time.Minute)
+	defer cancel1()
+	if _, _, err := m.GetContext(ctx1, 1); err != nil {
+		t.Fatal(err)
+	}
+	prev := m.Snapshot()
+	for i := 0; i < 3; i++ {
+		if _, _, err := m.GetContext(ctx1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := m.Snapshot().Sub(prev)
+	if d.ClassDeadlineAttempts[1] != 3 {
+		t.Fatalf("delta class-1 attempts = %d, want 3", d.ClassDeadlineAttempts[1])
+	}
+	if d.DeadlineAttempts != 3 {
+		t.Fatalf("delta pooled attempts = %d, want 3", d.DeadlineAttempts)
+	}
+	// Mispaired snapshots saturate instead of wrapping.
+	zero := Snapshot{}
+	wrapped := zero.Sub(m.Snapshot())
+	if wrapped.ClassDeadlineAttempts[1] != 0 {
+		t.Fatalf("saturating sub wrapped: %v", wrapped.ClassDeadlineAttempts)
+	}
+}

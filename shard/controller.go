@@ -120,7 +120,7 @@ func (c *Controller) run(ctx context.Context) {
 	// Snapshots ride the controller's ctx so cancellation (Stop) is
 	// honored even while a tick waits behind a stripe mid-migration; a
 	// failed snapshot is the loop exiting, not a decision input.
-	prev, err := c.m.snapshotLite(ctx)
+	prev, err := c.m.SnapshotLite(ctx)
 	if err != nil {
 		return
 	}
@@ -132,7 +132,7 @@ func (c *Controller) run(ctx context.Context) {
 			return
 		case <-t.C:
 		}
-		cur, err := c.m.snapshotLite(ctx)
+		cur, err := c.m.SnapshotLite(ctx)
 		if err != nil {
 			return
 		}

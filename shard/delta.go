@@ -21,9 +21,12 @@ type StripeDelta struct {
 	Swaps uint64
 	// DeadlineAttempts and DeadlineMisses are the interval's deadline-
 	// bounded arrivals and expiries — the burn-rate numerator and
-	// denominator the slo policy windows over.
-	DeadlineAttempts uint64
-	DeadlineMisses   uint64
+	// denominator the slo policy windows over. The Class arrays break
+	// the same interval down by request class (WithClass).
+	DeadlineAttempts      uint64
+	DeadlineMisses        uint64
+	ClassDeadlineAttempts [NumClasses]uint64
+	ClassDeadlineMisses   [NumClasses]uint64
 	// Lock is the field-wise difference of the lock counters — parks,
 	// cancels, acquires per interval.
 	Lock core.Snapshot
@@ -41,9 +44,12 @@ type SnapshotDelta struct {
 	// Swaps is the total reconfiguration change across stripes.
 	Swaps uint64
 	// DeadlineAttempts and DeadlineMisses are the interval's deadline
-	// totals across stripes.
-	DeadlineAttempts uint64
-	DeadlineMisses   uint64
+	// totals across stripes; the Class arrays are the same totals broken
+	// down by request class.
+	DeadlineAttempts      uint64
+	DeadlineMisses        uint64
+	ClassDeadlineAttempts [NumClasses]uint64
+	ClassDeadlineMisses   [NumClasses]uint64
 }
 
 // Sub returns the change from prev to s — per-stripe and rolled-up
@@ -63,6 +69,10 @@ func (s Snapshot) Sub(prev Snapshot) SnapshotDelta {
 		DeadlineAttempts: sub(s.DeadlineAttempts, prev.DeadlineAttempts),
 		DeadlineMisses:   sub(s.DeadlineMisses, prev.DeadlineMisses),
 	}
+	for c := 0; c < NumClasses; c++ {
+		d.ClassDeadlineAttempts[c] = sub(s.ClassDeadlineAttempts[c], prev.ClassDeadlineAttempts[c])
+		d.ClassDeadlineMisses[c] = sub(s.ClassDeadlineMisses[c], prev.ClassDeadlineMisses[c])
+	}
 	for i, cur := range s.Stripes {
 		// Tolerate a prev taken from a differently-sized map (fewer
 		// stripes than s): missing stripes subtract a zero baseline, so
@@ -81,6 +91,10 @@ func (s Snapshot) Sub(prev Snapshot) SnapshotDelta {
 			DeadlineAttempts: sub(cur.DeadlineAttempts, p.DeadlineAttempts),
 			DeadlineMisses:   sub(cur.DeadlineMisses, p.DeadlineMisses),
 			Lock:             cur.Lock.Sub(p.Lock),
+		}
+		for c := 0; c < NumClasses; c++ {
+			sd.ClassDeadlineAttempts[c] = sub(cur.ClassDeadlineAttempts[c], p.ClassDeadlineAttempts[c])
+			sd.ClassDeadlineMisses[c] = sub(cur.ClassDeadlineMisses[c], p.ClassDeadlineMisses[c])
 		}
 		d.Stripes[i] = sd
 		d.Swaps += sd.Swaps

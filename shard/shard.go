@@ -82,6 +82,17 @@ const (
 	DefaultBackendSpec = "hashmap"
 )
 
+// NumClasses is the number of request classes the per-stripe deadline
+// accounting distinguishes. Class 0 is "unclassified": every context
+// operation whose context does not carry a class (all in-process callers
+// that predate classes, and wire requests that leave the class byte
+// zero) lands there, so existing callers see exactly the counters they
+// always did. Classes 1..NumClasses-1 are free for callers to assign
+// meaning to (the wire protocol carries one class byte per request);
+// per-class budgets are the first half of per-class SLOs — the slo
+// policy still steers on the pooled totals.
+const NumClasses = 4
+
 // ErrUnordered is returned by Scan, ScanChunked, and their context forms
 // when some stripe's current backend does not maintain key order (it does
 // not satisfy store.Ordered). Pick an ordered backend ("skiplist",
@@ -183,14 +194,16 @@ type stripe struct {
 
 	// Deadline accounting: budgeted point operations arriving at this
 	// stripe (attempts) and how many of them expired before reaching it
-	// (misses). A point context operation is budgeted when its context
-	// can end at all (ctx.Done() != nil) — that is the operation whose
-	// deadline semantics the lock machinery bounds, and the user-facing
-	// signal the slo policy decides on. The counters belong to the
-	// stripe, not the descriptor: a reconfiguration changes the
-	// mechanism, not the objective, so miss history survives swaps.
-	deadlineAttempts atomic.Uint64
-	deadlineMisses   atomic.Uint64
+	// (misses), broken down by request class (WithClass; index 0 is
+	// unclassified traffic). A point context operation is budgeted when
+	// its context can end at all (ctx.Done() != nil) — that is the
+	// operation whose deadline semantics the lock machinery bounds, and
+	// the user-facing signal the slo policy decides on. The counters
+	// belong to the stripe, not the descriptor: a reconfiguration
+	// changes the mechanism, not the objective, so miss history
+	// survives swaps.
+	deadlineAttempts [NumClasses]atomic.Uint64
+	deadlineMisses   [NumClasses]atomic.Uint64
 }
 
 // lockCurrent acquires the stripe's current descriptor's lock and
@@ -438,6 +451,30 @@ func ClientID(ctx context.Context) (int, bool) {
 	return id, ok
 }
 
+// classKey carries a request class through a context (WithClass).
+type classKey struct{}
+
+// WithClass returns a context carrying a request class for per-class
+// deadline accounting. Budgeted context operations (those whose context
+// can end) count their stripe arrival and any deadline miss under this
+// class in StripeSnapshot.ClassDeadlineAttempts/ClassDeadlineMisses.
+// Out-of-range classes clamp to 0 (unclassified) — a caller that never
+// calls WithClass is indistinguishable from one that asked for class 0,
+// which is what keeps every pre-class in-process caller unchanged.
+func WithClass(ctx context.Context, class int) context.Context {
+	if class < 0 || class >= NumClasses {
+		class = 0
+	}
+	return context.WithValue(ctx, classKey{}, class)
+}
+
+// Class extracts the request class set by WithClass; 0 (unclassified)
+// when the context carries none.
+func Class(ctx context.Context) int {
+	c, _ := ctx.Value(classKey{}).(int)
+	return c
+}
+
 // client resolves ctx's admission-history id before the stripe lock is
 // taken: the context.Value walk (arbitrarily deep in a real request's
 // context chain) must not lengthen the critical section the lock exists
@@ -523,18 +560,21 @@ func (m *Map) lenStripes(ctx context.Context) (int, error) {
 	return n, nil
 }
 
-// budgeted counts one deadline-bounded point-op arrival at this stripe.
-// An operation is budgeted when its context can end at all (Done() !=
-// nil): only those can miss, and only those are the SLO traffic the slo
-// policy steers on. Monitoring paths (Snapshot, Len, Range, Scan) never
-// count — a controller polling a collapsed stripe must not dilute the
-// very miss rate it reacts to.
-func (s *stripe) budgeted(ctx context.Context) bool {
+// budgeted counts one deadline-bounded point-op arrival at this stripe,
+// under the context's request class. An operation is budgeted when its
+// context can end at all (Done() != nil): only those can miss, and only
+// those are the SLO traffic the slo policy steers on. Monitoring paths
+// (Snapshot, Len, Range, Scan) never count — a controller polling a
+// collapsed stripe must not dilute the very miss rate it reacts to.
+// The class lookup (a context.Value walk) is paid only by budgeted
+// operations, which already built a cancellable context.
+func (s *stripe) budgeted(ctx context.Context) (int, bool) {
 	if ctx.Done() == nil {
-		return false
+		return 0, false
 	}
-	s.deadlineAttempts.Add(1)
-	return true
+	cls := Class(ctx)
+	s.deadlineAttempts[cls].Add(1)
+	return cls, true
 }
 
 // GetContext is Get with the stripe acquisition bounded by ctx.
@@ -542,11 +582,11 @@ func (m *Map) GetContext(ctx context.Context, key uint64) (val uint64, ok bool, 
 	i := m.StripeFor(key)
 	s := &m.stripes[i]
 	id, recording := s.client(ctx)
-	budgeted := s.budgeted(ctx)
+	cls, budgeted := s.budgeted(ctx)
 	d, err := s.lockCurrentContext(ctx)
 	if err != nil {
 		if budgeted {
-			s.deadlineMisses.Add(1)
+			s.deadlineMisses[cls].Add(1)
 		}
 		return 0, false, err
 	}
@@ -564,11 +604,11 @@ func (m *Map) PutContext(ctx context.Context, key, val uint64) (fresh bool, err 
 	i := m.StripeFor(key)
 	s := &m.stripes[i]
 	id, recording := s.client(ctx)
-	budgeted := s.budgeted(ctx)
+	cls, budgeted := s.budgeted(ctx)
 	d, err := s.lockCurrentContext(ctx)
 	if err != nil {
 		if budgeted {
-			s.deadlineMisses.Add(1)
+			s.deadlineMisses[cls].Add(1)
 		}
 		return false, err
 	}
@@ -586,11 +626,11 @@ func (m *Map) DeleteContext(ctx context.Context, key uint64) (present bool, err 
 	i := m.StripeFor(key)
 	s := &m.stripes[i]
 	id, recording := s.client(ctx)
-	budgeted := s.budgeted(ctx)
+	cls, budgeted := s.budgeted(ctx)
 	d, err := s.lockCurrentContext(ctx)
 	if err != nil {
 		if budgeted {
-			s.deadlineMisses.Add(1)
+			s.deadlineMisses[cls].Add(1)
 		}
 		return false, err
 	}
@@ -823,8 +863,16 @@ type StripeSnapshot struct {
 	// before reaching the table. Monotonic, and deliberately not reset by
 	// Reconfigure — a swap changes the mechanism, not the objective, so
 	// the slo policy can read one coherent series across its own swaps.
+	// Both are the sums of the per-class arrays below.
 	DeadlineAttempts uint64
 	DeadlineMisses   uint64
+	// ClassDeadlineAttempts and ClassDeadlineMisses break the same
+	// counters down by request class (WithClass; the wire protocol's
+	// class byte). Index 0 is unclassified traffic — in-process callers
+	// that never set a class land there, so the pooled totals above are
+	// what they always were.
+	ClassDeadlineAttempts [NumClasses]uint64
+	ClassDeadlineMisses   [NumClasses]uint64
 	// Lock is the stripe lock's CR event counters, including those of
 	// retired locks from before any reconfiguration (zero when the spec
 	// set stats=false).
@@ -849,9 +897,12 @@ type Snapshot struct {
 	// every scan visits every stripe).
 	Scans uint64
 	// DeadlineAttempts and DeadlineMisses are the per-stripe deadline
-	// counters summed across stripes.
-	DeadlineAttempts uint64
-	DeadlineMisses   uint64
+	// counters summed across stripes; the Class arrays are the same sums
+	// broken down by request class (WithClass).
+	DeadlineAttempts      uint64
+	DeadlineMisses        uint64
+	ClassDeadlineAttempts [NumClasses]uint64
+	ClassDeadlineMisses   [NumClasses]uint64
 }
 
 // Snapshot collects per-stripe lengths, lock counters, and fairness
@@ -882,15 +933,18 @@ func (m *Map) snapshotStripes(ctx context.Context) (Snapshot, error) {
 	return m.snapshotImpl(ctx, false)
 }
 
-// snapshotLite is Snapshot minus the expensive fairness instruments: the
-// per-stripe Fairness carries only Admissions and RecentLWSS (an O(window)
-// trailing-set count); AvgLWSS, MTTR, Gini, and RSTDDEV — each O(history)
-// or O(history log history) over up to HistoryCap records per stripe —
-// come back zero. The controller polls on an interval; recomputing a
-// full-history Gini per stripe per tick would starve the data plane the
-// control loop exists to help. Acquisition is bounded by ctx, so a
-// stopped controller is not held hostage by a stripe mid-migration.
-func (m *Map) snapshotLite(ctx context.Context) (Snapshot, error) {
+// SnapshotLite is Snapshot minus the expensive fairness instruments: the
+// per-stripe Fairness carries only Admissions and RecentLWSS (the
+// recorder's O(1) incrementally maintained trailing distinct count);
+// AvgLWSS, MTTR, Gini, and RSTDDEV — each O(history) or O(history log
+// history) over up to HistoryCap records per stripe — come back zero.
+// It is the sampling path for steady-state monitors (the adaptation
+// controller, shardd's /metrics sampler): a monitor that polls on an
+// interval must not recompute a full-history Gini per stripe per tick,
+// which would starve the data plane the monitoring exists to help.
+// Acquisition is bounded by ctx, so a monitor is not held hostage by a
+// stripe mid-migration. A nil ctx means unbounded (the plain path).
+func (m *Map) SnapshotLite(ctx context.Context) (Snapshot, error) {
 	return m.snapshotImpl(ctx, true)
 }
 
@@ -928,20 +982,30 @@ func (m *Map) snapshotImpl(ctx context.Context, lite bool) (Snapshot, error) {
 		} else {
 			fairness = metrics.Summarize(h, m.window)
 		}
-		attempts := s.deadlineAttempts.Load()
-		misses := s.deadlineMisses.Load()
+		var clsA, clsM [NumClasses]uint64
+		var attempts, misses uint64
+		for c := 0; c < NumClasses; c++ {
+			clsA[c] = s.deadlineAttempts[c].Load()
+			clsM[c] = s.deadlineMisses[c].Load()
+			attempts += clsA[c]
+			misses += clsM[c]
+			out.ClassDeadlineAttempts[c] += clsA[c]
+			out.ClassDeadlineMisses[c] += clsM[c]
+		}
 		out.Stripes[i] = StripeSnapshot{
-			Index:            i,
-			Len:              ln,
-			LockSpec:         d.lockSpec,
-			BackendSpec:      d.backendSpec,
-			Ordered:          d.ordered != nil,
-			Swaps:            d.swaps,
-			Scans:            out.Scans,
-			DeadlineAttempts: attempts,
-			DeadlineMisses:   misses,
-			Lock:             ls,
-			Fairness:         fairness,
+			Index:                 i,
+			Len:                   ln,
+			LockSpec:              d.lockSpec,
+			BackendSpec:           d.backendSpec,
+			Ordered:               d.ordered != nil,
+			Swaps:                 d.swaps,
+			Scans:                 out.Scans,
+			DeadlineAttempts:      attempts,
+			DeadlineMisses:        misses,
+			ClassDeadlineAttempts: clsA,
+			ClassDeadlineMisses:   clsM,
+			Lock:                  ls,
+			Fairness:              fairness,
 		}
 		out.Len += ln
 		out.Lock = out.Lock.Add(ls)

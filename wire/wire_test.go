@@ -1,0 +1,280 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestGoldenFrames pins the exact byte layout of the frame formats.
+// These bytes are the protocol: if this test needs updating, Version
+// must be bumped and DESIGN.md §11 revised — an encoder change that
+// silently re-shapes frames breaks every deployed peer.
+func TestGoldenFrames(t *testing.T) {
+	cases := []struct {
+		name string
+		got  []byte
+		want string // hex
+	}{
+		{
+			"get",
+			AppendGet(nil, 2, 1500, 0x0102030405060708),
+			"01" + "01" + "02" + "00" + "000005dc" + "00000008" +
+				"0102030405060708",
+		},
+		{
+			"get-expired",
+			AppendGet(nil, 2, ExpiredBudget, 0x0102030405060708),
+			"01" + "01" + "02" + "00" + "ffffffff" + "00000008" +
+				"0102030405060708",
+		},
+		{
+			"put",
+			AppendPut(nil, 0, 0, 0xAABB, 0xCCDD),
+			"01" + "02" + "00" + "00" + "00000000" + "00000010" +
+				"000000000000aabb" + "000000000000ccdd",
+		},
+		{
+			"del",
+			AppendDel(nil, 1, 1, 7),
+			"01" + "03" + "01" + "00" + "00000001" + "00000008" +
+				"0000000000000007",
+		},
+		{
+			"scan",
+			AppendScan(nil, 3, 250000, 16, 32, 100),
+			"01" + "04" + "03" + "00" + "0003d090" + "00000014" +
+				"0000000000000010" + "0000000000000020" + "00000064",
+		},
+		{
+			"ping",
+			AppendPing(nil),
+			"01" + "05" + "00" + "00" + "00000000" + "00000000",
+		},
+		{
+			"info",
+			AppendInfo(nil),
+			"01" + "06" + "00" + "00" + "00000000" + "00000000",
+		},
+		{
+			"fault-arm",
+			AppendFaultArm(nil, "stall?p=0.5"),
+			"01" + "07" + "00" + "00" + "00000000" + "0000000c" +
+				"01" + hex.EncodeToString([]byte("stall?p=0.5")),
+		},
+		{
+			"fault-disarm",
+			AppendFaultDisarm(nil),
+			"01" + "07" + "00" + "00" + "00000000" + "00000001" + "02",
+		},
+		{
+			"get-resp",
+			AppendGetResp(nil, true, 0x99),
+			"01" + "01" + "00" + "00" + "00000009" +
+				"01" + "0000000000000099",
+		},
+		{
+			"put-resp",
+			AppendPutResp(nil, false),
+			"01" + "02" + "00" + "00" + "00000001" + "00",
+		},
+		{
+			"err-resp",
+			AppendErrorResp(nil, OpGet, StatusDeadline, "late"),
+			"01" + "01" + "01" + "00" + "00000004" +
+				hex.EncodeToString([]byte("late")),
+		},
+	}
+	for _, tc := range cases {
+		want, err := hex.DecodeString(tc.want)
+		if err != nil {
+			t.Fatalf("%s: bad test hex: %v", tc.name, err)
+		}
+		if !bytes.Equal(tc.got, want) {
+			t.Errorf("%s:\n got %x\nwant %x", tc.name, tc.got, want)
+		}
+	}
+}
+
+// TestGoldenScanResp pins the begin/patch/end SCAN response shape.
+func TestGoldenScanResp(t *testing.T) {
+	dst, start := BeginScanResp(nil)
+	dst = AppendScanPair(dst, 1, 10)
+	dst = AppendScanPair(dst, 2, 20)
+	dst = EndScanResp(dst, start)
+	want, _ := hex.DecodeString(
+		"01" + "04" + "00" + "00" + "00000024" + // 4 + 2*16 = 36
+			"00000002" +
+			"0000000000000001" + "000000000000000a" +
+			"0000000000000002" + "0000000000000014")
+	if !bytes.Equal(dst, want) {
+		t.Fatalf("scan resp:\n got %x\nwant %x", dst, want)
+	}
+	n, err := ParseScanResp(dst[RespHeaderSize:], func(k, v uint64) bool { return true })
+	if err != nil || n != 2 {
+		t.Fatalf("ParseScanResp = %d, %v", n, err)
+	}
+}
+
+// TestHeaderRoundTrip checks Put/Parse symmetry and the reject paths.
+func TestHeaderRoundTrip(t *testing.T) {
+	var b [ReqHeaderSize]byte
+	in := ReqHeader{Op: OpScan, Class: 3, DeadlineMicros: 123456, Len: 20}
+	PutReqHeader(b[:], in)
+	out, err := ParseReqHeader(b[:])
+	if err != nil || out != in {
+		t.Fatalf("req round trip: %+v, %v", out, err)
+	}
+
+	bad := b
+	bad[0] = 99
+	if _, err := ParseReqHeader(bad[:]); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version: %v", err)
+	}
+	bad = b
+	bad[3] = 1
+	if _, err := ParseReqHeader(bad[:]); !errors.Is(err, ErrFlags) {
+		t.Fatalf("flags: %v", err)
+	}
+	bad = b
+	bad[8] = 0xFF // Len > MaxPayload
+	if _, err := ParseReqHeader(bad[:]); !errors.Is(err, ErrPayloadSize) {
+		t.Fatalf("size: %v", err)
+	}
+	if _, err := ParseReqHeader(b[:ReqHeaderSize-1]); !errors.Is(err, ErrShortHeader) {
+		t.Fatalf("short: %v", err)
+	}
+
+	var rb [RespHeaderSize]byte
+	rin := RespHeader{Op: OpGet, Status: StatusDeadline, Len: 4}
+	PutRespHeader(rb[:], rin)
+	rout, err := ParseRespHeader(rb[:])
+	if err != nil || rout != rin {
+		t.Fatalf("resp round trip: %+v, %v", rout, err)
+	}
+	if _, err := ParseRespHeader(rb[:3]); !errors.Is(err, ErrShortHeader) {
+		t.Fatalf("resp short: %v", err)
+	}
+}
+
+// TestPayloadParsers checks each payload codec against its encoder and
+// its shape rejections.
+func TestPayloadParsers(t *testing.T) {
+	g := AppendGet(nil, 0, 0, 42)
+	if k, err := ParseKey(g[ReqHeaderSize:]); err != nil || k != 42 {
+		t.Fatalf("ParseKey = %d, %v", k, err)
+	}
+	if _, err := ParseKey([]byte{1, 2, 3}); !errors.Is(err, ErrPayloadShape) {
+		t.Fatalf("short key: %v", err)
+	}
+
+	p := AppendPut(nil, 0, 0, 7, 8)
+	if k, v, err := ParseKeyVal(p[ReqHeaderSize:]); err != nil || k != 7 || v != 8 {
+		t.Fatalf("ParseKeyVal = %d,%d, %v", k, v, err)
+	}
+
+	s := AppendScan(nil, 0, 0, 5, 50, 0)
+	lo, hi, max, err := ParseScan(s[ReqHeaderSize:])
+	if err != nil || lo != 5 || hi != 50 || max != MaxScanPairs {
+		t.Fatalf("ParseScan = %d,%d,%d, %v (max=0 should clamp to MaxScanPairs)", lo, hi, max, err)
+	}
+
+	fa := AppendFaultArm(nil, "stall?p=1")
+	sub, spec, err := ParseFault(fa[ReqHeaderSize:])
+	if err != nil || sub != FaultArm || string(spec) != "stall?p=1" {
+		t.Fatalf("ParseFault arm = %d,%q, %v", sub, spec, err)
+	}
+	if _, _, err := ParseFault([]byte{FaultDisarm, 'x'}); !errors.Is(err, ErrPayloadShape) {
+		t.Fatalf("disarm with trailing bytes: %v", err)
+	}
+	if _, _, err := ParseFault([]byte{9}); !errors.Is(err, ErrPayloadShape) {
+		t.Fatalf("unknown sub: %v", err)
+	}
+	if _, _, err := ParseFault(nil); !errors.Is(err, ErrPayloadShape) {
+		t.Fatalf("empty fault: %v", err)
+	}
+
+	gr := AppendGetResp(nil, true, 123)
+	if v, found, err := ParseGetResp(gr[RespHeaderSize:]); err != nil || !found || v != 123 {
+		t.Fatalf("ParseGetResp = %d,%v, %v", v, found, err)
+	}
+	if _, _, err := ParseGetResp([]byte{1}); !errors.Is(err, ErrResponseShape) {
+		t.Fatalf("short get resp: %v", err)
+	}
+	br := AppendDelResp(nil, true)
+	if ok, err := ParseBoolResp(br[RespHeaderSize:]); err != nil || !ok {
+		t.Fatalf("ParseBoolResp = %v, %v", ok, err)
+	}
+	if _, err := ParseScanResp([]byte{0, 0, 0, 5}, nil); !errors.Is(err, ErrResponseShape) {
+		t.Fatalf("scan count lies: %v", err)
+	}
+}
+
+// TestStatusErrors pins the errors.Is contract: message-carrying
+// StatusErrors match their sentinels, and every status maps to a
+// distinct sentinel.
+func TestStatusErrors(t *testing.T) {
+	withMsg := &StatusError{Status: StatusDeadline, Msg: "budget expired 14us before stripe"}
+	if !errors.Is(withMsg, ErrDeadline) {
+		t.Fatal("message-carrying deadline error must match ErrDeadline")
+	}
+	if errors.Is(withMsg, ErrUnordered) {
+		t.Fatal("deadline error must not match ErrUnordered")
+	}
+	if StatusOK.Err() != nil {
+		t.Fatal("StatusOK.Err() must be nil")
+	}
+	seen := map[error]Status{}
+	for s := StatusDeadline; s <= StatusInternal; s++ {
+		e := s.Err()
+		if e == nil {
+			t.Fatalf("status %v has no sentinel", s)
+		}
+		if prev, dup := seen[e]; dup {
+			t.Fatalf("statuses %v and %v share a sentinel", prev, s)
+		}
+		seen[e] = s
+	}
+	// Unknown statuses still produce a usable error.
+	if Status(200).Err() == nil {
+		t.Fatal("unknown status must still error")
+	}
+}
+
+// TestPointOpEncodersDoNotAllocate pins the zero-allocation contract on
+// the point-op encode path given a pre-sized buffer.
+func TestPointOpEncodersDoNotAllocate(t *testing.T) {
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendGet(buf[:0], 1, 100, 42)
+		buf = AppendPut(buf[:0], 1, 100, 42, 43)
+		buf = AppendDel(buf[:0], 1, 100, 42)
+		buf = AppendGetResp(buf[:0], true, 43)
+		buf = AppendPutResp(buf[:0], true)
+		buf = AppendDelResp(buf[:0], false)
+	})
+	if allocs != 0 {
+		t.Fatalf("point-op encode allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestBudgetMicros pins the client-side deadline encoding: zero time is
+// patient, an expired deadline is the ExpiredBudget sentinel (never 0,
+// never a racy 1µs budget), sub-microsecond remainders round up to 1µs,
+// and budgets beyond the field's range degrade to patient.
+func TestBudgetMicros(t *testing.T) {
+	if got := budgetMicros(time.Time{}); got != 0 {
+		t.Fatalf("zero time = %d, want 0 (patient)", got)
+	}
+	if got := budgetMicros(time.Now().Add(-time.Second)); got != ExpiredBudget {
+		t.Fatalf("expired deadline = %d, want ExpiredBudget", got)
+	}
+	if got := budgetMicros(time.Now().Add(time.Hour)); got < 3_000_000_000 || got == ExpiredBudget {
+		t.Fatalf("1h budget = %d, want ~3.6e9 and not the sentinel", got)
+	}
+	if got := budgetMicros(time.Now().Add(100 * time.Hour)); got != 0 {
+		t.Fatalf("out-of-range budget = %d, want 0 (patient)", got)
+	}
+}
