@@ -11,7 +11,16 @@
 //	shardbench -stripes 1,16 -lock 'mcscr-stp?fairness=500' -backend hashmap,skiplist,rbtree
 //	shardbench -stripes 8 -backend skiplist -scan-frac 0.1 -scan-span 256
 //	shardbench -stripes 8 -lock mcs-stp -dist zipf -policy static,malthusian
+//	shardbench -read-frac 0.95 -read-path locked,optimistic -dist zipf
 //	shardbench -list
+//
+// -read-path sweeps the Get path: "locked" routes every Get through the
+// stripe lock; "optimistic[?retries=N]" serves seqlock-validated Gets
+// without acquiring it (see package optimistic). Optimistic cells report
+// hit/retry/fallback counts (and rates) in the JSON and an indented
+// detail line; read them against the cell's "acquires" stat — on a
+// read-heavy cell the acquires collapse to roughly the write volume
+// while hits carry the reads, which is the whole point of the path.
 //
 // With -policy, each cell additionally runs a shard.Controller driving
 // the named adaptation policy (see policy.New) at -adapt-interval: the
@@ -117,6 +126,7 @@ func main() {
 		stripesList = flag.String("stripes", "1,8,64", "comma-separated stripe counts to sweep")
 		lockList    = flag.String("lock", "tas,mcscr-stp", "comma-separated lock specs (see lock.New)")
 		backendList = flag.String("backend", "hashmap", "comma-separated backend specs (see store.New)")
+		rpathList   = flag.String("read-path", "locked", "comma-separated Get read paths: locked, optimistic[?retries=N] (see optimistic.Parse)")
 		distList    = flag.String("dist", "uniform,zipf", "comma-separated key distributions: uniform, zipf")
 		threads     = flag.Int("threads", 8, "client goroutines")
 		duration    = flag.Duration("duration", time.Second, "measurement interval per cell")
@@ -194,6 +204,16 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	rpaths := splitList(*rpathList)
+	if len(rpaths) == 0 {
+		rpaths = []string{""}
+	}
+	for _, rp := range rpaths {
+		if _, err := shard.New(shard.Config{Stripes: 1, ReadPath: rp}); err != nil {
+			fmt.Fprintf(os.Stderr, "shardbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	// "" is the no-controller cell; named policies are resolved up front
 	// like locks and backends, so a typo fails before any measurement.
 	policies := splitList(*policyList)
@@ -266,52 +286,60 @@ func main() {
 		rec.FaultTarget = *faultTarget
 	}
 
-	fmt.Printf("%-8s %-12s %-10s %-12s %7s %10s %10s %7s %8s %8s %7s %7s %6s\n",
-		"dist", "lock", "backend", "policy", "stripes", "ops", "ops/sec", "miss%", "p50(us)", "p99(us)", "LWSS", "Gini", "swaps")
+	fmt.Printf("%-8s %-12s %-10s %-10s %-12s %7s %10s %10s %7s %8s %8s %7s %7s %6s\n",
+		"dist", "lock", "backend", "rpath", "policy", "stripes", "ops", "ops/sec", "miss%", "p50(us)", "p99(us)", "LWSS", "Gini", "swaps")
 	for _, dist := range dists {
 		for _, spec := range specs {
 			for _, bspec := range backends {
-				for _, pspec := range policies {
-					for _, n := range stripeCounts {
-						r := runCell(cellConfig{
-							dist: dist, spec: spec, backend: bspec, stripes: n,
-							threads: *threads, duration: *duration,
-							keys: *keys, readFrac: *readFrac, zipfS: *zipfS,
-							scanFrac: *scanFrac, scanSpan: *scanSpan,
-							rate: *rate, cancelFrac: *cancelFrac, deadline: *deadline,
-							policy: pspec, adaptEvery: *adaptEvery,
-							fault: *faultSpec, faultAfter: fAfter, faultFor: fFor,
-							faultSample: *faultSample, faultTarget: *faultTarget,
-							seed: *seed,
-						})
-						rec.Results = append(rec.Results, r)
-						if r.ScansRejected > 0 && r.Scans == 0 {
-							// The relaxed -scan-frac validation (any
-							// -policy) admitted a cell whose policy never
-							// installed an ordered backend: keep the old
-							// fail-fast's intent audible.
-							fmt.Fprintf(os.Stderr, "shardbench: warning: %s/%s/%s/%s stripes=%d: all %d scans rejected — the policy never installed an ordered backend\n",
-								r.Dist, r.Lock, r.Backend, r.Policy, r.Stripes, r.ScansRejected)
-						}
-						missCol := "-"
-						if r.DeadlineAttempts > 0 {
-							missCol = fmt.Sprintf("%.2f", 100*r.MissRate)
-						}
-						policyCol := r.Policy
-						if policyCol == "" {
-							policyCol = "-"
-						}
-						fmt.Printf("%-8s %-12s %-10s %-12s %7d %10d %10.0f %7s %8.1f %8.1f %7.1f %7.3f %6d\n",
-							r.Dist, r.Lock, r.Backend, policyCol, r.Stripes, r.Ops, r.OpsPerSec, missCol,
-							r.P50Micros, r.P99Micros, r.MeanLWSS, r.MeanGini, r.Swaps)
-						if ch := r.Chaos; ch != nil {
-							recov := "never"
-							if ch.RecoveryMillis >= 0 {
-								recov = fmt.Sprintf("%.0fms", ch.RecoveryMillis)
+				for _, rp := range rpaths {
+					for _, pspec := range policies {
+						for _, n := range stripeCounts {
+							r := runCell(cellConfig{
+								dist: dist, spec: spec, backend: bspec, stripes: n,
+								readPath: rp,
+								threads:  *threads, duration: *duration,
+								keys: *keys, readFrac: *readFrac, zipfS: *zipfS,
+								scanFrac: *scanFrac, scanSpan: *scanSpan,
+								rate: *rate, cancelFrac: *cancelFrac, deadline: *deadline,
+								policy: pspec, adaptEvery: *adaptEvery,
+								fault: *faultSpec, faultAfter: fAfter, faultFor: fFor,
+								faultSample: *faultSample, faultTarget: *faultTarget,
+								seed: *seed,
+							})
+							rec.Results = append(rec.Results, r)
+							if r.ScansRejected > 0 && r.Scans == 0 {
+								// The relaxed -scan-frac validation (any
+								// -policy) admitted a cell whose policy never
+								// installed an ordered backend: keep the old
+								// fail-fast's intent audible.
+								fmt.Fprintf(os.Stderr, "shardbench: warning: %s/%s/%s/%s stripes=%d: all %d scans rejected — the policy never installed an ordered backend\n",
+									r.Dist, r.Lock, r.Backend, r.Policy, r.Stripes, r.ScansRejected)
 							}
-							fmt.Printf("  chaos: miss%% pre=%.2f fault=%.2f post=%.2f  recovery=%s  stalls=%d stall-time=%.0fms reroutes=%d surge-peak=%d\n",
-								100*ch.PreMissRate, 100*ch.FaultMissRate, 100*ch.PostMissRate,
-								recov, ch.Stalls, ch.StallMillis, ch.Reroutes, ch.SurgePeak)
+							missCol := "-"
+							if r.DeadlineAttempts > 0 {
+								missCol = fmt.Sprintf("%.2f", 100*r.MissRate)
+							}
+							policyCol := r.Policy
+							if policyCol == "" {
+								policyCol = "-"
+							}
+							fmt.Printf("%-8s %-12s %-10s %-10s %-12s %7d %10d %10.0f %7s %8.1f %8.1f %7.1f %7.3f %6d\n",
+								r.Dist, r.Lock, r.Backend, r.ReadPath, policyCol, r.Stripes, r.Ops, r.OpsPerSec, missCol,
+								r.P50Micros, r.P99Micros, r.MeanLWSS, r.MeanGini, r.Swaps)
+							if r.OptimisticHits > 0 || r.OptimisticFallbacks > 0 {
+								fmt.Printf("  optimistic: hits=%d retries=%d fallbacks=%d hit-rate=%.4f lock-acquires=%d\n",
+									r.OptimisticHits, r.OptimisticRetries, r.OptimisticFallbacks,
+									r.OptimisticHitRate, r.Stats["acquires"])
+							}
+							if ch := r.Chaos; ch != nil {
+								recov := "never"
+								if ch.RecoveryMillis >= 0 {
+									recov = fmt.Sprintf("%.0fms", ch.RecoveryMillis)
+								}
+								fmt.Printf("  chaos: miss%% pre=%.2f fault=%.2f post=%.2f  recovery=%s  stalls=%d stall-time=%.0fms reroutes=%d surge-peak=%d\n",
+									100*ch.PreMissRate, 100*ch.FaultMissRate, 100*ch.PostMissRate,
+									recov, ch.Stalls, ch.StallMillis, ch.Reroutes, ch.SurgePeak)
+							}
 						}
 					}
 				}
@@ -361,6 +389,7 @@ type cellConfig struct {
 	dist       string
 	spec       string
 	backend    string
+	readPath   string // Get read path; "" = locked
 	policy     string // adaptation policy spec; "" = no controller
 	adaptEvery time.Duration
 	stripes    int
@@ -401,6 +430,7 @@ func runCell(c cellConfig) benchfmt.Result {
 		Seed:        c.seed,
 		Capacity:    c.keys,
 		HistoryCap:  hcap,
+		ReadPath:    c.readPath,
 	})
 	// Preload the keyspace so Gets hit and Puts update in place; the
 	// measured interval then exercises steady-state traffic, not growth.
@@ -553,6 +583,7 @@ func runCell(c cellConfig) benchfmt.Result {
 		Dist:          c.dist,
 		Lock:          c.spec,
 		Backend:       c.backend,
+		ReadPath:      m.ReadPath(), // canonical form: "locked" for the "" default
 		Policy:        c.policy,
 		Stripes:       m.Stripes(),
 		Threads:       c.threads,
@@ -570,6 +601,14 @@ func runCell(c cellConfig) benchfmt.Result {
 	}
 	r.P50Micros = benchfmt.PercentileMicros(merged, 0.50)
 	r.P99Micros = benchfmt.PercentileMicros(merged, 0.99)
+	// Optimistic read-path outcomes for the measured interval. Read with
+	// Stats["acquires"]: on a read-heavy cell, hits ≈ Gets and acquires ≈
+	// writes is the zero-lock-read acceptance claim in one row.
+	r.OptimisticHits = int(delta.OptimisticHits)
+	r.OptimisticRetries = int(delta.OptimisticRetries)
+	r.OptimisticFallbacks = int(delta.OptimisticFallbacks)
+	r.OptimisticHitRate = benchfmt.Rate(r.OptimisticHits, r.OptimisticHits+r.OptimisticFallbacks)
+	r.OptimisticFallbackRate = benchfmt.Rate(r.OptimisticFallbacks, r.OptimisticHits+r.OptimisticFallbacks)
 	if n := attempts.Load(); n > 0 {
 		// Guarded: the rate is computed only from a nonzero attempt count,
 		// so the JSON can never carry a NaN (encoding/json rejects them).

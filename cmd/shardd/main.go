@@ -35,6 +35,7 @@ func main() {
 	flag.IntVar(&cfg.Stripes, "stripes", 0, "stripe count (0 = shard default, rounded up to a power of two)")
 	flag.StringVar(&cfg.LockSpec, "lock", "", "stripe lock spec (see lock.New; empty = shard default)")
 	flag.StringVar(&cfg.BackendSpec, "backend", "", "stripe backend spec (see store.New; empty = shard default)")
+	flag.StringVar(&cfg.ReadPath, "read-path", "", "Get read path: locked (default) or optimistic[?retries=N] (lock-free seqlock-validated Gets)")
 	flag.StringVar(&cfg.Policy, "policy", "", "adaptation policy spec (see policy.New; empty = no controller)")
 	flag.DurationVar(&cfg.AdaptInterval, "adapt-interval", 0, "controller cadence (0 = shard default)")
 	flag.StringVar(&cfg.ConnModel, "conn-model", server.ConnGoroutine, "connection handling: goroutine (serve all) or pool (bounded Malthusian admission)")

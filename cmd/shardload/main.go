@@ -139,6 +139,11 @@ func main() {
 		fatalf("info: %v", err)
 	}
 	info := parseKV(infoText)
+	// The pre-run INFO doubles as the optimistic counter baseline: the
+	// server's opt_* lines are cumulative, so the cell's numbers are the
+	// end-minus-start delta — the same interval accounting shardbench
+	// gets from a snapshot delta, read over the wire.
+	startInfo := info
 
 	var cnt counters
 	var stop atomic.Bool
@@ -178,6 +183,7 @@ func main() {
 		Dist:          c.dist,
 		Lock:          info["lock"],
 		Backend:       info["backend"],
+		ReadPath:      info["read_path"],
 		Policy:        info["policy"],
 		Stripes:       atoi(info["stripes"]),
 		Threads:       c.conns,
@@ -200,6 +206,19 @@ func main() {
 		r.DeadlineMisses = int(cnt.misses.Load())
 		r.MissRate = benchfmt.Rate(r.DeadlineMisses, r.DeadlineAttempts)
 	}
+	// Optimistic outcomes for the run: end-minus-start INFO counters
+	// (clamped at zero in case the map was reconfigured under us).
+	sub := func(key string) int {
+		if d := atoi(info[key]) - atoi(startInfo[key]); d > 0 {
+			return d
+		}
+		return 0
+	}
+	r.OptimisticHits = sub("opt_hits")
+	r.OptimisticRetries = sub("opt_retries")
+	r.OptimisticFallbacks = sub("opt_fallbacks")
+	r.OptimisticHitRate = benchfmt.Rate(r.OptimisticHits, r.OptimisticHits+r.OptimisticFallbacks)
+	r.OptimisticFallbackRate = benchfmt.Rate(r.OptimisticFallbacks, r.OptimisticHits+r.OptimisticFallbacks)
 
 	rec := benchfmt.Record{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -484,6 +503,10 @@ func printSummary(r benchfmt.Result, cnt *counters) {
 		fmt.Printf(", %d reconnect errors", n)
 	}
 	fmt.Println()
+	if r.OptimisticHits > 0 || r.OptimisticFallbacks > 0 {
+		fmt.Printf("shardload: optimistic (%s) hits %d retries %d fallbacks %d (hit rate %.4f)\n",
+			r.ReadPath, r.OptimisticHits, r.OptimisticRetries, r.OptimisticFallbacks, r.OptimisticHitRate)
+	}
 	if ch := r.Chaos; ch != nil {
 		rec := "never"
 		if ch.RecoveryMillis >= 0 {

@@ -1,4 +1,4 @@
-// Package hotpath enforces two annotation-driven call budgets.
+// Package hotpath enforces three annotation-driven call budgets.
 //
 // //lockcheck:cs marks a function that runs inside a lock's critical
 // section or on a lock's handoff path. The paper's whole argument is
@@ -27,7 +27,30 @@
 // ScanContext, ScanChunked, or ScanChunkedContext on repro/shard.Map,
 // nor repro/metrics.Summarize over a full history (it copies the
 // history under the recorder lock). The blessed alternative is the
-// Map.SnapshotLite sampling read path.
+// Map.SnapshotLite sampling read path. ScanChunkedStats is in the
+// patient family with the rest of the scans it wraps.
+//
+// //lockcheck:optimistic marks a validated lock-free read section —
+// the seqlock read path (package optimistic) and the backend probes it
+// calls. The whole point of the path is that a Get takes zero locks
+// and cannot block, and that it races writers by design, with the
+// stamp validation (not mutual exclusion) supplying correctness. Such
+// a function must not directly:
+//
+//   - call a lock-acquisition method (Lock, LockContext, TryLock,
+//     TryLockFor, RLock, TryRLock, Acquire, AcquireContext, AcquireFor,
+//     AcquireTimeout — on any receiver: one lock acquire and the
+//     "wait-free read" claim, and its counters, are fiction);
+//   - block: channel send/receive/select, goroutine launch, or
+//     time.Sleep/After/Tick/NewTimer/NewTicker/AfterFunc;
+//   - plainly store to shared state (assignment or ++/-- whose target
+//     reaches beyond the frame: a package-level variable, or anything
+//     through a pointer, slice, or map). A racing plain store is
+//     exactly the torn write the seqlock cannot validate away; shared
+//     mutation in a read section must go through sync/atomic (method
+//     calls, which this check does not flag) or move behind the lock.
+//     Writes to locals — including fields of local struct values and
+//     elements of local arrays — stay in the frame and are fine.
 //
 // Only direct calls are checked: an interface-typed call site resolves
 // to nothing at vet time, and pretending otherwise would make the
@@ -40,6 +63,7 @@ package hotpath
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"repro/internal/analysis"
@@ -48,13 +72,15 @@ import (
 // Analyzer enforces //lockcheck:cs and //lockcheck:nosnapshot budgets.
 var Analyzer = &analysis.Analyzer{
 	Name: "hotpath",
-	Doc: `enforce //lockcheck:cs and //lockcheck:nosnapshot call budgets
+	Doc: `enforce //lockcheck:cs, //lockcheck:nosnapshot, and //lockcheck:optimistic call budgets
 
 A //lockcheck:cs function (critical-section or lock-handoff code) must
 not call time/fmt/log/os functions, touch channels, start goroutines,
 or defer closures. A //lockcheck:nosnapshot function (steady-state
 control-plane code) must not call the patient Snapshot/Scan family on
-shard.Map or metrics.Summarize.`,
+shard.Map or metrics.Summarize. A //lockcheck:optimistic function (a
+validated lock-free read section) must not acquire locks, block, or
+plainly store to shared state.`,
 	Run: run,
 }
 
@@ -78,7 +104,24 @@ var csDeniedPkgs = map[string]string{
 var patientMethods = map[string]bool{
 	"Snapshot": true, "SnapshotContext": true,
 	"Scan": true, "ScanContext": true,
-	"ScanChunked": true, "ScanChunkedContext": true,
+	"ScanChunked": true, "ScanChunkedContext": true, "ScanChunkedStats": true,
+}
+
+// optDeniedLockMethods are the repo's lock-acquisition method names (the
+// core.Locker family, sync locks, and the semaphore), denied on any
+// receiver inside an optimistic read section.
+var optDeniedLockMethods = map[string]bool{
+	"Lock": true, "LockContext": true, "TryLock": true, "TryLockFor": true,
+	"RLock": true, "TryRLock": true,
+	"Acquire": true, "AcquireContext": true, "AcquireFor": true, "AcquireTimeout": true,
+}
+
+// optDeniedTime are the time functions that block or enlist the runtime
+// timer machinery; clock reads (Now, Since) are allowed — the read path
+// itself is measured.
+var optDeniedTime = map[string]bool{
+	"Sleep": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
 }
 
 func run(pass *analysis.Pass) error {
@@ -93,6 +136,9 @@ func run(pass *analysis.Pass) error {
 			}
 			if _, ok := analysis.Directive(fd.Doc, "nosnapshot"); ok {
 				checkNoSnapshot(pass, fd)
+			}
+			if _, ok := analysis.Directive(fd.Doc, "optimistic"); ok {
+				checkOptimistic(pass, fd)
 			}
 		}
 	}
@@ -199,6 +245,109 @@ func checkNoSnapshot(pass *analysis.Pass, fd *ast.FuncDecl) {
 		}
 		return true
 	})
+}
+
+// checkOptimistic walks a //lockcheck:optimistic function body
+// (including nested function literals) for lock acquisitions, blocking
+// constructs, and plain stores to shared state.
+func checkOptimistic(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			checkOptCall(pass, name, s)
+		case *ast.SendStmt:
+			pass.Reportf(s.Pos(), "channel send in optimistic read section %s can block; the validated read path must stay wait-free", name)
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW {
+				pass.Reportf(s.Pos(), "channel receive in optimistic read section %s can block; the validated read path must stay wait-free", name)
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(s.Pos(), "select in optimistic read section %s can block; the validated read path must stay wait-free", name)
+		case *ast.GoStmt:
+			pass.Reportf(s.Pos(), "goroutine launch in optimistic read section %s entangles the lock-free path with the scheduler", name)
+		case *ast.AssignStmt:
+			if s.Tok != token.DEFINE {
+				for _, lhs := range s.Lhs {
+					checkOptStore(pass, fd, name, lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			checkOptStore(pass, fd, name, s.X)
+		}
+		return true
+	})
+}
+
+// checkOptCall classifies one call inside an optimistic read section:
+// lock-acquisition methods and blocking time functions are denied.
+func checkOptCall(pass *analysis.Pass, name string, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	if sig.Recv() != nil && optDeniedLockMethods[fn.Name()] {
+		pass.Reportf(call.Pos(), "%s call in optimistic read section %s acquires a lock; the validated read path must take zero locks (fall back through the caller instead)", fn.Name(), name)
+		return
+	}
+	if sig.Recv() == nil && fn.Pkg().Path() == "time" && optDeniedTime[fn.Name()] {
+		pass.Reportf(call.Pos(), "time.%s in optimistic read section %s blocks; the validated read path must stay wait-free", fn.Name(), name)
+	}
+}
+
+// checkOptStore reports a plain (non-atomic) store whose target reaches
+// shared state: the assignment races concurrent readers/writers in a
+// way the seqlock cannot validate away. It walks the LHS toward its
+// root; any pointer-deref, slice, or map step — or a root identifier
+// not local to the annotated function — makes the target shared.
+// Fields of local struct values and elements of local arrays stay in
+// the frame and pass.
+func checkOptStore(pass *analysis.Pass, fd *ast.FuncDecl, name string, lhs ast.Expr) {
+	e := ast.Unparen(lhs)
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if x.Name == "_" {
+				return
+			}
+			obj := pass.TypesInfo.ObjectOf(x)
+			if obj != nil && obj.Pos() >= fd.Pos() && obj.Pos() <= fd.End() {
+				return // declared in this function (param or body): frame-private
+			}
+			pass.Reportf(lhs.Pos(), "plain store to shared state (%s) in optimistic read section %s races the writers it reads past; use sync/atomic or move the write behind the lock", x.Name, name)
+			return
+		case *ast.SelectorExpr:
+			if tv, ok := pass.TypesInfo.Types[x.X]; ok {
+				if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+					pass.Reportf(lhs.Pos(), "plain store through a pointer in optimistic read section %s races the writers it reads past; use sync/atomic or move the write behind the lock", name)
+					return
+				}
+			}
+			e = ast.Unparen(x.X)
+		case *ast.IndexExpr:
+			if tv, ok := pass.TypesInfo.Types[x.X]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map, *types.Pointer:
+					pass.Reportf(lhs.Pos(), "plain store through a slice or map in optimistic read section %s races the writers it reads past; use sync/atomic or move the write behind the lock", name)
+					return
+				}
+			}
+			e = ast.Unparen(x.X)
+		case *ast.StarExpr:
+			pass.Reportf(lhs.Pos(), "plain store through a pointer in optimistic read section %s races the writers it reads past; use sync/atomic or move the write behind the lock", name)
+			return
+		default:
+			return
+		}
+	}
 }
 
 // isChanType reports whether the expression denotes a channel type

@@ -6,6 +6,7 @@ package hp
 import (
 	"fmt"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -92,4 +93,71 @@ func badSampler(m *shard.Map, h metrics.History) {
 // snapshots are fine outside the annotation.
 func patient(m *shard.Map) shard.Snapshot {
 	return m.Snapshot()
+}
+
+var sharedWord uint64
+var sharedSlice = make([]uint64, 8)
+var sharedMap = map[uint64]uint64{}
+
+type box struct{ v uint64 }
+
+var sharedBox box
+
+// goodOptimistic is the healthy validated-read shape: loads from
+// anywhere, atomics for shared effects, plain stores only to frame
+// state (locals, fields of local struct values, local array elements).
+//
+//lockcheck:optimistic
+func goodOptimistic(p *box) uint64 {
+	var local uint64
+	local = sharedWord // loads are the whole point
+	local++
+	var b box
+	b.v = local // field of a local value: frame-private
+	var arr [2]uint64
+	arr[0] = b.v // local array element: frame-private
+	word.Add(1)  // shared effects go through sync/atomic
+	_ = p.v
+	_, _ = time.Now(), arr
+	return b.v
+}
+
+// badOptimistic takes a lock, blocks, and stores to shared state.
+//
+//lockcheck:optimistic
+func badOptimistic(mu *sync.Mutex, rw *sync.RWMutex, ch chan int, p *box, d time.Duration) {
+	mu.Lock()     // want `Lock call in optimistic read section badOptimistic`
+	mu.TryLock()  // want `TryLock call in optimistic read section badOptimistic`
+	rw.RLock()    // want `RLock call in optimistic read section badOptimistic`
+	time.Sleep(d) // want `time\.Sleep in optimistic read section badOptimistic`
+	ch <- 1       // want `channel send in optimistic read section badOptimistic`
+	<-ch          // want `channel receive in optimistic read section badOptimistic`
+	go helper()   // want `goroutine launch in optimistic read section badOptimistic`
+	select {      // want `select in optimistic read section badOptimistic`
+	default:
+	}
+	sharedWord = 1     // want `plain store to shared state \(sharedWord\) in optimistic read section badOptimistic`
+	sharedWord++       // want `plain store to shared state \(sharedWord\) in optimistic read section badOptimistic`
+	sharedBox.v = 2    // want `plain store to shared state \(sharedBox\) in optimistic read section badOptimistic`
+	p.v = 3            // want `plain store through a pointer in optimistic read section badOptimistic`
+	sharedSlice[0] = 4 // want `plain store through a slice or map in optimistic read section badOptimistic`
+	sharedMap[1] = 5   // want `plain store through a slice or map in optimistic read section badOptimistic`
+	*(&sharedWord) = 6 // want `plain store through a pointer in optimistic read section badOptimistic`
+}
+
+// nested literals inherit the optimistic budget.
+//
+//lockcheck:optimistic
+func nestedOptimistic() {
+	f := func() {
+		sharedWord = 7 // want `plain store to shared state \(sharedWord\) in optimistic read section nestedOptimistic`
+	}
+	f()
+}
+
+// the patient family grew ScanChunkedStats; nosnapshot covers it too.
+//
+//lockcheck:nosnapshot
+func badStatsSampler(m *shard.Map) {
+	m.ScanChunkedStats(nil, 0, 10, 4, func(k, v uint64) bool { return true }) // want `\(\*shard\.Map\)\.ScanChunkedStats in //lockcheck:nosnapshot function badStatsSampler`
 }

@@ -30,6 +30,11 @@ type Result struct {
 	Threads  int     `json:"threads"`
 	Duration float64 `json:"duration_sec"`
 
+	// ReadPath is the Get path the cell ran ("locked" or
+	// "optimistic[?retries=N]"); omitted by emitters that predate the
+	// dimension, which is the same as "locked".
+	ReadPath string `json:"read_path,omitempty"`
+
 	Ops       int     `json:"ops"`
 	OpsPerSec float64 `json:"ops_per_sec"`
 	Scans     int     `json:"scans,omitempty"`
@@ -64,6 +69,19 @@ type Result struct {
 	MaxLWSS  float64 `json:"max_lwss"`
 	MeanGini float64 `json:"mean_gini"`
 	MaxGini  float64 `json:"max_gini"`
+
+	// Optimistic read-path outcomes for the cell's interval (zero, and
+	// omitted, on the locked path): hits are Gets served without a
+	// stripe-lock acquire, fallbacks the ones whose retry budget ran
+	// out. HitRate is hits/(hits+fallbacks), FallbackRate the
+	// complement; both 0 (never NaN) when the path saw no traffic.
+	// shardbench reads them from a snapshot delta, shardload from INFO
+	// counter deltas — one comparable series either way.
+	OptimisticHits         int     `json:"optimistic_hits,omitempty"`
+	OptimisticRetries      int     `json:"optimistic_retries,omitempty"`
+	OptimisticFallbacks    int     `json:"optimistic_fallbacks,omitempty"`
+	OptimisticHitRate      float64 `json:"optimistic_hit_rate,omitempty"`
+	OptimisticFallbackRate float64 `json:"optimistic_fallback_rate,omitempty"`
 
 	// Stats is the rolled-up CR event counters across all stripe locks.
 	Stats map[string]uint64 `json:"stats,omitempty"`

@@ -1,26 +1,48 @@
 package hashmap
 
+import "sync/atomic"
+
 // Plain is the service-grade variant of Map: the same open-addressing
 // linear-probe table with backward-shift deletion, minus the simulator
-// instrumentation (no Touch callback, no virtual base address). Each probe
-// is therefore a bare array access, which matters when the table sits
-// inside a lock-guarded stripe on a real request path (package shard).
+// instrumentation (no Touch callback, no virtual base address).
 //
 // Unlike Map, key 0 is held out-of-band rather than remapped: Map's
 // 0 → ^uint64(0) remap makes keys 0 and MaxUint64 collide, which its
 // workload generators never produce but a public KV API must tolerate.
 // Plain therefore supports the full uint64 key domain.
 //
-// Like Map, Plain is not safe for concurrent use: the caller's lock — in
-// the sharded store, the stripe's registry-built lock — provides mutual
-// exclusion.
+// Like Map, Plain is not safe for general concurrent use: the caller's
+// lock — in the sharded store, the stripe's registry-built lock —
+// provides mutual exclusion between mutators. What Plain does support,
+// beyond the locked contract, is *torn-read-safe* concurrent readers:
+// the slot arrays live behind an atomically published table pointer and
+// every slot that a concurrent reader may observe is accessed with
+// atomic loads and stores. GetOptimistic may therefore run with no lock
+// at all, concurrently with a mutator. Its result can be stale or torn —
+// a probe across a half-finished backward shift can miss a present key —
+// which is exactly the contract the seqlock read path needs: the caller
+// validates the stripe's version stamp afterwards and discards any read
+// that overlapped a write section. What the atomics guarantee is only
+// that such a read is *safe*: no data race, no fault, no garbage beyond
+// a value the table held at some point.
 type Plain struct {
-	keys    []uint64 // 0 = empty slot; key 0 itself lives out-of-band
-	vals    []uint64
-	size    int
-	mask    uint64
-	hasZero bool // key 0 present
-	zeroVal uint64
+	tab  atomic.Pointer[ptab]
+	size int // keys in tab; mutator-side only, guarded by the caller's lock
+
+	// Key 0 lives out-of-band (0 marks an empty slot), as an
+	// atomically readable pair. A torn hasZero/zeroVal combination is
+	// possible for a concurrent reader and is covered by validation.
+	hasZero atomic.Bool
+	zeroVal atomic.Uint64
+}
+
+// ptab is one immutable-shape slot array generation: the arrays and mask
+// never change after publication (grow publishes a new ptab), only the
+// slot contents do, and those only via atomic stores.
+type ptab struct {
+	keys []uint64 // 0 = empty slot
+	vals []uint64
+	mask uint64
 }
 
 // NewPlain returns a table pre-sized for capacity elements (rounded up to
@@ -30,11 +52,13 @@ func NewPlain(capacity int) *Plain {
 	for n < capacity*2 {
 		n *= 2
 	}
-	return &Plain{
+	m := &Plain{}
+	m.tab.Store(&ptab{
 		keys: make([]uint64, n),
 		vals: make([]uint64, n),
 		mask: uint64(n - 1),
-	}
+	})
+	return m
 }
 
 // Mix is the table's 64-bit finalizer hash (Murmur3 fmix64), exported so
@@ -46,79 +70,123 @@ func Mix(k uint64) uint64 { return mix(k) }
 // Len returns the number of keys present.
 func (m *Plain) Len() int {
 	n := m.size
-	if m.hasZero {
+	if m.hasZero.Load() {
 		n++
 	}
 	return n
 }
 
 // Slots returns the table's slot count.
-func (m *Plain) Slots() int { return len(m.keys) }
+func (m *Plain) Slots() int { return len(m.tab.Load().keys) }
 
-// Get returns the value for key and whether it was present.
+// Get returns the value for key and whether it was present. Callers
+// hold the stripe lock, so no mutator is concurrent and plain loads
+// through the published table are exact.
 func (m *Plain) Get(key uint64) (uint64, bool) {
 	if key == 0 {
-		if m.hasZero {
-			return m.zeroVal, true
+		if m.hasZero.Load() {
+			return m.zeroVal.Load(), true
 		}
 		return 0, false
 	}
-	slot := mix(key) & m.mask
+	t := m.tab.Load()
+	slot := mix(key) & t.mask
 	for {
-		switch m.keys[slot] {
+		switch t.keys[slot] {
 		case 0:
 			return 0, false
 		case key:
-			return m.vals[slot], true
+			return t.vals[slot], true
 		}
-		slot = (slot + 1) & m.mask
+		slot = (slot + 1) & t.mask
 	}
+}
+
+// GetOptimistic returns the value for key using only atomic loads, with
+// no lock and no mutual exclusion against a concurrent mutator. The
+// probe is bounded by the slot count, so a torn view of a backward
+// shift (transiently cycle-shaped occupancy) terminates rather than
+// spinning. A racing delete's backshift can even pair a matched key
+// with a neighboring entry's value mid-move — the weakest "mixed
+// versions" outcome the OptimisticReader contract allows. See the type
+// comment for the staleness contract: the caller must validate the
+// stripe's version stamp and discard torn results.
+//
+//lockcheck:optimistic
+func (m *Plain) GetOptimistic(key uint64) (uint64, bool) {
+	if key == 0 {
+		if m.hasZero.Load() {
+			return m.zeroVal.Load(), true
+		}
+		return 0, false
+	}
+	t := m.tab.Load()
+	slot := mix(key) & t.mask
+	for range t.keys {
+		switch atomic.LoadUint64(&t.keys[slot]) {
+		case 0:
+			return 0, false
+		case key:
+			return atomic.LoadUint64(&t.vals[slot]), true
+		}
+		slot = (slot + 1) & t.mask
+	}
+	return 0, false
 }
 
 // Put inserts or updates key. It reports whether the key was new.
 func (m *Plain) Put(key, val uint64) bool {
 	if key == 0 {
-		fresh := !m.hasZero
-		m.hasZero, m.zeroVal = true, val
+		fresh := !m.hasZero.Load()
+		// Value first: a concurrent reader that observes hasZero
+		// observes a value key 0 held at some point.
+		m.zeroVal.Store(val)
+		m.hasZero.Store(true)
 		return fresh
 	}
-	if m.size*4 >= len(m.keys)*3 {
-		m.grow()
+	t := m.tab.Load()
+	if m.size*4 >= len(t.keys)*3 {
+		t = m.grow(t)
 	}
-	slot := mix(key) & m.mask
+	slot := mix(key) & t.mask
 	for {
-		switch m.keys[slot] {
+		switch atomic.LoadUint64(&t.keys[slot]) {
 		case 0:
-			m.keys[slot] = key
-			m.vals[slot] = val
+			// Value before key: a concurrent reader that matches the
+			// key loads the value the key was inserted with, never the
+			// slot's stale residue.
+			atomic.StoreUint64(&t.vals[slot], val)
+			atomic.StoreUint64(&t.keys[slot], key)
 			m.size++
 			return true
 		case key:
-			m.vals[slot] = val
+			atomic.StoreUint64(&t.vals[slot], val)
 			return false
 		}
-		slot = (slot + 1) & m.mask
+		slot = (slot + 1) & t.mask
 	}
 }
 
 // Delete removes key with backward-shift deletion; reports presence.
 func (m *Plain) Delete(key uint64) bool {
 	if key == 0 {
-		present := m.hasZero
-		m.hasZero, m.zeroVal = false, 0
+		present := m.hasZero.Load()
+		m.hasZero.Store(false)
+		m.zeroVal.Store(0)
 		return present
 	}
-	slot := mix(key) & m.mask
+	t := m.tab.Load()
+	slot := mix(key) & t.mask
 	for {
-		switch m.keys[slot] {
+		switch atomic.LoadUint64(&t.keys[slot]) {
 		case 0:
 			return false
 		case key:
-			m.backshift(slot)
+			m.backshift(t, slot)
 			m.size--
 			return true
 		}
-		slot = (slot + 1) & m.mask
+		slot = (slot + 1) & t.mask
 	}
 }
 
@@ -126,60 +194,74 @@ func (m *Plain) Delete(key uint64) bool {
 // iteration order is key 0 first (if present), then the table's slot
 // order, i.e. unspecified. The table must not be mutated during the walk.
 func (m *Plain) Range(fn func(key, val uint64) bool) {
-	if m.hasZero && !fn(0, m.zeroVal) {
+	if m.hasZero.Load() && !fn(0, m.zeroVal.Load()) {
 		return
 	}
-	for slot, k := range m.keys {
+	t := m.tab.Load()
+	for slot, k := range t.keys {
 		if k == 0 {
 			continue
 		}
-		if !fn(k, m.vals[slot]) {
+		if !fn(k, t.vals[slot]) {
 			return
 		}
 	}
 }
 
-func (m *Plain) backshift(hole uint64) {
+func (m *Plain) backshift(t *ptab, hole uint64) {
 	for {
-		m.keys[hole] = 0
-		next := (hole + 1) & m.mask
+		atomic.StoreUint64(&t.keys[hole], 0)
+		next := (hole + 1) & t.mask
 		for {
-			k := m.keys[next]
+			k := t.keys[next]
 			if k == 0 {
 				return
 			}
-			home := mix(k) & m.mask
+			home := mix(k) & t.mask
 			if inCycle(home, hole, next) {
-				m.keys[hole] = k
-				m.vals[hole] = m.vals[next]
+				// Value first, then key, then the vacated slot is
+				// cleared on the next outer iteration: a concurrent
+				// probe may see the moving key at zero, one, or both
+				// positions — torn, but never outside the table's
+				// value history for that key.
+				atomic.StoreUint64(&t.vals[hole], t.vals[next])
+				atomic.StoreUint64(&t.keys[hole], k)
 				hole = next
 				break
 			}
-			next = (next + 1) & m.mask
+			next = (next + 1) & t.mask
 		}
 	}
 }
 
-func (m *Plain) grow() {
-	oldKeys, oldVals := m.keys, m.vals
-	n := len(oldKeys) * 2
-	m.keys = make([]uint64, n)
-	m.vals = make([]uint64, n)
-	m.mask = uint64(n - 1)
+// grow builds a doubled table with plain stores (unpublished memory) and
+// atomically publishes it. Concurrent readers that loaded the old table
+// keep probing a frozen generation — the mutator never writes the old
+// arrays again — and readers that load the new pointer see fully
+// initialized arrays via the publication ordering.
+func (m *Plain) grow(t *ptab) *ptab {
+	n := len(t.keys) * 2
+	nt := &ptab{
+		keys: make([]uint64, n),
+		vals: make([]uint64, n),
+		mask: uint64(n - 1),
+	}
 	m.size = 0
-	for i, k := range oldKeys {
+	for i, k := range t.keys {
 		if k != 0 {
-			m.putRaw(k, oldVals[i])
+			m.putRaw(nt, k, t.vals[i])
 		}
 	}
+	m.tab.Store(nt)
+	return nt
 }
 
-func (m *Plain) putRaw(k, val uint64) {
-	slot := mix(k) & m.mask
-	for m.keys[slot] != 0 {
-		slot = (slot + 1) & m.mask
+func (m *Plain) putRaw(t *ptab, k, val uint64) {
+	slot := mix(k) & t.mask
+	for t.keys[slot] != 0 {
+		slot = (slot + 1) & t.mask
 	}
-	m.keys[slot] = k
-	m.vals[slot] = val
+	t.keys[slot] = k
+	t.vals[slot] = val
 	m.size++
 }

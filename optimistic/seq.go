@@ -1,0 +1,99 @@
+package optimistic
+
+import "sync/atomic"
+
+// Seq is a seqlock stamp: a version counter that is even while the
+// guarded structure is stable and odd while a writer is inside its
+// critical section. It does not replace the stripe lock — writers still
+// serialize through it — it *publishes* the lock's critical sections so
+// readers can detect whether one overlapped their lock-free read.
+//
+// Writer protocol (under the stripe lock, so WriteBegin/WriteEnd never
+// race each other):
+//
+//	d.seq.WriteBegin()   // stamp even→odd: readers in flight will fail
+//	mutate the table
+//	d.seq.WriteEnd()     // stamp odd→even: new stable version
+//
+// Reader protocol (no lock):
+//
+//	stamp, ok := d.seq.ReadBegin()  // !ok: writer active, retry
+//	read the table (torn-read-safe loads only)
+//	if d.seq.Validate(stamp) { the read is linearizable }
+//
+// Validate compares for equality, not evenness: a writer that begins
+// *and* ends inside the reader's window still moves the stamp by two, so
+// the reader cannot be fooled by a fast writer.
+//
+// All operations are sequentially consistent atomics. That is what makes
+// the protocol sound in Go's memory model: if a reader's data load
+// observes any store from a writer's critical section, the WriteBegin
+// that preceded that store in program order is ordered before the
+// reader's Validate load in the single total order of SC operations, so
+// Validate must see the moved stamp and fail. (A pure happens-before
+// argument is not enough — the reader and writer never synchronize.)
+//
+// The zero Seq is valid and stable at stamp 0.
+type Seq struct {
+	v atomic.Uint64
+}
+
+// poisonBit marks a permanently-retired Seq. It is odd, so every
+// in-flight and future validation against a poisoned Seq fails, and
+// distinct from any live writer stamp, so retirement is not confused
+// with a writer who will eventually call WriteEnd.
+const poisonBit = 1 << 63
+
+// WriteBegin opens a writer critical section: the stamp becomes odd.
+// Callers must hold the stripe lock.
+//
+//lockcheck:cs
+func (s *Seq) WriteBegin() {
+	s.v.Add(1)
+}
+
+// WriteEnd closes a writer critical section: the stamp becomes the next
+// even value. Callers must hold the stripe lock.
+//
+//lockcheck:cs
+func (s *Seq) WriteEnd() {
+	s.v.Add(1)
+}
+
+// ReadBegin snapshots the stamp for a lock-free read. ok is false when a
+// writer is currently inside its critical section (odd stamp) — the
+// caller should back off and retry rather than read state mid-mutation.
+//
+//lockcheck:optimistic
+func (s *Seq) ReadBegin() (stamp uint64, ok bool) {
+	stamp = s.v.Load()
+	return stamp, stamp&1 == 0
+}
+
+// Validate reports whether the stamp is unchanged since ReadBegin: no
+// writer critical section overlapped the reader's window, so everything
+// loaded inside it is a consistent stable version.
+//
+//lockcheck:optimistic
+func (s *Seq) Validate(stamp uint64) bool {
+	return s.v.Load() == stamp
+}
+
+// Stamp returns the current stamp. Under the stripe lock it is always
+// even (no writer can be mid-section), which is what lets ScanChunked
+// certify that a stripe's data was unchanged between two locked visits:
+// equal stamps ⇒ zero intervening write sections.
+func (s *Seq) Stamp() uint64 {
+	return s.v.Load()
+}
+
+// Poison permanently retires the Seq: the stamp becomes odd forever, so
+// every reader still validating against this Seq — including one that
+// snapshotted before the poison — fails and re-reads through the current
+// descriptor. Reconfigure calls this on the outgoing descriptor, under
+// its lock, *before* publishing the replacement: any reader that could
+// still observe post-swap mutations through a stale descriptor is
+// guaranteed to also observe the poison at Validate time.
+func (s *Seq) Poison() {
+	s.v.Or(poisonBit | 1)
+}

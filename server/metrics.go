@@ -115,6 +115,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "shardd_lock_cancels_total %d\n", snap.Lock.Cancels)
 	fmt.Fprintf(&b, "shardd_lock_handoffs_total %d\n", snap.Lock.Handoffs)
 
+	// Optimistic read path: hits are Gets that never touched a stripe
+	// lock; fallbacks are the ones that exhausted their retry budget.
+	// Read against shardd_lock_acquires_total these certify the
+	// zero-lock read claim in production, not just in the bench.
+	fmt.Fprintf(&b, "shardd_optimistic_hits_total %d\n", snap.OptimisticHits)
+	fmt.Fprintf(&b, "shardd_optimistic_retries_total %d\n", snap.OptimisticRetries)
+	fmt.Fprintf(&b, "shardd_optimistic_fallbacks_total %d\n", snap.OptimisticFallbacks)
+	es := s.m.EpochStats()
+	fmt.Fprintf(&b, "shardd_epoch_pinned %d\n", es.Pinned)
+	fmt.Fprintf(&b, "shardd_epoch_retired_total %d\n", es.Retired)
+	fmt.Fprintf(&b, "shardd_epoch_collected_total %d\n", es.Collected)
+	fmt.Fprintf(&b, "shardd_epoch_advances_total %d\n", es.Advances)
+	fmt.Fprintf(&b, "shardd_retired_descriptors %d\n", s.m.RetiredDescriptors())
+
 	// Interval rates from the cached delta (zero until two samples).
 	if sec := sample.interval.Seconds(); sec > 0 {
 		fmt.Fprintf(&b, "shardd_interval_deadline_attempts %d\n", delta.DeadlineAttempts)
@@ -139,6 +153,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			}
 			fmt.Fprintf(&b, "shardd_stripe_class_deadline_attempts_total{stripe=\"%d\",class=\"%d\"} %d\n", i, c, st.ClassDeadlineAttempts[c])
 			fmt.Fprintf(&b, "shardd_stripe_class_deadline_misses_total{stripe=\"%d\",class=\"%d\"} %d\n", i, c, st.ClassDeadlineMisses[c])
+		}
+		if st.OptimisticHits != 0 || st.OptimisticRetries != 0 || st.OptimisticFallbacks != 0 {
+			// Suppressed when all-zero (locked read path, or a stripe the
+			// key distribution never reads): stripes × 3 silent lines.
+			fmt.Fprintf(&b, "shardd_stripe_optimistic_hits_total{stripe=\"%d\"} %d\n", i, st.OptimisticHits)
+			fmt.Fprintf(&b, "shardd_stripe_optimistic_retries_total{stripe=\"%d\"} %d\n", i, st.OptimisticRetries)
+			fmt.Fprintf(&b, "shardd_stripe_optimistic_fallbacks_total{stripe=\"%d\"} %d\n", i, st.OptimisticFallbacks)
 		}
 		fmt.Fprintf(&b, "shardd_stripe_lock_parks_total{stripe=\"%d\"} %d\n", i, st.Lock.Parks)
 		fmt.Fprintf(&b, "shardd_stripe_lock_cancels_total{stripe=\"%d\"} %d\n", i, st.Lock.Cancels)

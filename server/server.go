@@ -63,13 +63,16 @@ type Config struct {
 	// the endpoint.
 	MetricsAddr string
 
-	// Stripes, LockSpec, BackendSpec, Seed, HistoryCap configure the
-	// served shard.Map (see shard.Config).
+	// Stripes, LockSpec, BackendSpec, Seed, HistoryCap, ReadPath
+	// configure the served shard.Map (see shard.Config). ReadPath
+	// "optimistic" serves validated Gets without ever taking a stripe
+	// lock; empty keeps the locked default.
 	Stripes     int
 	LockSpec    string
 	BackendSpec string
 	Seed        uint64
 	HistoryCap  int
+	ReadPath    string
 
 	// Policy names an adaptation policy (see policy.New); empty runs no
 	// controller. AdaptInterval is the controller cadence (nonpositive
@@ -170,6 +173,7 @@ func New(cfg Config) (*Server, error) {
 		BackendSpec: cfg.BackendSpec,
 		Seed:        cfg.Seed,
 		HistoryCap:  cfg.HistoryCap,
+		ReadPath:    cfg.ReadPath,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -353,6 +357,7 @@ func (s *Server) info() []byte {
 	fmt.Fprintf(&b, "stripes=%d\n", s.m.Stripes())
 	fmt.Fprintf(&b, "ordered=%t\n", s.m.Ordered())
 	fmt.Fprintf(&b, "policy=%s\n", s.cfg.Policy)
+	fmt.Fprintf(&b, "read_path=%s\n", s.m.ReadPath())
 	if err == nil {
 		// One representative stripe: the specs are per-stripe live state,
 		// and stripe 0's is what the cell reports.
@@ -360,6 +365,12 @@ func (s *Server) info() []byte {
 			fmt.Fprintf(&b, "lock=%s\nbackend=%s\n", snap.Stripes[0].LockSpec, snap.Stripes[0].BackendSpec)
 		}
 		fmt.Fprintf(&b, "swaps=%d\n", snap.Swaps)
+		// Cumulative optimistic outcomes (and the lock-acquire total they
+		// are read against): a load generator deltas these across its run
+		// to report hit and fallback rates without scraping /metrics.
+		fmt.Fprintf(&b, "opt_hits=%d\nopt_retries=%d\nopt_fallbacks=%d\n",
+			snap.OptimisticHits, snap.OptimisticRetries, snap.OptimisticFallbacks)
+		fmt.Fprintf(&b, "lock_acquires=%d\n", snap.Lock.Acquires)
 	}
 	if s.ctrl != nil {
 		fmt.Fprintf(&b, "ctrl_swaps=%d\nctrl_rejected=%d\n", s.ctrl.Swaps(), s.ctrl.Rejected())

@@ -27,6 +27,13 @@ type StripeDelta struct {
 	DeadlineMisses        uint64
 	ClassDeadlineAttempts [NumClasses]uint64
 	ClassDeadlineMisses   [NumClasses]uint64
+	// OptimisticHits/Retries/Fallbacks are the interval's optimistic
+	// read-path outcomes: with them and Lock.Acquires a bench can show
+	// that validated Gets took zero lock acquires (hits ≈ Gets,
+	// acquires ≈ writes) on a read-heavy stripe.
+	OptimisticHits      uint64
+	OptimisticRetries   uint64
+	OptimisticFallbacks uint64
 	// Lock is the field-wise difference of the lock counters — parks,
 	// cancels, acquires per interval.
 	Lock core.Snapshot
@@ -50,6 +57,11 @@ type SnapshotDelta struct {
 	DeadlineMisses        uint64
 	ClassDeadlineAttempts [NumClasses]uint64
 	ClassDeadlineMisses   [NumClasses]uint64
+	// OptimisticHits/Retries/Fallbacks are the interval's optimistic
+	// read-path totals across stripes.
+	OptimisticHits      uint64
+	OptimisticRetries   uint64
+	OptimisticFallbacks uint64
 }
 
 // Sub returns the change from prev to s — per-stripe and rolled-up
@@ -68,6 +80,10 @@ func (s Snapshot) Sub(prev Snapshot) SnapshotDelta {
 		Scans:            sub(s.Scans, prev.Scans),
 		DeadlineAttempts: sub(s.DeadlineAttempts, prev.DeadlineAttempts),
 		DeadlineMisses:   sub(s.DeadlineMisses, prev.DeadlineMisses),
+
+		OptimisticHits:      sub(s.OptimisticHits, prev.OptimisticHits),
+		OptimisticRetries:   sub(s.OptimisticRetries, prev.OptimisticRetries),
+		OptimisticFallbacks: sub(s.OptimisticFallbacks, prev.OptimisticFallbacks),
 	}
 	for c := 0; c < NumClasses; c++ {
 		d.ClassDeadlineAttempts[c] = sub(s.ClassDeadlineAttempts[c], prev.ClassDeadlineAttempts[c])
@@ -90,7 +106,12 @@ func (s Snapshot) Sub(prev Snapshot) SnapshotDelta {
 			Swaps:            sub(cur.Swaps, p.Swaps),
 			DeadlineAttempts: sub(cur.DeadlineAttempts, p.DeadlineAttempts),
 			DeadlineMisses:   sub(cur.DeadlineMisses, p.DeadlineMisses),
-			Lock:             cur.Lock.Sub(p.Lock),
+
+			OptimisticHits:      sub(cur.OptimisticHits, p.OptimisticHits),
+			OptimisticRetries:   sub(cur.OptimisticRetries, p.OptimisticRetries),
+			OptimisticFallbacks: sub(cur.OptimisticFallbacks, p.OptimisticFallbacks),
+
+			Lock: cur.Lock.Sub(p.Lock),
 		}
 		for c := 0; c < NumClasses; c++ {
 			sd.ClassDeadlineAttempts[c] = sub(cur.ClassDeadlineAttempts[c], p.ClassDeadlineAttempts[c])

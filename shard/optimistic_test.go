@@ -1,0 +1,356 @@
+package shard
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/fault"
+)
+
+func TestReadPathConfig(t *testing.T) {
+	if _, err := New(Config{ReadPath: "turbo"}); err == nil {
+		t.Fatal("New accepted an unknown read path")
+	}
+	m := MustNew(Config{Stripes: 2})
+	if got := m.ReadPath(); got != "locked" {
+		t.Fatalf("default ReadPath() = %q, want locked", got)
+	}
+	m = MustNew(Config{Stripes: 2, ReadPath: "optimistic?retries=4"})
+	if got := m.ReadPath(); got != "optimistic?retries=4" {
+		t.Fatalf("ReadPath() = %q", got)
+	}
+}
+
+// TestOptimisticGetAccounting is the acceptance shape: on a quiescent
+// optimistic map, every Get is served lock-free — the hit counter
+// carries the read volume exactly, and the only lock acquires in the
+// interval are the writes and the snapshots' own stripe visits.
+func TestOptimisticGetAccounting(t *testing.T) {
+	const stripes = 4
+	m := MustNew(Config{Stripes: stripes, LockSpec: "tas", ReadPath: "optimistic"})
+	const keys = 1024
+	for i := uint64(0); i < keys; i++ {
+		m.Put(i, i*3)
+	}
+	base := m.Snapshot()
+
+	const gets = 10000
+	miss := 0
+	for i := 0; i < gets; i++ {
+		k := uint64(i) % (keys + 64) // some misses: absent keys validate too
+		v, ok := m.Get(k)
+		if k < keys && (!ok || v != k*3) {
+			t.Fatalf("Get(%d) = %d, %v", k, v, ok)
+		}
+		if k >= keys {
+			miss++
+			if ok {
+				t.Fatalf("Get(%d) found an absent key", k)
+			}
+		}
+	}
+	_ = miss
+
+	delta := m.Snapshot().Sub(base)
+	if delta.OptimisticHits != gets {
+		t.Fatalf("optimistic hits = %d, want %d", delta.OptimisticHits, gets)
+	}
+	if delta.OptimisticFallbacks != 0 || delta.OptimisticRetries != 0 {
+		t.Fatalf("quiescent map saw retries=%d fallbacks=%d", delta.OptimisticRetries, delta.OptimisticFallbacks)
+	}
+	// Zero stripe-lock acquires for the Gets: the interval's acquires
+	// are exactly the closing snapshot's own per-stripe visits.
+	if delta.Lock.Acquires != stripes {
+		t.Fatalf("lock acquires = %d, want %d (snapshot only)", delta.Lock.Acquires, stripes)
+	}
+
+	// GetContext hits are budgeted (attempt counted, no miss) and never
+	// take the lock either.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	base = m.Snapshot()
+	for i := uint64(0); i < 100; i++ {
+		if v, ok, err := m.GetContext(ctx, i); err != nil || !ok || v != i*3 {
+			t.Fatalf("GetContext(%d) = %d, %v, %v", i, v, ok, err)
+		}
+	}
+	delta = m.Snapshot().Sub(base)
+	if delta.OptimisticHits != 100 || delta.Lock.Acquires != stripes {
+		t.Fatalf("GetContext interval: hits=%d acquires=%d", delta.OptimisticHits, delta.Lock.Acquires)
+	}
+	if delta.DeadlineAttempts != 100 || delta.DeadlineMisses != 0 {
+		t.Fatalf("GetContext interval: attempts=%d misses=%d", delta.DeadlineAttempts, delta.DeadlineMisses)
+	}
+}
+
+// TestOptimisticDeclinedBackend: a backend without store.OptimisticReader
+// keeps the locked path under an optimistic config — correct answers, no
+// optimistic counters, not even fallbacks (declining is not failing).
+func TestOptimisticDeclinedBackend(t *testing.T) {
+	m := MustNew(Config{Stripes: 2, BackendSpec: "skiplist", ReadPath: "optimistic"})
+	for i := uint64(0); i < 256; i++ {
+		m.Put(i, i+1)
+	}
+	base := m.Snapshot()
+	for i := uint64(0); i < 256; i++ {
+		if v, ok := m.Get(i); !ok || v != i+1 {
+			t.Fatalf("Get(%d) = %d, %v", i, v, ok)
+		}
+	}
+	delta := m.Snapshot().Sub(base)
+	if delta.OptimisticHits != 0 || delta.OptimisticRetries != 0 || delta.OptimisticFallbacks != 0 {
+		t.Fatalf("declined backend counted optimistic traffic: %+v", delta)
+	}
+	if delta.Lock.Acquires < 256 {
+		t.Fatalf("declined backend served %d locked Gets, want >= 256", delta.Lock.Acquires)
+	}
+}
+
+// TestOptimisticFallbackUnderStall: an armed stall fault lengthens
+// writer critical sections (the injector runs inside the write
+// section), so concurrent optimistic readers see unstable stamps,
+// exhaust their budget, and fall back to the lock — the designed
+// degradation, visible in the fallback counter.
+func TestOptimisticFallbackUnderStall(t *testing.T) {
+	// The FIFO mcs-stp lock bounds each fallback Get's wait at one
+	// writer critical section; an unfair spinlock could starve the
+	// reader behind the stalling writer's immediate re-acquires.
+	m := MustNew(Config{Stripes: 1, LockSpec: "mcs-stp", ReadPath: "optimistic?retries=1"})
+	set := fault.MustNew("stall?p=1&hold=100us")
+	m.SetInjector(set)
+	defer m.SetInjector(nil)
+	set.Arm()
+	defer set.Disarm()
+
+	m.Put(1, 1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				m.Put(i%128, i)
+			}
+		}
+	}()
+
+	// Poll the stripe counter directly — a Snapshot would itself queue
+	// behind the stalling writer.
+	fallbacks := &m.stripes[0].optFallbacks
+	deadline := time.Now().Add(5 * time.Second)
+	for fallbacks.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Error("no fallback observed under a p=1 stall within 5s")
+			break
+		}
+		for i := 0; i < 10 && fallbacks.Load() == 0; i++ {
+			m.Get(uint64(i % 128))
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestOptimisticMonotonicStress is the -race differential for the
+// optimistic read path: per-key monotonic counters written under the
+// stripe locks while lock-free readers assert that validated reads
+// never go backwards — across concurrent writers, live Reconfigure
+// swaps (lock swaps, and backend swaps that bounce the stripe between
+// an optimistic-capable hashmap and a declining skiplist), and an armed
+// stall fault lengthening the write sections. Any torn read that
+// escapes validation, any stale read through a swapped-away descriptor,
+// or any unsynchronized slot access shows up as a monotonicity failure
+// or a race report.
+func TestOptimisticMonotonicStress(t *testing.T) {
+	const (
+		stripes = 2
+		keys    = 64
+		writers = 4
+		readers = 4
+	)
+	m := MustNew(Config{Stripes: stripes, LockSpec: "mcs-stp", ReadPath: "optimistic?retries=2"})
+	set := fault.MustNew("stall?p=0.05&hold=50us")
+	m.SetInjector(set)
+	defer m.SetInjector(nil)
+	set.Arm()
+	defer set.Disarm()
+
+	for k := uint64(0); k < keys; k++ {
+		m.Put(k, 0)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writers: each owns a disjoint key slice and publishes a strictly
+	// increasing value per key.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var v uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v++
+				for k := uint64(w); k < keys; k += writers {
+					m.Put(k, v)
+				}
+			}
+		}(w)
+	}
+
+	// Readers: per-key last-seen values must never decrease. Mix the
+	// plain and context forms so both bypasses are exercised.
+	ctx := context.Background()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			last := make([]uint64, keys)
+			dctx, cancel := context.WithTimeout(ctx, time.Hour)
+			defer cancel()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(rng.Intn(keys))
+				var v uint64
+				var ok bool
+				if rng.Intn(2) == 0 {
+					v, ok = m.Get(k)
+				} else {
+					var err error
+					v, ok, err = m.GetContext(dctx, k)
+					if err != nil {
+						continue
+					}
+				}
+				if !ok {
+					t.Errorf("key %d vanished (never deleted)", k)
+					return
+				}
+				if v < last[k] {
+					t.Errorf("non-monotonic read: key %d went %d -> %d", k, last[k], v)
+					return
+				}
+				last[k] = v
+			}
+		}(int64(r))
+	}
+
+	// Reconfigurer: swap locks and bounce backends under fire. The
+	// hashmap->skiplist swap disables the optimistic path on that
+	// stripe (readers must fall through to the lock, not read the
+	// migrated-away table); skiplist->hashmap re-enables it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		specs := []struct{ l, b string }{
+			{"tas", ""},
+			{"", "skiplist"},
+			{"mcs-stp", ""},
+			{"", "hashmap"},
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sp := specs[i%len(specs)]
+			if err := m.Reconfigure(i%stripes, sp.l, sp.b); err != nil {
+				t.Errorf("Reconfigure: %v", err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	snap := m.Snapshot()
+	if snap.OptimisticHits == 0 {
+		t.Fatal("stress run served zero optimistic hits")
+	}
+	// Grace periods complete once readers are gone: after a couple of
+	// sampler heartbeats every retired descriptor must be collected.
+	for i := 0; i < 4; i++ {
+		if _, err := m.SnapshotLite(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := m.RetiredDescriptors(); n != 0 {
+		t.Fatalf("%d retired descriptors still uncollected with no readers", n)
+	}
+	es := m.EpochStats()
+	if es.Pinned != 0 || es.Pending != 0 {
+		t.Fatalf("epoch did not drain: %+v", es)
+	}
+}
+
+// TestOptimisticEpochGauge: a Reconfigure while a reader is pinned
+// leaves the retired descriptor uncollected until the reader unpins —
+// the observable half of the grace-period contract.
+func TestOptimisticEpochGauge(t *testing.T) {
+	m := MustNew(Config{Stripes: 1, ReadPath: "optimistic"})
+	m.Put(1, 1)
+
+	h := m.epoch.Pin()
+	if err := m.Reconfigure(0, "tas", ""); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if _, err := m.SnapshotLite(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := m.RetiredDescriptors(); n != 1 {
+		t.Fatalf("RetiredDescriptors = %d with a pinned reader, want 1", n)
+	}
+	h.Unpin()
+	for i := 0; i < 4; i++ {
+		if _, err := m.SnapshotLite(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := m.RetiredDescriptors(); n != 0 {
+		t.Fatalf("RetiredDescriptors = %d after unpin, want 0", n)
+	}
+}
+
+// TestOptimisticCounters sanity-checks the per-stripe counter plumbing
+// through StripeSnapshot and the delta path under a known single-stripe
+// workload.
+func TestOptimisticCounterPlumbing(t *testing.T) {
+	m := MustNew(Config{Stripes: 1, ReadPath: "optimistic"})
+	m.Put(7, 70)
+	base := m.Snapshot()
+	for i := 0; i < 50; i++ {
+		m.Get(7)
+	}
+	snap := m.Snapshot()
+	if snap.Stripes[0].OptimisticHits != snap.OptimisticHits {
+		t.Fatalf("stripe/rollup mismatch: %d vs %d", snap.Stripes[0].OptimisticHits, snap.OptimisticHits)
+	}
+	delta := snap.Sub(base)
+	if delta.OptimisticHits != 50 || delta.Stripes[0].OptimisticHits != 50 {
+		t.Fatalf("delta hits = %d / stripe %d, want 50", delta.OptimisticHits, delta.Stripes[0].OptimisticHits)
+	}
+}

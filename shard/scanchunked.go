@@ -16,20 +16,32 @@ import (
 // fn still sees pairs in ascending global key order with no lock held
 // (it may call back into the Map), and a false return still stops the
 // scan. The trade is consistency: where Scan reads each stripe once,
-// ScanChunked re-locks each stripe once per round, so the view of a
-// stripe is consistent per chunk, not per scan — a pair deleted after
-// its chunk was copied may still be yielded, a pair inserted behind a
-// stripe's cursor is missed, and two chunks of the same stripe may
-// bracket a writer. Keys never yielded out of order and never yielded
-// twice: rounds emit disjoint, ascending key intervals. Pairs that are
-// never touched during the scan are yielded exactly once, as in Scan.
+// ScanChunked re-locks each stripe once per round, so the *guaranteed*
+// view of a stripe is consistent per chunk, not per scan — a pair
+// deleted after its chunk was copied may still be yielded, a pair
+// inserted behind a stripe's cursor is missed, and two chunks of the
+// same stripe may bracket a writer. Keys never yielded out of order and
+// never yielded twice: rounds emit disjoint, ascending key intervals.
+// Pairs that are never touched during the scan are yielded exactly
+// once, as in Scan.
+//
+// The guarantee is certified, not just documented: every refill records
+// the stripe's seqlock stamp (descriptor.seq, maintained by all write
+// paths on every backend), and ScanChunkedStats reports how many
+// stripes' stamps moved between refills. TornStripes == 0 upgrades the
+// guarantee to per-stripe point-in-time: each stripe's portion of the
+// output is then a snapshot of that stripe at a single instant — Scan's
+// consistency at ScanChunked's bounded memory — leaving only
+// cross-stripe skew, which Scan has too. A nonzero TornStripes says
+// exactly how many stripes a writer touched mid-scan.
 //
 // Like Scan, every stripe's current backend must be ordered; otherwise
 // ErrUnordered. chunk must be >= 1. A concurrent Reconfigure to an
 // unordered backend can fail the scan mid-way (after some pairs were
 // yielded) — the one failure mode Scan's collect-then-merge cannot have.
 func (m *Map) ScanChunked(lo, hi uint64, chunk int, fn func(key, val uint64) bool) error {
-	return m.scanChunkedStripes(nil, lo, hi, chunk, fn)
+	_, err := m.scanChunkedStripes(nil, lo, hi, chunk, fn)
+	return err
 }
 
 // ScanChunkedContext is ScanChunked with every stripe acquisition
@@ -37,6 +49,30 @@ func (m *Map) ScanChunked(lo, hi uint64, chunk int, fn func(key, val uint64) boo
 // stripe lock could not be taken in time (pairs already yielded stay
 // yielded).
 func (m *Map) ScanChunkedContext(ctx context.Context, lo, hi uint64, chunk int, fn func(key, val uint64) bool) error {
+	_, err := m.scanChunkedStripes(ctx, lo, hi, chunk, fn)
+	return err
+}
+
+// ScanStats reports what a chunked scan's stamp certification observed.
+type ScanStats struct {
+	// Rounds is how many refill-and-merge rounds the scan ran (1 when
+	// every stripe fit in one chunk — the scan then equals a Scan).
+	Rounds int
+	// TornStripes is the number of stripes whose seqlock stamp moved
+	// between two of their refills (or whose descriptor was swapped
+	// mid-scan): stripes whose portion of the output may mix versions.
+	// 0 certifies per-stripe point-in-time consistency for the whole
+	// scan.
+	TornStripes int
+}
+
+// ScanChunkedStats is ScanChunkedContext, additionally reporting the
+// scan's certification: how many rounds it took and whether any
+// stripe's stamp moved between that stripe's refills. Callers that need
+// a consistent bounded-memory scan retry while TornStripes > 0 (or
+// shrink the key range; a quiescent or read-mostly map certifies on the
+// first try).
+func (m *Map) ScanChunkedStats(ctx context.Context, lo, hi uint64, chunk int, fn func(key, val uint64) bool) (ScanStats, error) {
 	return m.scanChunkedStripes(ctx, lo, hi, chunk, fn)
 }
 
@@ -56,15 +92,27 @@ type chunkCursor struct {
 	next uint64
 	// exhausted: the last refill reached hi; nothing left to collect.
 	exhausted bool
+
+	// Stamp certification: desc and stamp are the stripe's descriptor
+	// and seqlock stamp at the latest refill (read under the stripe
+	// lock, so the stamp is always even). filled gates the first
+	// comparison; torn is set when a later refill finds either changed —
+	// a write section (or a descriptor swap) intervened, so this
+	// stripe's chunks may bracket a writer.
+	desc   *descriptor
+	stamp  uint64
+	filled bool
+	torn   bool
 }
 
-func (m *Map) scanChunkedStripes(ctx context.Context, lo, hi uint64, chunk int, fn func(key, val uint64) bool) error {
+func (m *Map) scanChunkedStripes(ctx context.Context, lo, hi uint64, chunk int, fn func(key, val uint64) bool) (ScanStats, error) {
+	var stats ScanStats
 	if chunk < 1 {
-		return fmt.Errorf("shard: ScanChunked chunk %d, want >= 1", chunk)
+		return stats, fmt.Errorf("shard: ScanChunked chunk %d, want >= 1", chunk)
 	}
 	m.countScan()
 	if err := m.requireOrdered(); err != nil {
-		return err
+		return stats, err
 	}
 	cursors := make([]chunkCursor, len(m.stripes))
 	for i := range cursors {
@@ -83,11 +131,19 @@ func (m *Map) scanChunkedStripes(ctx context.Context, lo, hi uint64, chunk int, 
 			refilled++
 			d, err := m.stripes[i].lockCurrentContext(ctx)
 			if err != nil {
-				return err
+				return stats, err
 			}
 			if d.ordered == nil {
 				d.mu.Unlock()
-				return unorderedErr(i, d.backendSpec)
+				return stats, unorderedErr(i, d.backendSpec)
+			}
+			// Certify: under the lock the stamp is stable (even); if it —
+			// or the descriptor itself — moved since this stripe's last
+			// refill, a write section (or swap) fell between the chunks.
+			if st := d.seq.Stamp(); c.filled && (d != c.desc || st != c.stamp) {
+				c.torn = true
+			} else {
+				c.desc, c.stamp, c.filled = d, st, true
 			}
 			truncated := false
 			if c.arr == nil {
@@ -113,6 +169,9 @@ func (m *Map) scanChunkedStripes(ctx context.Context, lo, hi uint64, chunk int, 
 				c.bound = hi
 				c.exhausted = true
 			}
+		}
+		if refilled > 0 {
+			stats.Rounds++
 		}
 		if round > 0 && refilled > 0 {
 			// Each refilling round past the first re-acquires stripe
@@ -148,11 +207,13 @@ func (m *Map) scanChunkedStripes(ctx context.Context, lo, hi uint64, chunk int, 
 				done = false
 			}
 		}
-		if !mergeRuns(emit, fn) {
-			return nil
-		}
-		if done {
-			return nil
+		if !mergeRuns(emit, fn) || done {
+			for i := range cursors {
+				if cursors[i].torn {
+					stats.TornStripes++
+				}
+			}
+			return stats, nil
 		}
 	}
 }

@@ -166,3 +166,82 @@ func TestScanChunkedStress(t *testing.T) {
 	stop.Store(true)
 	wg.Wait()
 }
+
+// TestScanChunkedStatsClean: a quiescent multi-round scan certifies —
+// TornStripes == 0 — and reports the round count.
+func TestScanChunkedStatsClean(t *testing.T) {
+	m := MustNew(Config{Stripes: 4, BackendSpec: "skiplist", Seed: 9})
+	const n = 400
+	for i := uint64(0); i < n; i++ {
+		m.Put(i, i)
+	}
+	var got int
+	stats, err := m.ScanChunkedStats(context.Background(), 0, ^uint64(0), 16, func(k, v uint64) bool {
+		got++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("scan yielded %d pairs, want %d", got, n)
+	}
+	if stats.TornStripes != 0 {
+		t.Fatalf("quiescent scan reported %d torn stripes", stats.TornStripes)
+	}
+	if stats.Rounds < 2 {
+		t.Fatalf("400 keys / chunk 16 took %d rounds, want several", stats.Rounds)
+	}
+}
+
+// TestScanChunkedStatsTorn: a write landing between two refills of the
+// same stripe decertifies exactly that stripe. With one stripe and a
+// chunk smaller than the key count, a Put from inside fn is guaranteed
+// to fall between rounds.
+func TestScanChunkedStatsTorn(t *testing.T) {
+	m := MustNew(Config{Stripes: 1, BackendSpec: "skiplist"})
+	const n = 64
+	for i := uint64(0); i < n; i++ {
+		m.Put(i, i)
+	}
+	wrote := false
+	stats, err := m.ScanChunkedStats(context.Background(), 0, ^uint64(0), 8, func(k, v uint64) bool {
+		if !wrote {
+			// fn runs with no lock held; this write bumps the stripe's
+			// stamp before its next refill.
+			m.Put(n+1, 1)
+			wrote = true
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TornStripes != 1 {
+		t.Fatalf("TornStripes = %d, want 1 (stripe written mid-scan)", stats.TornStripes)
+	}
+
+	// And a descriptor swap between refills decertifies too, even when
+	// the write volume alone would not (same-backend lock swap: table
+	// untouched, stamp poisoned + descriptor replaced).
+	m2 := MustNew(Config{Stripes: 1, BackendSpec: "skiplist"})
+	for i := uint64(0); i < n; i++ {
+		m2.Put(i, i)
+	}
+	swapped := false
+	stats, err = m2.ScanChunkedStats(context.Background(), 0, ^uint64(0), 8, func(k, v uint64) bool {
+		if !swapped {
+			if err := m2.Reconfigure(0, "tas", ""); err != nil {
+				t.Errorf("Reconfigure: %v", err)
+			}
+			swapped = true
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TornStripes != 1 {
+		t.Fatalf("TornStripes = %d after mid-scan swap, want 1", stats.TornStripes)
+	}
+}

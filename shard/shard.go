@@ -47,6 +47,24 @@
 // semantics that matters; a handoff that races the cancellation wins,
 // exactly as documented for ContextMutex.
 //
+// # Reading without locks
+//
+// Config.ReadPath selects how Gets are served. The default ("locked")
+// acquires the stripe lock like every other operation. "optimistic"
+// serves Gets with no lock at all on backends that support it
+// (store.OptimisticReader — the hashmap backend): the stripe's write
+// path brackets every mutation with a seqlock stamp (optimistic.Seq)
+// inside the descriptor, and a reader snapshots the stamp, probes the
+// table with torn-read-safe atomic loads, and revalidates. An unchanged
+// stamp proves no writer overlapped, making the read linearizable; a
+// changed stamp retries, and after Config's retry budget the reader
+// falls back to the stripe lock — so a write storm degrades reads to
+// exactly the locked path's behavior instead of livelocking them.
+// Readers pin an epoch (optimistic.Epoch) around each probe, so
+// descriptors retired by Reconfigure are counted dead only after a full
+// grace period. Per-stripe hit/retry/fallback counters land in
+// StripeSnapshot. See DESIGN.md §12 for the full protocol.
+//
 // # Observability
 //
 // Each stripe's lock keeps the usual CR event counters, and optionally an
@@ -72,6 +90,7 @@ import (
 	"repro/internal/hashmap"
 	"repro/lock"
 	"repro/metrics"
+	"repro/optimistic"
 	"repro/store"
 )
 
@@ -144,6 +163,22 @@ type Config struct {
 	// HistoryWindow is the LWSS window for Snapshot's per-stripe
 	// summaries. 0 means metrics.DefaultWindow.
 	HistoryWindow int
+
+	// ReadPath selects how Gets are served (see optimistic.Parse).
+	// Empty or "locked" is the classic path: every Get acquires the
+	// stripe lock. "optimistic" (optionally "optimistic?retries=N")
+	// serves Gets lock-free via seqlock validation on stripes whose
+	// backend implements store.OptimisticReader, falling back to the
+	// lock after N failed validations (default
+	// optimistic.DefaultRetries). Stripes whose backend declines the
+	// interface keep the locked path even under "optimistic".
+	//
+	// Two accounting consequences of a lock-free hit: the Get leaves no
+	// admission history (WithClientID records inside the critical
+	// section the optimistic path exists to skip), and a hit races a
+	// concurrent deadline expiry the way a lock handoff does — the
+	// completed read wins and the budgeted attempt counts no miss.
+	ReadPath string
 }
 
 // descriptor is one stripe's swappable policy pair: the lock that admits
@@ -156,6 +191,20 @@ type descriptor struct {
 	stats   lock.Instrumented // mu, when it maintains counters; else nil
 	table   store.Backend
 	ordered store.Ordered // table, when it maintains key order; else nil
+
+	// opt is table's torn-read-safe read extension, non-nil only when
+	// the map's read path is optimistic AND the backend opted in
+	// (store.OptimisticReader) — the per-stripe gate of the lock-free
+	// Get. seq is the stripe's seqlock stamp: bumped odd/even around
+	// every table mutation (under mu), validated by lock-free readers,
+	// read under mu by ScanChunked to certify cross-chunk consistency,
+	// and poisoned when Reconfigure retires this descriptor so stale
+	// readers can never validate against a migrated-away table. The
+	// stamp is maintained on every write path regardless of read path —
+	// two uncontended atomic adds under a held lock — so scan
+	// certification works even on locked-read maps.
+	seq optimistic.Seq
+	opt store.OptimisticReader
 
 	lockSpec    string
 	backendSpec string
@@ -204,6 +253,18 @@ type stripe struct {
 	// survives swaps.
 	deadlineAttempts [NumClasses]atomic.Uint64
 	deadlineMisses   [NumClasses]atomic.Uint64
+
+	// Optimistic read-path accounting, stripe-owned for the same
+	// survives-reconfiguration reason as the deadline counters. optHits
+	// counts Gets served lock-free (validation passed); optRetries
+	// counts failed attempts (writer mid-section at snapshot, or
+	// validation failure); optFallbacks counts Gets that exhausted the
+	// retry budget and fell back to the stripe lock. Gets on stripes
+	// whose backend declined the optimistic path count nothing here —
+	// they are locked-path traffic, not failed optimism.
+	optHits      atomic.Uint64
+	optRetries   atomic.Uint64
+	optFallbacks atomic.Uint64
 }
 
 // lockCurrent acquires the stripe's current descriptor's lock and
@@ -272,6 +333,20 @@ type Map struct {
 	// (and an O(stripes) atomic storm per scan).
 	scans atomic.Uint64
 
+	// readPath is the parsed Config.ReadPath, immutable after New: the
+	// hot-path gate of the optimistic Get is one plain bool read.
+	readPath optimistic.ReadPath
+
+	// epoch is the map's grace-period clock. Lock-free readers pin it
+	// around each probe; Reconfigure retires replaced descriptors
+	// through it; the lite-snapshot sampler drives collection.
+	epoch *optimistic.Epoch
+
+	// retired gauges descriptors replaced by Reconfigure whose grace
+	// period has not yet completed (a reader pinned at swap time may
+	// still be traversing the old table).
+	retired atomic.Int64
+
 	// Construction parameters reused when Reconfigure builds a stripe's
 	// replacement lock or backend.
 	seed      uint64
@@ -307,10 +382,16 @@ func New(cfg Config) (*Map, error) {
 	if cfg.Capacity > 0 {
 		perStripe = (cfg.Capacity + n - 1) / n
 	}
+	rp, err := optimistic.Parse(cfg.ReadPath)
+	if err != nil {
+		return nil, fmt.Errorf("shard: read path: %w", err)
+	}
 	m := &Map{
 		stripes:    make([]stripe, n),
 		shift:      uint(64 - bits.TrailingZeros(uint(n))),
 		window:     window,
+		readPath:   rp,
+		epoch:      optimistic.NewEpoch(),
 		seed:       cfg.Seed,
 		perStripe:  perStripe,
 		cfgLock:    spec,
@@ -333,6 +414,9 @@ func New(cfg Config) (*Map, error) {
 			backendSpec: bspec,
 		}
 		d.ordered, _ = table.(store.Ordered)
+		if rp.Optimistic {
+			d.opt, _ = table.(store.OptimisticReader)
+		}
 		s := &m.stripes[i]
 		s.desc.Store(d)
 		if cfg.HistoryCap > 0 {
@@ -501,10 +585,53 @@ func (s *stripe) record(id int) {
 	}
 }
 
+// getOptimistic attempts one lock-free Get on s: snapshot the stripe's
+// seqlock stamp, probe the backend with torn-read-safe loads under an
+// epoch pin, revalidate. served is false when the stripe cannot serve
+// optimistic reads (backend declined store.OptimisticReader) or the
+// retry budget is exhausted — the caller then takes the locked path.
+// A validated hit is linearizable at some instant inside its
+// read window (see optimistic.Seq), so a hit is exactly as correct as a
+// locked Get, minus the queueing.
+//
+// The injector hook does not run here: injected faults model long
+// critical sections, and this path's entire point is having none. A
+// stall armed on the write path lengthens writer sections, which this
+// path observes as validation failures and — past the budget —
+// fallbacks, which is the intended chaos behavior.
+//
+//lockcheck:optimistic
+func (m *Map) getOptimistic(s *stripe, key uint64) (val uint64, ok, served bool) {
+	for attempt := 0; attempt <= m.readPath.Retries; attempt++ {
+		d := s.desc.Load()
+		if d.opt == nil {
+			return 0, false, false
+		}
+		stamp, stable := d.seq.ReadBegin()
+		if stable {
+			h := m.epoch.Pin()
+			v, present := d.opt.GetOptimistic(key)
+			h.Unpin()
+			if d.seq.Validate(stamp) {
+				s.optHits.Add(1)
+				return v, present, true
+			}
+		}
+		s.optRetries.Add(1)
+	}
+	s.optFallbacks.Add(1)
+	return 0, false, false
+}
+
 // Get returns the value for key and whether it was present.
 func (m *Map) Get(key uint64) (uint64, bool) {
 	i := m.StripeFor(key)
 	s := &m.stripes[i]
+	if m.readPath.Optimistic {
+		if v, ok, served := m.getOptimistic(s, key); served {
+			return v, ok
+		}
+	}
 	d := s.lockCurrent()
 	m.inject(i)
 	v, ok := d.table.Get(key)
@@ -517,8 +644,10 @@ func (m *Map) Put(key, val uint64) bool {
 	i := m.StripeFor(key)
 	s := &m.stripes[i]
 	d := s.lockCurrent()
+	d.seq.WriteBegin()
 	m.inject(i)
 	fresh := d.table.Put(key, val)
+	d.seq.WriteEnd()
 	d.mu.Unlock()
 	return fresh
 }
@@ -528,8 +657,10 @@ func (m *Map) Delete(key uint64) bool {
 	i := m.StripeFor(key)
 	s := &m.stripes[i]
 	d := s.lockCurrent()
+	d.seq.WriteBegin()
 	m.inject(i)
 	present := d.table.Delete(key)
+	d.seq.WriteEnd()
 	d.mu.Unlock()
 	return present
 }
@@ -577,10 +708,20 @@ func (s *stripe) budgeted(ctx context.Context) (int, bool) {
 	return cls, true
 }
 
-// GetContext is Get with the stripe acquisition bounded by ctx.
+// GetContext is Get with the stripe acquisition bounded by ctx. On the
+// optimistic read path a validated lock-free hit completes the Get even
+// if ctx has already expired — the hit wins the race the way a lock
+// handoff racing a cancellation does — and counts a budgeted attempt
+// with no miss.
 func (m *Map) GetContext(ctx context.Context, key uint64) (val uint64, ok bool, err error) {
 	i := m.StripeFor(key)
 	s := &m.stripes[i]
+	if m.readPath.Optimistic {
+		if v, ok, served := m.getOptimistic(s, key); served {
+			s.budgeted(ctx)
+			return v, ok, nil
+		}
+	}
 	id, recording := s.client(ctx)
 	cls, budgeted := s.budgeted(ctx)
 	d, err := s.lockCurrentContext(ctx)
@@ -615,8 +756,10 @@ func (m *Map) PutContext(ctx context.Context, key, val uint64) (fresh bool, err 
 	if recording {
 		s.record(id)
 	}
+	d.seq.WriteBegin()
 	m.inject(i)
 	fresh = d.table.Put(key, val)
+	d.seq.WriteEnd()
 	d.mu.Unlock()
 	return fresh, nil
 }
@@ -637,8 +780,10 @@ func (m *Map) DeleteContext(ctx context.Context, key uint64) (present bool, err 
 	if recording {
 		s.record(id)
 	}
+	d.seq.WriteBegin()
 	m.inject(i)
 	present = d.table.Delete(key)
+	d.seq.WriteEnd()
 	d.mu.Unlock()
 	return present, nil
 }
@@ -720,6 +865,23 @@ func (m *Map) Ordered() bool { return m.requireOrdered() == nil }
 // were originally built from (Config.BackendSpec, resolved). Live specs
 // may differ per stripe after Reconfigure — see StripeSpecs.
 func (m *Map) BackendSpec() string { return m.cfgBackend }
+
+// ReadPath returns the canonical form of the read-path spec the map was
+// built with ("locked", "optimistic", "optimistic?retries=N").
+func (m *Map) ReadPath() string { return m.readPath.String() }
+
+// EpochStats reads the map's grace-period clock: pinned lock-free
+// readers, retirements enqueued and collected. On a locked-read map all
+// fields stay zero (nothing pins, Reconfigure still retires but with no
+// readers every advance succeeds immediately).
+func (m *Map) EpochStats() optimistic.EpochStats { return m.epoch.Stats() }
+
+// RetiredDescriptors gauges stripe descriptors replaced by Reconfigure
+// whose grace period has not yet completed. Nonzero means some reader
+// pinned at swap time may still be traversing a migrated-away table —
+// safe (the seqlock poison keeps it from validating anything), but live
+// memory a non-GC port would not yet have freed.
+func (m *Map) RetiredDescriptors() int64 { return m.retired.Load() }
 
 // countScan counts one scan attempt — before the ordered check, so scan
 // demand is visible even when the current backends cannot serve it (that
@@ -873,6 +1035,18 @@ type StripeSnapshot struct {
 	// what they always were.
 	ClassDeadlineAttempts [NumClasses]uint64
 	ClassDeadlineMisses   [NumClasses]uint64
+	// OptimisticHits counts Gets this stripe served lock-free (seqlock
+	// validation passed); OptimisticRetries counts failed attempts (a
+	// writer was mid-section or moved the stamp inside the read window);
+	// OptimisticFallbacks counts Gets that exhausted the retry budget
+	// and took the stripe lock instead. All zero on a locked-read map
+	// and on stripes whose backend declined store.OptimisticReader.
+	// Hits are the Gets missing from Lock.Acquires: on a read-heavy
+	// optimistic stripe, Acquires ≈ write volume while hits carry the
+	// read volume.
+	OptimisticHits      uint64
+	OptimisticRetries   uint64
+	OptimisticFallbacks uint64
 	// Lock is the stripe lock's CR event counters, including those of
 	// retired locks from before any reconfiguration (zero when the spec
 	// set stats=false).
@@ -903,6 +1077,11 @@ type Snapshot struct {
 	DeadlineMisses        uint64
 	ClassDeadlineAttempts [NumClasses]uint64
 	ClassDeadlineMisses   [NumClasses]uint64
+	// OptimisticHits/Retries/Fallbacks are the per-stripe optimistic
+	// read-path counters summed across stripes.
+	OptimisticHits      uint64
+	OptimisticRetries   uint64
+	OptimisticFallbacks uint64
 }
 
 // Snapshot collects per-stripe lengths, lock counters, and fairness
@@ -949,6 +1128,14 @@ func (m *Map) SnapshotLite(ctx context.Context) (Snapshot, error) {
 }
 
 func (m *Map) snapshotImpl(ctx context.Context, lite bool) (Snapshot, error) {
+	if lite {
+		// The lite path is the steady-state sampling path (controller,
+		// /metrics), which makes it the natural heartbeat for epoch
+		// collection: one cheap advance attempt per sample keeps retired
+		// descriptors from waiting on the next Reconfigure to be counted
+		// dead.
+		m.epoch.TryAdvance()
+	}
 	out := Snapshot{
 		Stripes: make([]StripeSnapshot, len(m.stripes)),
 		Scans:   m.scans.Load(),
@@ -992,6 +1179,7 @@ func (m *Map) snapshotImpl(ctx context.Context, lite bool) (Snapshot, error) {
 			out.ClassDeadlineAttempts[c] += clsA[c]
 			out.ClassDeadlineMisses[c] += clsM[c]
 		}
+		oh, orr, of := s.optHits.Load(), s.optRetries.Load(), s.optFallbacks.Load()
 		out.Stripes[i] = StripeSnapshot{
 			Index:                 i,
 			Len:                   ln,
@@ -1004,6 +1192,9 @@ func (m *Map) snapshotImpl(ctx context.Context, lite bool) (Snapshot, error) {
 			DeadlineMisses:        misses,
 			ClassDeadlineAttempts: clsA,
 			ClassDeadlineMisses:   clsM,
+			OptimisticHits:        oh,
+			OptimisticRetries:     orr,
+			OptimisticFallbacks:   of,
 			Lock:                  ls,
 			Fairness:              fairness,
 		}
@@ -1012,6 +1203,9 @@ func (m *Map) snapshotImpl(ctx context.Context, lite bool) (Snapshot, error) {
 		out.Swaps += d.swaps
 		out.DeadlineAttempts += attempts
 		out.DeadlineMisses += misses
+		out.OptimisticHits += oh
+		out.OptimisticRetries += orr
+		out.OptimisticFallbacks += of
 	}
 	return out, nil
 }

@@ -41,6 +41,7 @@ func TestConformance(t *testing.T) {
 			b := MustNew(name, WithSeed(7), WithCapacity(64))
 			ordered, _ := b.(Ordered)
 			checked, _ := b.(invariantChecked)
+			optimistic, _ := b.(OptimisticReader)
 			model := make(map[uint64]uint64)
 			rng := rand.New(rand.NewSource(42))
 
@@ -58,6 +59,14 @@ func TestConformance(t *testing.T) {
 					wantV, want := model[key]
 					if v, ok := b.Get(key); ok != want || (ok && v != wantV) {
 						t.Fatalf("op %d: Get(%d)=%d,%v want %d,%v", i, key, v, ok, wantV, want)
+					}
+					// With no concurrent mutator, the weak read must be
+					// exact: staleness and tearing are only permitted when
+					// a writer overlaps.
+					if optimistic != nil {
+						if v, ok := optimistic.GetOptimistic(key); ok != want || (ok && v != wantV) {
+							t.Fatalf("op %d: GetOptimistic(%d)=%d,%v want %d,%v", i, key, v, ok, wantV, want)
+						}
 					}
 				case 7, 8: // Delete
 					_, had := model[key]

@@ -7,7 +7,9 @@ import "repro/internal/hashmap"
 // domain. It already satisfies Backend directly — it was written as the
 // serving-path table — so the registration is the whole adapter. It is
 // the unordered baseline every ordered backend is priced against: O(1)
-// point operations, no Scan.
+// point operations, no Scan. It is also the first OptimisticReader: its
+// slot arrays are atomically published, so the sharded store's seqlock
+// read path can probe it with no lock at all.
 func init() {
 	Register(Registration{
 		Name:    "hashmap",

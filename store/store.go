@@ -59,6 +59,31 @@ type Ordered interface {
 	Scan(lo, hi uint64, fn func(key, val uint64) bool)
 }
 
+// OptimisticReader is the extension implemented by backends whose read
+// path is torn-read-safe: safe to execute with no lock, concurrently
+// with a mutator running under the stripe lock. Implementing it is how a
+// backend opts into the sharded store's optimistic (seqlock-validated)
+// read path; backends whose traversals cannot be made torn-read-safe
+// cheaply (pointer-chasing trees rebalancing under writers) simply
+// decline, and their stripes keep the locked path even when the map is
+// configured optimistic.
+//
+// The contract is deliberately weak, because the seqlock supplies the
+// correctness: GetOptimistic may return a stale value, miss a present
+// key, or observe a mix of two versions when a mutator overlaps — but it
+// must not race (all shared state it touches is accessed atomically),
+// must not fault or loop unboundedly on any torn view, and any value it
+// returns must be one the backend held for some key at some point. The
+// shard layer only trusts a result after validating the stripe's version
+// stamp, which proves no mutator overlapped and retroactively upgrades
+// the weak read to a linearizable one.
+type OptimisticReader interface {
+	Backend
+	// GetOptimistic is Get with no mutual-exclusion requirement: atomic
+	// loads only, no locking, no blocking, bounded work.
+	GetOptimistic(key uint64) (uint64, bool)
+}
+
 // config carries the construction parameters every backend understands.
 // A backend reads what applies to it and ignores the rest (a capacity
 // means nothing to a tree; a seed means nothing to a hash table) — the

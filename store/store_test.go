@@ -158,3 +158,19 @@ func TestRegisterCollisionPanics(t *testing.T) {
 	}()
 	Register(Registration{Name: "hashmap", Build: func(...Option) Backend { return nil }})
 }
+
+func TestOptimisticReaderOptIn(t *testing.T) {
+	// The opt-in surface is part of each backend's contract: hashmap's
+	// slot arrays are atomically published, so it claims OptimisticReader;
+	// the pointer-chasing ordered backends decline and keep the locked
+	// path. A backend silently gaining or losing the interface changes
+	// which read path its stripes serve, so pin it here.
+	if _, ok := MustNew("hashmap").(OptimisticReader); !ok {
+		t.Fatal("hashmap must implement OptimisticReader")
+	}
+	for _, name := range []string{"skiplist", "rbtree"} {
+		if _, ok := MustNew(name).(OptimisticReader); ok {
+			t.Fatalf("%s claims OptimisticReader but its traversal is not torn-read-safe", name)
+		}
+	}
+}
