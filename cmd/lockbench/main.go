@@ -186,6 +186,7 @@ func run(name string, m lock.Mutex, threads int, d time.Duration, ncs, cs int,
 				}
 				rec.Record(id) // serialized by the lock
 				spin(cs)
+				//lockcheck:ignore cm is m through a type assertion, an alias the lockset cannot prove
 				m.Unlock()
 			}
 		}(g)

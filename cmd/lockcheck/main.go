@@ -1,4 +1,4 @@
-// Command lockcheck is the module's static verification suite: four
+// Command lockcheck is the module's static verification suite: six
 // analyzers over the concurrency invariants the code relies on but the
 // compiler cannot see.
 //
@@ -6,12 +6,18 @@
 //	speclit    constant registry specs validated by the real parsers
 //	padalign   cache-line padding and size-class layout contracts
 //	hotpath    //lockcheck:cs and //lockcheck:nosnapshot call budgets
+//	guardedby  //lockcheck:guardedby fields vs a flow-sensitive lockset
+//	lockorder  cycles in the global lock acquisition-order graph
 //
 // Two ways to run it:
 //
 //	go run repro/cmd/lockcheck ./...                 # standalone, non-test files
 //	go build -o /tmp/lockcheck repro/cmd/lockcheck
 //	go vet -vettool=/tmp/lockcheck ./...             # full build, incl. tests
+//
+// Standalone mode with -json emits findings as a machine-readable array
+// instead of the file:line:col lines (one object per finding, with
+// file/line/col/analyzer/message fields), for CI consumption.
 //
 // Findings are suppressed by an adjacent "//lockcheck:ignore <reason>"
 // comment; the reason is mandatory and unused directives are themselves
@@ -21,7 +27,9 @@ package main
 import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/atomicmix"
+	"repro/internal/analysis/guardedby"
 	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/padalign"
 	"repro/internal/analysis/speclit"
 )
@@ -32,5 +40,7 @@ func main() {
 		speclit.Analyzer,
 		padalign.Analyzer,
 		hotpath.Analyzer,
+		guardedby.Analyzer,
+		lockorder.Analyzer,
 	)
 }

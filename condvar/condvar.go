@@ -37,9 +37,15 @@ const (
 )
 
 type waiter struct {
-	parker     *park.Parker
-	next, prev *waiter
-	signaled   bool // guarded by the Cond's internal lock
+	parker *park.Parker
+	//lockcheck:guardedby condvar.Cond.mu
+	next *waiter
+	//lockcheck:guardedby condvar.Cond.mu
+	prev *waiter
+	// signaled is guarded by the owning Cond's internal lock.
+	//
+	//lockcheck:guardedby condvar.Cond.mu
+	signaled bool
 }
 
 // Cond is a condition variable with a policy-controlled wait queue.
@@ -50,11 +56,16 @@ type Cond struct {
 	// mu guards the wait list and trial. The zero-value TAS carries no
 	// stats reference, so this internal latch is instrumentation-free:
 	// enqueue/dequeue pay no striped-counter updates on the signal path.
-	mu         lock.TAS
-	head, tail *waiter
+	mu lock.TAS
+	//lockcheck:guardedby mu
+	head *waiter
+	//lockcheck:guardedby mu
+	tail *waiter
+	//lockcheck:guardedby mu
 	size       int
 	appendProb float64
-	trial      *core.Trial
+	//lockcheck:guardedby mu
+	trial *core.Trial
 }
 
 // New returns a condition variable using the given lock and append
@@ -75,6 +86,8 @@ func NewMostlyLIFO(l sync.Locker) *Cond { return New(l, MostlyLIFO, 0) }
 // Wait atomically releases c.L and suspends the caller until Signal or
 // Broadcast selects it, then reacquires c.L before returning. As with
 // sync.Cond, callers must re-check their predicate in a loop.
+//
+//lockcheck:holds c.L
 func (c *Cond) Wait() {
 	w := &waiter{parker: park.NewParker()}
 	c.enqueue(w)
@@ -94,6 +107,8 @@ func (c *Cond) Wait() {
 
 // WaitTimeout is Wait with a deadline. It reports whether the caller was
 // signaled (true) or timed out (false). c.L is reacquired in either case.
+//
+//lockcheck:holds c.L
 func (c *Cond) WaitTimeout(d time.Duration) bool {
 	w := &waiter{parker: park.NewParker()}
 	c.enqueue(w)
@@ -132,6 +147,8 @@ func (c *Cond) WaitTimeout(d time.Duration) bool {
 // still holds the lock on the error path and must release it. A signal
 // that races the cancellation wins: WaitContext returns nil and the
 // signal is consumed. An uncancellable ctx degenerates to Wait.
+//
+//lockcheck:holds c.L
 func (c *Cond) WaitContext(ctx context.Context) error {
 	if ctx.Done() == nil {
 		c.Wait()
@@ -191,6 +208,9 @@ func (c *Cond) Broadcast() {
 	}
 	c.head, c.tail, c.size = nil, nil, 0
 	c.mu.Unlock()
+	// The list was detached above while mu was held; no enqueue/unlink
+	// can reach these nodes any more, so the lock-free walk is private.
+	//lockcheck:ignore detached under mu; the walked list is no longer reachable from the Cond
 	for w := head; w != nil; w = w.next {
 		w.parker.Unpark()
 	}
@@ -223,6 +243,7 @@ func (c *Cond) enqueue(w *waiter) {
 	c.mu.Unlock()
 }
 
+//lockcheck:holds c.mu
 func (c *Cond) popHead() *waiter {
 	w := c.head
 	if w == nil {
@@ -240,6 +261,8 @@ func (c *Cond) popHead() *waiter {
 }
 
 // unlink removes w from the queue; w must be on it.
+//
+//lockcheck:holds c.mu
 func (c *Cond) unlink(w *waiter) {
 	if w.prev != nil {
 		w.prev.next = w.next

@@ -78,9 +78,11 @@ func main() {
 		fmt.Printf("TryLockFor gave up after %v (lock was held), as a deadline-bound request should\n",
 			time.Since(start).Round(time.Millisecond))
 	}
+	//lockcheck:ignore cm is m through a type assertion, an alias the lockset cannot prove
 	m.Unlock()
 	if cm.TryLockFor(25 * time.Millisecond) {
 		fmt.Println("...and acquired immediately once the lock was free")
+		//lockcheck:ignore cm is m through a type assertion, an alias the lockset cannot prove
 		m.Unlock()
 	}
 }

@@ -3,7 +3,7 @@
 // needs. It exists because the repo's concurrency invariants — which
 // struct fields are atomic, which spec strings parse, which structs are
 // cache-line padded, what a critical section may call — are stateable
-// but were enforced only by -race luck and reviewer memory. The four
+// but were enforced only by -race luck and reviewer memory. The six
 // analyzers under internal/analysis/... encode them; cmd/lockcheck is
 // the multichecker binary that runs them, either standalone
 // ("lockcheck ./...") or as a `go vet -vettool=` backend (unit.go
@@ -34,6 +34,28 @@
 //	//lockcheck:line[=N]          struct must be exactly N cache lines
 //	                              (unadorned: any non-zero whole number
 //	                              of lines); checked by padalign
+//	//lockcheck:guardedby <g>     field may only be touched with guard g
+//	                              provably held: g is a sibling field
+//	                              ("mu"), a pkg.Type.field lock class, or
+//	                              "external" (declaring type's methods
+//	                              only); checked by guardedby
+//	//lockcheck:lockword          field (an atomic integer) IS a lock:
+//	                              CompareAndSwap(0,·) acquires on the
+//	                              success branch, Store(0) releases
+//	//lockcheck:holds <path>      function contract: the named lock is
+//	                              held on entry (receiver-relative path,
+//	                              a parameter name, or a lock class)
+//	//lockcheck:acquires <path>   function contract: returns holding the
+//	                              lock ("return[N].sel" names a lock
+//	                              reached through a result)
+//	//lockcheck:releases <path>   function contract: releases the lock
+//	//lockcheck:optimistic        function is a seqlock-validated
+//	                              optimistic section: guardedby requires
+//	                              the empty lockset throughout
+//	//lockcheck:lockorder A<B     free-standing pin: lock class A is
+//	                              acquired before B by design; lockorder
+//	                              injects the edge so a reversed
+//	                              acquisition anywhere closes a cycle
 package analysis
 
 import (
@@ -108,6 +130,22 @@ func Directive(doc *ast.CommentGroup, name string) (arg string, ok bool) {
 		}
 	}
 	return "", false
+}
+
+// Directives extracts every occurrence of the named pragma from a
+// comment group, in order. Contract directives (holds, acquires,
+// releases) may legitimately repeat on one declaration.
+func Directives(doc *ast.CommentGroup, name string) []string {
+	if doc == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range doc.List {
+		if a, found := directiveIn(c.Text, name); found {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // directiveIn matches one comment's text against one directive name.

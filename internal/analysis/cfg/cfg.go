@@ -1,0 +1,439 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast,
+// with no dependency outside the standard library (the build image has
+// no golang.org/x/tools; this continues the internal/analysis
+// precedent). It exists to give the lockset analyzers (guardedby,
+// lockorder) a flow-sensitive substrate: a function body becomes basic
+// blocks whose edges carry branch polarity, so an analysis can learn
+// different facts on the two sides of `if mu.TryLock()` or
+// `if err := mu.LockContext(ctx); err != nil`.
+//
+// The builder handles if/else chains, for and range loops, switch and
+// type-switch (including fallthrough), select, goto, and labeled
+// break/continue. Compound statements are decomposed: a Block's Nodes
+// hold only "atomic" statements (assignments, expression statements,
+// returns, ...) plus the bare expressions a compound statement
+// evaluates in that block (a switch tag, a range operand). Branch
+// conditions are not in Nodes; they live on Block.Cond so clients can
+// interpret them per edge.
+//
+// Defer statements appear in their registration block like any other
+// statement and are additionally collected, in source order, on
+// Graph.Defers: deferred calls run at function exit in LIFO order, and
+// clients that model them (the guardedby lockset applies deferred
+// unlocks at each exit) lower them against the synthetic Exit block.
+//
+// Unreachable code is still placed in blocks (with no predecessors), so
+// every atomic statement of the function appears in exactly one block —
+// the invariant the package's property test enforces.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is a maximal straight-line sequence of atomic statements.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (creation order;
+	// Entry is 0).
+	Index int
+
+	// Nodes are the atomic statements and evaluated expressions of the
+	// block, in execution order. Statements are ast.Stmt; a compound
+	// statement contributes the expressions it evaluates here (switch
+	// tags, range operands, case expressions) as bare ast.Expr.
+	Nodes []ast.Node
+
+	// Cond, when non-nil, is the condition the block branches on:
+	// Succs[0] is the true edge, Succs[1] the false edge. A nil Cond
+	// with multiple successors is a nondeterministic branch (range
+	// head, switch with no tag information retained, select).
+	Cond ast.Expr
+
+	// Succs are the successor blocks. Empty for the Exit block and for
+	// blocks ending the function without fallthrough.
+	Succs []*Block
+}
+
+// A Graph is one function body's control-flow graph.
+type Graph struct {
+	// Entry is the block control enters at the top of the body.
+	Entry *Block
+	// Exit is a synthetic empty block: every return statement and the
+	// fall-off-the-end path lead here. Deferred calls conceptually run
+	// on the edges into Exit.
+	Exit *Block
+	// Blocks is every block, Entry first, in creation order.
+	Blocks []*Block
+	// Defers collects the function's defer statements in source order.
+	// They also appear as Nodes in their registration blocks.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the CFG of one function body. A nil body (declaration
+// without body) yields a graph whose Entry links straight to Exit.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	if body != nil {
+		b.stmt(body)
+	}
+	b.jump(b.g.Exit)
+	return b.g
+}
+
+// loopScope is one enclosing breakable/continuable construct.
+type loopScope struct {
+	label   string // non-empty when the construct is labeled
+	breakTo *Block
+	contTo  *Block // nil for switch/select (continue passes through)
+}
+
+type builder struct {
+	g   *Graph
+	cur *Block
+
+	scopes []loopScope
+	labels map[string]*Block // goto targets, created on demand
+
+	// pendingLabel is the label wrapping the statement about to be
+	// built, so loops/switches register labeled break/continue targets.
+	pendingLabel string
+
+	// nextCase is the following case clause's body block while building
+	// a switch clause (the fallthrough target).
+	nextCase *Block
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) link(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// jump ends the current block with an unconditional edge to target and
+// leaves the builder in a fresh (initially unreachable) block.
+func (b *builder) jump(target *Block) {
+	b.link(b.cur, target)
+	b.cur = b.newBlock()
+}
+
+// branch ends the current block with a two-way branch on cond.
+func (b *builder) branch(cond ast.Expr, onTrue, onFalse *Block) {
+	b.cur.Cond = cond
+	b.link(b.cur, onTrue)
+	b.link(b.cur, onFalse)
+}
+
+func (b *builder) labelBlock(name string) *Block {
+	if b.labels == nil {
+		b.labels = make(map[string]*Block)
+	}
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+// findBreak returns the break target for the given label ("" = nearest).
+func (b *builder) findBreak(label string) *Block {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		s := b.scopes[i]
+		if label == "" || s.label == label {
+			return s.breakTo
+		}
+	}
+	return nil
+}
+
+// findContinue returns the continue target for the given label.
+func (b *builder) findContinue(label string) *Block {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		s := b.scopes[i]
+		if s.contTo == nil {
+			continue // switch/select: continue belongs to an outer loop
+		}
+		if label == "" || s.label == label {
+			return s.contTo
+		}
+	}
+	return nil
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// stmt builds one statement into the graph.
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.LabeledStmt:
+		// The label is a goto target; control also falls into it.
+		lb := b.labelBlock(s.Label.Name)
+		b.link(b.cur, lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.takeLabelledSwitch(s.Init, s.Tag, s.Body, nil)
+	case *ast.TypeSwitchStmt:
+		b.takeLabelledSwitch(s.Init, nil, s.Body, s.Assign)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.jump(b.g.Exit)
+	case *ast.DeferStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.g.Defers = append(b.g.Defers, s)
+	default:
+		// Atomic statements: assignments, expression statements,
+		// declarations, sends, inc/dec, go, empty.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	b.takeLabel() // a labeled if only matters for goto, already handled
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	thenB := b.newBlock()
+	after := b.newBlock()
+	elseTarget := after
+	var elseB *Block
+	if s.Else != nil {
+		elseB = b.newBlock()
+		elseTarget = elseB
+	}
+	b.branch(s.Cond, thenB, elseTarget)
+
+	b.cur = thenB
+	b.stmt(s.Body)
+	b.link(b.cur, after)
+
+	if s.Else != nil {
+		b.cur = elseB
+		b.stmt(s.Else)
+		b.link(b.cur, after)
+	}
+	b.cur = after
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock()
+	body := b.newBlock()
+	after := b.newBlock()
+	// The continue target is the post-statement block when there is a
+	// post statement, else the head.
+	contTo := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		contTo = post
+	}
+	b.link(b.cur, head)
+	b.cur = head
+	if s.Cond != nil {
+		b.branch(s.Cond, body, after)
+	} else {
+		// for {}: the only way out is break/return/goto.
+		b.link(b.cur, body)
+	}
+
+	b.scopes = append(b.scopes, loopScope{label: label, breakTo: after, contTo: contTo})
+	b.cur = body
+	b.stmt(s.Body)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+
+	if post != nil {
+		b.link(b.cur, post)
+		b.cur = post
+		b.stmt(s.Post)
+	}
+	b.link(b.cur, head)
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock()
+	body := b.newBlock()
+	after := b.newBlock()
+	b.link(b.cur, head)
+	b.cur = head
+	// The range operand is evaluated at the head; iteration count is
+	// unknown, so the head branches nondeterministically.
+	b.cur.Nodes = append(b.cur.Nodes, s.X)
+	b.link(b.cur, body)
+	b.link(b.cur, after)
+
+	b.scopes = append(b.scopes, loopScope{label: label, breakTo: after, contTo: head})
+	b.cur = body
+	b.stmt(s.Body)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.link(b.cur, head)
+	b.cur = after
+}
+
+// takeLabelledSwitch builds switch and type-switch statements. assign
+// is the type-switch's `x := y.(type)` statement, nil for plain switch.
+func (b *builder) takeLabelledSwitch(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, assign ast.Stmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.stmt(init)
+	}
+	if tag != nil {
+		b.cur.Nodes = append(b.cur.Nodes, tag)
+	}
+	if assign != nil {
+		b.cur.Nodes = append(b.cur.Nodes, assign)
+	}
+	head := b.cur
+	after := b.newBlock()
+
+	// Create every clause's block first so fallthrough can look ahead.
+	var clauses []*ast.CaseClause
+	var blocks []*Block
+	hasDefault := false
+	for _, st := range body.List {
+		cc, ok := st.(*ast.CaseClause)
+		if !ok {
+			// Only a partial AST from parser error recovery puts
+			// non-clause statements here; keep them accounted for.
+			b.stmt(st)
+			continue
+		}
+		clauses = append(clauses, cc)
+		blocks = append(blocks, b.newBlock())
+		if cc.List == nil {
+			hasDefault = true
+		}
+		// Case expressions are evaluated against the tag in the head.
+		for _, e := range cc.List {
+			head.Nodes = append(head.Nodes, e)
+		}
+	}
+	for _, blk := range blocks {
+		b.link(head, blk)
+	}
+	if !hasDefault {
+		b.link(head, after)
+	}
+
+	b.scopes = append(b.scopes, loopScope{label: label, breakTo: after})
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		if i+1 < len(blocks) {
+			b.nextCase = blocks[i+1]
+		} else {
+			b.nextCase = nil
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.nextCase = nil
+		b.link(b.cur, after)
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	head := b.cur
+	after := b.newBlock()
+
+	var arms []*Block
+	var clauses []*ast.CommClause
+	for _, st := range s.Body.List {
+		cc, ok := st.(*ast.CommClause)
+		if !ok {
+			b.stmt(st) // parser error recovery; see takeLabelledSwitch
+			continue
+		}
+		clauses = append(clauses, cc)
+		arms = append(arms, b.newBlock())
+	}
+	for _, arm := range arms {
+		b.link(head, arm)
+	}
+	// A select with no arms blocks forever: head gets no successors
+	// (beyond its arms) and the after block is unreachable.
+
+	b.scopes = append(b.scopes, loopScope{label: label, breakTo: after})
+	for i, cc := range clauses {
+		b.cur = arms[i]
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.link(b.cur, after)
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = after
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	b.cur.Nodes = append(b.cur.Nodes, s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t := b.findBreak(label); t != nil {
+			b.jump(t)
+			return
+		}
+	case token.CONTINUE:
+		if t := b.findContinue(label); t != nil {
+			b.jump(t)
+			return
+		}
+	case token.GOTO:
+		if s.Label != nil {
+			b.jump(b.labelBlock(s.Label.Name))
+			return
+		}
+	case token.FALLTHROUGH:
+		if b.nextCase != nil {
+			b.jump(b.nextCase)
+			return
+		}
+	}
+	// Malformed (break outside loop, dangling fallthrough): sever the
+	// path rather than guess.
+	b.cur = b.newBlock()
+}

@@ -1,0 +1,391 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildFirst parses src and builds the CFG of its first function.
+func buildFirst(t *testing.T, src string) (*Graph, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return New(fd.Body), fset
+		}
+	}
+	t.Fatal("no function in source")
+	return nil, nil
+}
+
+// atomicStmts collects every atomic statement under root, skipping
+// nested function literals (they are separate CFGs).
+func atomicStmts(root ast.Node) map[ast.Node]bool {
+	out := make(map[ast.Node]bool)
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n.(type) {
+		case *ast.AssignStmt, *ast.ExprStmt, *ast.IncDecStmt, *ast.SendStmt,
+			*ast.DeclStmt, *ast.ReturnStmt, *ast.BranchStmt, *ast.DeferStmt,
+			*ast.GoStmt, *ast.EmptyStmt, *ast.BadStmt:
+			out[n] = true
+		}
+		return true
+	})
+	return out
+}
+
+// checkPartition asserts the package invariant: every atomic statement
+// of body appears in exactly one block, exactly once, and no block
+// holds a node that is not an atomic statement or expression of body.
+func checkPartition(t *testing.T, fset *token.FileSet, g *Graph, body *ast.BlockStmt) {
+	t.Helper()
+	want := atomicStmts(body)
+	seen := make(map[ast.Node]int)
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, isStmt := n.(ast.Stmt); isStmt {
+				seen[n]++
+			}
+		}
+	}
+	for n, count := range seen {
+		if !want[n] {
+			t.Errorf("%s: block holds non-atomic statement %T", fset.Position(n.Pos()), n)
+		}
+		if count != 1 {
+			t.Errorf("%s: statement %T appears in %d blocks", fset.Position(n.Pos()), n, count)
+		}
+	}
+	for n := range want {
+		if seen[n] == 0 {
+			t.Errorf("%s: atomic statement %T missing from every block", fset.Position(n.Pos()), n)
+		}
+	}
+}
+
+func TestPartitionShapes(t *testing.T) {
+	cases := map[string]string{
+		"linear": `package p
+func f() { x := 1; x++; _ = x }`,
+		"ifElse": `package p
+func f(c bool) int { if c { return 1 } else { return 2 } }`,
+		"ifInit": `package p
+func f() { if err := g(); err != nil { return }; h() }
+func g() error { return nil }
+func h() {}`,
+		"forFull": `package p
+func f() { for i := 0; i < 10; i++ { if i == 3 { continue }; if i == 5 { break } } }`,
+		"forever": `package p
+func f() { for { g() } }
+func g() {}`,
+		"rangeLoop": `package p
+func f(xs []int) int { s := 0; for _, x := range xs { s += x }; return s }`,
+		"switchFallthrough": `package p
+func f(x int) int {
+	switch x {
+	case 1:
+		x++
+		fallthrough
+	case 2:
+		x += 2
+	default:
+		x = 0
+	}
+	return x
+}`,
+		"typeSwitch": `package p
+func f(v any) int {
+	switch y := v.(type) {
+	case int:
+		return y
+	case string:
+		return len(y)
+	}
+	return 0
+}`,
+		"selectArms": `package p
+func f(a, b chan int) int {
+	select {
+	case x := <-a:
+		return x
+	case b <- 1:
+		return 1
+	default:
+		return 0
+	}
+}`,
+		"gotoLoop": `package p
+func f() {
+	i := 0
+loop:
+	i++
+	if i < 10 {
+		goto loop
+	}
+}`,
+		"labeledBreak": `package p
+func f(m [][]int) int {
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v == 0 {
+				break outer
+			}
+			if v == 1 {
+				continue outer
+			}
+		}
+	}
+	return 0
+}`,
+		"deferred": `package p
+func f() {
+	defer g()
+	if h() {
+		defer g()
+		return
+	}
+	g()
+}
+func g() {}
+func h() bool { return false }`,
+		"deadCode": `package p
+func f() int {
+	return 1
+	g()
+	return 2
+}
+func g() {}`,
+		"emptySelect": `package p
+func f() { select {} }`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, "x.go", src, parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				g := New(fd.Body)
+				checkPartition(t, fset, g, fd.Body)
+			}
+		})
+	}
+}
+
+func TestBranchPolarity(t *testing.T) {
+	g, _ := buildFirst(t, `package p
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`)
+	// Find the block with a condition and check the true branch holds
+	// the x = 1 assignment.
+	var cond *Block
+	for _, b := range g.Blocks {
+		if b.Cond != nil {
+			cond = b
+			break
+		}
+	}
+	if cond == nil {
+		t.Fatal("no conditional block built for if/else")
+	}
+	if len(cond.Succs) != 2 {
+		t.Fatalf("conditional block has %d successors, want 2", len(cond.Succs))
+	}
+	find := func(b *Block) string {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				if lit, ok := as.Rhs[0].(*ast.BasicLit); ok {
+					return lit.Value
+				}
+			}
+		}
+		return ""
+	}
+	if got := find(cond.Succs[0]); got != "1" {
+		t.Errorf("true successor assigns %q, want 1", got)
+	}
+	if got := find(cond.Succs[1]); got != "2" {
+		t.Errorf("false successor assigns %q, want 2", got)
+	}
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	g, _ := buildFirst(t, `package p
+func f() {
+	for i := 0; i < 3; i++ {
+		_ = i
+	}
+}`)
+	// The condition block must be reachable from one of its own
+	// successors (the back edge through body and post).
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Cond != nil {
+			head = b
+			break
+		}
+	}
+	if head == nil {
+		t.Fatal("no loop head with a condition")
+	}
+	if !reaches(head.Succs[0], head, make(map[*Block]bool)) {
+		t.Error("loop body does not reach the head (no back edge)")
+	}
+}
+
+func TestDefersCollected(t *testing.T) {
+	g, _ := buildFirst(t, `package p
+func f(c bool) {
+	defer a()
+	if c {
+		defer b()
+	}
+	defer d()
+}
+func a() {}
+func b() {}
+func d() {}`)
+	if len(g.Defers) != 3 {
+		t.Fatalf("collected %d defers, want 3", len(g.Defers))
+	}
+	// Source order.
+	for i := 1; i < len(g.Defers); i++ {
+		if g.Defers[i].Pos() <= g.Defers[i-1].Pos() {
+			t.Error("defers not in source order")
+		}
+	}
+}
+
+func TestReturnsReachExit(t *testing.T) {
+	g, _ := buildFirst(t, `package p
+func f(c bool) int {
+	if c {
+		return 1
+	}
+	return 2
+}`)
+	// Every block holding a return must have Exit as a successor.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				found := false
+				for _, s := range b.Succs {
+					if s == g.Exit {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("block %d returns but does not edge to Exit", b.Index)
+				}
+			}
+		}
+	}
+}
+
+func reaches(from, to *Block, seen map[*Block]bool) bool {
+	if from == to {
+		return true
+	}
+	if seen[from] {
+		return false
+	}
+	seen[from] = true
+	for _, s := range from.Succs {
+		if reaches(s, to, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRepoCorpus drives the builder over every function of this
+// repository's own source tree: it must never panic and the
+// one-block-per-statement partition must hold for real code.
+func TestRepoCorpus(t *testing.T) {
+	root := repoRoot(t)
+	files := 0
+	funcs := 0
+	err := filepath.WalkDir(root, func(path string, e os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if e.IsDir() {
+			name := e.Name()
+			if name == "testdata" || name == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		files++
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			funcs++
+			g := New(fd.Body)
+			checkPartition(t, fset, g, fd.Body)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files == 0 || funcs == 0 {
+		t.Fatalf("corpus walked %d files, %d functions — repo root misdetected?", files, funcs)
+	}
+	t.Logf("checked %d functions across %d files", funcs, files)
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if data, err := os.ReadFile(filepath.Join(dir, "go.mod")); err == nil &&
+			strings.HasPrefix(strings.TrimSpace(string(data)), "module repro") {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no repro go.mod above the test directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,114 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// FuzzNew feeds arbitrary source text through the parser into the CFG
+// builder. The builder must never panic, and for every function that
+// parses, the block partition invariant must hold — including for the
+// label/goto/fallthrough tangles the fuzzer is good at inventing.
+// Malformed programs that still produce a partial AST (the parser
+// recovers) are the interesting half of the corpus: the builder sees
+// shapes gofmt would never write.
+func FuzzNew(f *testing.F) {
+	seeds := []string{
+		`package p
+func f() { x := 1; _ = x }`,
+		`package p
+func f(c bool) { if c { return }; for i := 0; i < 3; i++ { continue } }`,
+		`package p
+func f() {
+a:
+	for {
+		switch 1 {
+		case 1:
+			fallthrough
+		case 2:
+			break a
+		default:
+			continue a
+		}
+	}
+}`,
+		`package p
+func f(ch chan int) {
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+	goto end
+end:
+}`,
+		`package p
+func f() {
+	defer func() { recover() }()
+	for range []int{1, 2} {
+		defer println()
+	}
+}`,
+		`package p
+func f(v any) {
+	switch v.(type) {
+	case int:
+		goto l
+	}
+l:
+	return
+}`,
+		// Pathological-but-legal: break with no loop is a parse error Go
+		// rejects late; the builder must survive what the parser yields.
+		`package p
+func f() { break; continue; fallthrough }`,
+		`package p
+func f() { goto missing }`,
+		`package p
+func f() { select {} }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments|parser.SkipObjectResolution)
+		if file == nil {
+			return // nothing parsed at all
+		}
+		_ = err // partial ASTs are in scope
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			g := New(fd.Body) // must not panic
+			// Partition invariant: every atomic statement in exactly one
+			// block, exactly once.
+			want := atomicStmts(fd.Body)
+			seen := make(map[ast.Node]int)
+			for _, b := range g.Blocks {
+				for _, n := range b.Nodes {
+					if _, isStmt := n.(ast.Stmt); isStmt {
+						seen[n]++
+					}
+				}
+			}
+			for n, c := range seen {
+				if c != 1 {
+					t.Fatalf("%s: statement %T in %d blocks", fset.Position(n.Pos()), n, c)
+				}
+				if !want[n] {
+					t.Fatalf("%s: non-atomic node %T placed as statement", fset.Position(n.Pos()), n)
+				}
+			}
+			for n := range want {
+				if seen[n] == 0 {
+					t.Fatalf("%s: statement %T missing from all blocks", fset.Position(n.Pos()), n)
+				}
+			}
+		}
+	})
+}

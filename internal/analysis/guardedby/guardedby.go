@@ -1,0 +1,170 @@
+// Package guardedby enforces //lockcheck:guardedby field annotations
+// with a flow-sensitive lockset: every read or write of a guarded
+// field must happen while the dataflow proves the guard held on every
+// path to the access. The lockset (internal/analysis/lockset) tracks
+// Lock/Unlock pairs, TryLock success branches, LockContext nil-error
+// branches, lockword CAS/Store protocols, declared holds/acquires/
+// releases contracts, and defer lowering; guards and contracts export
+// as facts, so a package touching a dependency's guarded field is
+// checked against the annotation it cannot see in source.
+//
+// Beyond guard misses the analyzer reports three protocol breaks:
+// an unlock on a path where no matching lock is held, a function
+// returning with a lock it acquired (unless its contract says it
+// acquires), and any lock acquisition inside a //lockcheck:optimistic
+// function — optimistic sections validate with a seqlock and must hold
+// the empty lockset by definition.
+package guardedby
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/lockset"
+)
+
+// Analyzer enforces guardedby annotations and lock protocol hygiene.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc: `check //lockcheck:guardedby fields against a flow-sensitive lockset
+
+A field annotated //lockcheck:guardedby <guard> may only be accessed
+while the guard is provably held: <guard> is a sibling field (same
+object), a pkg.Type.field class (any held lock of the class), or
+"external" (methods of the declaring type only). The lockset follows
+TryLock success branches, LockContext nil-error branches, lockword
+CAS(0,·)/Store(0) protocols, holds/acquires/releases contracts, and
+deferred unlocks. Also reported: unlock without a held lock, returning
+with an undeclared lock held (both production code only — tests break
+the ownership protocol on purpose), and acquiring inside
+//lockcheck:optimistic sections.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// guardedby owns directive-syntax reporting (lockorder collects the
+	// same annotations silently, so malformations surface once).
+	info := lockset.Collect(pass, true)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, info, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, info *lockset.Info, fd *ast.FuncDecl) {
+	optimistic := analysis.FuncDirective(fd, "optimistic")
+	fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	contract := info.ContractFor(fn)
+	returnsHolding := contract != nil && len(contract.Acquires) > 0
+
+	// Tests intentionally break the ownership protocol: double-unlock
+	// panic paths, locks handed between goroutines, semaphore permits
+	// released that were never acquired. Guarded-field misses stay
+	// checked in tests — a test reaching past the latch is a real bug —
+	// but the two protocol reports are production-code-only, the same
+	// carve-out speclit makes for MustNew error-path tests.
+	inTest := strings.HasSuffix(pass.Fset.Position(fd.Pos()).Filename, "_test.go")
+
+	// Multi-exit functions would otherwise repeat the same leak per
+	// return statement.
+	leakReported := make(map[string]bool)
+
+	hooks := lockset.Hooks{
+		Access: func(expr *ast.SelectorExpr, field *types.Var, base lockset.Path, baseOK bool, held lockset.Held) {
+			g, ok := info.GuardFor(field)
+			if !ok {
+				return
+			}
+			switch g.Kind {
+			case lockset.GuardExternal:
+				if !methodOf(fn, g.Owner) {
+					pass.Reportf(expr.Sel.Pos(),
+						"field %s is guardedby external: only methods of %s may touch it",
+						field.Name(), g.Owner)
+				}
+			case lockset.GuardRel:
+				if baseOK {
+					req := base.Extend(g.Rel...)
+					if !held.Has(req) {
+						pass.Reportf(expr.Sel.Pos(),
+							"access to %s (guardedby %s) without holding %s",
+							field.Name(), g, req)
+					}
+				} else if !held.HasClass(g.Class) {
+					pass.Reportf(expr.Sel.Pos(),
+						"access to %s (guardedby %s) without a held %s lock",
+						field.Name(), g, g.Class)
+				}
+			case lockset.GuardClass:
+				if !held.HasClass(g.Class) {
+					pass.Reportf(expr.Sel.Pos(),
+						"access to %s (guardedby %s) without a held %s lock",
+						field.Name(), g, g.Class)
+				}
+			}
+		},
+		Acquire: func(pos token.Pos, lock lockset.LockRef, held lockset.Held) {
+			if optimistic {
+				pass.Reportf(pos,
+					"optimistic section acquires %s: //lockcheck:optimistic requires the empty lockset",
+					lock)
+			}
+		},
+		Release: func(pos token.Pos, lock lockset.LockRef, wasHeld, deferred bool) {
+			// Deferred releases are lowered at every exit, including
+			// paths where a conditionally registered defer never ran;
+			// only direct unlocks are position-precise enough to report.
+			if !wasHeld && !deferred && !inTest {
+				pass.Reportf(pos, "unlock of %s but no lock of it is held on this path", lock)
+			}
+		},
+		Exit: func(pos token.Pos, leaked []lockset.LockRef) {
+			if returnsHolding || inTest {
+				return // declared: //lockcheck:acquires, callers inherit
+			}
+			for _, ref := range leaked {
+				k := ref.String()
+				if leakReported[k] {
+					continue
+				}
+				leakReported[k] = true
+				pass.Reportf(pos,
+					"returns still holding %s (declare //lockcheck:acquires or release it)", ref)
+			}
+		},
+	}
+	lockset.Analyze(info, fd, hooks)
+}
+
+func methodOf(fn *types.Func, owner string) bool {
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := namedRecv(sig.Recv().Type())
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path()+"."+named.Obj().Name() == owner
+}
+
+func namedRecv(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

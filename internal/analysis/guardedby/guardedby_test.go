@@ -1,0 +1,16 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/guardedby"
+)
+
+// Package gb is the single-package corpus (true-positive sites paired
+// with silent twins); gb2 imports gbdep — named here so its unit runs
+// and exports facts — and sees its guard annotations only through
+// them, never the source.
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), guardedby.Analyzer, "gb", "gbdep", "gb2")
+}

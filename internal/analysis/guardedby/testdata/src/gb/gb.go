@@ -1,0 +1,188 @@
+// Package gb is the guardedby fixture corpus: every Bad site pins its
+// diagnostic with a want, and every Good twin — the same shape with
+// the guard provably held — must stay silent. The twins are the
+// false-positive regression suite: a lockset change that breaks
+// TryLock branches, defers, early returns, select arms, or local
+// aliasing fails here before it floods the real packages.
+package gb
+
+import "sync"
+
+// T is the guarded struct under test: n is guarded by its sibling mu,
+// ext may only be touched by methods of T.
+type T struct {
+	mu sync.Mutex
+	//lockcheck:guardedby mu
+	n int
+	//lockcheck:guardedby external
+	ext int
+}
+
+// New writes the guarded field with no lock held: the object is fresh,
+// unreachable by any other goroutine, so this must not fire.
+func New(n int) *T {
+	t := &T{}
+	t.n = n
+	return t
+}
+
+func (t *T) Plain() {
+	t.mu.Lock()
+	t.n++
+	t.mu.Unlock()
+}
+
+func (t *T) PlainBad() {
+	t.n++ // want `access to n \(guardedby mu\) without holding`
+}
+
+// TryBranches: the success branch holds the lock, the failure branch
+// does not — the lockset must split at the condition.
+func (t *T) TryBranches() {
+	if t.mu.TryLock() {
+		t.n = 1
+		t.mu.Unlock()
+	} else {
+		t.n = 2 // want `access to n \(guardedby mu\) without holding`
+	}
+}
+
+// TryNegated guards with a negated TryLock: the fall-through is the
+// success branch.
+func (t *T) TryNegated() {
+	if !t.mu.TryLock() {
+		return
+	}
+	t.n++
+	t.mu.Unlock()
+}
+
+// DeferUnlock: the deferred release is lowered at every exit, so both
+// returns leave with an empty lockset and the accesses between are
+// covered.
+func (t *T) DeferUnlock() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n > 3 {
+		return t.n
+	}
+	t.n = 0
+	return 0
+}
+
+// EarlyReturn releases on both paths; no leak, no miss.
+func (t *T) EarlyReturn(c bool) {
+	t.mu.Lock()
+	if c {
+		t.mu.Unlock()
+		return
+	}
+	t.n++
+	t.mu.Unlock()
+}
+
+// EarlyUnlockBad unlocks on only one path: after the join the lock is
+// no longer must-held, so the access and the second unlock both fire.
+func (t *T) EarlyUnlockBad(c bool) {
+	t.mu.Lock()
+	if c {
+		t.mu.Unlock()
+	}
+	t.n++         // want `access to n \(guardedby mu\) without holding`
+	t.mu.Unlock() // want `unlock of .* but no lock of it is held on this path`
+}
+
+// SelectArms: the lock is held across every arm.
+func (t *T) SelectArms(ch chan int) {
+	t.mu.Lock()
+	select {
+	case <-ch:
+		t.n++
+	default:
+		t.n--
+	}
+	t.mu.Unlock()
+}
+
+// SelectArmBad locks in one arm only; the default arm is bare.
+func (t *T) SelectArmBad(ch chan int) {
+	select {
+	case v := <-ch:
+		t.mu.Lock()
+		t.n = v
+		t.mu.Unlock()
+	default:
+		t.n = 0 // want `access to n \(guardedby mu\) without holding`
+	}
+}
+
+// Alias acquires the guard through a local alias; the resolver must
+// see through the &-binding or every helper that hoists a lock into a
+// variable becomes a false positive.
+func (t *T) Alias() {
+	mu := &t.mu
+	mu.Lock()
+	t.n++
+	mu.Unlock()
+}
+
+func (t *T) UnlockBad() {
+	t.mu.Unlock() // want `unlock of .* but no lock of it is held on this path`
+}
+
+func (t *T) LeakBad() bool {
+	t.mu.Lock()
+	return t.n > 0 // want `returns still holding`
+}
+
+// bump declares its precondition; the body is checked as if mu were
+// held on entry.
+//
+//lockcheck:holds t.mu
+func (t *T) bump() { t.n++ }
+
+// lockN declares that it returns holding mu, which both suppresses the
+// leak report here and seeds the caller's lockset.
+//
+//lockcheck:acquires t.mu
+func (t *T) lockN() { t.mu.Lock() }
+
+func (t *T) UseContract() {
+	t.lockN()
+	t.n++
+	t.bump()
+	t.mu.Unlock()
+}
+
+// tryN is a conditional-acquire contract: bool result + acquires means
+// callers hold mu only on the true branch.
+//
+//lockcheck:acquires t.mu
+func (t *T) tryN() bool { return t.mu.TryLock() }
+
+func (t *T) UseTry() {
+	if t.tryN() {
+		t.n++
+		t.mu.Unlock()
+	}
+}
+
+// Optimistic sections must run under the empty lockset.
+//
+//lockcheck:optimistic
+func (t *T) OptBad() {
+	t.mu.Lock() // want `optimistic section acquires`
+	t.mu.Unlock()
+}
+
+func (t *T) Ext() { t.ext++ }
+
+func Poke(t *T) {
+	t.ext++ // want `guardedby external: only methods of test/gb\.T`
+}
+
+// Ignored shows an in-scope //lockcheck:ignore silencing a true miss.
+func (t *T) Ignored() {
+	//lockcheck:ignore fixture: suppression must silence the guard miss
+	t.n++
+}

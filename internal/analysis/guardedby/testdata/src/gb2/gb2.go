@@ -1,0 +1,16 @@
+// Package gb2 accesses gbdep's guarded field across the package
+// boundary: the guard annotation arrives as a fact, not as source.
+package gb2
+
+import "test/gbdep"
+
+func Good(d *gbdep.D) {
+	d.Mu.Lock()
+	d.N++
+	d.Bump()
+	d.Mu.Unlock()
+}
+
+func Bad(d *gbdep.D) {
+	d.N++ // want `access to N \(guardedby Mu\) without holding`
+}

@@ -1,0 +1,18 @@
+// Package gbdep declares a guarded field for package gb2 to misuse:
+// gb2 never sees this source, only the guard fact the analyzer exports,
+// which is exactly how the real packages see each other.
+package gbdep
+
+import "sync"
+
+// D is the dependency's guarded struct.
+type D struct {
+	Mu sync.Mutex
+	//lockcheck:guardedby Mu
+	N int
+}
+
+// Bump runs with the caller's lock, per its declared precondition.
+//
+//lockcheck:holds d.Mu
+func (d *D) Bump() { d.N++ }

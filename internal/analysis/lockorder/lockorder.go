@@ -1,0 +1,297 @@
+// Package lockorder builds the module's global lock-acquisition-order
+// graph and reports cycles — the static face of deadlock freedom. From
+// the shared lockset dataflow it records, per function, every edge
+// "lock of class A was held while a lock of class B was acquired";
+// call sites contribute the may-acquire summary of the callee (itself
+// a fixpoint over the package's call graph, with callees in other
+// packages folded in through facts). Edges and summaries export as
+// facts along the import graph, so the cycle check each package runs
+// sees the whole program below it; a cycle is reported exactly once,
+// in the package contributing its closing edge.
+//
+// //lockcheck:lockorder A<B pins declare the intended hierarchy. A pin
+// is injected into the graph as the edge A→B, so code acquiring in the
+// reverse order closes a cycle and is flagged even before a second
+// real edge exists.
+//
+// Instance blindness is deliberate: edges connect classes
+// (declaration sites), not objects, so hand-over-hand acquisition of
+// two locks of the same class is invisible here (the A≠B filter) —
+// that pattern needs a runtime rank check, not a static graph.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/lockset"
+)
+
+// Analyzer reports lock-acquisition-order cycles across the module.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: `report cycles in the global lock acquisition order graph
+
+Every acquisition of a lock while another is held contributes a
+held→acquired edge between lock classes (declaration sites); calls
+contribute the callee's transitive may-acquire summary. Edges merge
+across packages via facts, and any cycle in the merged graph — a
+potential deadlock — is reported where its closing edge is defined.
+//lockcheck:lockorder A<B pins the intended order as a graph edge, so
+a reversed acquisition is flagged immediately.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// guardedby owns the malformed-directive diagnostics.
+	info := lockset.Collect(pass, false)
+
+	var decls []*ast.FuncDecl
+	fns := make(map[*ast.FuncDecl]*types.Func)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls = append(decls, fd)
+					fns[fd] = fn
+				}
+			}
+		}
+	}
+
+	// Pass 1: per-function direct acquire classes and callees, then a
+	// fixpoint folding callee summaries (local ones live, imported ones
+	// from facts) into transitive may-acquire summaries.
+	imported := info.ImportedWithPrefix(lockset.SummaryPrefix)
+	type fnData struct {
+		classes map[string]bool
+		callees []*types.Func
+	}
+	data := make(map[*types.Func]*fnData, len(decls))
+	for _, fd := range decls {
+		d := &fnData{classes: make(map[string]bool)}
+		lockset.Analyze(info, fd, lockset.Hooks{
+			Acquire: func(pos token.Pos, lock lockset.LockRef, held lockset.Held) {
+				if lock.Class != "" {
+					d.classes[lock.Class] = true
+				}
+			},
+			Call: func(call *ast.CallExpr, callee *types.Func, held lockset.Held) {
+				d.callees = append(d.callees, callee)
+			},
+		})
+		data[fns[fd]] = d
+	}
+	summaryOf := func(fn *types.Func) map[string]bool {
+		if d, ok := data[fn]; ok {
+			return d.classes
+		}
+		enc, ok := imported[summaryKey(pass.Fset, fn)]
+		if !ok {
+			return nil
+		}
+		out := make(map[string]bool)
+		for _, c := range strings.Split(enc, ",") {
+			out[c] = true
+		}
+		return out
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			d := data[fns[fd]]
+			for _, callee := range d.callees {
+				for c := range summaryOf(callee) {
+					if !d.classes[c] {
+						d.classes[c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, fd := range decls {
+		fn := fns[fd]
+		if cs := data[fn].classes; len(cs) > 0 {
+			pass.ExportFact(lockset.SummaryPrefix+summaryKey(pass.Fset, fn), joinSorted(cs))
+		}
+	}
+
+	// Pass 2: emit held→acquired edges, direct and through calls.
+	localEdges := make(map[[2]string]token.Pos)
+	addEdge := func(from, to string, pos token.Pos) {
+		if from == "" || to == "" || from == to {
+			return
+		}
+		if _, ok := localEdges[[2]string{from, to}]; !ok {
+			localEdges[[2]string{from, to}] = pos
+		}
+	}
+	for _, fd := range decls {
+		lockset.Analyze(info, fd, lockset.Hooks{
+			Acquire: func(pos token.Pos, lock lockset.LockRef, held lockset.Held) {
+				for _, h := range held.Refs() {
+					addEdge(h.Class, lock.Class, pos)
+				}
+			},
+			Call: func(call *ast.CallExpr, callee *types.Func, held lockset.Held) {
+				if held.Empty() {
+					return
+				}
+				for c := range summaryOf(callee) {
+					for _, h := range held.Refs() {
+						addEdge(h.Class, c, call.Pos())
+					}
+				}
+			},
+		})
+	}
+	for e, pos := range localEdges {
+		pass.ExportFact(lockset.EdgePrefix+e[0]+"->"+e[1], pass.Fset.Position(pos).String())
+	}
+
+	// Merge: imported edges, local edges, and pins (a pin IS the
+	// intended edge; a real edge in the reverse direction then closes a
+	// reportable cycle).
+	prov := make(map[[2]string]string) // edge → where it came from
+	adj := make(map[string][]string)
+	addMerged := func(from, to, where string) {
+		e := [2]string{from, to}
+		if _, ok := prov[e]; ok {
+			return
+		}
+		prov[e] = where
+		adj[from] = append(adj[from], to)
+	}
+	for k, where := range info.ImportedWithPrefix(lockset.EdgePrefix) {
+		if from, to, ok := strings.Cut(k, "->"); ok {
+			addMerged(from, to, where)
+		}
+	}
+	for _, p := range info.AllPins() {
+		where := "pinned"
+		if p.Pos != token.NoPos {
+			where = "pinned at " + pass.Fset.Position(p.Pos).String()
+		}
+		addMerged(p.Before, p.After, where)
+	}
+	for e, pos := range localEdges {
+		addMerged(e[0], e[1], pass.Fset.Position(pos).String())
+	}
+	for n := range adj {
+		sort.Strings(adj[n])
+	}
+
+	// Report each cycle closed by a LOCAL contribution (edge or pin
+	// declared here): shortest return path as the witness. Packages
+	// that only import the cycle stay silent — the cycle is owned where
+	// its last edge was written.
+	type localClosing struct {
+		edge [2]string
+		pos  token.Pos
+	}
+	var closings []localClosing
+	for e, pos := range localEdges {
+		closings = append(closings, localClosing{e, pos})
+	}
+	for _, p := range info.Pins {
+		closings = append(closings, localClosing{[2]string{p.Before, p.After}, p.Pos})
+	}
+	sort.Slice(closings, func(i, j int) bool {
+		if closings[i].edge[0] != closings[j].edge[0] {
+			return closings[i].edge[0] < closings[j].edge[0]
+		}
+		return closings[i].edge[1] < closings[j].edge[1]
+	})
+	seenCycle := make(map[string]bool)
+	for _, cl := range closings {
+		path := shortestPath(adj, cl.edge[1], cl.edge[0])
+		if path == nil {
+			continue
+		}
+		// path runs edge[1] ... edge[0]; drop its terminal node — the
+		// cycle wraps back to edge[0], it must not appear twice or the
+		// rotation dedup sees two distinct cycles.
+		cycle := append([]string{cl.edge[0]}, path[:len(path)-1]...)
+		canon := canonicalCycle(cycle)
+		if seenCycle[canon] {
+			continue
+		}
+		seenCycle[canon] = true
+		var detail []string
+		for i := 0; i < len(cycle); i++ {
+			from, to := cycle[i], cycle[(i+1)%len(cycle)]
+			detail = append(detail, fmt.Sprintf("%s→%s (%s)", from, to, prov[[2]string{from, to}]))
+		}
+		pass.Reportf(cl.pos, "lock order cycle: %s → %s; %s",
+			strings.Join(cycle, " → "), cycle[0], strings.Join(detail, "; "))
+	}
+	return nil
+}
+
+// shortestPath BFSes from → to over the merged graph, returning the
+// node sequence after from (ending in to), or nil.
+func shortestPath(adj map[string][]string, from, to string) []string {
+	type qe struct {
+		node string
+		path []string
+	}
+	seen := map[string]bool{from: true}
+	queue := []qe{{from, []string{from}}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.node == to {
+			return cur.path
+		}
+		for _, next := range adj[cur.node] {
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, qe{next, append(append([]string{}, cur.path...), next)})
+			}
+		}
+	}
+	return nil
+}
+
+// canonicalCycle rotates a cycle to start at its least node, giving a
+// rotation-independent identity.
+func canonicalCycle(cycle []string) string {
+	best := 0
+	for i := range cycle {
+		if cycle[i] < cycle[best] {
+			best = i
+		}
+	}
+	out := make([]string, 0, len(cycle))
+	out = append(out, cycle[best:]...)
+	out = append(out, cycle[:best]...)
+	return strings.Join(out, "→")
+}
+
+func summaryKey(fset *token.FileSet, fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	p := fset.Position(fn.Pos())
+	base := p.Filename
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	return fmt.Sprintf("%s:%s@%s:%d", pkg, fn.Name(), base, p.Line)
+}
+
+func joinSorted(set map[string]bool) string {
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}

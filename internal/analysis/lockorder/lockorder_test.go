@@ -1,0 +1,19 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockorder"
+)
+
+// lo closes a cycle with two direct edges; locall routes one direction
+// through a callee's may-acquire summary; pin reverses a declared
+// order, so the pin edge itself closes the cycle; lodep/lo2 split the
+// cycle across a package boundary — lodep's edge arrives in lo2 as a
+// fact (lodep is named so its unit runs first and exports), and the
+// report lands in lo2, the package with the closing edge.
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer,
+		"lo", "locall", "pin", "lodep", "lo2")
+}

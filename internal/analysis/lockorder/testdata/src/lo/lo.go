@@ -1,0 +1,38 @@
+// Package lo closes a two-lock cycle with its own edges: PQ
+// contributes lo.P.mu→lo.Q.mu and QP the reverse. The cycle is
+// reported exactly once, at the lexicographically least closing edge —
+// the acquisition inside PQ.
+package lo
+
+import "sync"
+
+type P struct{ mu sync.Mutex }
+
+type Q struct{ mu sync.Mutex }
+
+func PQ(p *P, q *Q) {
+	p.mu.Lock()
+	q.mu.Lock() // want `lock order cycle: lo\.P\.mu → lo\.Q\.mu → lo\.P\.mu`
+	q.mu.Unlock()
+	p.mu.Unlock()
+}
+
+func QP(p *P, q *Q) {
+	q.mu.Lock()
+	p.mu.Lock()
+	p.mu.Unlock()
+	q.mu.Unlock()
+}
+
+// Solo nests two locks one way only: an edge, not a cycle. R and S are
+// not entangled with P and Q, so this stays silent.
+type R struct{ mu sync.Mutex }
+
+type S struct{ mu sync.Mutex }
+
+func Solo(r *R, s *S) {
+	r.mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	r.mu.Unlock()
+}

@@ -1,0 +1,14 @@
+// Package lo2 closes the cycle lodep started: its local edge
+// lodep.S.Mu→lodep.R.Mu meets the imported lodep.R.Mu→lodep.S.Mu
+// fact, and the cycle is reported here — the package contributing the
+// closing edge — not in lodep.
+package lo2
+
+import "test/lodep"
+
+func SR(r *lodep.R, s *lodep.S) {
+	s.Mu.Lock()
+	r.Mu.Lock() // want `lock order cycle: lodep\.S\.Mu → lodep\.R\.Mu → lodep\.S\.Mu`
+	r.Mu.Unlock()
+	s.Mu.Unlock()
+}

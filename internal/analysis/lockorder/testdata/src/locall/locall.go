@@ -1,0 +1,28 @@
+// Package locall routes one direction of a cycle through a call: AB
+// never acquires B's lock directly, but calling lockB while holding
+// A's lock contributes the edge via the callee's may-acquire summary.
+package locall
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func lockB(b *B) { b.mu.Lock() }
+
+func unlockB(b *B) { b.mu.Unlock() }
+
+func AB(a *A, b *B) {
+	a.mu.Lock()
+	lockB(b) // want `lock order cycle: locall\.A\.mu → locall\.B\.mu → locall\.A\.mu`
+	unlockB(b)
+	a.mu.Unlock()
+}
+
+func BA(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}

@@ -1,0 +1,17 @@
+// Package lodep contributes one half of a cross-package cycle: the
+// edge lodep.R.Mu→lodep.S.Mu exports as a fact. Alone it is acyclic,
+// so this package stays silent; package lo2 closes the cycle.
+package lodep
+
+import "sync"
+
+type R struct{ Mu sync.Mutex }
+
+type S struct{ Mu sync.Mutex }
+
+func RS(r *R, s *S) {
+	r.Mu.Lock()
+	s.Mu.Lock()
+	s.Mu.Unlock()
+	r.Mu.Unlock()
+}

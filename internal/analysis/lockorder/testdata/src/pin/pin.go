@@ -1,0 +1,23 @@
+// Package pin declares the intended order A.mu before B.mu; the code
+// acquires the other way around. The pin is itself an edge, so the
+// reversed acquisition closes a cycle with only one real edge in the
+// program — the report lands on the pin, the declaration the code
+// contradicts.
+package pin
+
+import "sync"
+
+type A struct {
+	//lockcheck:lockorder pin.A.mu<pin.B.mu
+	// want `lock order cycle: pin\.A\.mu → pin\.B\.mu → pin\.A\.mu`
+	mu sync.Mutex
+}
+
+type B struct{ mu sync.Mutex }
+
+func BA(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}

@@ -47,20 +47,55 @@ func runStandalone(patterns []string, analyzers []*Analyzer) {
 		log.Fatal(err)
 	}
 	exitCode := 0
-	for _, pr := range results {
-		for _, d := range pr.Diagnostics {
-			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
-			exitCode = 1
+	if *jsonOut {
+		// Machine-readable variant for CI: a flat array, one object per
+		// finding, ordered as checked (dependencies first, positions
+		// within a package ascending). Empty runs print "[]".
+		type jsonFinding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		findings := []jsonFinding{}
+		for _, pr := range results {
+			for _, d := range pr.Diagnostics {
+				p := fset.Position(d.Pos)
+				findings = append(findings, jsonFinding{
+					File:     p.Filename,
+					Line:     p.Line,
+					Col:      p.Column,
+					Analyzer: d.Analyzer,
+					Message:  d.Message,
+				})
+				exitCode = 1
+			}
+		}
+		out, err := json.MarshalIndent(findings, "", "\t")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+	} else {
+		for _, pr := range results {
+			for _, d := range pr.Diagnostics {
+				fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+				exitCode = 1
+			}
 		}
 	}
 	os.Exit(exitCode)
 }
 
 // PackageResult is one checked package's findings, in check order
-// (dependencies before dependents).
+// (dependencies before dependents), along with the facts its unit
+// exported — the raw material of whole-module assertions like "the
+// lock-order graph contains this edge" (see lockorder's tests).
 type PackageResult struct {
 	Path        string
 	Diagnostics []UnitDiagnostic
+	Facts       Facts
 }
 
 // CheckPatterns loads the packages matching patterns in dir (via
@@ -132,7 +167,7 @@ func CheckPatterns(dir string, patterns []string, analyzers []*Analyzer, reportU
 			return nil, nil, fmt.Errorf("%s: %v", p.ImportPath, err)
 		}
 		facts[p.ImportPath] = res.FactsOut
-		results = append(results, PackageResult{Path: p.ImportPath, Diagnostics: res.Diagnostics})
+		results = append(results, PackageResult{Path: p.ImportPath, Diagnostics: res.Diagnostics, Facts: res.FactsOut})
 	}
 	return results, fset, nil
 }

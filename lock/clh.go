@@ -106,6 +106,8 @@ func (l *CLH) Lock() {
 // arrival) walks to the node's predecessor and inherits the wait there.
 // Until a successor arrives, an abandoned tail makes the lock look held
 // to TryLock — the next Lock/LockContext arrival restores it.
+//
+//lockcheck:acquires l
 func (l *CLH) LockContext(ctx context.Context) error {
 	if ctx.Done() == nil {
 		l.Lock()

@@ -49,6 +49,8 @@ type lockContexter interface {
 
 // tryLockFor is the shared TryLockFor implementation: an immediate
 // TryLock, then a deadline-bounded LockContext.
+//
+//lockcheck:acquires m
 func tryLockFor(m lockContexter, d time.Duration) bool {
 	if m.TryLock() {
 		return true

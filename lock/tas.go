@@ -26,6 +26,8 @@ import (
 type TAS struct {
 	// word is the globally-spun-on lock word; it lives alone on its cache
 	// line so waiter polling does not collide with the stats reference.
+	//
+	//lockcheck:lockword
 	word atomic.Uint32
 	_    [pad.CacheLineSize - 4]byte
 
@@ -49,6 +51,8 @@ func init() {
 }
 
 // Lock acquires the lock, spinning with randomized backoff.
+//
+//lockcheck:acquires l
 func (l *TAS) Lock() {
 	if l.word.CompareAndSwap(0, 1) {
 		l.stats.Inc2(core.EvFastPath, core.EvAcquires)
@@ -59,6 +63,8 @@ func (l *TAS) Lock() {
 
 // LockContext is Lock with cancellation. TAS waiters hold no queue slot,
 // so abandoning is trivial: the polling loop simply stops.
+//
+//lockcheck:acquires l
 func (l *TAS) LockContext(ctx context.Context) error {
 	if ctx.Done() == nil {
 		l.Lock()
@@ -80,6 +86,8 @@ func (l *TAS) LockContext(ctx context.Context) error {
 // first so waiting threads share the line in read state instead of
 // ping-ponging it; the poll is bounded per round so the context is
 // observed between backoff rounds.
+//
+//lockcheck:acquires l
 func (l *TAS) lockSlow(ctx context.Context) error {
 	var done <-chan struct{}
 	if ctx != nil {
@@ -110,6 +118,8 @@ func (l *TAS) lockSlow(ctx context.Context) error {
 func (l *TAS) TryLockFor(d time.Duration) bool { return tryLockFor(l, d) }
 
 // TryLock acquires the lock if it is free.
+//
+//lockcheck:acquires l
 func (l *TAS) TryLock() bool {
 	if l.word.Load() == 0 && l.word.CompareAndSwap(0, 1) {
 		l.stats.Inc2(core.EvFastPath, core.EvAcquires)

@@ -65,6 +65,8 @@ func (l *Ticket) Lock() {
 // Ticket acquisition is therefore competitive succession, not FIFO: it can
 // be bypassed by plain Lock callers and does not inherit the ticket lock's
 // fairness guarantee. See DESIGN.md.
+//
+//lockcheck:acquires l
 func (l *Ticket) LockContext(ctx context.Context) error {
 	done := ctx.Done()
 	if done == nil {

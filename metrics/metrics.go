@@ -42,14 +42,18 @@ type History []int
 // standalone RecentLWSS pays, so a controller can read the live working
 // set on every poll without rescanning history.
 type Recorder struct {
+	//lockcheck:guardedby external
 	history History
-	window  int
+	//lockcheck:guardedby external
+	window int
 
 	// counts holds per-id occurrence counts within the trailing window
 	// (entries are deleted at zero, so the map never outgrows the window);
 	// distinct is the number of nonzero entries — RecentLWSS(history,
 	// window), maintained incrementally.
-	counts   map[int]int
+	//lockcheck:guardedby external
+	counts map[int]int
+	//lockcheck:guardedby external
 	distinct int
 }
 

@@ -39,9 +39,15 @@ const (
 )
 
 type waiter struct {
-	parker     *park.Parker
-	next, prev *waiter
-	granted    bool // guarded by the semaphore's internal lock
+	parker *park.Parker
+	//lockcheck:guardedby semaphore.Semaphore.mu
+	next *waiter
+	//lockcheck:guardedby semaphore.Semaphore.mu
+	prev *waiter
+	// granted is guarded by the owning Semaphore's internal lock.
+	//
+	//lockcheck:guardedby semaphore.Semaphore.mu
+	granted bool
 }
 
 // Semaphore is a counting semaphore with policy-controlled admission.
@@ -49,13 +55,19 @@ type Semaphore struct {
 	// mu guards the count and waiter list. The zero-value TAS carries no
 	// stats reference, so the acquire/release paths pay no striped-counter
 	// updates for the internal latch.
-	mu         lock.TAS
-	count      int
-	head, tail *waiter
+	mu lock.TAS
+	//lockcheck:guardedby mu
+	count int
+	//lockcheck:guardedby mu
+	head *waiter
+	//lockcheck:guardedby mu
+	tail *waiter
+	//lockcheck:guardedby mu
 	size       int
 	appendProb float64
-	trial      *core.Trial
-	stats      *core.Stats
+	//lockcheck:guardedby mu
+	trial *core.Trial
+	stats *core.Stats
 }
 
 // New returns a semaphore holding n initial permits with the given append
@@ -80,6 +92,8 @@ func NewFIFO(n int) *Semaphore { return New(n, FIFO, 0) }
 func NewMostlyLIFO(n int) *Semaphore { return New(n, MostlyLIFO, 0) }
 
 // Acquire obtains one permit, blocking until available.
+//
+//lockcheck:acquires s
 func (s *Semaphore) Acquire() {
 	s.acquire(nil) // a nil ctx cannot fail
 }
@@ -95,6 +109,8 @@ func (s *Semaphore) Acquire() {
 // lock.ContextMutex). The conveyed permit therefore can never leak: it is
 // either consumed by the successful return or still queued on a live
 // waiter. Exactly one Cancels event is counted per error return.
+//
+//lockcheck:acquires s
 func (s *Semaphore) AcquireContext(ctx context.Context) error {
 	if ctx == nil || ctx.Done() == nil {
 		s.acquire(nil)
@@ -111,6 +127,8 @@ func (s *Semaphore) AcquireContext(ctx context.Context) error {
 
 // AcquireFor obtains a permit within d and reports whether it did.
 // d <= 0 degenerates to TryAcquire.
+//
+//lockcheck:acquires s
 func (s *Semaphore) AcquireFor(d time.Duration) bool {
 	if s.TryAcquire() {
 		return true
@@ -125,10 +143,14 @@ func (s *Semaphore) AcquireFor(d time.Duration) bool {
 
 // AcquireTimeout obtains a permit or gives up after d; it reports whether
 // a permit was obtained. It is AcquireFor under its historical name.
+//
+//lockcheck:acquires s
 func (s *Semaphore) AcquireTimeout(d time.Duration) bool { return s.AcquireFor(d) }
 
 // acquire is the shared acquisition body; a nil ctx waits indefinitely
 // and cannot fail, a non-nil ctx must be cancellable.
+//
+//lockcheck:acquires s
 func (s *Semaphore) acquire(ctx context.Context) error {
 	s.mu.Lock()
 	if s.count > 0 && s.head == nil {
@@ -166,6 +188,8 @@ func (s *Semaphore) acquire(ctx context.Context) error {
 
 // TryAcquire obtains a permit only if one is immediately available and no
 // waiter is queued ahead.
+//
+//lockcheck:acquires s
 func (s *Semaphore) TryAcquire() bool {
 	s.mu.Lock()
 	ok := s.count > 0 && s.head == nil
@@ -228,6 +252,7 @@ func (s *Semaphore) Waiters() int {
 	return n
 }
 
+//lockcheck:holds s.mu
 func (s *Semaphore) enqueue(w *waiter) {
 	if s.head == nil {
 		s.head, s.tail = w, w
@@ -243,6 +268,7 @@ func (s *Semaphore) enqueue(w *waiter) {
 	s.size++
 }
 
+//lockcheck:holds s.mu
 func (s *Semaphore) popHead() *waiter {
 	w := s.head
 	if w == nil {
@@ -259,6 +285,7 @@ func (s *Semaphore) popHead() *waiter {
 	return w
 }
 
+//lockcheck:holds s.mu
 func (s *Semaphore) unlink(w *waiter) {
 	if w.prev != nil {
 		w.prev.next = w.next

@@ -102,6 +102,11 @@ type Server struct {
 	mln  net.Listener
 	hsrv *http.Server
 	ctrl *shard.Controller
+	// pool is the bounded-concurrency admission semaphore. A served
+	// connection holds a slot for its whole serve loop, including every
+	// stripe acquisition inside it — the intended nesting:
+	//
+	//lockcheck:lockorder server.Server.pool<shard.descriptor.mu
 	pool *semaphore.Semaphore
 
 	// acceptCtx ends when Drain begins: the pool stops admitting and
@@ -110,8 +115,10 @@ type Server struct {
 	acceptCtx    context.Context
 	acceptCancel context.CancelFunc
 
-	mu       sync.Mutex
-	conns    map[net.Conn]struct{}
+	mu sync.Mutex
+	//lockcheck:guardedby mu
+	conns map[net.Conn]struct{}
+	//lockcheck:guardedby mu
 	draining bool
 
 	wg  sync.WaitGroup // accept loop + per-connection serve loops
@@ -125,7 +132,8 @@ type Server struct {
 
 	// faultMu orders fault arm/disarm verbs; faultSet is the currently
 	// installed set (nil until the first arm).
-	faultMu  sync.Mutex
+	faultMu sync.Mutex
+	//lockcheck:guardedby faultMu
 	faultSet *fault.Set
 
 	// metricsCache is the sampler-maintained snapshot+delta the

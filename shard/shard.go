@@ -187,8 +187,14 @@ type Config struct {
 // new one and atomically replaces the old — so every field may be read
 // without synchronization after an atomic load of the pointer.
 type descriptor struct {
-	mu      lock.ContextMutex
-	stats   lock.Instrumented // mu, when it maintains counters; else nil
+	mu    lock.ContextMutex
+	stats lock.Instrumented // mu, when it maintains counters; else nil
+	// table is the one descriptor field mutated after publication (by
+	// the operations themselves), so it keeps the lock discipline the
+	// rest of the descriptor opted out of. The optimistic read path
+	// goes through opt, never table.
+	//
+	//lockcheck:guardedby mu
 	table   store.Backend
 	ordered store.Ordered // table, when it maintains key order; else nil
 
@@ -235,7 +241,10 @@ type stripe struct {
 	desc atomic.Pointer[descriptor]
 
 	// swapMu serializes Reconfigure calls on this stripe. Operation
-	// paths never touch it.
+	// paths never touch it. Reconfigure quiesces the stripe under the
+	// descriptor lock while holding swapMu, never the reverse:
+	//
+	//lockcheck:lockorder shard.stripe.swapMu<shard.descriptor.mu
 	swapMu sync.Mutex
 
 	rec  *metrics.Recorder // nil when history is disabled
@@ -272,6 +281,8 @@ type stripe struct {
 // acquisition: a waiter that slept through a Reconfigure wakes holding
 // the retired lock, whose table has been migrated away — it releases and
 // retries on the published descriptor. The caller must d.mu.Unlock().
+//
+//lockcheck:acquires return.mu
 func (s *stripe) lockCurrent() *descriptor {
 	for {
 		d := s.desc.Load()
@@ -286,6 +297,8 @@ func (s *stripe) lockCurrent() *descriptor {
 // lockCurrentContext is lockCurrent bounded by ctx; a nil ctx means the
 // plain (uncancellable) path. Exactly one lock Cancels event is counted
 // per error return — retries only happen after successful acquisitions.
+//
+//lockcheck:acquires return.mu
 func (s *stripe) lockCurrentContext(ctx context.Context) (*descriptor, error) {
 	if ctx == nil {
 		return s.lockCurrent(), nil
